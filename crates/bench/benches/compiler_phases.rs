@@ -1,0 +1,59 @@
+//! Criterion benches of the compiler phases themselves (analysis and
+//! code generation, no simulation): dependence analysis, parallelism
+//! exposure, decomposition and SPMD codegen.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dct_bench::programs;
+use dct_core::{Compiler, Strategy};
+use dct_dep::{analyze_nest, DepConfig};
+use dct_spmd::{codegen, CostModel, SpmdOptions};
+
+fn phases(c: &mut Criterion) {
+    let prog = programs::tomcatv(257, 3);
+    let cfg = DepConfig { nparams: prog.params.len(), param_min: 4 };
+
+    c.bench_function("dependence_analysis_tomcatv", |b| {
+        b.iter(|| {
+            let deps: Vec<_> = prog.nests.iter().map(|n| analyze_nest(n, cfg)).collect();
+            std::hint::black_box(deps.len())
+        })
+    });
+
+    c.bench_function("full_compile_tomcatv", |b| {
+        let compiler = Compiler::new(Strategy::Full);
+        b.iter(|| {
+            let compiled = compiler.compile(&prog);
+            std::hint::black_box(compiled.decomposition.grid_rank)
+        })
+    });
+
+    c.bench_function("codegen_tomcatv_p32", |b| {
+        let compiler = Compiler::new(Strategy::Full);
+        let compiled = compiler.compile(&prog);
+        b.iter(|| {
+            let sp = codegen(&compiled.program, &compiled.decomposition, &SpmdOptions {
+                procs: 32,
+                params: prog.default_params(),
+                transform_data: true,
+                barrier_elision: true,
+                cost: CostModel::default(),
+            });
+            std::hint::black_box(sp.total_elements())
+        })
+    });
+
+    // The most analysis-heavy program: LU's non-uniform references drive
+    // the Fourier-Motzkin direction enumeration.
+    let lu = programs::lu(256);
+    c.bench_function("full_compile_lu", |b| {
+        let compiler = Compiler::new(Strategy::Full);
+        b.iter(|| std::hint::black_box(compiler.compile(&lu).decomposition.grid_rank))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = phases
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benches of the machine simulator: raw access throughput for
+//! the patterns that dominate the experiments (L1 hits, streaming misses,
+//! false-sharing ping-pong).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dct_machine::{Machine, MachineConfig};
+
+fn machine(c: &mut Criterion) {
+    c.bench_function("l1_hits", |b| {
+        let mut m = Machine::new(MachineConfig::dash(4));
+        m.access(0, 64, false);
+        b.iter(|| std::hint::black_box(m.access(0, 64, false)))
+    });
+
+    c.bench_function("streaming_reads", |b| {
+        let mut m = Machine::new(MachineConfig::dash(4));
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(16) % (64 << 20);
+            std::hint::black_box(m.access(0, addr, false))
+        })
+    });
+
+    c.bench_function("false_sharing_pingpong", |b| {
+        let mut m = Machine::new(MachineConfig::dash(2));
+        let mut turn = 0usize;
+        b.iter(|| {
+            turn ^= 1;
+            std::hint::black_box(m.access(turn, (turn as u64) * 8, true))
+        })
+    });
+
+    c.bench_function("barrier_cost_model", |b| {
+        let m = Machine::new(MachineConfig::dash(32));
+        b.iter(|| std::hint::black_box(m.barrier_cost(32)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = machine
+}
+criterion_main!(benches);

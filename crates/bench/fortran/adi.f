@@ -1,0 +1,28 @@
+      PROGRAM ADI
+      PARAMETER (N = 16, NSTEPS = 2)
+      REAL X(N,N), A(N,N), B(N,N)
+CDCT$ INIT
+      DO 3 J = 1, N
+      DO 3 I = 1, N
+    3 X(I,J) = 1.0 + I * 0.001 + J * 0.002
+CDCT$ INIT
+      DO 4 J = 1, N
+      DO 4 I = 1, N
+    4 A(I,J) = 0.3 + I * 0.001 + J * 0.002
+CDCT$ INIT
+      DO 5 J = 1, N
+      DO 5 I = 1, N
+    5 B(I,J) = 2.0 + I * 0.001 + J * 0.002
+      DO 30 TIME = 1, NSTEPS
+      DO 10 I1 = 1, N
+      DO 10 I2 = 2, N
+      X(I2,I1) = X(I2,I1) - X(I2-1,I1)*A(I2,I1)/B(I2-1,I1)
+      B(I2,I1) = B(I2,I1) - A(I2,I1)*A(I2,I1)/B(I2-1,I1)
+   10 CONTINUE
+      DO 20 I1 = 2, N
+      DO 20 I2 = 1, N
+      X(I2,I1) = X(I2,I1) - X(I2,I1-1)*A(I2,I1)/B(I2,I1-1)
+      B(I2,I1) = B(I2,I1) - A(I2,I1)*A(I2,I1)/B(I2,I1-1)
+   20 CONTINUE
+   30 CONTINUE
+      END

@@ -1,0 +1,47 @@
+      PROGRAM ERLE
+      PARAMETER (N = 12, NPASS = 3)
+      REAL U(N,N,N), DUX(N,N,N), DUY(N,N,N), DUZ(N,N,N), TOT(N,N,N)
+CDCT$ INIT
+      DO 1 K = 1, N
+      DO 1 J = 1, N
+      DO 1 I = 1, N
+    1 U(I,J,K) = 1.0 + I*0.01 + J*0.02 + K*0.03
+CDCT$ INIT
+      DO 2 K = 1, N
+      DO 2 J = 1, N
+      DO 2 I = 1, N
+    2 DUX(I,J,K) = 0.0
+CDCT$ INIT
+      DO 3 K = 1, N
+      DO 3 J = 1, N
+      DO 3 I = 1, N
+    3 DUY(I,J,K) = 0.0
+CDCT$ INIT
+      DO 4 K = 1, N
+      DO 4 J = 1, N
+      DO 4 I = 1, N
+    4 DUZ(I,J,K) = 0.0
+CDCT$ INIT
+      DO 5 K = 1, N
+      DO 5 J = 1, N
+      DO 5 I = 1, N
+    5 TOT(I,J,K) = 0.0
+      DO 60 TIME = 1, NPASS
+      DO 10 K = 1, N
+      DO 10 J = 1, N
+      DO 10 I = 2, N
+   10 DUX(I,J,K) = (U(I,J,K)-U(I-1,J,K))*0.5 - DUX(I-1,J,K)*0.25
+      DO 20 K = 1, N
+      DO 20 J = 2, N
+      DO 20 I = 1, N
+   20 DUY(I,J,K) = (U(I,J,K)-U(I,J-1,K))*0.5 - DUY(I,J-1,K)*0.25
+      DO 30 K = 2, N
+      DO 30 J = 1, N
+      DO 30 I = 1, N
+   30 DUZ(I,J,K) = (U(I,J,K)-U(I,J,K-1))*0.5 - DUZ(I,J,K-1)*0.25
+      DO 40 K = 1, N
+      DO 40 J = 1, N
+      DO 40 I = 1, N
+   40 TOT(I,J,K) = DUX(I,J,K) + DUY(I,J,K) + DUZ(I,J,K)
+   60 CONTINUE
+      END

@@ -1,0 +1,14 @@
+      PROGRAM LU
+      PARAMETER (N = 16)
+      DOUBLE PRECISION A(N, N)
+CDCT$ INIT
+      DO 5 J = 1, N
+      DO 5 I = 1, N
+    5 A(I,J) = 1.0 / (I + J - 1.0) + 4.0
+      DO 10 I1 = 1, N
+      DO 10 I2 = I1+1, N
+      A(I2,I1) = A(I2,I1) / A(I1,I1)
+      DO 10 I3 = I1+1, N
+      A(I2,I3) = A(I2,I3) - A(I2,I1)*A(I1,I3)
+   10 CONTINUE
+      END

@@ -1,0 +1,22 @@
+      PROGRAM STENCIL
+      PARAMETER (N = 20, NSTEPS = 3)
+      REAL A(N,N), B(N,N)
+CDCT$ INIT
+      DO 5 J = 1, N
+      DO 5 I = 1, N
+    5 B(I,J) = I * 0.01 + J * 0.02 + 1.0
+CDCT$ INIT
+      DO 6 J = 1, N
+      DO 6 I = 1, N
+    6 A(I,J) = 0.0
+      DO 30 TIME = 1, NSTEPS
+      DO 10 I1 = 2, N-1
+      DO 10 I2 = 2, N-1
+      A(I2,I1) = 0.2*(B(I2,I1)+B(I2-1,I1)+B(I2+1,I1)+B(I2,I1-1)+B(I2,I1+1))
+   10 CONTINUE
+      DO 20 I1 = 2, N-1
+      DO 20 I2 = 2, N-1
+      B(I2,I1) = A(I2,I1)
+   20 CONTINUE
+   30 CONTINUE
+      END

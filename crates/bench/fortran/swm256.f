@@ -1,0 +1,49 @@
+      PROGRAM SWM
+      PARAMETER (N = 17, NSTEPS = 2)
+      REAL U(N,N), V(N,N), P(N,N), CU(N,N), CV(N,N), Z(N,N), H(N,N)
+CDCT$ INIT
+      DO 1 J = 1, N
+      DO 1 I = 1, N
+    1 U(I,J) = 0.5 + I*0.001 + J*0.003
+CDCT$ INIT
+      DO 2 J = 1, N
+      DO 2 I = 1, N
+    2 V(I,J) = 0.4 + I*0.001 + J*0.003
+CDCT$ INIT
+      DO 3 J = 1, N
+      DO 3 I = 1, N
+    3 P(I,J) = 50.0 + I*0.001 + J*0.003
+CDCT$ INIT
+      DO 4 J = 1, N
+      DO 4 I = 1, N
+    4 CU(I,J) = 0.0
+CDCT$ INIT
+      DO 5 J = 1, N
+      DO 5 I = 1, N
+    5 CV(I,J) = 0.0
+CDCT$ INIT
+      DO 6 J = 1, N
+      DO 6 I = 1, N
+    6 Z(I,J) = 0.0
+CDCT$ INIT
+      DO 7 J = 1, N
+      DO 7 I = 1, N
+    7 H(I,J) = 0.0
+      DO 300 TIME = 1, NSTEPS
+      DO 100 J = 2, N-1
+      DO 100 I = 2, N-1
+      CU(I,J) = 0.5*(P(I,J)+P(I-1,J))*U(I,J)
+      CV(I,J) = 0.5*(P(I,J)+P(I,J-1))*V(I,J)
+      Z(I,J) = (V(I,J)-V(I-1,J)+U(I,J)-U(I,J-1))/(P(I,J)+1.0)
+      H(I,J) = P(I,J) + 0.25*(U(I,J)*U(I,J)+V(I,J)*V(I,J))
+  100 CONTINUE
+      DO 200 J = 2, N-1
+      DO 200 I = 2, N-1
+      U(I,J) = U(I,J) + 0.125*(Z(I,J)+Z(I,J-1))*(CV(I,J)+CV(I-1,J))
+     - - 0.01*(H(I,J)-H(I-1,J))
+      V(I,J) = V(I,J) - 0.125*(Z(I,J)+Z(I-1,J))*(CU(I,J)+CU(I,J-1))
+     - - 0.01*(H(I,J)-H(I,J-1))
+      P(I,J) = P(I,J) - 0.02*(CU(I,J)-CU(I-1,J)+CV(I,J)-CV(I,J-1))
+  200 CONTINUE
+  300 CONTINUE
+      END

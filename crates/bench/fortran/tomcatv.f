@@ -1,0 +1,46 @@
+      PROGRAM TOMCATV
+      PARAMETER (N = 17, NSTEPS = 2)
+      REAL X(N,N), Y(N,N), RX(N,N), RY(N,N), AA(N,N), DD(N,N)
+CDCT$ INIT
+      DO 1 J = 1, N
+      DO 1 I = 1, N
+    1 X(I,J) = 1.0 + I*0.002 + J*0.001
+CDCT$ INIT
+      DO 2 J = 1, N
+      DO 2 I = 1, N
+    2 Y(I,J) = 2.0 + I*0.002 + J*0.001
+CDCT$ INIT
+      DO 3 J = 1, N
+      DO 3 I = 1, N
+    3 RX(I,J) = 0.0
+CDCT$ INIT
+      DO 4 J = 1, N
+      DO 4 I = 1, N
+    4 RY(I,J) = 0.0
+CDCT$ INIT
+      DO 5 J = 1, N
+      DO 5 I = 1, N
+    5 AA(I,J) = -0.5 + I*0.002 + J*0.001
+CDCT$ INIT
+      DO 6 J = 1, N
+      DO 6 I = 1, N
+    6 DD(I,J) = 4.0 + I*0.002 + J*0.001
+      DO 90 TIME = 1, NSTEPS
+      DO 10 J = 2, N-1
+      DO 10 I = 2, N-1
+      RX(I,J) = X(I+1,J)+X(I-1,J)+X(I,J+1)+X(I,J-1)-4.0*X(I,J)
+      RY(I,J) = Y(I+1,J)+Y(I-1,J)+Y(I,J+1)+Y(I,J-1)-4.0*Y(I,J)
+   10 CONTINUE
+      DO 20 J = 2, N-1
+      DO 20 I = 2, N-1
+      DD(I,J) = DD(I,J) - AA(I,J)*AA(I,J-1)/DD(I,J-1)
+      RX(I,J) = RX(I,J) - AA(I,J)*RX(I,J-1)/DD(I,J-1)
+      RY(I,J) = RY(I,J) - AA(I,J)*RY(I,J-1)/DD(I,J-1)
+   20 CONTINUE
+      DO 30 J = 2, N-1
+      DO 30 I = 2, N-1
+      X(I,J) = X(I,J) + RX(I,J)/DD(I,J)
+      Y(I,J) = Y(I,J) + RY(I,J)/DD(I,J)
+   30 CONTINUE
+   90 CONTINUE
+      END

@@ -1,0 +1,36 @@
+      PROGRAM VPENTA
+      PARAMETER (N = 16, NRHS = 3)
+      REAL A(N,N), B(N,N), C(N,N), X(N,N), F(N,N,NRHS)
+CDCT$ INIT
+      DO 1 J = 1, N
+      DO 1 I = 1, N
+    1 A(I,J) = 0.1 + I * 0.001 + J * 0.002
+CDCT$ INIT
+      DO 2 J = 1, N
+      DO 2 I = 1, N
+    2 B(I,J) = 0.2 + I * 0.001 + J * 0.002
+CDCT$ INIT
+      DO 3 J = 1, N
+      DO 3 I = 1, N
+    3 C(I,J) = 4.0 + I * 0.001 + J * 0.002
+CDCT$ INIT
+      DO 4 J = 1, N
+      DO 4 I = 1, N
+    4 X(I,J) = 1.0 + I * 0.001 + J * 0.002
+CDCT$ INIT
+      DO 6 K = 1, NRHS
+      DO 6 J = 1, N
+      DO 6 I = 1, N
+    6 F(I,J,K) = 1.0 + I * 0.01 + K
+      DO 10 J = 1, N
+      DO 10 I = 2, N
+   10 X(I,J) = X(I,J) - A(I,J)*X(I-1,J)/C(I-1,J)
+      DO 20 K = 1, NRHS
+      DO 20 J = 1, N
+      DO 20 I = 2, N
+   20 F(I,J,K) = F(I,J,K) - B(I,J)*F(I-1,J,K)
+      DO 40 K = 1, NRHS
+      DO 40 J = 1, N
+      DO 40 I = 1, N
+   40 F(I,J,K) = F(I,J,K) / C(I,J)
+      END

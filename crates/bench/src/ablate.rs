@@ -1,0 +1,192 @@
+//! Ablation experiments for the design choices DESIGN.md calls out:
+//! address-calculation optimizations, barrier elision, folding-function
+//! choice, grid rank, and cache-line size (false-sharing sensitivity).
+//! Each returns simulated cycles per variant so the effect of one design
+//! decision is isolated.
+
+use crate::programs;
+use dct_core::{Compiler, Strategy};
+use dct_machine::MachineConfig;
+use dct_spmd::{simulate, SimOptions};
+
+/// One ablation: a label and the cycles of each variant.
+#[derive(Clone, Debug)]
+pub struct Ablation {
+    pub name: String,
+    pub variants: Vec<(String, u64)>,
+}
+
+impl Ablation {
+    pub fn render(&self) -> String {
+        let mut out = format!("# ablation: {}\n", self.name);
+        let best = self.variants.iter().map(|v| v.1).min().unwrap_or(1);
+        for (label, cycles) in &self.variants {
+            out.push_str(&format!(
+                "{label:<28} {cycles:>14} cycles  ({:.2}x of best)\n",
+                *cycles as f64 / best as f64
+            ));
+        }
+        out
+    }
+}
+
+fn full_opts(procs: usize, params: Vec<i64>) -> SimOptions {
+    Compiler::new(Strategy::Full).sim_options(procs, params)
+}
+
+/// Section 4.3: the div/mod address optimizations on transformed arrays.
+/// The paper calls them "important and effective"; without them, every
+/// access to a strip-mined array pays an integer divide + modulo.
+pub fn ablate_addropt(procs: usize, scale: f64) -> Ablation {
+    let s = |n: i64| ((n as f64 * scale).round() as i64).max(16);
+    let prog = programs::vpenta(s(128), 3);
+    let compiled = Compiler::new(Strategy::Full).compile(&prog);
+    let params = prog.default_params();
+    let mut variants = Vec::new();
+    for (label, on) in [("address optimizations ON", true), ("address optimizations OFF", false)] {
+        let mut o = full_opts(procs, params.clone());
+        o.addr_opt = on;
+        let r = simulate(&compiled.program, &compiled.decomposition, &o);
+        variants.push((label.to_string(), r.cycles));
+    }
+    Ablation { name: "addropt (vpenta, Section 4.3)".into(), variants }
+}
+
+/// Barrier elision (the synchronization optimization the paper credits for
+/// vpenta's comp-decomp gain over base).
+pub fn ablate_barrier_elision(procs: usize, scale: f64) -> Ablation {
+    let s = |n: i64| ((n as f64 * scale).round() as i64).max(16);
+    let prog = programs::vpenta(s(128), 3);
+    let compiled = Compiler::new(Strategy::Full).compile(&prog);
+    let params = prog.default_params();
+    let mut variants = Vec::new();
+    for (label, on) in [("barrier elision ON", true), ("barrier elision OFF", false)] {
+        let mut o = full_opts(procs, params.clone());
+        o.barrier_elision = on;
+        let r = simulate(&compiled.program, &compiled.decomposition, &o);
+        variants.push((format!("{label} ({} barriers)", r.barriers), r.cycles));
+    }
+    Ablation { name: "barrier elision (vpenta)".into(), variants }
+}
+
+/// Folding choice for LU: the paper selects CYCLIC for load balance; BLOCK
+/// leaves the trailing processors idle as the pivot advances.
+pub fn ablate_folding_lu(procs: usize, scale: f64) -> Ablation {
+    let s = |n: i64| ((n as f64 * scale).round() as i64).max(16);
+    let prog = programs::lu(s(256));
+    let compiled = Compiler::new(Strategy::Full).compile(&prog);
+    let params = prog.default_params();
+    let mut variants = Vec::new();
+    for folding in [dct_decomp::Folding::Cyclic, dct_decomp::Folding::Block] {
+        let mut dec = compiled.decomposition.clone();
+        dec.foldings = vec![folding];
+        let o = full_opts(procs, params.clone());
+        let r = simulate(&compiled.program, &dec, &o);
+        variants.push((format!("{} columns", folding.hpf()), r.cycles));
+    }
+    Ablation { name: "folding for LU (load balance)".into(), variants }
+}
+
+/// Grid rank for the stencil: 2-D blocks (the algorithm's choice) vs a
+/// 1-D column distribution, both with the data transformation.
+pub fn ablate_grid_stencil(procs: usize, scale: f64) -> Ablation {
+    let s = |n: i64| ((n as f64 * scale).round() as i64).max(16);
+    let prog = programs::stencil(s(512), 5);
+    let compiled = Compiler::new(Strategy::Full).compile(&prog);
+    let params = prog.default_params();
+    let mut variants = Vec::new();
+
+    let o = full_opts(procs, params.clone());
+    let r2 = simulate(&compiled.program, &compiled.decomposition, &o);
+    variants.push(("2-D blocks".to_string(), r2.cycles));
+
+    // Truncate the decomposition to rank 1.
+    let mut dec1 = compiled.decomposition.clone();
+    dec1.grid_rank = 1;
+    dec1.foldings.truncate(1);
+    for c in &mut dec1.comp {
+        c.rows.truncate(1);
+    }
+    for d in &mut dec1.data {
+        d.dists.retain(|ad| ad.proc_dim == 0);
+    }
+    let r1 = simulate(&compiled.program, &dec1, &o);
+    variants.push(("1-D blocks".to_string(), r1.cycles));
+
+    Ablation { name: "grid rank for stencil (comm/comp ratio)".into(), variants }
+}
+
+/// False-sharing sensitivity: the comp-decomp stencil (2-D blocks over the
+/// FORTRAN layout) under growing cache-line sizes. Longer lines widen the
+/// falsely shared boundary.
+pub fn ablate_linesize_stencil(procs: usize, scale: f64) -> Ablation {
+    let s = |n: i64| ((n as f64 * scale).round() as i64).max(16);
+    let prog = programs::stencil(s(512), 5);
+    let compiled = Compiler::new(Strategy::CompDecomp).compile(&prog);
+    let params = prog.default_params();
+    let mut variants = Vec::new();
+    for line in [16usize, 32, 64, 128] {
+        let mut mc = MachineConfig::dash(procs);
+        mc.line_bytes = line;
+        let mut o = Compiler::new(Strategy::CompDecomp).sim_options(procs, params.clone());
+        o.machine = Some(mc);
+        let r = simulate(&compiled.program, &compiled.decomposition, &o);
+        variants.push((format!("{line}-byte lines"), r.cycles));
+    }
+    Ablation { name: "cache-line size vs false sharing (stencil, comp-decomp)".into(), variants }
+}
+
+/// All ablations in DESIGN.md order.
+pub fn all_ablations(procs: usize, scale: f64) -> Vec<Ablation> {
+    vec![
+        ablate_addropt(procs, scale),
+        ablate_barrier_elision(procs, scale),
+        ablate_folding_lu(procs, scale),
+        ablate_grid_stencil(procs, scale),
+        ablate_linesize_stencil(procs, scale),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Each ablation must point in the documented direction at a small
+    /// scale.
+    #[test]
+    fn ablation_directions() {
+        let a = ablate_addropt(8, 0.25);
+        assert!(a.variants[0].1 < a.variants[1].1, "addropt must help: {a:?}");
+
+        let b = ablate_barrier_elision(8, 0.25);
+        assert!(b.variants[0].1 <= b.variants[1].1, "elision must not hurt: {b:?}");
+
+        let f = ablate_folding_lu(8, 0.25);
+        assert!(f.variants[0].1 < f.variants[1].1, "cyclic must beat block for LU: {f:?}");
+    }
+
+    #[test]
+    fn linesize_sharing_bytes_grow() {
+        // Wider lines widen the falsely-shared boundary: the *bytes*
+        // invalidated must not shrink (event counts may, since one
+        // invalidation now covers a wider line).
+        let prog = programs::stencil(64, 2);
+        let compiled = Compiler::new(Strategy::CompDecomp).compile(&prog);
+        let params = prog.default_params();
+        let mut measured = Vec::new();
+        for line in [16usize, 64] {
+            let mut mc = MachineConfig::dash(8);
+            mc.line_bytes = line;
+            let mut o = Compiler::new(Strategy::CompDecomp).sim_options(8, params.clone());
+            o.machine = Some(mc);
+            let r = simulate(&compiled.program, &compiled.decomposition, &o);
+            let inv = r.stats.total().invalidations_received;
+            assert!(inv > 0, "2-D blocks over FORTRAN layout must exhibit sharing");
+            measured.push(inv * line as u64);
+        }
+        assert!(
+            measured[1] >= measured[0],
+            "invalidated bytes must not shrink with longer lines: {measured:?}"
+        );
+    }
+}

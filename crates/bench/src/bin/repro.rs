@@ -1,0 +1,127 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro all                 # every figure + table 1
+//! repro fig6                # one figure (LU 256x256)
+//! repro fig2 fig3           # the data-transformation index tables
+//! repro table1              # the summary table
+//! repro fig8 --scale 0.5    # half the paper problem size
+//! repro fig6 --procs 1,8,32 # custom processor counts
+//! ```
+
+use dct_bench::harness::{self, ALL_FIGURES, PAPER_PROCS};
+use dct_layout::{diagram, DataLayout};
+use std::time::Instant;
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut targets: Vec<String> = Vec::new();
+    let mut scale = 1.0f64;
+    let mut procs: Vec<usize> = PAPER_PROCS.to_vec();
+    let mut workers = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(4);
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a numeric value"))
+            }
+            "--procs" => {
+                procs = it
+                    .next()
+                    .map(|v| {
+                        v.split(',')
+                            .map(|x| {
+                                x.parse().unwrap_or_else(|_| {
+                                    die(&format!("--procs: '{x}' is not a processor count"))
+                                })
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_else(|| die("--procs needs a comma-separated list"))
+            }
+            "--threads" => {
+                workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--threads needs a positive integer"))
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets = ALL_FIGURES.iter().map(|s| s.to_string()).collect();
+        targets.insert(0, "fig2".into());
+        targets.insert(1, "fig3".into());
+        targets.push("table1".into());
+        targets.push("ablations".into());
+    }
+
+    for t in &targets {
+        let t0 = Instant::now();
+        match t.as_str() {
+            "fig2" => print_fig2(),
+            "fig3" => print_fig3(),
+            "table1" => {
+                let rows = harness::table1(32, scale);
+                println!("{}", harness::render_table1(&rows, 32));
+            }
+            "ablations" => {
+                for a in dct_bench::all_ablations(32, scale) {
+                    println!("{}", a.render());
+                }
+            }
+            fig => match harness::figure(fig, scale) {
+                Some(spec) => {
+                    let r = harness::run_figure_parallel(&spec, &procs, workers);
+                    println!("{}", r.render());
+                }
+                None => eprintln!("unknown target {fig}"),
+            },
+        }
+        eprintln!("[{t} done in {:?}]", t0.elapsed());
+    }
+}
+
+/// Figure 2: strip-mine (b=8) + transpose of a 32-element array.
+fn print_fig2() {
+    println!("# fig2 — strip-mining and permutation of a 32-element array");
+    let mut l = DataLayout::identity(&[32]);
+    l.strip_mine(0, 8);
+    println!("(b) strip-mined (8 x 4): index map");
+    let mut strip_only = DataLayout::identity(&[32]);
+    strip_only.strip_mine(0, 8);
+    print!("{}", diagram::render_1d(&strip_only));
+    l.permute(&[1, 0]);
+    println!("(c) transposed (4 x 8): every 8th element contiguous");
+    print!("{}", diagram::render_1d(&l));
+}
+
+/// Figure 3: (BLOCK,*), (CYCLIC,*), (BLOCK-CYCLIC(2),*) of an 8x4 array, P=2.
+fn print_fig3() {
+    use dct_decomp::{ArrayDist, DataDecomp, Folding};
+    use dct_layout::synthesize_array_layout;
+    println!("# fig3 — restructuring an 8x4 array for P=2");
+    let dd = DataDecomp { dists: vec![ArrayDist { dim: 0, proc_dim: 0 }], replicated: false };
+    for (label, f) in [
+        ("(BLOCK, *)", Folding::Block),
+        ("(CYCLIC, *)", Folding::Cyclic),
+        ("(BLOCK-CYCLIC(2), *)", Folding::BlockCyclic { block: 2 }),
+    ] {
+        let al = synthesize_array_layout(&[8, 4], &dd, &[f], &[2], true);
+        println!("{label}: new dims {:?}", al.layout.final_dims());
+        print!("{}", diagram::render_2d(&al.layout));
+        println!();
+    }
+}

@@ -1,0 +1,29 @@
+use dct_bench::programs;
+use dct_core::{sequential_cycles, speedup_curve, Strategy};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(|s| s.as_str()).unwrap_or("stencil");
+    let prog = match which {
+        "stencil" => programs::stencil(512, 3),
+        "lu" => programs::lu(256),
+        "adi" => programs::adi(256, 3),
+        "vpenta" => programs::vpenta(128, 3),
+        "erlebacher" => programs::erlebacher(64),
+        "swm" => programs::swm256(257, 3),
+        "tomcatv" => programs::tomcatv(257, 3),
+        _ => panic!(),
+    };
+    let params = prog.default_params();
+    let t0 = Instant::now();
+    let seq = sequential_cycles(&prog, &params);
+    println!("{which}: seq={seq} ({:?})", t0.elapsed());
+    let procs = [2usize, 8, 16, 31, 32];
+    for s in Strategy::ALL {
+        let t0 = Instant::now();
+        let curve = speedup_curve(&prog, s, &procs, &params, seq);
+        let pts: Vec<String> = curve.iter().map(|p| format!("{}:{:.1}", p.procs, p.speedup)).collect();
+        println!("  {:28} {}  ({:?})", s.label(), pts.join(" "), t0.elapsed());
+    }
+}

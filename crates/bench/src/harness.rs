@@ -1,0 +1,265 @@
+//! Regenerating the paper's figures and tables: speedup curves per
+//! compiler strategy across processor counts, and the Table 1 summary.
+
+use crate::programs;
+use dct_core::{sequential_cycles, speedup_curve, Compiler, SpeedupPoint, Strategy};
+use dct_ir::Program;
+
+/// Processor counts used in the paper's figures (1..32; 31 added because
+/// LU's conflict pathology makes 31 vs 32 a headline data point).
+pub const PAPER_PROCS: &[usize] = &[1, 2, 4, 8, 12, 16, 20, 24, 28, 31, 32];
+
+/// A figure specification: which benchmark, at which size.
+#[derive(Clone, Debug)]
+pub struct FigureSpec {
+    pub id: &'static str,
+    pub benchmark: &'static str,
+    /// Size label as reported by the paper (e.g. "512x512").
+    pub size_label: String,
+    pub program: Program,
+}
+
+/// One strategy's speedup curve.
+#[derive(Clone, Debug)]
+pub struct StrategyCurve {
+    pub strategy: Strategy,
+    pub points: Vec<SpeedupPoint>,
+}
+
+/// A regenerated figure: the three curves the paper plots.
+#[derive(Clone, Debug)]
+pub struct FigureResult {
+    pub spec_id: String,
+    pub benchmark: String,
+    pub size_label: String,
+    pub seq_cycles: u64,
+    pub curves: Vec<StrategyCurve>,
+}
+
+impl FigureResult {
+    /// Speedup of `strategy` at the largest processor count.
+    pub fn final_speedup(&self, strategy: Strategy) -> f64 {
+        self.curves
+            .iter()
+            .find(|c| c.strategy == strategy)
+            .and_then(|c| c.points.last())
+            .map(|p| p.speedup)
+            .unwrap_or(0.0)
+    }
+
+    /// Speedup of `strategy` at processor count `p`.
+    pub fn speedup_at(&self, strategy: Strategy, p: usize) -> Option<f64> {
+        self.curves
+            .iter()
+            .find(|c| c.strategy == strategy)?
+            .points
+            .iter()
+            .find(|x| x.procs == p)
+            .map(|x| x.speedup)
+    }
+
+    /// Render as the rows the paper plots: one line per processor count
+    /// with the three speedups.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# {} — {} ({})\n",
+            self.spec_id, self.benchmark, self.size_label
+        ));
+        out.push_str("procs   base  comp-decomp  +data-transform\n");
+        let n = self.curves[0].points.len();
+        for k in 0..n {
+            let p = self.curves[0].points[k].procs;
+            let row: Vec<String> = self
+                .curves
+                .iter()
+                .map(|c| format!("{:8.2}", c.points[k].speedup))
+                .collect();
+            out.push_str(&format!("{p:5} {}\n", row.join(" ")));
+        }
+        out
+    }
+}
+
+/// Build a figure spec by id ("fig4", "fig6", "fig6b", "fig8", "fig10",
+/// "fig10b", "fig11", "fig12", "fig13"), at `scale` of the paper size.
+pub fn figure(id: &str, scale: f64) -> Option<FigureSpec> {
+    let s = |n: i64| ((n as f64 * scale).round() as i64).max(16);
+    let (benchmark, size_label, program): (&'static str, String, Program) = match id {
+        "fig4" => ("vpenta", format!("{0}x{0}", s(128)), programs::vpenta(s(128), 3)),
+        "fig6" => ("lu", format!("{0}x{0}", s(256)), programs::lu(s(256))),
+        "fig6b" => ("lu", format!("{0}x{0}", s(1024)), programs::lu(s(1024))),
+        "fig8" => ("stencil", format!("{0}x{0}", s(512)), programs::stencil(s(512), 5)),
+        "fig10" => ("adi", format!("{0}x{0}", s(256)), programs::adi(s(256), 5)),
+        "fig10b" => ("adi", format!("{0}x{0}", s(1024)), programs::adi(s(1024), 5)),
+        "fig11" => ("erlebacher", format!("{0}^3", s(64)), programs::erlebacher(s(64))),
+        "fig12" => ("swm256", format!("{0}x{0}", s(257)), programs::swm256(s(257), 5)),
+        "fig13" => ("tomcatv", format!("{0}x{0}", s(257)), programs::tomcatv(s(257), 5)),
+        _ => return None,
+    };
+    Some(FigureSpec { id: Box::leak(id.to_string().into_boxed_str()), benchmark, size_label, program })
+}
+
+/// Every figure id, in paper order.
+pub const ALL_FIGURES: &[&str] =
+    &["fig4", "fig6", "fig6b", "fig8", "fig10", "fig10b", "fig11", "fig12", "fig13"];
+
+/// Run a figure: the three strategies across `procs_list`.
+pub fn run_figure(spec: &FigureSpec, procs_list: &[usize]) -> FigureResult {
+    let params = spec.program.default_params();
+    let seq = sequential_cycles(&spec.program, &params);
+    let curves = Strategy::ALL
+        .iter()
+        .map(|&strategy| StrategyCurve {
+            strategy,
+            points: speedup_curve(&spec.program, strategy, procs_list, &params, seq),
+        })
+        .collect();
+    FigureResult {
+        spec_id: spec.id.to_string(),
+        benchmark: spec.benchmark.to_string(),
+        size_label: spec.size_label.clone(),
+        seq_cycles: seq,
+        curves,
+    }
+}
+
+/// Parallel variant of [`run_figure`]: simulation points are independent,
+/// so they are swept with a crossbeam-scoped worker pool.
+pub fn run_figure_parallel(spec: &FigureSpec, procs_list: &[usize], workers: usize) -> FigureResult {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let params = spec.program.default_params();
+    let seq = sequential_cycles(&spec.program, &params);
+
+    // Task list: (strategy index, procs index).
+    let tasks: Vec<(usize, usize)> = (0..Strategy::ALL.len())
+        .flat_map(|s| (0..procs_list.len()).map(move |k| (s, k)))
+        .collect();
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Vec<Option<SpeedupPoint>>>> =
+        Mutex::new(vec![vec![None; procs_list.len()]; Strategy::ALL.len()]);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers.max(1) {
+            scope.spawn(|_| {
+                // Each worker compiles lazily per strategy (compilation is
+                // cheap relative to simulation).
+                let mut compiled: Vec<Option<(Compiler, dct_core::Compiled)>> =
+                    (0..Strategy::ALL.len()).map(|_| None).collect();
+                loop {
+                    let t = next.fetch_add(1, Ordering::Relaxed);
+                    if t >= tasks.len() {
+                        break;
+                    }
+                    let (si, ki) = tasks[t];
+                    let strategy = Strategy::ALL[si];
+                    if compiled[si].is_none() {
+                        let c = Compiler::new(strategy);
+                        let cc = c.compile(&spec.program);
+                        compiled[si] = Some((c, cc));
+                    }
+                    let (c, cc) = compiled[si].as_ref().unwrap();
+                    let procs = procs_list[ki];
+                    let r = c.simulate(cc, procs, &params);
+                    let point = SpeedupPoint {
+                        procs,
+                        cycles: r.cycles,
+                        speedup: seq as f64 / r.cycles as f64,
+                    };
+                    results.lock().unwrap()[si][ki] = Some(point);
+                }
+            });
+        }
+    })
+    .expect("worker pool panicked");
+
+    let results = results.into_inner().unwrap();
+    let curves = Strategy::ALL
+        .iter()
+        .enumerate()
+        .map(|(si, &strategy)| StrategyCurve {
+            strategy,
+            points: results[si].iter().map(|p| p.expect("missing point")).collect(),
+        })
+        .collect();
+    FigureResult {
+        spec_id: spec.id.to_string(),
+        benchmark: spec.benchmark.to_string(),
+        size_label: spec.size_label.clone(),
+        seq_cycles: seq,
+        curves,
+    }
+}
+
+/// One row of Table 1.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    pub program: String,
+    pub base_speedup: f64,
+    pub full_speedup: f64,
+    pub comp_decomp_critical: bool,
+    pub data_transform_critical: bool,
+    pub decompositions: Vec<String>,
+}
+
+/// Regenerate Table 1 at `procs` processors and `scale` of the paper
+/// sizes.
+pub fn table1(procs: usize, scale: f64) -> Vec<Table1Row> {
+    let suite = programs::suite(scale);
+    suite
+        .iter()
+        .map(|b| {
+            let params = b.program.default_params();
+            let seq = sequential_cycles(&b.program, &params);
+            let run = |strategy: Strategy| {
+                let c = Compiler::new(strategy);
+                let compiled = c.compile(&b.program);
+                seq as f64 / c.simulate(&compiled, procs, &params).cycles as f64
+            };
+            let base = run(Strategy::Base);
+            let comp = run(Strategy::CompDecomp);
+            let full = run(Strategy::Full);
+            let compiled = Compiler::new(Strategy::Full).compile(&b.program);
+            // A technique is "critical" when removing it costs >= 15%.
+            let comp_critical = comp > base * 1.15 || full > base * 1.15 && comp * 1.15 < full;
+            let data_critical = full > comp * 1.15;
+            let decos: Vec<String> = compiled
+                .decomposition
+                .hpf_all(&compiled.program)
+                .into_iter()
+                .filter(|d| !d.contains("(*") || d.contains("BLOCK") || d.contains("CYCLIC"))
+                .collect();
+            Table1Row {
+                program: b.name.to_string(),
+                base_speedup: base,
+                full_speedup: full,
+                comp_decomp_critical: comp_critical,
+                data_transform_critical: data_critical,
+                decompositions: decos,
+            }
+        })
+        .collect()
+}
+
+/// Render Table 1.
+pub fn render_table1(rows: &[Table1Row], procs: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Table 1: summary at {procs} processors (speedups vs best sequential)\n"
+    ));
+    out.push_str("program      base   fully-opt  comp-critical  data-critical  decompositions\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:>5.1}  {:>8.1}   {:^13} {:^14}  {}\n",
+            r.program,
+            r.base_speedup,
+            r.full_speedup,
+            if r.comp_decomp_critical { "yes" } else { "-" },
+            if r.data_transform_critical { "yes" } else { "-" },
+            r.decompositions.join("  ")
+        ));
+    }
+    out
+}

@@ -1,0 +1,13 @@
+//! # dct-bench
+//!
+//! The paper's benchmark suite (Section 6) in the affine IR, plus the
+//! harness that regenerates every figure and table of the evaluation.
+
+#![allow(clippy::needless_range_loop, clippy::manual_memcpy)]
+
+pub mod ablate;
+pub mod harness;
+pub mod programs;
+
+pub use ablate::{all_ablations, Ablation};
+pub use harness::{figure, run_figure, run_figure_parallel, table1, FigureResult, FigureSpec, StrategyCurve, Table1Row};

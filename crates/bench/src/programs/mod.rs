@@ -1,0 +1,59 @@
+//! The paper's benchmark suite (Section 6), written in the affine IR.
+//!
+//! Each builder takes a problem size (and, where relevant, a time-step
+//! count) so the harness can run paper-scale and scaled-down versions. The
+//! kernels reproduce the *loop and reference structure* the paper
+//! describes — dependence patterns, FORTRAN loop orders, array shapes —
+//! which is what the compiler algorithms and the memory system react to.
+
+pub mod adi;
+pub mod erlebacher;
+pub mod lu;
+pub mod stencil;
+pub mod swm256;
+pub mod tomcatv;
+pub mod vpenta;
+
+pub use adi::adi;
+pub use erlebacher::erlebacher;
+pub use lu::lu;
+pub use stencil::stencil;
+pub use swm256::swm256;
+pub use tomcatv::tomcatv;
+pub use vpenta::vpenta;
+
+use dct_ir::Program;
+
+/// A named benchmark instance (program + the label used in reports).
+pub struct Benchmark {
+    pub name: &'static str,
+    pub program: Program,
+}
+
+/// The whole suite at given scale factors (1.0 = paper sizes).
+pub fn suite(scale: f64) -> Vec<Benchmark> {
+    let s = |n: i64| ((n as f64 * scale).round() as i64).max(16);
+    vec![
+        Benchmark { name: "vpenta", program: vpenta(s(128), 3) },
+        Benchmark { name: "lu", program: lu(s(256)) },
+        Benchmark { name: "stencil", program: stencil(s(512), 5) },
+        Benchmark { name: "adi", program: adi(s(256), 5) },
+        Benchmark { name: "erlebacher", program: erlebacher(s(64)) },
+        Benchmark { name: "swm256", program: swm256(s(257), 5) },
+        Benchmark { name: "tomcatv", program: tomcatv(s(257), 5) },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_programs_validate() {
+        for b in suite(0.125) {
+            b.program.validate();
+            assert!(!b.program.nests.is_empty(), "{} has no nests", b.name);
+            assert!(!b.program.init_nests.is_empty(), "{} has no init", b.name);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Vpenta (nasa7 / SPEC92 kernel): simultaneous inversion of three
+//! pentadiagonal systems — forward elimination and back substitution
+//! recurrences along the rows, independent across columns, over a set of
+//! two-dimensional coefficient arrays and one three-dimensional
+//! right-hand-side array `F(N,N,3)`.
+//!
+//! Paper behaviour to reproduce (Figure 4, Table 1): every nest is
+//! parallel in the column loop; the decomposition is A(*, BLOCK) for the
+//! 2-D arrays (no reorganization needed — highest dimension) and
+//! F(*, BLOCK, *) for the 3-D array, whose middle-dimension blocks are
+//! *not* contiguous until the data transformation packs them; aligned
+//! accesses across all nests let the code generator drop barriers.
+
+use dct_ir::{Aff, Expr, Program, ProgramBuilder};
+
+/// Build vpenta on `n x n` systems, `nrhs` right-hand sides per plane
+/// (the kernel's value is 3), `2` sweeps.
+pub fn vpenta(n: i64, nrhs: i64) -> Program {
+    let mut pb = ProgramBuilder::new("vpenta");
+    let np = pb.param("N", n);
+    let d2 = [Aff::param(np), Aff::param(np)];
+    let a = pb.array("A", &d2, 4);
+    let b = pb.array("B", &d2, 4);
+    let c = pb.array("C", &d2, 4);
+    let x = pb.array("X", &d2, 4);
+    let f = pb.array("F", &[Aff::param(np), Aff::param(np), Aff::konst(nrhs)], 4);
+
+    for (arr, base, name) in
+        [(a, 0.1, "initA"), (b, 0.2, "initB"), (c, 4.0, "initC"), (x, 1.0, "initX")]
+    {
+        let mut nb = pb.nest_builder(name);
+        let j = nb.loop_var(Aff::konst(0), Aff::param(np) - 1);
+        let i = nb.loop_var(Aff::konst(0), Aff::param(np) - 1);
+        let v = Expr::Const(base)
+            + Expr::Index(i) * Expr::Const(0.001)
+            + Expr::Index(j) * Expr::Const(0.002);
+        nb.assign(arr, &[Aff::var(i), Aff::var(j)], v);
+        pb.init_nest(nb.build());
+    }
+    let mut nb = pb.nest_builder("initF");
+    let k = nb.loop_var(Aff::konst(0), Aff::konst(nrhs - 1));
+    let j = nb.loop_var(Aff::konst(0), Aff::param(np) - 1);
+    let i = nb.loop_var(Aff::konst(0), Aff::param(np) - 1);
+    let v = Expr::Const(1.0) + Expr::Index(i) * Expr::Const(0.01) + Expr::Index(k);
+    nb.assign(f, &[Aff::var(i), Aff::var(j), Aff::var(k)], v);
+    pb.init_nest(nb.build());
+
+    // Forward elimination on X: recurrence along I, parallel over J.
+    let mut nb = pb.nest_builder("fwdX");
+    let j = nb.loop_var(Aff::konst(0), Aff::param(np) - 1);
+    let i = nb.loop_var(Aff::konst(1), Aff::param(np) - 1);
+    let rhs = nb.read(x, &[Aff::var(i), Aff::var(j)])
+        - nb.read(a, &[Aff::var(i), Aff::var(j)]) * nb.read(x, &[Aff::var(i) - 1, Aff::var(j)])
+            / nb.read(c, &[Aff::var(i) - 1, Aff::var(j)]);
+    nb.assign(x, &[Aff::var(i), Aff::var(j)], rhs);
+    pb.nest(nb.build());
+
+    // Forward elimination on all right-hand sides F: the middle (J)
+    // dimension is the parallel one.
+    let mut nb = pb.nest_builder("fwdF");
+    let k = nb.loop_var(Aff::konst(0), Aff::konst(nrhs - 1));
+    let j = nb.loop_var(Aff::konst(0), Aff::param(np) - 1);
+    let i = nb.loop_var(Aff::konst(1), Aff::param(np) - 1);
+    let rhs = nb.read(f, &[Aff::var(i), Aff::var(j), Aff::var(k)])
+        - nb.read(b, &[Aff::var(i), Aff::var(j)])
+            * nb.read(f, &[Aff::var(i) - 1, Aff::var(j), Aff::var(k)]);
+    nb.assign(f, &[Aff::var(i), Aff::var(j), Aff::var(k)], rhs);
+    pb.nest(nb.build());
+
+    // Back substitution on X (reversed recurrence written with reversed
+    // subscripts: element N-1-I depends on N-I).
+    let mut nb = pb.nest_builder("backX");
+    let j = nb.loop_var(Aff::konst(0), Aff::param(np) - 1);
+    let i = nb.loop_var(Aff::konst(1), Aff::param(np) - 1);
+    let rev = Aff::param(np) - 1 - Aff::var(i);
+    let rev1 = Aff::param(np) - Aff::var(i);
+    let rhs = (nb.read(x, &[rev.clone(), Aff::var(j)])
+        - nb.read(b, &[rev.clone(), Aff::var(j)]) * nb.read(x, &[rev1, Aff::var(j)]))
+        / nb.read(c, &[rev.clone(), Aff::var(j)]);
+    nb.assign(x, &[rev, Aff::var(j)], rhs);
+    pb.nest(nb.build());
+
+    // Scale the right-hand sides by the solution (a final aligned pass).
+    let mut nb = pb.nest_builder("scaleF");
+    let k = nb.loop_var(Aff::konst(0), Aff::konst(nrhs - 1));
+    let j = nb.loop_var(Aff::konst(0), Aff::param(np) - 1);
+    let i = nb.loop_var(Aff::konst(0), Aff::param(np) - 1);
+    let rhs = nb.read(f, &[Aff::var(i), Aff::var(j), Aff::var(k)])
+        / nb.read(c, &[Aff::var(i), Aff::var(j)]);
+    nb.assign(f, &[Aff::var(i), Aff::var(j), Aff::var(k)], rhs);
+    pb.nest(nb.build());
+
+    pb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dct_core::{Compiler, Strategy};
+
+    #[test]
+    fn decomposition_matches_table1() {
+        let prog = vpenta(32, 3);
+        let c = Compiler::new(Strategy::Full).compile(&prog);
+        assert_eq!(c.decomposition.grid_rank, 1);
+        // Table 1: A(*, BLOCK) for 2-D arrays, F(*, BLOCK, *) for the 3-D.
+        assert_eq!(c.decomposition.hpf_of(&c.program, 0), "A(*, BLOCK)");
+        assert_eq!(c.decomposition.hpf_of(&c.program, 3), "X(*, BLOCK)");
+        assert_eq!(c.decomposition.hpf_of(&c.program, 4), "F(*, BLOCK, *)");
+    }
+
+    #[test]
+    fn data_transform_touches_only_f() {
+        let prog = vpenta(32, 3);
+        let c = Compiler::new(Strategy::Full).compile(&prog);
+        let sp = dct_spmd::codegen(&c.program, &c.decomposition, &dct_spmd::SpmdOptions {
+            procs: 8,
+            params: prog.default_params(),
+            transform_data: true,
+            barrier_elision: true,
+            cost: dct_spmd::CostModel::default(),
+        });
+        // 2-D arrays: highest dim BLOCK -> untouched. F: transformed.
+        for (x, lay) in sp.layouts.iter().enumerate() {
+            let name = &c.program.arrays[x].name;
+            if name == "F" {
+                assert!(lay.transformed, "F must be restructured");
+            } else {
+                assert!(!lay.transformed, "{name} must keep its layout");
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! The benchmark suite from FORTRAN source: every `.f` file in
+//! `crates/bench/fortran/` must parse, lower, and compile to the same
+//! Table 1 decomposition as the IR-built suite, and execute identically
+//! across strategies and processor counts.
+
+use dct_core::{Compiler, Strategy};
+use dct_frontend::parse_fortran;
+
+fn load(name: &str) -> dct_core::ir::Program {
+    let path = format!("{}/fortran/{name}.f", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    parse_fortran(&src).unwrap_or_else(|e| panic!("{name}.f: {e}"))
+}
+
+fn hpf_all(prog: &dct_core::ir::Program) -> Vec<String> {
+    let c = Compiler::new(Strategy::Full).compile(prog);
+    c.decomposition.hpf_all(&c.program)
+}
+
+#[test]
+fn lu_f_matches_table1() {
+    let all = hpf_all(&load("lu"));
+    assert_eq!(all, vec!["A(*, CYCLIC)"]);
+}
+
+#[test]
+fn stencil_f_matches_table1() {
+    let all = hpf_all(&load("stencil"));
+    assert!(all.contains(&"A(BLOCK, BLOCK)".to_string()), "{all:?}");
+}
+
+#[test]
+fn adi_f_matches_table1() {
+    let prog = load("adi");
+    let c = Compiler::new(Strategy::Full).compile(&prog);
+    let all = c.decomposition.hpf_all(&c.program);
+    assert!(all.contains(&"X(*, BLOCK)".to_string()), "{all:?}");
+    assert!(c.decomposition.comp.iter().any(|cd| cd.pipeline_level.is_some()));
+}
+
+#[test]
+fn vpenta_f_matches_table1() {
+    let all = hpf_all(&load("vpenta"));
+    assert!(all.contains(&"F(*, BLOCK, *)".to_string()), "{all:?}");
+    assert!(all.contains(&"A(*, BLOCK)".to_string()), "{all:?}");
+}
+
+#[test]
+fn erlebacher_f_matches_table1() {
+    let all = hpf_all(&load("erlebacher"));
+    assert!(all.contains(&"U(replicated)".to_string()), "{all:?}");
+    assert!(all.contains(&"DUX(*, *, BLOCK)".to_string()), "{all:?}");
+    assert!(all.contains(&"DUZ(*, BLOCK, *)".to_string()), "{all:?}");
+}
+
+#[test]
+fn swm256_f_matches_table1() {
+    let all = hpf_all(&load("swm256"));
+    assert!(all.contains(&"P(BLOCK, BLOCK)".to_string()), "{all:?}");
+}
+
+#[test]
+fn tomcatv_f_matches_table1() {
+    let all = hpf_all(&load("tomcatv"));
+    assert!(all.contains(&"AA(BLOCK, *)".to_string()), "{all:?}");
+}
+
+/// Every FORTRAN benchmark computes identical values across strategies and
+/// processor counts.
+#[test]
+fn fortran_suite_deterministic() {
+    for name in ["lu", "stencil", "adi", "vpenta", "erlebacher", "swm256", "tomcatv"] {
+        let prog = load(name);
+        let run = |strategy: Strategy, procs: usize| {
+            let c = Compiler::new(strategy);
+            let compiled = c.compile(&prog);
+            let opts = c.sim_options(procs, prog.default_params());
+            dct_core::spmd::simulate_with_values(
+                &compiled.program,
+                &compiled.decomposition,
+                &opts,
+            )
+            .1
+        };
+        let reference = run(Strategy::Base, 1);
+        for strategy in Strategy::ALL {
+            for procs in [3usize, 8] {
+                let got = run(strategy, procs);
+                for (x, (a, b)) in reference.iter().zip(&got).enumerate() {
+                    for (k, (p, q)) in a.iter().zip(b).enumerate() {
+                        assert!(
+                            p == q,
+                            "{name}.f {} P={procs}: array {x} elem {k}: {p} != {q}",
+                            strategy.label()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

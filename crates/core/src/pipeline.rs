@@ -1,0 +1,237 @@
+//! The integrated compiler: parallelism exposure, decomposition, data
+//! transformation and SPMD simulation, under the three configurations the
+//! paper evaluates (BASE, COMP DECOMP, COMP DECOMP + DATA TRANSFORM).
+
+use dct_decomp::{base_decomposition, decompose, Decomposition};
+use dct_dep::{DepConfig, NestDeps};
+use dct_ir::Program;
+use dct_linalg::IntMat;
+use dct_spmd::{simulate, RunResult, SimOptions};
+use dct_transform::{expose_parallelism, improve_inner_locality};
+
+/// The three compiler configurations of Section 6.1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Strategy {
+    /// Per-nest outermost-doall parallelization, original layouts, barriers
+    /// after every nest (a traditional shared-memory parallelizer).
+    Base,
+    /// Global computation/data decomposition (Section 3); layouts left in
+    /// FORTRAN order.
+    CompDecomp,
+    /// Computation decomposition plus the data transformations (Section 4).
+    Full,
+}
+
+impl Strategy {
+    pub const ALL: [Strategy; 3] = [Strategy::Base, Strategy::CompDecomp, Strategy::Full];
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::Base => "base",
+            Strategy::CompDecomp => "comp decomp",
+            Strategy::Full => "comp decomp + data transform",
+        }
+    }
+}
+
+/// Result of compilation (before choosing a processor count).
+pub struct Compiled {
+    /// The program with each nest restructured for outermost parallelism.
+    pub program: Program,
+    /// Per-nest unimodular transformations applied by the exposure step.
+    pub loop_transforms: Vec<IntMat>,
+    /// Per-nest dependence summaries (of the transformed nests).
+    pub deps: Vec<NestDeps>,
+    /// The computation/data decomposition.
+    pub decomposition: Decomposition,
+    pub strategy: Strategy,
+}
+
+/// The compiler driver.
+#[derive(Clone, Copy, Debug)]
+pub struct Compiler {
+    pub strategy: Strategy,
+    /// Assumed lower bound on symbolic problem sizes during dependence
+    /// analysis.
+    pub param_min: i64,
+}
+
+impl Compiler {
+    pub fn new(strategy: Strategy) -> Compiler {
+        Compiler { strategy, param_min: 4 }
+    }
+
+    /// Run the analysis and decomposition phases.
+    pub fn compile(&self, prog: &Program) -> Compiled {
+        let cfg = DepConfig { nparams: prog.params.len(), param_min: self.param_min };
+        // Step 1 (paper 3.2): restructure each nest to expose outermost
+        // parallelism.
+        let mut program = prog.clone();
+        let mut loop_transforms = Vec::with_capacity(prog.nests.len());
+        let mut deps = Vec::with_capacity(prog.nests.len());
+        for nest in &prog.nests {
+            // Expose outermost parallelism, then order the remaining
+            // sequential levels for per-processor cache locality (the
+            // follow-up pass the paper assumes; also half of the base
+            // compiler's loop optimizer).
+            let exp = expose_parallelism(nest, cfg);
+            let exp = improve_inner_locality(&exp, cfg);
+            loop_transforms.push(exp.t.clone());
+            deps.push(exp.deps.clone());
+            program.nests[loop_transforms.len() - 1] = exp.nest;
+        }
+        program.validate();
+
+        // Step 2: decomposition.
+        let decomposition = match self.strategy {
+            Strategy::Base => base_decomposition(&program, &deps),
+            _ => decompose(&program, &deps),
+        };
+
+        Compiled { program, loop_transforms, deps, decomposition, strategy: self.strategy }
+    }
+
+    /// Simulate the compiled program on `procs` processors.
+    pub fn simulate(&self, c: &Compiled, procs: usize, params: &[i64]) -> RunResult {
+        let opts = self.sim_options(procs, params.to_vec());
+        simulate(&c.program, &c.decomposition, &opts)
+    }
+
+    /// The SPMD/simulation options that realize this strategy.
+    pub fn sim_options(&self, procs: usize, params: Vec<i64>) -> SimOptions {
+        let mut o = SimOptions::new(procs, params);
+        match self.strategy {
+            Strategy::Base => {
+                o.transform_data = false;
+                o.barrier_elision = false;
+            }
+            Strategy::CompDecomp => {
+                o.transform_data = false;
+            }
+            Strategy::Full => {}
+        }
+        o
+    }
+}
+
+/// One point of a speedup curve.
+#[derive(Clone, Copy, Debug)]
+pub struct SpeedupPoint {
+    pub procs: usize,
+    pub cycles: u64,
+    pub speedup: f64,
+}
+
+/// Sequential reference time: the base-compiled program on one processor.
+pub fn sequential_cycles(prog: &Program, params: &[i64]) -> u64 {
+    let c = Compiler::new(Strategy::Base);
+    let compiled = c.compile(prog);
+    c.simulate(&compiled, 1, params).cycles
+}
+
+/// Speedups of one strategy over the sequential reference, across processor
+/// counts (the paper's figures).
+pub fn speedup_curve(
+    prog: &Program,
+    strategy: Strategy,
+    procs_list: &[usize],
+    params: &[i64],
+    seq_cycles: u64,
+) -> Vec<SpeedupPoint> {
+    let c = Compiler::new(strategy);
+    let compiled = c.compile(prog);
+    procs_list
+        .iter()
+        .map(|&p| {
+            let r = c.simulate(&compiled, p, params);
+            SpeedupPoint { procs: p, cycles: r.cycles, speedup: seq_cycles as f64 / r.cycles as f64 }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dct_ir::{Aff, Expr, ProgramBuilder};
+
+    /// Figure 1(a) verbatim: the compiler must parallelize the *inner* loop
+    /// of both nests, distribute rows, and report (BLOCK, *).
+    fn figure1() -> Program {
+        let mut pb = ProgramBuilder::new("fig1");
+        let n = pb.param("N", 32);
+        let a = pb.array("A", &[Aff::param(n), Aff::param(n)], 4);
+        let b = pb.array("B", &[Aff::param(n), Aff::param(n)], 4);
+        let c = pb.array("C", &[Aff::param(n), Aff::param(n)], 4);
+        let _t = pb.time_loop(Aff::konst(2));
+
+        let mut nb = pb.nest_builder("init");
+        let j = nb.loop_var(Aff::konst(0), Aff::param(n) - 1);
+        let i = nb.loop_var(Aff::konst(0), Aff::param(n) - 1);
+        nb.assign(b, &[Aff::var(i), Aff::var(j)], Expr::Index(i));
+        pb.init_nest(nb.build());
+        let mut nb = pb.nest_builder("init2");
+        let j = nb.loop_var(Aff::konst(0), Aff::param(n) - 1);
+        let i = nb.loop_var(Aff::konst(0), Aff::param(n) - 1);
+        nb.assign(c, &[Aff::var(i), Aff::var(j)], Expr::Index(j));
+        pb.init_nest(nb.build());
+
+        let mut nb = pb.nest_builder("add");
+        let j = nb.loop_var(Aff::konst(0), Aff::param(n) - 1);
+        let i = nb.loop_var(Aff::konst(0), Aff::param(n) - 1);
+        let rhs = nb.read(b, &[Aff::var(i), Aff::var(j)]) + nb.read(c, &[Aff::var(i), Aff::var(j)]);
+        nb.assign(a, &[Aff::var(i), Aff::var(j)], rhs);
+        pb.nest(nb.build());
+
+        let mut nb = pb.nest_builder("smooth");
+        let j = nb.loop_var(Aff::konst(1), Aff::param(n) - 2);
+        let i = nb.loop_var(Aff::konst(0), Aff::param(n) - 1);
+        let rhs = (nb.read(a, &[Aff::var(i), Aff::var(j)])
+            + nb.read(a, &[Aff::var(i), Aff::var(j) - 1])
+            + nb.read(a, &[Aff::var(i), Aff::var(j) + 1]))
+            * Expr::Const(0.333);
+        nb.assign(a, &[Aff::var(i), Aff::var(j)], rhs);
+        pb.nest(nb.build());
+        pb.build()
+    }
+
+    #[test]
+    fn figure1_full_pipeline() {
+        let prog = figure1();
+        let c = Compiler::new(Strategy::Full);
+        let compiled = c.compile(&prog);
+        // Paper: DISTRIBUTE (BLOCK, *) for all three arrays.
+        assert_eq!(compiled.decomposition.hpf_of(&compiled.program, 0), "A(BLOCK, *)");
+        assert_eq!(compiled.decomposition.hpf_of(&compiled.program, 1), "B(BLOCK, *)");
+        assert_eq!(compiled.decomposition.hpf_of(&compiled.program, 2), "C(BLOCK, *)");
+        assert_eq!(compiled.decomposition.grid_rank, 1);
+        // Simulation runs and produces a speedup at 8 processors.
+        let params = prog.default_params();
+        let seq = sequential_cycles(&prog, &params);
+        let r8 = c.simulate(&compiled, 8, &params);
+        assert!(r8.cycles < seq, "no speedup: {} vs {}", r8.cycles, seq);
+    }
+
+    #[test]
+    fn strategies_differ_in_options() {
+        let c = Compiler::new(Strategy::Base);
+        let o = c.sim_options(4, vec![]);
+        assert!(!o.transform_data && !o.barrier_elision);
+        let c = Compiler::new(Strategy::CompDecomp);
+        let o = c.sim_options(4, vec![]);
+        assert!(!o.transform_data && o.barrier_elision);
+        let c = Compiler::new(Strategy::Full);
+        let o = c.sim_options(4, vec![]);
+        assert!(o.transform_data && o.barrier_elision);
+    }
+
+    #[test]
+    fn speedup_curve_is_ordered() {
+        let prog = figure1();
+        let params = prog.default_params();
+        let seq = sequential_cycles(&prog, &params);
+        let curve = speedup_curve(&prog, Strategy::Full, &[1, 2, 4], &params, seq);
+        assert_eq!(curve.len(), 3);
+        assert!(curve[0].speedup > 0.5 && curve[0].speedup <= 1.5);
+        assert!(curve[2].speedup > curve[0].speedup);
+    }
+}

@@ -1,0 +1,158 @@
+//! Human-readable optimization reports: what the compiler decided and why
+//! (loop transforms, parallel levels, decompositions in HPF notation,
+//! replication and pipelining decisions).
+
+use crate::pipeline::Compiled;
+use dct_decomp::CompRow;
+use std::fmt::Write;
+
+/// Render the full optimization report for a compiled program.
+pub fn render_report(c: &Compiled) -> String {
+    let prog = &c.program;
+    let mut out = String::new();
+    let _ = writeln!(out, "=== {} [{}] ===", prog.name, c.strategy.label());
+    let _ = writeln!(out, "virtual processor grid rank: {}", c.decomposition.grid_rank);
+    for (p, f) in c.decomposition.foldings.iter().enumerate() {
+        let _ = writeln!(out, "  proc dim {p}: {}", f.hpf());
+    }
+
+    let _ = writeln!(out, "-- data decompositions --");
+    for x in 0..prog.arrays.len() {
+        let _ = writeln!(out, "  DISTRIBUTE {}", c.decomposition.hpf_of(prog, x));
+    }
+
+    let _ = writeln!(out, "-- computation decompositions --");
+    for (j, nest) in prog.nests.iter().enumerate() {
+        let cd = &c.decomposition.comp[j];
+        let t = &c.loop_transforms[j];
+        let transformed = *t != dct_linalg::IntMat::identity(nest.depth);
+        let par: Vec<String> = cd
+            .parallel_levels
+            .iter()
+            .enumerate()
+            .map(|(l, &b)| format!("I{}{}", l + 1, if b { "∥" } else { "·" }))
+            .collect();
+        let _ = writeln!(
+            out,
+            "  nest {:12} levels [{}]{}",
+            nest.name,
+            par.join(" "),
+            if transformed { " (loop transformed)" } else { "" }
+        );
+        for (p, row) in cd.rows.iter().enumerate() {
+            let desc = match row {
+                CompRow::Level(l) => format!("loop I{}", l + 1),
+                CompRow::Localized(a) => format!("localized at {}", a.render(&[], &param_names(prog))),
+                CompRow::Unconstrained => "unconstrained".to_string(),
+            };
+            let _ = writeln!(out, "      proc dim {p}: {desc}");
+        }
+        if let Some(l) = cd.pipeline_level {
+            let _ = writeln!(out, "      doacross pipeline along I{}", l + 1);
+        }
+        if cd.misaligned_refs > 0 {
+            let _ = writeln!(out, "      {} misaligned reference(s)", cd.misaligned_refs);
+        }
+    }
+
+    if !c.decomposition.notes.is_empty() {
+        let _ = writeln!(out, "-- notes --");
+        for n in &c.decomposition.notes {
+            let _ = writeln!(out, "  {n}");
+        }
+    }
+    out
+}
+
+/// Render a per-nest execution profile from a simulation result: busy
+/// cycles per nest (which loop dominates) plus memory-system headlines.
+pub fn render_profile(c: &Compiled, r: &dct_spmd::RunResult) -> String {
+    let mut out = String::new();
+    let total: u64 = r.nest_cycles.iter().sum::<u64>() + r.init_cycles;
+    let _ = writeln!(out, "-- execution profile ({} busy cycles total) --", total);
+    let pct = |x: u64| if total == 0 { 0.0 } else { 100.0 * x as f64 / total as f64 };
+    let _ = writeln!(out, "  {:12} {:>14} {:>6.1}%", "init", r.init_cycles, pct(r.init_cycles));
+    for (j, nest) in c.program.nests.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  {:12} {:>14} {:>6.1}%",
+            nest.name,
+            r.nest_cycles[j],
+            pct(r.nest_cycles[j])
+        );
+    }
+    let t = r.stats.total();
+    let _ = writeln!(
+        out,
+        "  memory: {:.1}% L1, {:.1}% L2, {} local, {} remote, {} dirty-remote, {} invalidations",
+        100.0 * t.l1_hits as f64 / t.accesses.max(1) as f64,
+        100.0 * t.l2_hits as f64 / t.accesses.max(1) as f64,
+        t.local_mem,
+        t.remote_mem,
+        t.remote_dirty,
+        t.invalidations_received
+    );
+    let _ = writeln!(out, "  barriers: {}", r.barriers);
+    out
+}
+
+fn param_names(prog: &dct_ir::Program) -> Vec<String> {
+    prog.params.iter().map(|p| p.name.clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::pipeline::{Compiler, Strategy};
+    use dct_ir::{Aff, NestBuilder, ProgramBuilder};
+
+    #[test]
+    fn profile_accounts_all_busy_cycles() {
+        let mut pb = ProgramBuilder::new("p");
+        let n = pb.param("N", 16);
+        let a = pb.array("A", &[Aff::param(n), Aff::param(n)], 4);
+        let mut nb = pb.nest_builder("init");
+        let j = nb.loop_var(Aff::konst(0), Aff::param(n) - 1);
+        let i = nb.loop_var(Aff::konst(0), Aff::param(n) - 1);
+        nb.assign(a, &[Aff::var(i), Aff::var(j)], dct_ir::Expr::Index(i));
+        pb.init_nest(nb.build());
+        let mut nb = pb.nest_builder("sweep");
+        let j = nb.loop_var(Aff::konst(1), Aff::param(n) - 1);
+        let i = nb.loop_var(Aff::konst(0), Aff::param(n) - 1);
+        let rhs = nb.read(a, &[Aff::var(i), Aff::var(j) - 1]);
+        nb.assign(a, &[Aff::var(i), Aff::var(j)], rhs);
+        pb.nest(nb.build());
+        let prog = pb.build();
+
+        let c = Compiler::new(Strategy::Full);
+        let compiled = c.compile(&prog);
+        let r = c.simulate(&compiled, 4, &prog.default_params());
+        assert_eq!(r.nest_cycles.len(), 1);
+        assert!(r.nest_cycles[0] > 0);
+        assert!(r.init_cycles > 0);
+        let profile = super::render_profile(&compiled, &r);
+        assert!(profile.contains("sweep"));
+        assert!(profile.contains("init"));
+        assert!(profile.contains("barriers"));
+    }
+
+    #[test]
+    fn report_contains_key_facts() {
+        let mut pb = ProgramBuilder::new("demo");
+        let n = pb.param("N", 16);
+        let a = pb.array("A", &[Aff::param(n), Aff::param(n)], 4);
+        let mut nb = NestBuilder::new("sweep", 1);
+        let j = nb.loop_var(Aff::konst(1), Aff::param(n) - 1);
+        let i = nb.loop_var(Aff::konst(0), Aff::param(n) - 1);
+        let rhs = nb.read(a, &[Aff::var(i), Aff::var(j) - 1]);
+        nb.assign(a, &[Aff::var(i), Aff::var(j)], rhs);
+        pb.nest(nb.build());
+        let prog = pb.build();
+
+        let c = Compiler::new(Strategy::Full);
+        let compiled = c.compile(&prog);
+        let rep = super::render_report(&compiled);
+        assert!(rep.contains("DISTRIBUTE A(BLOCK, *)"), "report was:\n{rep}");
+        assert!(rep.contains("nest sweep"));
+        assert!(rep.contains("proc dim 0: loop"));
+    }
+}

@@ -1,0 +1,431 @@
+//! HPF directives as input (Section 4.2 / Conclusions).
+//!
+//! The paper notes that "HPF statements can also be used as input to the
+//! data transformation algorithm": the user specifies the data mapping
+//! with `PROCESSORS` / `TEMPLATE` / `ALIGN` / `DISTRIBUTE` directives, and
+//! the compiler (a) maps template distributions back onto the arrays
+//! through the alignment functions (ignoring offsets, as the paper says),
+//! (b) derives the computation decomposition by owner-computes, and
+//! (c) hands the result to the same layout-transformation machinery —
+//! using the distribution to make each processor's data contiguous in the
+//! *shared* address space even though HPF was designed for distributed
+//! memory.
+//!
+//! Supported directive syntax (one per line, FORTRAN-style sigil optional):
+//!
+//! ```text
+//! !HPF$ PROCESSORS P(8)            or P(4,2)
+//! !HPF$ TEMPLATE T(N, N)
+//! !HPF$ ALIGN A(I,J) WITH T(J,I)
+//! !HPF$ DISTRIBUTE T(BLOCK, *)     or (CYCLIC, *), (CYCLIC(4), *), ...
+//! !HPF$ DISTRIBUTE A(*, CYCLIC)    (direct array distribution)
+//! ```
+
+use crate::solve::base_like_rows_for_hpf;
+use crate::types::{ArrayDist, CompDecomp, DataDecomp, Decomposition, Folding};
+use dct_dep::NestDeps;
+use dct_ir::Program;
+use std::collections::HashMap;
+
+/// One distribution format specifier.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DistSpec {
+    Star,
+    Block,
+    Cyclic,
+    CyclicBlock(i64),
+}
+
+impl DistSpec {
+    pub fn folding(self) -> Option<Folding> {
+        match self {
+            DistSpec::Star => None,
+            DistSpec::Block => Some(Folding::Block),
+            DistSpec::Cyclic => Some(Folding::Cyclic),
+            DistSpec::CyclicBlock(b) => Some(Folding::BlockCyclic { block: b }),
+        }
+    }
+}
+
+/// A parsed directive.
+#[derive(Clone, PartialEq, Debug)]
+pub enum HpfDirective {
+    Processors { name: String, dims: Vec<usize> },
+    Template { name: String, rank: usize },
+    /// `ALIGN array(dummy...) WITH template(expr...)`: `tdims[k]` is the
+    /// array dimension whose dummy appears in template dimension `k`
+    /// (None for `*` / replicated template dims). Offsets are ignored.
+    Align { array: String, template: String, tdims: Vec<Option<usize>> },
+    Distribute { target: String, specs: Vec<DistSpec> },
+}
+
+/// Parse failure with a line-oriented message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HpfError(pub String);
+
+impl std::fmt::Display for HpfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HPF error: {}", self.0)
+    }
+}
+impl std::error::Error for HpfError {}
+
+/// Parse a block of directives.
+pub fn parse_hpf(src: &str) -> Result<Vec<HpfDirective>, HpfError> {
+    let mut out = Vec::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let mut line = raw.trim();
+        if line.is_empty() || line.starts_with('!') && !line.to_uppercase().starts_with("!HPF$") {
+            continue;
+        }
+        if let Some(rest) = line.to_uppercase().strip_prefix("!HPF$") {
+            let _ = rest;
+            line = line[5..].trim();
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let upper = line.to_uppercase();
+        let err = |m: &str| HpfError(format!("line {}: {m}: '{raw}'", lineno + 1));
+        if let Some(rest) = upper.strip_prefix("PROCESSORS") {
+            let (name, args) = parse_call(rest.trim()).ok_or_else(|| err("expected P(dims)"))?;
+            let dims = args
+                .iter()
+                .map(|a| a.trim().parse::<usize>().map_err(|_| err("bad processor extent")))
+                .collect::<Result<Vec<_>, _>>()?;
+            if dims.is_empty() || dims.len() > 2 {
+                return Err(err("PROCESSORS must have rank 1 or 2"));
+            }
+            out.push(HpfDirective::Processors { name, dims });
+        } else if let Some(rest) = upper.strip_prefix("TEMPLATE") {
+            let (name, args) = parse_call(rest.trim()).ok_or_else(|| err("expected T(dims)"))?;
+            out.push(HpfDirective::Template { name, rank: args.len() });
+        } else if let Some(rest) = upper.strip_prefix("ALIGN") {
+            let (lhs, rhs) = rest
+                .split_once(" WITH ")
+                .ok_or_else(|| err("ALIGN needs 'WITH'"))?;
+            let (array, dummies) = parse_call(lhs.trim()).ok_or_else(|| err("bad ALIGN source"))?;
+            let (template, texprs) =
+                parse_call(rhs.trim()).ok_or_else(|| err("bad ALIGN target"))?;
+            // Map each template dimension to the array dimension whose
+            // dummy variable it mentions (offsets ignored).
+            let tdims = texprs
+                .iter()
+                .map(|e| {
+                    let e = e.trim();
+                    if e == "*" {
+                        return Ok(None);
+                    }
+                    // Strip +c / -c offsets.
+                    let var = e
+                        .split(['+', '-'])
+                        .next()
+                        .unwrap_or("")
+                        .trim()
+                        .to_string();
+                    match dummies.iter().position(|d| d.trim() == var) {
+                        Some(k) => Ok(Some(k)),
+                        None => Err(err(&format!("template subscript '{e}' uses unknown dummy"))),
+                    }
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            out.push(HpfDirective::Align { array, template, tdims });
+        } else if let Some(rest) = upper.strip_prefix("DISTRIBUTE") {
+            // Optional "ONTO P" suffix.
+            let rest = rest.split(" ONTO ").next().unwrap_or(rest).trim();
+            let (target, args) = parse_call(rest).ok_or_else(|| err("bad DISTRIBUTE"))?;
+            let specs = args
+                .iter()
+                .map(|a| parse_spec(a.trim()).ok_or_else(|| err(&format!("bad format '{a}'"))))
+                .collect::<Result<Vec<_>, _>>()?;
+            out.push(HpfDirective::Distribute { target, specs });
+        } else {
+            return Err(err("unknown directive"));
+        }
+    }
+    Ok(out)
+}
+
+/// Parse `NAME(a, b, c)` into (NAME, [a, b, c]).
+fn parse_call(s: &str) -> Option<(String, Vec<String>)> {
+    let open = s.find('(')?;
+    let close = s.rfind(')')?;
+    let name = s[..open].trim().to_string();
+    if name.is_empty() || close < open {
+        return None;
+    }
+    let args = s[open + 1..close]
+        .split(',')
+        .map(|x| x.trim().to_string())
+        .collect();
+    Some((name, args))
+}
+
+fn parse_spec(s: &str) -> Option<DistSpec> {
+    let u = s.to_uppercase();
+    if u == "*" {
+        Some(DistSpec::Star)
+    } else if u == "BLOCK" {
+        Some(DistSpec::Block)
+    } else if u == "CYCLIC" {
+        Some(DistSpec::Cyclic)
+    } else if let Some((name, args)) = parse_call(&u) {
+        if name == "CYCLIC" && args.len() == 1 {
+            args[0].parse::<i64>().ok().map(DistSpec::CyclicBlock)
+        } else {
+            None
+        }
+    } else {
+        None
+    }
+}
+
+/// Build a [`Decomposition`] from parsed directives: the data part comes
+/// from the user, the computation part is derived owner-computes exactly
+/// as the paper describes. `deps` must match `prog.nests`.
+pub fn decomposition_from_hpf(
+    prog: &Program,
+    deps: &[NestDeps],
+    directives: &[HpfDirective],
+) -> Result<Decomposition, HpfError> {
+    let array_index: HashMap<String, usize> = prog
+        .arrays
+        .iter()
+        .enumerate()
+        .map(|(x, a)| (a.name.to_uppercase(), x))
+        .collect();
+
+    let mut template_rank: HashMap<String, usize> = HashMap::new();
+    let mut aligns: Vec<(usize, String, Vec<Option<usize>>)> = Vec::new();
+    let mut distributes: Vec<(String, Vec<DistSpec>)> = Vec::new();
+    for d in directives {
+        match d {
+            HpfDirective::Processors { dims, .. } => {
+                if dims.len() > crate::solve::MAX_GRID_RANK {
+                    return Err(HpfError("processor rank above 2 unsupported".into()));
+                }
+            }
+            HpfDirective::Template { name, rank } => {
+                template_rank.insert(name.clone(), *rank);
+            }
+            HpfDirective::Align { array, template, tdims } => {
+                let &x = array_index
+                    .get(&array.to_uppercase())
+                    .ok_or_else(|| HpfError(format!("unknown array '{array}' in ALIGN")))?;
+                aligns.push((x, template.to_uppercase(), tdims.clone()));
+            }
+            HpfDirective::Distribute { target, specs } => {
+                distributes.push((target.to_uppercase(), specs.clone()));
+            }
+        }
+    }
+
+    let mut data: Vec<DataDecomp> = (0..prog.arrays.len()).map(|_| DataDecomp::default()).collect();
+    let mut foldings: Vec<Folding> = Vec::new();
+    let mut grid_rank = 0usize;
+
+    let apply = |x: usize,
+                     dim: usize,
+                     f: Folding,
+                     data: &mut Vec<DataDecomp>,
+                     foldings: &mut Vec<Folding>,
+                     grid_rank: &mut usize,
+                     pd: usize|
+     -> Result<(), HpfError> {
+        if dim >= prog.arrays[x].rank() {
+            return Err(HpfError(format!(
+                "distributed dimension {dim} out of range for {}",
+                prog.arrays[x].name
+            )));
+        }
+        while *grid_rank <= pd {
+            foldings.push(f);
+            *grid_rank += 1;
+        }
+        if foldings[pd] != f {
+            return Err(HpfError(format!(
+                "conflicting foldings on processor dimension {pd}"
+            )));
+        }
+        data[x].dists.push(ArrayDist { dim, proc_dim: pd });
+        Ok(())
+    };
+
+    for (target, specs) in &distributes {
+        // Direct array distribution?
+        if let Some(&x) = array_index.get(target) {
+            let mut pd = 0usize;
+            for (dim, spec) in specs.iter().enumerate() {
+                if let Some(f) = spec.folding() {
+                    apply(x, dim, f, &mut data, &mut foldings, &mut grid_rank, pd)?;
+                    pd += 1;
+                }
+            }
+            continue;
+        }
+        // Template distribution: map back through alignments.
+        let Some(&trank) = template_rank.get(target) else {
+            return Err(HpfError(format!("DISTRIBUTE target '{target}' is not declared")));
+        };
+        if specs.len() != trank {
+            return Err(HpfError(format!(
+                "DISTRIBUTE {target} has {} formats for rank {trank}",
+                specs.len()
+            )));
+        }
+        for (x, tname, tdims) in &aligns {
+            if tname != target {
+                continue;
+            }
+            let mut pd = 0usize;
+            for (tdim, spec) in specs.iter().enumerate() {
+                if let Some(f) = spec.folding() {
+                    if let Some(Some(adim)) = tdims.get(tdim) {
+                        apply(*x, *adim, f, &mut data, &mut foldings, &mut grid_rank, pd)?;
+                    }
+                    pd += 1;
+                }
+            }
+        }
+    }
+
+    if grid_rank == 0 {
+        return Err(HpfError("no distributed dimension in any directive".into()));
+    }
+
+    // Owner-computes computation decomposition per nest.
+    let comp: Vec<CompDecomp> = prog
+        .nests
+        .iter()
+        .zip(deps)
+        .map(|(nest, nd)| base_like_rows_for_hpf(nest, nd, &data, grid_rank))
+        .collect();
+
+    Ok(Decomposition {
+        grid_rank,
+        foldings,
+        comp,
+        data,
+        notes: vec!["decomposition specified by HPF directives".into()],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dct_dep::{analyze_nest, DepConfig};
+    use dct_ir::{Aff, ProgramBuilder};
+
+    fn lu_like() -> Program {
+        let mut pb = ProgramBuilder::new("lu");
+        let n = pb.param("N", 16);
+        let a = pb.array("A", &[Aff::param(n), Aff::param(n)], 8);
+        let t = pb.time_loop(Aff::param(n) - 1);
+        let mut nb = pb.nest_builder("update");
+        let i2 = nb.loop_var(Aff::param(t) + 1, Aff::param(n) - 1);
+        let i3 = nb.loop_var(Aff::param(t) + 1, Aff::param(n) - 1);
+        let rhs = nb.read(a, &[Aff::var(i2), Aff::var(i3)])
+            - nb.read(a, &[Aff::var(i2), Aff::param(t)])
+                * nb.read(a, &[Aff::param(t), Aff::var(i3)]);
+        nb.assign(a, &[Aff::var(i2), Aff::var(i3)], rhs);
+        pb.nest(nb.build());
+        pb.build()
+    }
+
+    #[test]
+    fn parse_all_directive_kinds() {
+        let src = "
+!HPF$ PROCESSORS P(4,2)
+!HPF$ TEMPLATE T(N, N)
+!HPF$ ALIGN A(I,J) WITH T(J,I)
+!HPF$ DISTRIBUTE T(BLOCK, *) ONTO P
+DISTRIBUTE B(*, CYCLIC(4))
+";
+        let ds = parse_hpf(src).unwrap();
+        assert_eq!(ds.len(), 5);
+        assert_eq!(ds[0], HpfDirective::Processors { name: "P".into(), dims: vec![4, 2] });
+        assert_eq!(ds[1], HpfDirective::Template { name: "T".into(), rank: 2 });
+        // A(I,J) with T(J,I): template dim0 uses dummy J = array dim 1.
+        assert_eq!(
+            ds[2],
+            HpfDirective::Align {
+                array: "A".into(),
+                template: "T".into(),
+                tdims: vec![Some(1), Some(0)]
+            }
+        );
+        assert_eq!(
+            ds[3],
+            HpfDirective::Distribute { target: "T".into(), specs: vec![DistSpec::Block, DistSpec::Star] }
+        );
+        assert_eq!(
+            ds[4],
+            HpfDirective::Distribute {
+                target: "B".into(),
+                specs: vec![DistSpec::Star, DistSpec::CyclicBlock(4)]
+            }
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_hpf("NONSENSE X(1)").is_err());
+        assert!(parse_hpf("DISTRIBUTE A(FOO)").is_err());
+        assert!(parse_hpf("ALIGN A(I) T(I)").is_err());
+        assert!(parse_hpf("PROCESSORS P(1,2,3)").is_err());
+    }
+
+    #[test]
+    fn direct_distribution_matches_automatic() {
+        let prog = lu_like();
+        let cfg = DepConfig { nparams: prog.params.len(), param_min: 4 };
+        let deps: Vec<_> = prog.nests.iter().map(|n| analyze_nest(n, cfg)).collect();
+        let ds = parse_hpf("!HPF$ DISTRIBUTE A(*, CYCLIC)").unwrap();
+        let dec = decomposition_from_hpf(&prog, &deps, &ds).unwrap();
+        assert_eq!(dec.grid_rank, 1);
+        assert_eq!(dec.foldings, vec![Folding::Cyclic]);
+        assert_eq!(dec.hpf_of(&prog, 0), "A(*, CYCLIC)");
+        // Owner-computes: the update nest distributes its column loop.
+        assert_eq!(dec.comp[0].level_of(0), Some(1));
+    }
+
+    #[test]
+    fn alignment_offsets_ignored() {
+        let prog = lu_like();
+        let cfg = DepConfig { nparams: prog.params.len(), param_min: 4 };
+        let deps: Vec<_> = prog.nests.iter().map(|n| analyze_nest(n, cfg)).collect();
+        // Align with a transpose and an offset; distribute the template's
+        // first dim: that is array dim 1 (J), offsets dropped.
+        let ds = parse_hpf(
+            "TEMPLATE T(N,N)\nALIGN A(I,J) WITH T(J+1, I)\nDISTRIBUTE T(CYCLIC, *)",
+        )
+        .unwrap();
+        let dec = decomposition_from_hpf(&prog, &deps, &ds).unwrap();
+        assert_eq!(dec.hpf_of(&prog, 0), "A(*, CYCLIC)");
+    }
+
+    #[test]
+    fn two_d_template() {
+        let prog = lu_like();
+        let cfg = DepConfig { nparams: prog.params.len(), param_min: 4 };
+        let deps: Vec<_> = prog.nests.iter().map(|n| analyze_nest(n, cfg)).collect();
+        let ds = parse_hpf(
+            "TEMPLATE T(N,N)\nALIGN A(I,J) WITH T(I, J)\nDISTRIBUTE T(BLOCK, BLOCK)",
+        )
+        .unwrap();
+        let dec = decomposition_from_hpf(&prog, &deps, &ds).unwrap();
+        assert_eq!(dec.grid_rank, 2);
+        assert_eq!(dec.hpf_of(&prog, 0), "A(BLOCK, BLOCK)");
+    }
+
+    #[test]
+    fn unknown_array_rejected() {
+        let prog = lu_like();
+        let cfg = DepConfig { nparams: prog.params.len(), param_min: 4 };
+        let deps: Vec<_> = prog.nests.iter().map(|n| analyze_nest(n, cfg)).collect();
+        let ds = parse_hpf("ALIGN Z(I,J) WITH T(I,J)").unwrap();
+        assert!(decomposition_from_hpf(&prog, &deps, &ds).is_err());
+        let ds = parse_hpf("DISTRIBUTE Q(BLOCK)").unwrap();
+        assert!(decomposition_from_hpf(&prog, &deps, &ds).is_err());
+    }
+}

@@ -1,0 +1,18 @@
+//! # dct-decomp
+//!
+//! The computation/data decomposition algorithm (Section 3 of the paper):
+//! a greedy, frequency-ordered alignment solver that maps loop iterations
+//! and array dimensions onto a virtual processor grid with zero
+//! communication where possible, introduces pipelining or dropped
+//! (communicating) references where not, replicates read-only data, and
+//! selects BLOCK/CYCLIC/BLOCK-CYCLIC folding functions.
+
+#![allow(clippy::needless_range_loop, clippy::manual_memcpy)]
+
+pub mod hpf;
+pub mod solve;
+pub mod types;
+
+pub use hpf::{decomposition_from_hpf, parse_hpf, DistSpec, HpfDirective, HpfError};
+pub use solve::{base_decomposition, decompose, MAX_GRID_RANK};
+pub use types::{grid_shape, ArrayDist, CompDecomp, CompRow, DataDecomp, Decomposition, Folding};

@@ -1,0 +1,719 @@
+//! The decomposition algorithm (Section 3 of the paper).
+//!
+//! A greedy, frequency-ordered variant of Anderson–Lam: nests are processed
+//! from most- to least-frequently executed (most-constrained first within a
+//! frequency class). Each nest either inherits alignment constraints from
+//! arrays that earlier nests already distributed (`D(F(i)) = G(i)`, offsets
+//! ignored for alignment), or — when unconstrained — chooses fresh doall
+//! loops to distribute, dragging the referenced array dimensions along.
+//! Conflicting references are *dropped* (they become communication, which
+//! the machine simulator charges), read-only arrays are replicated, and a
+//! distributed-but-carried loop level turns the nest into a doacross
+//! pipeline (the paper's ADI case). Folding functions are then selected:
+//! CYCLIC when the active iteration range of a distributed loop varies over
+//! time steps (LU), BLOCK otherwise.
+
+use crate::types::{ArrayDist, CompDecomp, CompRow, DataDecomp, Decomposition, Folding};
+use dct_dep::NestDeps;
+use dct_ir::{Aff, LoopNest, Program};
+
+/// Upper bound on the virtual processor grid rank (the paper's machine
+/// grids are at most two-dimensional).
+pub const MAX_GRID_RANK: usize = 2;
+
+/// How a subscript's linear part votes for a computation-decomposition row.
+#[derive(Clone, PartialEq, Debug)]
+enum RowVote {
+    Level(usize),
+    Localized(Aff),
+    Misaligned,
+}
+
+fn subscript_vote(aff: &Aff) -> RowVote {
+    let nz: Vec<(usize, i64)> = aff
+        .var_coeffs
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|&(_, c)| c != 0)
+        .collect();
+    match nz.as_slice() {
+        [] => RowVote::Localized(aff.clone()),
+        [(l, 1)] => RowVote::Level(*l),
+        _ => RowVote::Misaligned,
+    }
+}
+
+/// Prefer the write reference's vote (owner-computes); otherwise the most
+/// common non-misaligned vote.
+fn pick_vote(votes: &[(RowVote, bool)]) -> RowVote {
+    if let Some((v, _)) = votes.iter().find(|(v, w)| *w && *v != RowVote::Misaligned) {
+        return v.clone();
+    }
+    let mut best = votes[0].0.clone();
+    let mut best_n = 0;
+    for (v, _) in votes {
+        let n = votes.iter().filter(|(u, _)| u == v).count();
+        if n > best_n && *v != RowVote::Misaligned {
+            best = v.clone();
+            best_n = n;
+        }
+    }
+    best
+}
+
+/// Arrays never written by any compute nest (candidates for replication).
+fn read_only_arrays(prog: &Program) -> Vec<bool> {
+    let mut written = vec![false; prog.arrays.len()];
+    for nest in &prog.nests {
+        for s in &nest.body {
+            written[s.lhs.array.0] = true;
+        }
+    }
+    written.iter().map(|&w| !w).collect()
+}
+
+/// Run the global decomposition algorithm.
+///
+/// `deps` must be index-aligned with `prog.nests` (dependence summaries of
+/// the — already parallelism-exposed — nests).
+pub fn decompose(prog: &Program, deps: &[NestDeps]) -> Decomposition {
+    assert_eq!(deps.len(), prog.nests.len());
+    let nnests = prog.nests.len();
+    let narrays = prog.arrays.len();
+    let time_param = prog.time.as_ref().map(|t| t.param);
+
+    let read_only = read_only_arrays(prog);
+    let mut data: Vec<DataDecomp> = (0..narrays).map(|_| DataDecomp::default()).collect();
+    let mut notes = Vec::new();
+
+    // Order: most frequently *executed* first — the explicit freq weight,
+    // then a static estimate (deeper nests run more iterations), then most
+    // constrained (fewest doall levels) first, then program order. This is
+    // the paper's greedy order without requiring user annotations.
+    let mut order: Vec<usize> = (0..nnests).collect();
+    let ndoall: Vec<usize> = (0..nnests)
+        .map(|j| {
+            deps[j]
+                .parallel_levels(prog.nests[j].depth)
+                .iter()
+                .filter(|&&b| b)
+                .count()
+        })
+        .collect();
+    order.sort_by_key(|&j| {
+        (
+            std::cmp::Reverse(prog.nests[j].freq),
+            std::cmp::Reverse(prog.nests[j].depth),
+            ndoall[j],
+            j,
+        )
+    });
+
+    let mut grid_rank = 0usize;
+    let mut comp: Vec<Option<CompDecomp>> = vec![None; nnests];
+
+    for &j in &order {
+        let nest = &prog.nests[j];
+        let parallel = deps[j].parallel_levels(nest.depth);
+        let fully_parallel = parallel.iter().all(|&b| b);
+        let refs = nest.all_refs();
+
+        let mut rows: Vec<CompRow> = vec![CompRow::Unconstrained; grid_rank];
+        let mut misaligned = 0usize;
+        let mut used_levels: Vec<usize> = Vec::new();
+
+        // --- Constrained rows from already-distributed arrays ---
+        for p in 0..grid_rank {
+            // Gather votes: (vote, is_write, array).
+            let mut votes_w: Vec<(RowVote, bool)> = Vec::new();
+            let mut votes_r: Vec<(RowVote, usize)> = Vec::new();
+            for &(is_write, r) in &refs {
+                let x = r.array.0;
+                let dd = &data[x];
+                if dd.replicated {
+                    continue;
+                }
+                for ad in &dd.dists {
+                    if ad.proc_dim == p {
+                        let v = subscript_vote(&r.access.dim_aff(ad.dim));
+                        if read_only[x] {
+                            votes_r.push((v, x));
+                        } else {
+                            votes_w.push((v, is_write));
+                        }
+                    }
+                }
+            }
+            // Writable arrays dictate; read-only arrays may only contribute
+            // a doall alignment for free — if their votes would force a
+            // pipeline or a misalignment, the paper replicates them instead.
+            let chosen = if !votes_w.is_empty() {
+                Some(pick_vote(&votes_w))
+            } else {
+                votes_r
+                    .iter()
+                    .map(|(v, _)| v)
+                    .find(|v| matches!(v, RowVote::Level(l) if parallel[*l]))
+                    .cloned()
+            };
+            if let Some(chosen) = &chosen {
+                misaligned += votes_w.iter().filter(|(v, _)| v != chosen).count();
+                for (v, x) in &votes_r {
+                    if v != chosen && !data[*x].replicated {
+                        data[*x].replicated = true;
+                        data[*x].dists.clear();
+                        notes.push(format!(
+                            "array {} is read-only and conflicts: replicated",
+                            prog.arrays[*x].name
+                        ));
+                    }
+                }
+                match chosen {
+                    RowVote::Level(l) => {
+                        rows[p] = CompRow::Level(*l);
+                        used_levels.push(*l);
+                        // Drag along any not-yet-distributed arrays that this
+                        // level subscripts directly.
+                        commit_alignment(prog, nest, *l, p, &mut data, &mut notes);
+                    }
+                    RowVote::Localized(a) => rows[p] = CompRow::Localized(a.clone()),
+                    RowVote::Misaligned => misaligned += 1,
+                }
+            } else if !votes_r.is_empty() {
+                // Only read-only constraints, none of them a free doall
+                // alignment: replicate them and leave the row fresh.
+                for (_, x) in &votes_r {
+                    if !data[*x].replicated {
+                        data[*x].replicated = true;
+                        data[*x].dists.clear();
+                        notes.push(format!(
+                            "array {} is read-only and conflicts: replicated",
+                            prog.arrays[*x].name
+                        ));
+                    }
+                }
+            }
+        }
+
+        // --- Fresh distribution choices ---
+        // Candidate doall levels not already used by a constrained row.
+        // Tiny-trip loops (e.g. a 3-element right-hand-side index) are
+        // deprioritized: distributing them wastes the machine.
+        let default_params = prog.default_params();
+        let mut candidates: Vec<(usize, bool, usize, usize)> = Vec::new(); // (cost, tiny, neg_pref, level)
+        for l in 0..nest.depth {
+            if !parallel[l] || used_levels.contains(&l) {
+                continue;
+            }
+            let (cost, pref) = candidate_cost(prog, nest, l, &data);
+            let trip = estimated_trip(nest, l, &default_params);
+            candidates.push((cost, trip < 8, usize::MAX - pref, l));
+        }
+        candidates.sort();
+
+        let grid_was_empty = grid_rank == 0;
+        for (rank_in_nest, &(cost, _, _, l)) in candidates.iter().enumerate() {
+            // Find a home for this fresh dimension: an existing
+            // unconstrained proc dim, or a brand new one (only allowed
+            // while this nest is the one starting the grid).
+            let slot = rows.iter().position(|r| matches!(r, CompRow::Unconstrained));
+            let p = match slot {
+                Some(p) => p,
+                None => {
+                    let allow_new = grid_was_empty
+                        && grid_rank < MAX_GRID_RANK
+                        && (grid_rank == 0 || (fully_parallel && cost == 0));
+                    if !allow_new {
+                        break;
+                    }
+                    grid_rank += 1;
+                    rows.push(CompRow::Unconstrained);
+                    grid_rank - 1
+                }
+            };
+            // Extra dims beyond the first must be free of misalignment.
+            if rank_in_nest > 0 && cost > 0 {
+                break;
+            }
+            rows[p] = CompRow::Level(l);
+            used_levels.push(l);
+            misaligned += cost;
+            commit_alignment(prog, nest, l, p, &mut data, &mut notes);
+        }
+
+        // Pipeline detection: a constrained row landed on a carried level.
+        let pipeline_level = rows.iter().find_map(|r| match r {
+            CompRow::Level(l) if !parallel[*l] => Some(*l),
+            _ => None,
+        });
+        if pipeline_level.is_some() {
+            notes.push(format!("nest {} executes as a doacross pipeline", nest.name));
+        }
+        if misaligned > 0 {
+            notes.push(format!("nest {}: {} misaligned reference(s) (communication)", nest.name, misaligned));
+        }
+
+        comp[j] = Some(CompDecomp {
+            rows,
+            parallel_levels: parallel,
+            pipeline_level,
+            misaligned_refs: misaligned,
+        });
+    }
+
+    // Pad every nest's rows to the final grid rank.
+    let mut comp: Vec<CompDecomp> = comp.into_iter().map(Option::unwrap).collect();
+    for c in &mut comp {
+        while c.rows.len() < grid_rank {
+            c.rows.push(CompRow::Unconstrained);
+        }
+    }
+
+    // --- Folding selection ---
+    let mut foldings = vec![Folding::Block; grid_rank];
+    for p in 0..grid_rank {
+        let cyclic = comp.iter().zip(&prog.nests).any(|(c, nest)| {
+            matches!(c.rows.get(p), Some(CompRow::Level(l)) if varying_range(nest, *l, time_param))
+        });
+        if cyclic {
+            foldings[p] = Folding::Cyclic;
+            notes.push(format!(
+                "proc dim {p}: CYCLIC folding (iteration range varies across steps)"
+            ));
+        }
+    }
+
+    Decomposition { grid_rank, foldings, comp, data, notes }
+}
+
+/// Static trip-count estimate of level `l` under the default parameter
+/// binding, with outer variables at zero (exact for rectangular loops,
+/// an adequate estimate for triangular ones).
+fn estimated_trip(nest: &LoopNest, l: usize, params: &[i64]) -> i64 {
+    let zeros = vec![0i64; nest.depth];
+    let lo = nest.bounds[l].eval_lo(&zeros, params);
+    let hi = nest.bounds[l].eval_hi(&zeros, params);
+    (hi - lo + 1).max(0)
+}
+
+/// Does the active range of loop `l` vary with the time step or with the
+/// loop's own coordinate (triangular work)? If so, BLOCK folding would
+/// load-imbalance and the paper selects CYCLIC.
+fn varying_range(nest: &LoopNest, l: usize, time_param: Option<usize>) -> bool {
+    let Some(tp) = time_param else { return false };
+    let b = &nest.bounds[l];
+    b.los
+        .iter()
+        .chain(&b.his)
+        .any(|f| f.aff.param_coeff(tp) != 0)
+}
+
+/// Cost (misaligned references) and preference (highest aligned array dim of
+/// a write reference) of distributing level `l` of `nest`.
+fn candidate_cost(
+    prog: &Program,
+    nest: &LoopNest,
+    l: usize,
+    data: &[DataDecomp],
+) -> (usize, usize) {
+    let mut cost = 0usize;
+    let mut pref = 0usize;
+    for x in 0..prog.arrays.len() {
+        if data[x].replicated {
+            continue;
+        }
+        let Some(dim) = aligned_dim(nest, x, l) else { continue };
+        for (is_write, r) in nest.all_refs() {
+            if r.array.0 != x {
+                continue;
+            }
+            let v = subscript_vote(&r.access.dim_aff(dim));
+            if v != RowVote::Level(l) {
+                cost += 1;
+            } else if is_write {
+                pref = pref.max(dim);
+            }
+        }
+    }
+    (cost, pref)
+}
+
+/// The array dimension of `x` that level `l` drives in `nest`: taken from
+/// the write reference when possible, else the first read that matches.
+fn aligned_dim(nest: &LoopNest, x: usize, l: usize) -> Option<usize> {
+    let mut first_read = None;
+    for (is_write, r) in nest.all_refs() {
+        if r.array.0 != x {
+            continue;
+        }
+        for d in 0..r.access.rank() {
+            if subscript_vote(&r.access.dim_aff(d)) == RowVote::Level(l) {
+                if is_write {
+                    return Some(d);
+                }
+                first_read.get_or_insert(d);
+            }
+        }
+    }
+    first_read
+}
+
+/// Record that distributing level `l` of `nest` on proc dim `p` distributes
+/// the aligned dimension of every referenced array.
+fn commit_alignment(
+    prog: &Program,
+    nest: &LoopNest,
+    l: usize,
+    p: usize,
+    data: &mut [DataDecomp],
+    notes: &mut Vec<String>,
+) {
+    for x in 0..prog.arrays.len() {
+        if data[x].replicated {
+            continue;
+        }
+        let Some(dim) = aligned_dim(nest, x, l) else { continue };
+        // Skip if this array dimension or this proc dim is already taken.
+        if data[x].dists.iter().any(|ad| ad.dim == dim || ad.proc_dim == p) {
+            continue;
+        }
+        data[x].dists.push(ArrayDist { dim, proc_dim: p });
+        notes.push(format!(
+            "array {} dim {dim} distributed on proc dim {p} (driven by nest {})",
+            prog.arrays[x].name, nest.name
+        ));
+    }
+}
+
+/// Derive a computation decomposition for one nest from *fixed* data
+/// distributions (owner-computes): used by the HPF input path, where the
+/// user supplied the data mapping and the compiler only chooses the
+/// matching computation mapping.
+pub(crate) fn base_like_rows_for_hpf(
+    nest: &LoopNest,
+    nd: &NestDeps,
+    data: &[DataDecomp],
+    grid_rank: usize,
+) -> CompDecomp {
+    let parallel = nd.parallel_levels(nest.depth);
+    let refs = nest.all_refs();
+    let mut rows = vec![CompRow::Unconstrained; grid_rank];
+    let mut misaligned = 0usize;
+    for (p, row) in rows.iter_mut().enumerate() {
+        let mut votes: Vec<(RowVote, bool)> = Vec::new();
+        for &(is_write, r) in &refs {
+            let dd = &data[r.array.0];
+            if dd.replicated {
+                continue;
+            }
+            for ad in &dd.dists {
+                if ad.proc_dim == p {
+                    votes.push((subscript_vote(&r.access.dim_aff(ad.dim)), is_write));
+                }
+            }
+        }
+        if votes.is_empty() {
+            continue;
+        }
+        let chosen = pick_vote(&votes);
+        misaligned += votes.iter().filter(|(v, _)| *v != chosen).count();
+        match chosen {
+            RowVote::Level(l) => *row = CompRow::Level(l),
+            RowVote::Localized(a) => *row = CompRow::Localized(a),
+            RowVote::Misaligned => misaligned += 1,
+        }
+    }
+    let pipeline_level = rows.iter().find_map(|r| match r {
+        CompRow::Level(l) if !parallel[*l] => Some(*l),
+        _ => None,
+    });
+    CompDecomp { rows, parallel_levels: parallel, pipeline_level, misaligned_refs: misaligned }
+}
+
+/// The "base compiler" decomposition: each nest independently parallelizes
+/// its outermost doall loop with BLOCK scheduling; array layouts are left
+/// alone and no global alignment is attempted.
+pub fn base_decomposition(prog: &Program, deps: &[NestDeps]) -> Decomposition {
+    assert_eq!(deps.len(), prog.nests.len());
+    let comp: Vec<CompDecomp> = prog
+        .nests
+        .iter()
+        .zip(deps)
+        .map(|(nest, nd)| {
+            let parallel = nd.parallel_levels(nest.depth);
+            let outer_doall = parallel.iter().position(|&b| b);
+            let rows = vec![match outer_doall {
+                Some(l) => CompRow::Level(l),
+                // Fully sequential nest: run on processor 0.
+                None => CompRow::Localized(Aff::konst(0)),
+            }];
+            CompDecomp { rows, parallel_levels: parallel, pipeline_level: None, misaligned_refs: 0 }
+        })
+        .collect();
+    Decomposition {
+        grid_rank: 1,
+        foldings: vec![Folding::Block],
+        comp,
+        data: (0..prog.arrays.len()).map(|_| DataDecomp::default()).collect(),
+        notes: vec!["base compiler: per-nest outermost doall, BLOCK, original layout".into()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dct_dep::{analyze_nest, DepConfig};
+    use dct_ir::{Expr, NestBuilder, ProgramBuilder};
+
+    fn analyze(prog: &Program) -> Vec<NestDeps> {
+        let cfg = DepConfig { nparams: prog.params.len(), param_min: 4 };
+        prog.nests.iter().map(|n| analyze_nest(n, cfg)).collect()
+    }
+
+    /// Figure 1 program: two nests; only the inner `I` loop of nest 2 is
+    /// parallel; algorithm must distribute rows of A/B/C... i.e. the first
+    /// dimension, on a rank-1 grid, BLOCK.
+    #[test]
+    fn figure1_decomposition() {
+        let mut pb = ProgramBuilder::new("fig1");
+        let n = pb.param("N", 16);
+        let a = pb.array("A", &[Aff::param(n), Aff::param(n)], 4);
+        let b = pb.array("B", &[Aff::param(n), Aff::param(n)], 4);
+        let c = pb.array("C", &[Aff::param(n), Aff::param(n)], 4);
+        // Nest 1: DO J, I: A(I,J) = B(I,J) + C(I,J) (fully parallel).
+        let mut nb = NestBuilder::new("add", 2);
+        let j = nb.loop_var(Aff::konst(0), Aff::param(n) - 1);
+        let i = nb.loop_var(Aff::konst(0), Aff::param(n) - 1);
+        let rhs = nb.read(b, &[Aff::var(i), Aff::var(j)]) + nb.read(c, &[Aff::var(i), Aff::var(j)]);
+        nb.assign(a, &[Aff::var(i), Aff::var(j)], rhs);
+        pb.nest(nb.build());
+        // Nest 2: DO J, I: A(I,J) = (A(I,J)+A(I,J-1)+A(I,J+1))/3 (carried by J).
+        let mut nb = NestBuilder::new("smooth", 2);
+        let j = nb.loop_var(Aff::konst(1), Aff::param(n) - 2);
+        let i = nb.loop_var(Aff::konst(0), Aff::param(n) - 1);
+        let rhs = nb.read(a, &[Aff::var(i), Aff::var(j)])
+            + nb.read(a, &[Aff::var(i), Aff::var(j) - 1])
+            + nb.read(a, &[Aff::var(i), Aff::var(j) + 1]);
+        nb.assign(a, &[Aff::var(i), Aff::var(j)], rhs);
+        pb.nest(nb.build());
+        let prog = pb.build();
+        let deps = analyze(&prog);
+        let dec = decompose(&prog, &deps);
+
+        assert_eq!(dec.grid_rank, 1);
+        assert_eq!(dec.foldings, vec![Folding::Block]);
+        // A distributed on dim 0 (rows): DISTRIBUTE (BLOCK, *).
+        assert_eq!(dec.hpf_of(&prog, a.0), "A(BLOCK, *)");
+        assert_eq!(dec.hpf_of(&prog, b.0), "B(BLOCK, *)");
+        assert_eq!(dec.hpf_of(&prog, c.0), "C(BLOCK, *)");
+        // Both nests distribute level 1 (the I loop).
+        assert_eq!(dec.comp[0].level_of(0), Some(1));
+        assert_eq!(dec.comp[1].level_of(0), Some(1));
+        assert_eq!(dec.comp[1].pipeline_level, None);
+        assert_eq!(dec.comp[0].misaligned_refs + dec.comp[1].misaligned_refs, 0);
+    }
+
+    /// LU with the k loop as the time loop: columns distributed CYCLIC.
+    #[test]
+    fn lu_decomposition_cyclic_columns() {
+        let mut pb = ProgramBuilder::new("lu");
+        let n = pb.param("N", 16);
+        let a = pb.array("A", &[Aff::param(n), Aff::param(n)], 8);
+        let t = pb.time_loop(Aff::param(n) - 1);
+        // div nest: DO I2 = t+1..N-1: A(I2,t) /= A(t,t).
+        let mut nb = NestBuilder::new("div", 2);
+        let i2 = nb.loop_var(Aff::param(t) + 1, Aff::param(n) - 1);
+        let rhs = nb.read(a, &[Aff::var(i2), Aff::param(t)]) / nb.read(a, &[Aff::param(t), Aff::param(t)]);
+        nb.assign(a, &[Aff::var(i2), Aff::param(t)], rhs);
+        nb.freq(10);
+        pb.nest(nb.build());
+        // update nest: DO I2, I3 = t+1..N-1: A(I2,I3) -= A(I2,t)*A(t,I3).
+        let mut nb = NestBuilder::new("update", 2);
+        let i2 = nb.loop_var(Aff::param(t) + 1, Aff::param(n) - 1);
+        let i3 = nb.loop_var(Aff::param(t) + 1, Aff::param(n) - 1);
+        let rhs = nb.read(a, &[Aff::var(i2), Aff::var(i3)])
+            - nb.read(a, &[Aff::var(i2), Aff::param(t)]) * nb.read(a, &[Aff::param(t), Aff::var(i3)]);
+        nb.assign(a, &[Aff::var(i2), Aff::var(i3)], rhs);
+        nb.freq(100);
+        pb.nest(nb.build());
+        let prog = pb.build();
+        let deps = analyze(&prog);
+        let dec = decompose(&prog, &deps);
+
+        assert_eq!(dec.grid_rank, 1, "LU must stay one-dimensional");
+        assert_eq!(dec.hpf_of(&prog, a.0), "A(*, CYCLIC)");
+        // Update nest distributes its column loop (level 1).
+        assert_eq!(dec.comp[1].level_of(0), Some(1));
+        // Div nest is localized to the owner of column t.
+        assert!(matches!(dec.comp[0].rows[0], CompRow::Localized(_)));
+        // One misaligned (pivot-column read) reference in the update nest.
+        assert!(dec.comp[1].misaligned_refs >= 1);
+    }
+
+    /// A fully parallel 2-D stencil program gets a rank-2 grid (2-D blocks).
+    #[test]
+    fn stencil_gets_2d_blocks() {
+        let mut pb = ProgramBuilder::new("stencil");
+        let n = pb.param("N", 16);
+        let a = pb.array("A", &[Aff::param(n), Aff::param(n)], 4);
+        let b = pb.array("B", &[Aff::param(n), Aff::param(n)], 4);
+        let _t = pb.time_loop(Aff::konst(4));
+        let mut nb = NestBuilder::new("stencil", 2);
+        let i1 = nb.loop_var(Aff::konst(1), Aff::param(n) - 2);
+        let i2 = nb.loop_var(Aff::konst(1), Aff::param(n) - 2);
+        let rhs = nb.read(b, &[Aff::var(i2), Aff::var(i1)])
+            + nb.read(b, &[Aff::var(i2) - 1, Aff::var(i1)])
+            + nb.read(b, &[Aff::var(i2) + 1, Aff::var(i1)])
+            + nb.read(b, &[Aff::var(i2), Aff::var(i1) - 1])
+            + nb.read(b, &[Aff::var(i2), Aff::var(i1) + 1]);
+        nb.assign(a, &[Aff::var(i2), Aff::var(i1)], rhs);
+        pb.nest(nb.build());
+        let mut nb = NestBuilder::new("copyback", 2);
+        let i1 = nb.loop_var(Aff::konst(1), Aff::param(n) - 2);
+        let i2 = nb.loop_var(Aff::konst(1), Aff::param(n) - 2);
+        let rhs = nb.read(a, &[Aff::var(i2), Aff::var(i1)]);
+        nb.assign(b, &[Aff::var(i2), Aff::var(i1)], rhs);
+        pb.nest(nb.build());
+        let prog = pb.build();
+        let deps = analyze(&prog);
+        let dec = decompose(&prog, &deps);
+
+        assert_eq!(dec.grid_rank, 2);
+        assert_eq!(dec.hpf_of(&prog, a.0), "A(BLOCK, BLOCK)");
+        assert_eq!(dec.hpf_of(&prog, b.0), "B(BLOCK, BLOCK)");
+        assert_eq!(dec.comp[0].misaligned_refs, 0);
+        assert_eq!(dec.comp[1].misaligned_refs, 0);
+    }
+
+    /// ADI: column sweep commits column distribution; the row sweep then
+    /// becomes a doacross pipeline instead of redistributing.
+    #[test]
+    fn adi_pipeline() {
+        let mut pb = ProgramBuilder::new("adi");
+        let n = pb.param("N", 16);
+        let x = pb.array("X", &[Aff::param(n), Aff::param(n)], 4);
+        let _t = pb.time_loop(Aff::konst(2));
+        // Column sweep: DO I1 (cols, parallel), DO I2 = 1.. (recurrence down the column).
+        let mut nb = NestBuilder::new("colsweep", 2);
+        let i1 = nb.loop_var(Aff::konst(0), Aff::param(n) - 1);
+        let i2 = nb.loop_var(Aff::konst(1), Aff::param(n) - 1);
+        let rhs = nb.read(x, &[Aff::var(i2), Aff::var(i1)]) - nb.read(x, &[Aff::var(i2) - 1, Aff::var(i1)]);
+        nb.assign(x, &[Aff::var(i2), Aff::var(i1)], rhs);
+        pb.nest(nb.build());
+        // Row sweep: DO I1 (cols, recurrence across columns), DO I2 (rows, parallel).
+        let mut nb = NestBuilder::new("rowsweep", 2);
+        let i1 = nb.loop_var(Aff::konst(1), Aff::param(n) - 1);
+        let i2 = nb.loop_var(Aff::konst(0), Aff::param(n) - 1);
+        let rhs = nb.read(x, &[Aff::var(i2), Aff::var(i1)]) - nb.read(x, &[Aff::var(i2), Aff::var(i1) - 1]);
+        nb.assign(x, &[Aff::var(i2), Aff::var(i1)], rhs);
+        pb.nest(nb.build());
+        let prog = pb.build();
+        let deps = analyze(&prog);
+        let dec = decompose(&prog, &deps);
+
+        assert_eq!(dec.grid_rank, 1);
+        assert_eq!(dec.hpf_of(&prog, x.0), "X(*, BLOCK)");
+        assert_eq!(dec.comp[0].level_of(0), Some(0));
+        assert_eq!(dec.comp[0].pipeline_level, None);
+        // Row sweep: distributed level is the carried column loop -> pipeline.
+        assert_eq!(dec.comp[1].level_of(0), Some(0));
+        assert_eq!(dec.comp[1].pipeline_level, Some(0));
+    }
+
+    /// Base decomposition: outermost doall per nest, no data distribution.
+    #[test]
+    fn base_uses_outermost_doall() {
+        let mut pb = ProgramBuilder::new("p");
+        let n = pb.param("N", 8);
+        let a = pb.array("A", &[Aff::param(n), Aff::param(n)], 4);
+        let mut nb = NestBuilder::new("n", 2);
+        let j = nb.loop_var(Aff::konst(1), Aff::param(n) - 1);
+        let i = nb.loop_var(Aff::konst(0), Aff::param(n) - 1);
+        let rhs = nb.read(a, &[Aff::var(i), Aff::var(j) - 1]);
+        nb.assign(a, &[Aff::var(i), Aff::var(j)], rhs);
+        pb.nest(nb.build());
+        let prog = pb.build();
+        let deps = analyze(&prog);
+        let dec = base_decomposition(&prog, &deps);
+        assert_eq!(dec.grid_rank, 1);
+        // Level 0 (J) is carried; the outermost doall is level 1 (I).
+        assert_eq!(dec.comp[0].level_of(0), Some(1));
+        assert!(!dec.data[a.0].is_distributed());
+    }
+
+    /// A read-only array whose use pattern conflicts across nests is
+    /// replicated instead of forcing misalignment.
+    #[test]
+    fn read_only_replicated_on_conflict() {
+        let mut pb = ProgramBuilder::new("p");
+        let n = pb.param("N", 8);
+        let u = pb.array("U", &[Aff::param(n), Aff::param(n)], 4);
+        let a = pb.array("A", &[Aff::param(n), Aff::param(n)], 4);
+        let b = pb.array("B", &[Aff::param(n), Aff::param(n)], 4);
+        // Nest 1: A(i,j) = U(i,j) + A(i,j-1): carried by j, doall over i.
+        let mut nb = NestBuilder::new("n1", 2);
+        let j = nb.loop_var(Aff::konst(1), Aff::param(n) - 1);
+        let i = nb.loop_var(Aff::konst(0), Aff::param(n) - 1);
+        let rhs = nb.read(u, &[Aff::var(i), Aff::var(j)])
+            + nb.read(a, &[Aff::var(i), Aff::var(j) - 1]);
+        nb.assign(a, &[Aff::var(i), Aff::var(j)], rhs);
+        pb.nest(nb.build());
+        // Nest 2: B(i,j) = U(j,i) + B(i,j-1): U read transposed.
+        let mut nb = NestBuilder::new("n2", 2);
+        let j = nb.loop_var(Aff::konst(1), Aff::param(n) - 1);
+        let i = nb.loop_var(Aff::konst(0), Aff::param(n) - 1);
+        let rhs = nb.read(u, &[Aff::var(j), Aff::var(i)])
+            + nb.read(b, &[Aff::var(i), Aff::var(j) - 1]);
+        nb.assign(b, &[Aff::var(i), Aff::var(j)], rhs);
+        pb.nest(nb.build());
+        let prog = pb.build();
+        let deps = analyze(&prog);
+        let dec = decompose(&prog, &deps);
+        assert!(dec.data[u.0].replicated, "conflicting read-only array must be replicated");
+        assert!(dec.data[a.0].is_distributed());
+        assert!(dec.data[b.0].is_distributed());
+        let total_misaligned: usize = dec.comp.iter().map(|c| c.misaligned_refs).sum();
+        assert_eq!(total_misaligned, 0, "replication should absorb the conflict");
+    }
+
+    /// A read-only array aligned consistently is NOT replicated (Figure 1's
+    /// B and C behave this way).
+    #[test]
+    fn read_only_aligned_not_replicated() {
+        let mut pb = ProgramBuilder::new("p");
+        let n = pb.param("N", 8);
+        let u = pb.array("U", &[Aff::param(n), Aff::param(n)], 4);
+        let a = pb.array("A", &[Aff::param(n), Aff::param(n)], 4);
+        let mut nb = NestBuilder::new("n", 2);
+        let j = nb.loop_var(Aff::konst(1), Aff::param(n) - 1);
+        let i = nb.loop_var(Aff::konst(0), Aff::param(n) - 1);
+        let rhs = nb.read(u, &[Aff::var(i), Aff::var(j)])
+            + nb.read(a, &[Aff::var(i), Aff::var(j) - 1]);
+        nb.assign(a, &[Aff::var(i), Aff::var(j)], rhs);
+        pb.nest(nb.build());
+        let prog = pb.build();
+        let deps = analyze(&prog);
+        let dec = decompose(&prog, &deps);
+        assert!(!dec.data[u.0].replicated);
+        assert!(dec.data[u.0].is_distributed());
+    }
+
+    /// Expr::Const-only program (no arrays touched) decomposes trivially.
+    #[test]
+    fn degenerate_no_refs() {
+        let mut pb = ProgramBuilder::new("p");
+        let n = pb.param("N", 8);
+        let a = pb.array("A", &[Aff::param(n)], 4);
+        let mut nb = NestBuilder::new("n", 1);
+        let i = nb.loop_var(Aff::konst(0), Aff::param(n) - 1);
+        nb.assign(a, &[Aff::var(i)], Expr::Const(0.0));
+        pb.nest(nb.build());
+        let prog = pb.build();
+        let deps = analyze(&prog);
+        let dec = decompose(&prog, &deps);
+        assert_eq!(dec.grid_rank, 1);
+        assert_eq!(dec.comp[0].level_of(0), Some(0));
+        assert!(dec.data[a.0].is_distributed());
+    }
+}

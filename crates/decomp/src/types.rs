@@ -1,0 +1,242 @@
+//! Decomposition types: how computation and data map onto the virtual
+//! processor space, and how virtual processors fold onto physical ones.
+
+use dct_ir::{Aff, Program};
+
+/// Folding function from a virtual processor dimension onto physical
+/// processors (the paper's BLOCK / CYCLIC / BLOCK-CYCLIC).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Folding {
+    Block,
+    Cyclic,
+    BlockCyclic { block: i64 },
+}
+
+impl Folding {
+    /// Which physical processor (out of `p`) owns virtual coordinate `v` of
+    /// a dimension with `extent` coordinates.
+    pub fn owner(&self, v: i64, extent: i64, p: i64) -> i64 {
+        debug_assert!(p > 0 && extent > 0);
+        let v = v.rem_euclid(extent);
+        match self {
+            Folding::Block => {
+                let b = div_ceil(extent, p);
+                v / b
+            }
+            Folding::Cyclic => v % p,
+            Folding::BlockCyclic { block } => (v / block) % p,
+        }
+    }
+
+    /// Render like HPF.
+    pub fn hpf(&self) -> String {
+        match self {
+            Folding::Block => "BLOCK".to_string(),
+            Folding::Cyclic => "CYCLIC".to_string(),
+            Folding::BlockCyclic { block } => format!("CYCLIC({block})"),
+        }
+    }
+}
+
+pub(crate) fn div_ceil(a: i64, b: i64) -> i64 {
+    (a + b - 1) / b
+}
+
+/// How one nest's iterations map onto one virtual processor dimension.
+#[derive(Clone, PartialEq, Debug)]
+pub enum CompRow {
+    /// Iterations are spread by loop level `level`; the virtual coordinate
+    /// is that loop variable's value.
+    Level(usize),
+    /// All iterations map to the single virtual coordinate given by this
+    /// (loop-invariant) affine form — e.g. LU's pivot-column work, owned by
+    /// the owner of column `t`.
+    Localized(Aff),
+    /// This nest does not constrain the dimension (every processor along it
+    /// participates redundantly or the dimension is unused).
+    Unconstrained,
+}
+
+/// Computation decomposition of one nest.
+#[derive(Clone, Debug)]
+pub struct CompDecomp {
+    /// One entry per virtual processor dimension (grid rank).
+    pub rows: Vec<CompRow>,
+    /// Doall flags per loop level (within a time step).
+    pub parallel_levels: Vec<bool>,
+    /// A distributed level that carries a dependence: the nest executes as
+    /// a doacross pipeline along this level.
+    pub pipeline_level: Option<usize>,
+    /// References whose alignment constraint was dropped (they will incur
+    /// communication). Count, for reporting.
+    pub misaligned_refs: usize,
+}
+
+impl CompDecomp {
+    /// Is any dimension actually spread over a loop level?
+    pub fn is_distributed(&self) -> bool {
+        self.rows.iter().any(|r| matches!(r, CompRow::Level(_)))
+    }
+
+    /// The level distributed on `proc_dim`, if any.
+    pub fn level_of(&self, proc_dim: usize) -> Option<usize> {
+        match self.rows.get(proc_dim) {
+            Some(CompRow::Level(l)) => Some(*l),
+            _ => None,
+        }
+    }
+}
+
+/// One distributed dimension of an array.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ArrayDist {
+    /// Which array dimension is distributed.
+    pub dim: usize,
+    /// Onto which virtual processor dimension.
+    pub proc_dim: usize,
+}
+
+/// Data decomposition of one array.
+#[derive(Clone, Debug, Default)]
+pub struct DataDecomp {
+    pub dists: Vec<ArrayDist>,
+    /// Read-only data that conflicted with the chosen decomposition and is
+    /// replicated per processor instead.
+    pub replicated: bool,
+}
+
+impl DataDecomp {
+    pub fn is_distributed(&self) -> bool {
+        !self.dists.is_empty()
+    }
+
+    /// The distribution of array dimension `dim`, if any.
+    pub fn dist_of_dim(&self, dim: usize) -> Option<ArrayDist> {
+        self.dists.iter().copied().find(|d| d.dim == dim)
+    }
+}
+
+/// The whole program decomposition (output of the Section 3 algorithm).
+#[derive(Clone, Debug)]
+pub struct Decomposition {
+    /// Rank of the virtual processor grid (0, 1 or 2).
+    pub grid_rank: usize,
+    /// Folding function per virtual processor dimension.
+    pub foldings: Vec<Folding>,
+    /// Per compute nest (aligned with `program.nests`).
+    pub comp: Vec<CompDecomp>,
+    /// Per array (aligned with `program.arrays`).
+    pub data: Vec<DataDecomp>,
+    /// Human-readable decisions (for the optimization report).
+    pub notes: Vec<String>,
+}
+
+impl Decomposition {
+    /// Render the data decomposition of one array in HPF-like notation,
+    /// e.g. `A(*, CYCLIC)`.
+    pub fn hpf_of(&self, prog: &Program, array: usize) -> String {
+        let decl = &prog.arrays[array];
+        let dd = &self.data[array];
+        if dd.replicated {
+            return format!("{}(replicated)", decl.name);
+        }
+        let dims: Vec<String> = (0..decl.rank())
+            .map(|d| match dd.dist_of_dim(d) {
+                Some(ad) => self.foldings[ad.proc_dim].hpf(),
+                None => "*".to_string(),
+            })
+            .collect();
+        format!("{}({})", decl.name, dims.join(", "))
+    }
+
+    /// All arrays' HPF strings (the Table 1 "Data Decompositions" column).
+    pub fn hpf_all(&self, prog: &Program) -> Vec<String> {
+        (0..prog.arrays.len()).map(|x| self.hpf_of(prog, x)).collect()
+    }
+}
+
+/// Choose a physical grid shape for `p` processors and the given rank:
+/// rank 1 -> `[p]`; rank 2 -> the factorization p1 x p2 (p1 >= p2) with the
+/// smallest aspect ratio (32 -> 8x4, 16 -> 4x4).
+pub fn grid_shape(p: usize, rank: usize) -> Vec<usize> {
+    match rank {
+        0 => vec![],
+        1 => vec![p],
+        2 => {
+            let mut best = (p, 1);
+            let mut q = 1;
+            while q * q <= p {
+                if p.is_multiple_of(q) {
+                    best = (p / q, q);
+                }
+                q += 1;
+            }
+            vec![best.0, best.1]
+        }
+        _ => panic!("grid rank > 2 not supported"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_owner() {
+        let f = Folding::Block;
+        // 8 elements over 2 procs: block size 4.
+        assert_eq!(f.owner(0, 8, 2), 0);
+        assert_eq!(f.owner(3, 8, 2), 0);
+        assert_eq!(f.owner(4, 8, 2), 1);
+        assert_eq!(f.owner(7, 8, 2), 1);
+        // Non-dividing: 7 over 2 -> block 4.
+        assert_eq!(f.owner(6, 7, 2), 1);
+    }
+
+    #[test]
+    fn cyclic_owner() {
+        let f = Folding::Cyclic;
+        assert_eq!(f.owner(0, 8, 3), 0);
+        assert_eq!(f.owner(1, 8, 3), 1);
+        assert_eq!(f.owner(5, 8, 3), 2);
+    }
+
+    #[test]
+    fn block_cyclic_owner() {
+        let f = Folding::BlockCyclic { block: 2 };
+        assert_eq!(f.owner(0, 12, 3), 0);
+        assert_eq!(f.owner(1, 12, 3), 0);
+        assert_eq!(f.owner(2, 12, 3), 1);
+        assert_eq!(f.owner(6, 12, 3), 0);
+    }
+
+    #[test]
+    fn owners_cover_all_processors() {
+        for f in [Folding::Block, Folding::Cyclic, Folding::BlockCyclic { block: 3 }] {
+            let mut seen = std::collections::HashSet::new();
+            for v in 0..24 {
+                let o = f.owner(v, 24, 4);
+                assert!((0..4).contains(&o));
+                seen.insert(o);
+            }
+            assert_eq!(seen.len(), 4, "{f:?} must use all processors");
+        }
+    }
+
+    #[test]
+    fn grid_shapes() {
+        assert_eq!(grid_shape(32, 1), vec![32]);
+        assert_eq!(grid_shape(32, 2), vec![8, 4]);
+        assert_eq!(grid_shape(16, 2), vec![4, 4]);
+        assert_eq!(grid_shape(12, 2), vec![4, 3]);
+        assert_eq!(grid_shape(7, 2), vec![7, 1]);
+        assert_eq!(grid_shape(1, 2), vec![1, 1]);
+        assert_eq!(grid_shape(5, 0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn hpf_rendering() {
+        assert_eq!(Folding::Block.hpf(), "BLOCK");
+        assert_eq!(Folding::BlockCyclic { block: 4 }.hpf(), "CYCLIC(4)");
+    }
+}

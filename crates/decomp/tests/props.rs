@@ -1,0 +1,135 @@
+//! Property tests for the decomposition solver: structural invariants that
+//! must hold for any input program.
+
+#![allow(clippy::needless_range_loop)]
+
+use dct_decomp::{base_decomposition, decompose, CompRow, Decomposition, MAX_GRID_RANK};
+use dct_dep::{analyze_nest, DepConfig};
+use dct_ir::{Aff, Expr, Program, ProgramBuilder};
+use proptest::prelude::*;
+
+/// Random two-nest programs over two arrays with shifted accesses and a
+/// possibly carried level per nest.
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        6i64..=12,
+        -1i64..=1,
+        -1i64..=1,
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(n, d1, d2, carry1, carry2, transpose)| {
+            let mut pb = ProgramBuilder::new("arb");
+            let np = pb.param("N", n);
+            let a = pb.array("A", &[Aff::param(np), Aff::param(np)], 4);
+            let b = pb.array("B", &[Aff::param(np), Aff::param(np)], 4);
+
+            let mut nb = pb.nest_builder("n1");
+            let j = nb.loop_var(Aff::konst(1), Aff::param(np) - 2);
+            let i = nb.loop_var(Aff::konst(1), Aff::param(np) - 2);
+            let mut rhs = nb.read(b, &[Aff::var(i) + d1, Aff::var(j)]);
+            if carry1 {
+                rhs = rhs + nb.read(a, &[Aff::var(i), Aff::var(j) - 1]);
+            }
+            nb.assign(a, &[Aff::var(i), Aff::var(j)], rhs);
+            pb.nest(nb.build());
+
+            let mut nb = pb.nest_builder("n2");
+            let j = nb.loop_var(Aff::konst(1), Aff::param(np) - 2);
+            let i = nb.loop_var(Aff::konst(1), Aff::param(np) - 2);
+            let read = if transpose {
+                nb.read(a, &[Aff::var(j), Aff::var(i)])
+            } else {
+                nb.read(a, &[Aff::var(i), Aff::var(j) + d2])
+            };
+            let mut rhs = read + Expr::Const(0.5);
+            if carry2 {
+                rhs = rhs + nb.read(b, &[Aff::var(i) - 1, Aff::var(j)]);
+            }
+            nb.assign(b, &[Aff::var(i), Aff::var(j)], rhs);
+            pb.nest(nb.build());
+            pb.build()
+        })
+}
+
+fn check_invariants(prog: &Program, dec: &Decomposition) {
+    assert!(dec.grid_rank <= MAX_GRID_RANK);
+    assert_eq!(dec.foldings.len(), dec.grid_rank);
+    assert_eq!(dec.comp.len(), prog.nests.len());
+    assert_eq!(dec.data.len(), prog.arrays.len());
+
+    for (j, cd) in dec.comp.iter().enumerate() {
+        assert_eq!(cd.rows.len(), dec.grid_rank.max(cd.rows.len()));
+        let depth = prog.nests[j].depth;
+        let mut used = std::collections::HashSet::new();
+        for row in &cd.rows {
+            if let CompRow::Level(l) = row {
+                assert!(*l < depth, "row level out of range");
+                assert!(used.insert(*l), "level distributed twice");
+                // A distributed doall level, or an explicit pipeline.
+                if !cd.parallel_levels[*l] {
+                    assert_eq!(cd.pipeline_level, Some(*l));
+                }
+            }
+        }
+    }
+    for dd in &dec.data {
+        let mut dims = std::collections::HashSet::new();
+        let mut pds = std::collections::HashSet::new();
+        for ad in &dd.dists {
+            assert!(ad.proc_dim < dec.grid_rank);
+            assert!(dims.insert(ad.dim), "array dim distributed twice");
+            assert!(pds.insert(ad.proc_dim), "proc dim used twice in one array");
+        }
+        if dd.replicated {
+            assert!(dd.dists.is_empty(), "replicated arrays have no distribution");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn decomposition_invariants(prog in arb_program()) {
+        let cfg = DepConfig { nparams: prog.params.len(), param_min: 4 };
+        let deps: Vec<_> = prog.nests.iter().map(|n| analyze_nest(n, cfg)).collect();
+        check_invariants(&prog, &decompose(&prog, &deps));
+        check_invariants(&prog, &base_decomposition(&prog, &deps));
+    }
+
+    /// Whenever both nests are fully parallel and reference each other's
+    /// arrays straight (no transpose), the solver finds a zero-misalignment
+    /// decomposition.
+    #[test]
+    fn aligned_programs_have_no_misalignment(
+        n in 6i64..=12,
+        d1 in -1i64..=1,
+    ) {
+        let mut pb = ProgramBuilder::new("aligned");
+        let np = pb.param("N", n);
+        let a = pb.array("A", &[Aff::param(np), Aff::param(np)], 4);
+        let b = pb.array("B", &[Aff::param(np), Aff::param(np)], 4);
+        let mut nb = pb.nest_builder("n1");
+        let j = nb.loop_var(Aff::konst(1), Aff::param(np) - 2);
+        let i = nb.loop_var(Aff::konst(1), Aff::param(np) - 2);
+        let rhs = nb.read(b, &[Aff::var(i) + d1, Aff::var(j)]);
+        nb.assign(a, &[Aff::var(i), Aff::var(j)], rhs);
+        pb.nest(nb.build());
+        let mut nb = pb.nest_builder("n2");
+        let j = nb.loop_var(Aff::konst(1), Aff::param(np) - 2);
+        let i = nb.loop_var(Aff::konst(1), Aff::param(np) - 2);
+        let rhs = nb.read(a, &[Aff::var(i), Aff::var(j)]);
+        nb.assign(b, &[Aff::var(i), Aff::var(j)], rhs);
+        pb.nest(nb.build());
+        let prog = pb.build();
+
+        let cfg = DepConfig { nparams: prog.params.len(), param_min: 4 };
+        let deps: Vec<_> = prog.nests.iter().map(|x| analyze_nest(x, cfg)).collect();
+        let dec = decompose(&prog, &deps);
+        let total: usize = dec.comp.iter().map(|c| c.misaligned_refs).sum();
+        prop_assert_eq!(total, 0);
+        prop_assert!(dec.data.iter().all(|d| d.is_distributed()));
+    }
+}

@@ -1,0 +1,453 @@
+//! Exact dependence analysis of affine loop nests.
+//!
+//! For every pair of references to the same array (at least one a write),
+//! we decide whether two iterations can touch the same element, and
+//! summarize the result as lexicographically positive dependence vectors.
+//!
+//! Two decision paths:
+//! * **Uniformly generated** pairs (identical linear parts): the distance is
+//!   the unique solution of `F d = c_src - c_dst` when `F` has full column
+//!   rank — an exact constant distance vector.
+//! * Otherwise: hierarchical direction-vector enumeration, testing each
+//!   `(<,=,>)^depth` prefix for feasibility with Fourier–Motzkin
+//!   elimination over `(i1, i2, params)`.
+//!
+//! Symbolic parameters are treated as unknowns bounded below by
+//! `param_min`, so a reported dependence means "exists for some legal
+//! problem size" — the conservative direction for a parallelizer.
+
+use crate::tests_basic::{banerjee_test, gcd_test};
+use crate::vector::{DepKind, DepVector, Dir, NestDeps};
+use dct_ir::{AffineAccess, ArrayRef, LoopNest};
+use dct_linalg::{Polyhedron, Rat};
+use std::collections::HashSet;
+
+/// Configuration for the analyzer.
+#[derive(Clone, Copy, Debug)]
+pub struct DepConfig {
+    /// Number of symbolic parameters in the program.
+    pub nparams: usize,
+    /// Assumed lower bound for every parameter (problem sizes are at least
+    /// this large).
+    pub param_min: i64,
+}
+
+impl Default for DepConfig {
+    fn default() -> Self {
+        DepConfig { nparams: 0, param_min: 4 }
+    }
+}
+
+/// Analyze one nest, returning its carried dependence vectors (deduplicated).
+pub fn analyze_nest(nest: &LoopNest, cfg: DepConfig) -> NestDeps {
+    let mut seen: HashSet<DepVector> = HashSet::new();
+    let refs = nest.all_refs();
+    for (a_idx, &(w1, r1)) in refs.iter().enumerate() {
+        for &(w2, r2) in refs.iter().skip(a_idx) {
+            if !(w1 || w2) || r1.array != r2.array {
+                continue;
+            }
+            for v in pair_dependences(nest, r1, w1, r2, w2, cfg) {
+                seen.insert(v);
+            }
+        }
+    }
+    let mut vectors: Vec<DepVector> = seen.into_iter().collect();
+    vectors.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    NestDeps { vectors }
+}
+
+/// Dependences between two specific references of one nest.
+fn pair_dependences(
+    nest: &LoopNest,
+    r1: &ArrayRef,
+    w1: bool,
+    r2: &ArrayRef,
+    w2: bool,
+    cfg: DepConfig,
+) -> Vec<DepVector> {
+    let a1 = &r1.access;
+    let a2 = &r2.access;
+
+    // GCD quick disproof, dimension by dimension: the equation
+    // F1·i1 - F2·i2 + (P1-P2)·n = c2 - c1 must have an integer solution.
+    for d in 0..a1.rank() {
+        let mut coeffs: Vec<i64> = a1.mat.row(d).to_vec();
+        coeffs.extend(a2.mat.row(d).iter().map(|&c| -c));
+        for p in 0..cfg.nparams {
+            coeffs.push(a1.param_coeff(d, p) - a2.param_coeff(d, p));
+        }
+        if !gcd_test(&coeffs, a2.offset[d] - a1.offset[d]) {
+            return Vec::new();
+        }
+    }
+
+    // Banerjee quick disproof when every bound is a known constant
+    // (rectangular, parameter-free nests): the equation per dimension is
+    // sum(F1[d]·i1) - sum(F2[d]·i2) = c2 - c1 with each variable boxed by
+    // its loop bounds.
+    if let Some((los, his)) = constant_bounds(nest) {
+        for d in 0..a1.rank() {
+            let mut coeffs: Vec<i64> = a1.mat.row(d).to_vec();
+            coeffs.extend(a2.mat.row(d).iter().map(|&c| -c));
+            let mut blos = los.clone();
+            blos.extend_from_slice(&los);
+            let mut bhis = his.clone();
+            bhis.extend_from_slice(&his);
+            if !banerjee_test(&coeffs, a2.offset[d] - a1.offset[d], &blos, &bhis) {
+                return Vec::new();
+            }
+        }
+    }
+
+    // Uniform fast path with full-column-rank linear part: exact distance.
+    if a1.uniformly_generated_with(a2) && a1.mat.rank() == a1.depth() {
+        return uniform_distance(nest, r1, w1, w2, a1, a2, cfg)
+            .into_iter()
+            .collect();
+    }
+
+    // General path: direction-vector enumeration.
+    enumerate_directions(nest, r1, w1, w2, a2, cfg)
+}
+
+/// Exact-distance path for uniformly generated references.
+fn uniform_distance(
+    nest: &LoopNest,
+    r1: &ArrayRef,
+    w1: bool,
+    w2: bool,
+    a1: &AffineAccess,
+    a2: &AffineAccess,
+    cfg: DepConfig,
+) -> Option<DepVector> {
+    // F (i2 - i1) = c1 - c2.
+    let rhs: Vec<Rat> = (0..a1.rank())
+        .map(|d| Rat::int(a1.offset[d] - a2.offset[d]))
+        .collect();
+    let f = a1.mat.to_rat();
+    let sol = f.solve(&rhs)?;
+    if sol.iter().any(|x| !x.is_integer()) {
+        return None;
+    }
+    let mut d: Vec<i64> = sol.iter().map(|x| x.to_i64()).collect();
+    if d.iter().all(|&x| x == 0) {
+        return None; // loop-independent; no carried dependence
+    }
+    // Canonicalize to lexicographically positive; flipping swaps src/dst.
+    let lex_neg = d.iter().find(|&&x| x != 0).is_some_and(|&x| x < 0);
+    let (first_is_r1, dist) = if lex_neg {
+        for x in &mut d {
+            *x = -*x;
+        }
+        (false, d)
+    } else {
+        (true, d)
+    };
+    // Feasibility: exists i in bounds with i + dist also in bounds.
+    if !distance_feasible(nest, &dist, cfg) {
+        return None;
+    }
+    let kind = classify(w1, w2, first_is_r1);
+    Some(DepVector {
+        dirs: dist.iter().map(|&x| Dir::of(x)).collect(),
+        distance: Some(dist),
+        kind,
+        array: r1.array,
+    })
+}
+
+/// Constant per-level bounds when the nest is rectangular and
+/// parameter-free; `None` otherwise.
+fn constant_bounds(nest: &LoopNest) -> Option<(Vec<i64>, Vec<i64>)> {
+    let mut los = Vec::with_capacity(nest.depth);
+    let mut his = Vec::with_capacity(nest.depth);
+    for b in &nest.bounds {
+        for f in b.los.iter().chain(&b.his) {
+            if !f.aff.is_const() || f.div != 1 {
+                return None;
+            }
+        }
+        los.push(b.eval_lo(&[], &[]));
+        his.push(b.eval_hi(&[], &[]));
+    }
+    Some((los, his))
+}
+
+fn classify(w1: bool, w2: bool, first_is_r1: bool) -> DepKind {
+    let (first_w, second_w) = if first_is_r1 { (w1, w2) } else { (w2, w1) };
+    match (first_w, second_w) {
+        (true, true) => DepKind::Output,
+        (true, false) => DepKind::Flow,
+        (false, true) => DepKind::Anti,
+        (false, false) => unreachable!("pair with no write"),
+    }
+}
+
+/// Is there an iteration `i` with both `i` and `i + dist` inside the bounds?
+fn distance_feasible(nest: &LoopNest, dist: &[i64], cfg: DepConfig) -> bool {
+    let depth = nest.depth;
+    let nv = depth + cfg.nparams;
+    let base = nest.polyhedron(cfg.nparams);
+    let mut p = Polyhedron::new(nv);
+    for q in base.ineqs() {
+        // i in bounds.
+        p.add(q.coeffs.clone(), q.konst);
+        // i + dist in bounds: substitute i_l -> i_l + dist_l.
+        let shift: i64 = (0..depth).map(|l| q.coeffs[l] * dist[l]).sum();
+        p.add(q.coeffs.clone(), q.konst + shift);
+    }
+    for pp in 0..cfg.nparams {
+        p.add_lower_const(depth + pp, cfg.param_min);
+    }
+    let elim: Vec<usize> = (0..nv).collect();
+    !p.empty_after_eliminating(&elim)
+}
+
+/// Build the pairwise feasibility polyhedron over `(i1, i2, params)` and
+/// enumerate direction vectors hierarchically.
+fn enumerate_directions(
+    nest: &LoopNest,
+    r1: &ArrayRef,
+    w1: bool,
+    w2: bool,
+    a2: &AffineAccess,
+    cfg: DepConfig,
+) -> Vec<DepVector> {
+    let a1 = &r1.access;
+    let depth = nest.depth;
+    let nv = 2 * depth + cfg.nparams;
+    let mut base = Polyhedron::new(nv);
+    // Bounds for i1 (vars 0..depth) and i2 (vars depth..2depth).
+    let nest_poly = nest.polyhedron(cfg.nparams);
+    for q in nest_poly.ineqs() {
+        let mut c1 = vec![0i64; nv];
+        let mut c2 = vec![0i64; nv];
+        for l in 0..depth {
+            c1[l] = q.coeffs[l];
+            c2[depth + l] = q.coeffs[l];
+        }
+        for p in 0..cfg.nparams {
+            c1[2 * depth + p] = q.coeffs[depth + p];
+            c2[2 * depth + p] = q.coeffs[depth + p];
+        }
+        base.add(c1, q.konst);
+        base.add(c2, q.konst);
+    }
+    // Access equality per array dimension, as two inequalities.
+    for d in 0..a1.rank() {
+        let mut c = vec![0i64; nv];
+        for l in 0..depth {
+            c[l] = a1.mat[(d, l)];
+            c[depth + l] = -a2.mat[(d, l)];
+        }
+        for p in 0..cfg.nparams {
+            c[2 * depth + p] = a1.param_coeff(d, p) - a2.param_coeff(d, p);
+        }
+        let k = a1.offset[d] - a2.offset[d];
+        base.add(c.clone(), k);
+        base.add(c.iter().map(|&x| -x).collect(), -k);
+    }
+    for p in 0..cfg.nparams {
+        base.add_lower_const(2 * depth + p, cfg.param_min);
+    }
+
+    let elim: Vec<usize> = (0..nv).collect();
+    let mut out = Vec::new();
+    let mut prefix = Vec::new();
+    enumerate_rec(&base, depth, &elim, &mut prefix, &mut out);
+
+    out.into_iter()
+        .filter_map(|dirs| {
+            // Skip the all-Eq (loop-independent) vector.
+            let carrier = dirs.iter().position(|&d| d != Dir::Eq)?;
+            // Canonicalize: d = i2 - i1; dirs were recorded for i2 - i1.
+            // Lex-negative vectors represent the dependence r2 -> r1.
+            let (dirs, first_is_r1) = if dirs[carrier] == Dir::Gt {
+                (
+                    dirs.iter()
+                        .map(|&d| match d {
+                            Dir::Lt => Dir::Gt,
+                            Dir::Gt => Dir::Lt,
+                            Dir::Eq => Dir::Eq,
+                        })
+                        .collect(),
+                    false,
+                )
+            } else {
+                (dirs, true)
+            };
+            Some(DepVector {
+                dirs,
+                distance: None,
+                kind: classify(w1, w2, first_is_r1),
+                array: r1.array,
+            })
+        })
+        .collect()
+}
+
+fn enumerate_rec(
+    poly: &Polyhedron,
+    depth: usize,
+    elim: &[usize],
+    prefix: &mut Vec<Dir>,
+    out: &mut Vec<Vec<Dir>>,
+) {
+    let level = prefix.len();
+    if level == depth {
+        if !poly.empty_after_eliminating(elim) {
+            out.push(prefix.clone());
+        }
+        return;
+    }
+    let nv = poly.nvars();
+    for dir in [Dir::Lt, Dir::Eq, Dir::Gt] {
+        let mut p = poly.clone();
+        let mut c = vec![0i64; nv];
+        match dir {
+            Dir::Lt => {
+                // i2_l - i1_l >= 1.
+                c[depth + level] = 1;
+                c[level] = -1;
+                p.add(c, -1);
+            }
+            Dir::Eq => {
+                c[depth + level] = 1;
+                c[level] = -1;
+                p.add(c.clone(), 0);
+                p.add(c.iter().map(|&x| -x).collect(), 0);
+            }
+            Dir::Gt => {
+                // i1_l - i2_l >= 1.
+                c[level] = 1;
+                c[depth + level] = -1;
+                p.add(c, -1);
+            }
+        }
+        // Prune infeasible prefixes early.
+        if p.empty_after_eliminating(elim) {
+            continue;
+        }
+        prefix.push(dir);
+        enumerate_rec(&p, depth, elim, prefix, out);
+        prefix.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dct_ir::{Aff, ArrayId, NestBuilder};
+
+    /// DO I: A(I) = A(I-1)  — flow dependence, distance (1).
+    #[test]
+    fn simple_recurrence() {
+        let a = ArrayId(0);
+        let mut nb = NestBuilder::new("rec", 1);
+        let i = nb.loop_var(Aff::konst(1), Aff::param(0) - 1);
+        let rhs = nb.read(a, &[Aff::var(i) - 1]);
+        nb.assign(a, &[Aff::var(i)], rhs);
+        let nest = nb.build();
+        let deps = analyze_nest(&nest, DepConfig { nparams: 1, param_min: 4 });
+        assert!(!deps.is_fully_parallel());
+        assert!(deps.vectors.iter().any(|v| v.distance == Some(vec![1]) && v.kind == DepKind::Flow));
+        assert_eq!(deps.parallel_levels(1), vec![false]);
+    }
+
+    /// DO J, I: A(I,J) = B(I,J)  — no dependence at all.
+    #[test]
+    fn independent_copy() {
+        let a = ArrayId(0);
+        let b = ArrayId(1);
+        let mut nb = NestBuilder::new("copy", 1);
+        let j = nb.loop_var(Aff::konst(0), Aff::param(0) - 1);
+        let i = nb.loop_var(Aff::konst(0), Aff::param(0) - 1);
+        let rhs = nb.read(b, &[Aff::var(i), Aff::var(j)]);
+        nb.assign(a, &[Aff::var(i), Aff::var(j)], rhs);
+        let nest = nb.build();
+        let deps = analyze_nest(&nest, DepConfig { nparams: 1, param_min: 4 });
+        assert!(deps.is_fully_parallel());
+    }
+
+    /// Figure 1's second nest: A(I,J) = f(A(I,J), A(I,J-1), A(I,J+1)) with
+    /// loops (J outer, I inner): carried at J only; I stays parallel.
+    #[test]
+    fn figure1_smoother() {
+        let a = ArrayId(0);
+        let mut nb = NestBuilder::new("smooth", 1);
+        let j = nb.loop_var(Aff::konst(1), Aff::param(0) - 2);
+        let i = nb.loop_var(Aff::konst(0), Aff::param(0) - 1);
+        let rhs = nb.read(a, &[Aff::var(i), Aff::var(j)])
+            + nb.read(a, &[Aff::var(i), Aff::var(j) - 1])
+            + nb.read(a, &[Aff::var(i), Aff::var(j) + 1]);
+        nb.assign(a, &[Aff::var(i), Aff::var(j)], rhs);
+        let nest = nb.build();
+        let deps = analyze_nest(&nest, DepConfig { nparams: 1, param_min: 8 });
+        assert_eq!(deps.parallel_levels(2), vec![false, true]);
+        // Flow dep at distance (1, 0) from the A(I,J+1) read... and anti from
+        // A(I,J-1): both carried by J (level 0).
+        assert!(deps.vectors.iter().all(|v| v.carrier() == Some(0)));
+        assert!(deps.vectors.iter().any(|v| v.kind == DepKind::Flow));
+        assert!(deps.vectors.iter().any(|v| v.kind == DepKind::Anti));
+    }
+
+    /// Non-uniform pair: A(I) = A(N-I): direction enumeration path.
+    #[test]
+    fn reversal_access() {
+        let a = ArrayId(0);
+        let mut nb = NestBuilder::new("rev", 1);
+        let i = nb.loop_var(Aff::konst(0), Aff::param(0));
+        let rhs = nb.read(a, &[Aff::param(0) - Aff::var(i)]);
+        nb.assign(a, &[Aff::var(i)], rhs);
+        let nest = nb.build();
+        let deps = analyze_nest(&nest, DepConfig { nparams: 1, param_min: 4 });
+        // i1 + i2 = N has solutions with i1 < i2 and i1 > i2: carried deps.
+        assert!(!deps.is_fully_parallel());
+        assert!(deps.vectors.iter().all(|v| v.is_lex_positive()));
+    }
+
+    /// GCD-disproved: A(2I) = A(2I+1) never overlap.
+    #[test]
+    fn gcd_disproof() {
+        let a = ArrayId(0);
+        let mut nb = NestBuilder::new("gcd", 1);
+        let i = nb.loop_var(Aff::konst(0), Aff::param(0));
+        let rhs = nb.read(a, &[Aff::var(i) * 2 + 1]);
+        nb.assign(a, &[Aff::var(i) * 2], rhs);
+        let nest = nb.build();
+        let deps = analyze_nest(&nest, DepConfig { nparams: 1, param_min: 4 });
+        assert!(deps.is_fully_parallel());
+    }
+
+    /// Distance outside the bounds is infeasible: A(I) = A(I-100) with
+    /// 8 iterations has no dependence.
+    #[test]
+    fn distance_out_of_bounds() {
+        let a = ArrayId(0);
+        let mut nb = NestBuilder::new("far", 0);
+        let i = nb.loop_var(Aff::konst(0), Aff::konst(7));
+        let rhs = nb.read(a, &[Aff::var(i) - 100]);
+        nb.assign(a, &[Aff::var(i)], rhs);
+        let nest = nb.build();
+        let deps = analyze_nest(&nest, DepConfig { nparams: 0, param_min: 4 });
+        assert!(deps.is_fully_parallel());
+    }
+
+    /// LU-style triangular nest: A(I2,I3) -= A(I2,I1)*A(I1,I3) carried by I1.
+    #[test]
+    fn lu_update_carried_outer() {
+        let a = ArrayId(0);
+        let mut nb = NestBuilder::new("lu", 1);
+        let k = nb.loop_var(Aff::konst(0), Aff::param(0) - 1);
+        let i = nb.loop_var(Aff::var(k) + 1, Aff::param(0) - 1);
+        let j = nb.loop_var(Aff::var(k) + 1, Aff::param(0) - 1);
+        let rhs = nb.read(a, &[Aff::var(i), Aff::var(j)])
+            - nb.read(a, &[Aff::var(i), Aff::var(k)]) * nb.read(a, &[Aff::var(k), Aff::var(j)]);
+        nb.assign(a, &[Aff::var(i), Aff::var(j)], rhs);
+        let nest = nb.build();
+        let deps = analyze_nest(&nest, DepConfig { nparams: 1, param_min: 4 });
+        // The outer k loop carries dependences; i and j are parallel.
+        assert_eq!(deps.parallel_levels(3), vec![false, true, true]);
+    }
+}

@@ -1,0 +1,16 @@
+//! # dct-dep
+//!
+//! Exact data-dependence analysis for affine loop nests: GCD/Banerjee
+//! filters, uniform-reference distance vectors, and Fourier–Motzkin
+//! direction-vector enumeration. Produces the per-nest dependence summaries
+//! consumed by the parallelizer and the decomposition algorithm.
+
+#![allow(clippy::needless_range_loop, clippy::manual_memcpy)]
+
+pub mod analyze;
+pub mod tests_basic;
+pub mod vector;
+
+pub use analyze::{analyze_nest, DepConfig};
+pub use tests_basic::{banerjee_test, gcd_test};
+pub use vector::{DepKind, DepVector, Dir, NestDeps};

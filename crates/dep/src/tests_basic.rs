@@ -1,0 +1,67 @@
+//! Classic single-equation dependence disproof tests (GCD, Banerjee).
+//!
+//! These are fast filters; the exact decision procedure is the
+//! Fourier–Motzkin analysis in [`crate::analyze`]. They are kept both as a
+//! performance fast-path and as independent oracles for testing.
+
+use dct_linalg::gcd_i64;
+
+/// GCD test on `sum(coeffs[k] * x_k) = konst`: returns `false` when no
+/// integer solution can exist (gcd of coefficients does not divide the
+/// constant). `true` means "may depend".
+pub fn gcd_test(coeffs: &[i64], konst: i64) -> bool {
+    let g = coeffs.iter().fold(0i64, |g, &c| gcd_i64(g, c));
+    if g == 0 {
+        return konst == 0;
+    }
+    konst % g == 0
+}
+
+/// Banerjee bounds test on `sum(coeffs[k] * x_k) = konst` with each
+/// variable confined to `los[k] ..= his[k]`: returns `false` when the
+/// constant lies outside the achievable [min, max] of the left-hand side.
+pub fn banerjee_test(coeffs: &[i64], konst: i64, los: &[i64], his: &[i64]) -> bool {
+    assert_eq!(coeffs.len(), los.len());
+    assert_eq!(coeffs.len(), his.len());
+    let mut min = 0i64;
+    let mut max = 0i64;
+    for k in 0..coeffs.len() {
+        let c = coeffs[k];
+        if c >= 0 {
+            min += c * los[k];
+            max += c * his[k];
+        } else {
+            min += c * his[k];
+            max += c * los[k];
+        }
+    }
+    (min..=max).contains(&konst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_disproves() {
+        // 2a + 4b = 3 has no integer solution.
+        assert!(!gcd_test(&[2, 4], 3));
+        // 2a + 4b = 6 may.
+        assert!(gcd_test(&[2, 4], 6));
+        // 0 = 0 trivially holds; 0 = 1 cannot.
+        assert!(gcd_test(&[0, 0], 0));
+        assert!(!gcd_test(&[0, 0], 1));
+        // 3a - 6b = 4: gcd 3 does not divide 4.
+        assert!(!gcd_test(&[3, -6], 4));
+    }
+
+    #[test]
+    fn banerjee_disproves() {
+        // a - b = 50 with a,b in [0,9]: max difference is 9.
+        assert!(!banerjee_test(&[1, -1], 50, &[0, 0], &[9, 9]));
+        assert!(banerjee_test(&[1, -1], 5, &[0, 0], &[9, 9]));
+        // Negative coefficients handled: -2a = -18, a in [0,9] => a=9 ok.
+        assert!(banerjee_test(&[-2], -18, &[0], &[9]));
+        assert!(!banerjee_test(&[-2], -20, &[0], &[9]));
+    }
+}

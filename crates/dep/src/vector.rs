@@ -1,0 +1,147 @@
+//! Dependence vectors: directions, distances, and classification.
+
+use dct_ir::ArrayId;
+
+/// Sign of one component of a dependence vector `d = i_sink - i_source`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Dir {
+    /// `d_l > 0` (`<` in classic notation: source index smaller).
+    Lt,
+    /// `d_l == 0`.
+    Eq,
+    /// `d_l < 0` (`>` in classic notation).
+    Gt,
+}
+
+impl Dir {
+    pub fn of(d: i64) -> Dir {
+        match d.signum() {
+            1 => Dir::Lt,
+            0 => Dir::Eq,
+            _ => Dir::Gt,
+        }
+    }
+
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Dir::Lt => "<",
+            Dir::Eq => "=",
+            Dir::Gt => ">",
+        }
+    }
+}
+
+/// Kind of a data dependence between two references.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DepKind {
+    /// Write then read (true dependence).
+    Flow,
+    /// Read then write.
+    Anti,
+    /// Write then write.
+    Output,
+}
+
+/// A loop-carried dependence summarized at the nest level.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct DepVector {
+    /// Per-level direction, outermost first. Lexicographically positive by
+    /// construction (first non-`Eq` is `Lt`).
+    pub dirs: Vec<Dir>,
+    /// Exact constant distance when known (e.g. uniformly generated
+    /// stencil references).
+    pub distance: Option<Vec<i64>>,
+    pub kind: DepKind,
+    pub array: ArrayId,
+}
+
+impl DepVector {
+    /// The loop level that carries this dependence (first non-Eq), if any.
+    pub fn carrier(&self) -> Option<usize> {
+        self.dirs.iter().position(|&d| d != Dir::Eq)
+    }
+
+    pub fn is_lex_positive(&self) -> bool {
+        matches!(self.carrier().map(|l| self.dirs[l]), Some(Dir::Lt))
+    }
+
+    /// Human-readable form like `(<, =, 1?)`.
+    pub fn render(&self) -> String {
+        let parts: Vec<String> = match &self.distance {
+            Some(d) => d.iter().map(|x| x.to_string()).collect(),
+            None => self.dirs.iter().map(|d| d.symbol().to_string()).collect(),
+        };
+        format!("({})", parts.join(","))
+    }
+}
+
+/// The set of carried dependence vectors of one loop nest.
+#[derive(Clone, Debug, Default)]
+pub struct NestDeps {
+    pub vectors: Vec<DepVector>,
+}
+
+impl NestDeps {
+    /// Is the loop at `level` parallel (doall), assuming all outer loops are
+    /// executed sequentially? True iff no dependence is carried at `level`.
+    pub fn is_parallel(&self, level: usize) -> bool {
+        self.vectors.iter().all(|v| v.carrier() != Some(level))
+    }
+
+    /// Per-level parallelism flags.
+    pub fn parallel_levels(&self, depth: usize) -> Vec<bool> {
+        (0..depth).map(|l| self.is_parallel(l)).collect()
+    }
+
+    /// All constant distance vectors (used for skewing decisions);
+    /// `None` if any carried dependence lacks a constant distance.
+    pub fn all_distances(&self) -> Option<Vec<Vec<i64>>> {
+        self.vectors.iter().map(|v| v.distance.clone()).collect()
+    }
+
+    /// True when the nest has no carried dependences at all.
+    pub fn is_fully_parallel(&self) -> bool {
+        self.vectors.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(dirs: Vec<Dir>) -> DepVector {
+        DepVector { dirs, distance: None, kind: DepKind::Flow, array: ArrayId(0) }
+    }
+
+    #[test]
+    fn carrier_and_positivity() {
+        let d = v(vec![Dir::Eq, Dir::Lt, Dir::Gt]);
+        assert_eq!(d.carrier(), Some(1));
+        assert!(d.is_lex_positive());
+        let e = v(vec![Dir::Eq, Dir::Eq]);
+        assert_eq!(e.carrier(), None);
+        assert!(!e.is_lex_positive());
+    }
+
+    #[test]
+    fn parallel_levels() {
+        // One dependence carried at level 0: outer sequential, inner parallel.
+        let nd = NestDeps { vectors: vec![v(vec![Dir::Lt, Dir::Eq])] };
+        assert_eq!(nd.parallel_levels(2), vec![false, true]);
+        // Dependence carried at level 1.
+        let nd2 = NestDeps { vectors: vec![v(vec![Dir::Eq, Dir::Lt])] };
+        assert_eq!(nd2.parallel_levels(2), vec![true, false]);
+        // No deps: all parallel.
+        let nd3 = NestDeps::default();
+        assert!(nd3.is_fully_parallel());
+        assert_eq!(nd3.parallel_levels(2), vec![true, true]);
+    }
+
+    #[test]
+    fn render_forms() {
+        let mut d = v(vec![Dir::Lt, Dir::Eq]);
+        assert_eq!(d.render(), "(<,=)");
+        d.distance = Some(vec![1, 0]);
+        assert_eq!(d.render(), "(1,0)");
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests for dependence analysis: the analyzer's verdicts are
+//! checked against brute-force enumeration of small concrete iteration
+//! spaces.
+
+#![allow(clippy::needless_range_loop)]
+
+use dct_dep::{analyze_nest, DepConfig};
+use dct_ir::{Aff, ArrayId, Expr, LoopNest, NestBuilder};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Build `A(i + a) = A(i + b) (+ optional second read A(i + c))` over a
+/// rectangular 1-D nest.
+fn nest_1d(a: i64, b: i64, n: i64) -> LoopNest {
+    let arr = ArrayId(0);
+    let mut nb = NestBuilder::new("p", 0);
+    let i = nb.loop_var(Aff::konst(0), Aff::konst(n - 1));
+    let rhs = nb.read(arr, &[Aff::var(i) + b]);
+    nb.assign(arr, &[Aff::var(i) + a], rhs);
+    nb.build()
+}
+
+/// Brute-force: does any pair of distinct iterations touch the same
+/// element (with at least one write)?
+fn brute_carried(a: i64, b: i64, n: i64) -> bool {
+    for i1 in 0..n {
+        for i2 in 0..n {
+            if i1 == i2 {
+                continue;
+            }
+            // write@i1 vs write@i2 (output), write@i1 vs read@i2 (flow/anti).
+            if i1 + a == i2 + a || i1 + a == i2 + b {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// The analyzer agrees with brute force on 1-D shifted accesses.
+    #[test]
+    fn one_d_shifts_exact(a in -3i64..=3, b in -3i64..=3, n in 2i64..=10) {
+        let nest = nest_1d(a, b, n);
+        let deps = analyze_nest(&nest, DepConfig { nparams: 0, param_min: 2 });
+        let brute = brute_carried(a, b, n);
+        prop_assert_eq!(!deps.is_fully_parallel(), brute,
+            "a={} b={} n={}: analyzer {:?}", a, b, n, deps.vectors);
+        // When a constant distance is reported it must be |a - b|.
+        for v in &deps.vectors {
+            if let Some(d) = &v.distance {
+                prop_assert_eq!(d[0].abs(), (a - b).abs());
+            }
+            prop_assert!(v.is_lex_positive());
+        }
+    }
+
+    /// 2-D uniformly generated stencil offsets: reported distances match
+    /// the offset differences and are lexicographically positive.
+    #[test]
+    fn two_d_stencil_distances(di in -2i64..=2, dj in -2i64..=2) {
+        let arr = ArrayId(0);
+        let mut nb = NestBuilder::new("p", 0);
+        let i = nb.loop_var(Aff::konst(0), Aff::konst(7));
+        let j = nb.loop_var(Aff::konst(0), Aff::konst(7));
+        let rhs = nb.read(arr, &[Aff::var(i) + di, Aff::var(j) + dj]);
+        nb.assign(arr, &[Aff::var(i), Aff::var(j)], rhs);
+        let nest = nb.build();
+        let deps = analyze_nest(&nest, DepConfig { nparams: 0, param_min: 2 });
+        if di == 0 && dj == 0 {
+            prop_assert!(deps.is_fully_parallel());
+        } else {
+            prop_assert!(!deps.is_fully_parallel());
+            let expect: HashSet<Vec<i64>> =
+                [vec![di, dj], vec![-di, -dj]].into_iter().collect();
+            for v in &deps.vectors {
+                let d = v.distance.clone().expect("uniform pair must give a distance");
+                prop_assert!(expect.contains(&d), "unexpected distance {d:?}");
+                prop_assert!(v.is_lex_positive());
+            }
+        }
+    }
+
+    /// Coupled subscripts `A(2i) = A(2j+1)`-style GCD cases: verdict
+    /// matches brute force.
+    #[test]
+    fn strided_accesses_exact(s1 in 1i64..=3, o1 in 0i64..=2, s2 in 1i64..=3, o2 in 0i64..=2) {
+        let arr = ArrayId(0);
+        let mut nb = NestBuilder::new("p", 0);
+        let n = 8i64;
+        let i = nb.loop_var(Aff::konst(0), Aff::konst(n - 1));
+        let rhs = nb.read(arr, &[Aff::var(i) * s2 + o2]);
+        nb.assign(arr, &[Aff::var(i) * s1 + o1], rhs);
+        let nest = nb.build();
+        let deps = analyze_nest(&nest, DepConfig { nparams: 0, param_min: 2 });
+
+        let mut brute = false;
+        for i1 in 0..n {
+            for i2 in 0..n {
+                if i1 != i2 && (s1 * i1 + o1 == s1 * i2 + o1 || s1 * i1 + o1 == s2 * i2 + o2) {
+                    brute = true;
+                }
+            }
+        }
+        prop_assert_eq!(!deps.is_fully_parallel(), brute,
+            "s1={} o1={} s2={} o2={}", s1, o1, s2, o2);
+    }
+
+    /// Parallel-levels is consistent: a level reported parallel has no
+    /// carried dependence at it in any vector.
+    #[test]
+    fn parallel_levels_consistent(di in -2i64..=2, dj in -2i64..=2) {
+        let arr = ArrayId(0);
+        let mut nb = NestBuilder::new("p", 0);
+        let i = nb.loop_var(Aff::konst(0), Aff::konst(6));
+        let j = nb.loop_var(Aff::konst(0), Aff::konst(6));
+        let rhs = nb.read(arr, &[Aff::var(i) + di, Aff::var(j) + dj]) + Expr::Const(1.0);
+        nb.assign(arr, &[Aff::var(i), Aff::var(j)], rhs);
+        let nest = nb.build();
+        let deps = analyze_nest(&nest, DepConfig { nparams: 0, param_min: 2 });
+        let levels = deps.parallel_levels(2);
+        for (l, &ok) in levels.iter().enumerate() {
+            if ok {
+                prop_assert!(deps.vectors.iter().all(|v| v.carrier() != Some(l)));
+            }
+        }
+    }
+}

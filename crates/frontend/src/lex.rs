@@ -1,0 +1,314 @@
+//! Line-oriented lexer for the restricted FORTRAN-77 subset.
+//!
+//! Free-form enough to accept the paper's figures as written: optional
+//! numeric statement labels, `C`/`*`/`!` comment lines, case-insensitive
+//! keywords, and `CDCT$` directive comments (INIT / FREQ) that the
+//! lowering phase consumes.
+
+/// One token.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Tok {
+    Ident(String),
+    Int(i64),
+    Real(f64),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+    Comma,
+    Equals,
+    Colon,
+}
+
+/// One logical statement line.
+#[derive(Clone, Debug)]
+pub struct Line {
+    /// 1-based source line number (for error messages).
+    pub lineno: usize,
+    /// Numeric statement label, if any.
+    pub label: Option<i64>,
+    pub toks: Vec<Tok>,
+}
+
+/// A `CDCT$` directive attached to the next statement.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Directive {
+    Init,
+    Freq(u64),
+}
+
+/// Lexer output: statements plus the directives preceding each (indexed by
+/// statement position).
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub lines: Vec<Line>,
+    /// Directives that appeared immediately before `lines[k]`.
+    pub directives: Vec<Vec<Directive>>,
+}
+
+/// Lexing/parsing error with a line number.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FrontendError {
+    pub lineno: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.lineno, self.message)
+    }
+}
+impl std::error::Error for FrontendError {}
+
+pub(crate) fn err<T>(lineno: usize, message: impl Into<String>) -> Result<T, FrontendError> {
+    Err(FrontendError { lineno, message: message.into() })
+}
+
+/// Merge classic fixed-form continuation lines (columns 1–5 blank, a
+/// non-blank, non-`0` marker in column 6) into their parent statement.
+fn logical_lines(src: &str) -> Vec<(usize, String)> {
+    let mut out: Vec<(usize, String)> = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let chars: Vec<char> = raw.chars().collect();
+        let is_cont = chars.len() >= 6
+            && chars[..5].iter().all(|c| c.is_whitespace())
+            && !chars[5].is_whitespace()
+            && chars[5] != '0'
+            && !out.is_empty();
+        if is_cont {
+            let cont: String = chars[6..].iter().collect();
+            out.last_mut().unwrap().1.push(' ');
+            out.last_mut().unwrap().1.push_str(&cont);
+        } else {
+            out.push((idx + 1, raw.to_string()));
+        }
+    }
+    out
+}
+
+/// Tokenize a whole source file.
+pub fn lex(src: &str) -> Result<Lexed, FrontendError> {
+    let mut out = Lexed::default();
+    let mut pending: Vec<Directive> = Vec::new();
+    for (lineno, raw) in logical_lines(src) {
+        let trimmed = raw.trim_end();
+        if trimmed.trim().is_empty() {
+            continue;
+        }
+        let upper = trimmed.trim_start().to_uppercase();
+        // Directive comments.
+        if let Some(rest) = upper.strip_prefix("CDCT$") {
+            let rest = rest.trim();
+            if rest == "INIT" {
+                pending.push(Directive::Init);
+            } else if let Some(n) = rest.strip_prefix("FREQ") {
+                let v = n
+                    .trim()
+                    .parse::<u64>()
+                    .map_err(|_| FrontendError { lineno, message: "bad FREQ value".into() })?;
+                pending.push(Directive::Freq(v));
+            } else {
+                return err(lineno, format!("unknown directive '{rest}'"));
+            }
+            continue;
+        }
+        // Comment lines: 'C'/'c'/'*' in column 1, or '!' anywhere at start.
+        let first = trimmed.chars().next().unwrap();
+        if matches!(first, 'C' | 'c' | '*')
+            && trimmed
+                .chars()
+                .nth(1)
+                .is_none_or(|c| c.is_whitespace() || !c.is_alphanumeric())
+        {
+            continue;
+        }
+        if trimmed.trim_start().starts_with('!') {
+            continue;
+        }
+
+        // Optional numeric label.
+        let mut body = trimmed.trim_start();
+        let mut label = None;
+        let digits: String = body.chars().take_while(|c| c.is_ascii_digit()).collect();
+        if !digits.is_empty()
+            && body[digits.len()..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_whitespace())
+        {
+            label = Some(digits.parse::<i64>().unwrap());
+            body = body[digits.len()..].trim_start();
+        }
+
+        let toks = lex_line(body, lineno)?;
+        if toks.is_empty() {
+            continue;
+        }
+        out.directives.push(std::mem::take(&mut pending));
+        out.lines.push(Line { lineno, label, toks });
+    }
+    if !pending.is_empty() {
+        return err(src.lines().count(), "dangling CDCT$ directive at end of file");
+    }
+    Ok(out)
+}
+
+fn lex_line(body: &str, lineno: usize) -> Result<Vec<Tok>, FrontendError> {
+    let mut toks = Vec::new();
+    let chars: Vec<char> = body.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' => {
+                i += 1;
+            }
+            '+' => {
+                toks.push(Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                toks.push(Tok::Minus);
+                i += 1;
+            }
+            '*' => {
+                toks.push(Tok::Star);
+                i += 1;
+            }
+            '/' => {
+                toks.push(Tok::Slash);
+                i += 1;
+            }
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            '=' => {
+                toks.push(Tok::Equals);
+                i += 1;
+            }
+            ':' => {
+                toks.push(Tok::Colon);
+                i += 1;
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                let mut seen_dot = false;
+                while i < chars.len()
+                    && (chars[i].is_ascii_digit()
+                        || (chars[i] == '.' && !seen_dot && {
+                            seen_dot = true;
+                            true
+                        }))
+                {
+                    i += 1;
+                }
+                // Exponent part (e.g. 1.0E-3).
+                if i < chars.len() && matches!(chars[i], 'e' | 'E') {
+                    let mut j = i + 1;
+                    if j < chars.len() && matches!(chars[j], '+' | '-') {
+                        j += 1;
+                    }
+                    if j < chars.len() && chars[j].is_ascii_digit() {
+                        seen_dot = true;
+                        i = j;
+                        while i < chars.len() && chars[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                if seen_dot {
+                    match text.parse::<f64>() {
+                        Ok(v) => toks.push(Tok::Real(v)),
+                        Err(_) => return err(lineno, format!("bad real literal '{text}'")),
+                    }
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(v) => toks.push(Tok::Int(v)),
+                        Err(_) => return err(lineno, format!("bad integer literal '{text}'")),
+                    }
+                }
+            }
+            c if c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect::<String>().to_uppercase();
+                toks.push(Tok::Ident(word));
+            }
+            other => return err(lineno, format!("unexpected character '{other}'")),
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let l = lex("      A(I,J) = 0.2*(B(I,J)+1)\n").unwrap();
+        assert_eq!(l.lines.len(), 1);
+        let t = &l.lines[0].toks;
+        assert_eq!(t[0], Tok::Ident("A".into()));
+        assert!(t.contains(&Tok::Real(0.2)));
+        assert!(t.contains(&Tok::Int(1)));
+    }
+
+    #[test]
+    fn labels_and_comments() {
+        let src = "
+C a comment
+* another
+! and another
+   10 CONTINUE
+";
+        let l = lex(src).unwrap();
+        assert_eq!(l.lines.len(), 1);
+        assert_eq!(l.lines[0].label, Some(10));
+        assert_eq!(l.lines[0].toks[0], Tok::Ident("CONTINUE".into()));
+    }
+
+    #[test]
+    fn directives_attach_to_next_line() {
+        let src = "
+CDCT$ INIT
+CDCT$ FREQ 10
+      DO 5 I = 1, N
+";
+        let l = lex(src).unwrap();
+        assert_eq!(l.directives[0], vec![Directive::Init, Directive::Freq(10)]);
+    }
+
+    #[test]
+    fn scientific_notation() {
+        let l = lex("      X = 1.5E-3 + 2E2\n").unwrap();
+        assert!(l.lines[0].toks.contains(&Tok::Real(0.0015)));
+        assert!(l.lines[0].toks.contains(&Tok::Real(200.0)));
+    }
+
+    #[test]
+    fn bad_directive_rejected() {
+        assert!(lex("CDCT$ BOGUS\n      X = 1\n").is_err());
+    }
+
+    #[test]
+    fn case_insensitive_idents() {
+        let l = lex("      do 10 i = 1, n\n").unwrap();
+        assert_eq!(l.lines[0].toks[0], Tok::Ident("DO".into()));
+        assert_eq!(l.lines[0].toks[2], Tok::Ident("I".into()));
+    }
+}

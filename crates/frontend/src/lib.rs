@@ -1,0 +1,24 @@
+//! # dct-frontend
+//!
+//! A restricted FORTRAN-77 front end: the paper's compiler "takes
+//! sequential C or FORTRAN programs as input", and this crate makes that
+//! literal for the FORTRAN subset the paper's figures are written in —
+//! PARAMETER/REAL/DOUBLE PRECISION declarations, (possibly imperfectly
+//! nested, label-terminated) DO loops and affine-subscript assignments.
+//! Lowering normalizes to the affine IR: 0-based subscripts, loop
+//! distribution of imperfect nests, and extraction of the outer sequential
+//! (time/pivot) loop.
+
+pub mod lex;
+pub mod lower;
+pub mod parse;
+
+pub use lex::{Directive, FrontendError};
+pub use parse::{Ast, ExprAst, Item};
+
+/// Parse and lower FORTRAN source into an affine [`dct_ir::Program`].
+pub fn parse_fortran(src: &str) -> Result<dct_ir::Program, FrontendError> {
+    let lexed = lex::lex(src)?;
+    let ast = parse::parse(&lexed)?;
+    lower::lower(&ast)
+}

@@ -1,0 +1,376 @@
+//! Lowering: FORTRAN AST → the affine IR.
+//!
+//! Normalizations performed here, mirroring SUIF's preprocessing:
+//!
+//! * **1-based to 0-based subscripts**: FORTRAN `A(I,J)` becomes the
+//!   0-based index `(I-1, J-1)` against extents taken from the
+//!   declaration.
+//! * **Outer sequential loop extraction**: a single top-level DO that is
+//!   imperfectly nested (Figure 5's pivot loop) or whose variable never
+//!   appears in a subscript (Figure 7's `time` loop) becomes the program's
+//!   [`dct_ir::TimeLoop`]; references to its variable turn into the time
+//!   pseudo-parameter.
+//! * **Loop distribution**: imperfect nests are split into perfectly
+//!   nested ones (legal for the paper's kernels; the classic SUIF
+//!   preprocessing does the same).
+//! * Nests before the time loop, or marked `CDCT$ INIT`, become
+//!   initialization nests.
+
+use crate::lex::{err, Directive, FrontendError};
+use crate::parse::{Ast, AssignItem, DoItem, ExprAst, Item};
+use dct_ir::{Aff, Expr, NestBuilder, Program, ProgramBuilder};
+use std::collections::HashMap;
+
+/// Lower a parsed AST into a validated [`Program`].
+pub fn lower(ast: &Ast) -> Result<Program, FrontendError> {
+    let mut pb = ProgramBuilder::new(&ast.name);
+    let mut ctx = Ctx::default();
+    for (name, v) in &ast.params {
+        let idx = pb.param(name, *v);
+        ctx.params.insert(name.clone(), idx);
+    }
+
+    // Array declarations.
+    for (name, dims, bytes) in &ast.decls {
+        let extents = dims
+            .iter()
+            .map(|d| ctx.aff(d, 0, &HashMap::new()))
+            .collect::<Result<Vec<_>, _>>()?;
+        let id = pb.array(name, &extents, *bytes);
+        ctx.arrays.insert(name.clone(), (id, extents.len()));
+    }
+
+    // Partition top-level items.
+    let mut top: Vec<&DoItem> = Vec::new();
+    for item in &ast.items {
+        match item {
+            Item::Do(d) => top.push(d),
+            Item::Assign(a) => {
+                return err(a.lineno, "top-level assignment outside any loop is not supported")
+            }
+        }
+    }
+    let is_init = |d: &DoItem| d.directives.contains(&Directive::Init);
+    let compute: Vec<&DoItem> = top.iter().copied().filter(|d| !is_init(d)).collect();
+
+    // Time-loop decision.
+    let time_do: Option<&DoItem> = match compute.as_slice() {
+        [single] if !is_perfect(single) || !var_in_subscripts(single, &single.var) => Some(single),
+        _ => None,
+    };
+
+    if let Some(td) = time_do {
+        let lo = ctx.aff(&td.lo, 0, &HashMap::new())?;
+        let hi = ctx.aff(&td.hi, 0, &HashMap::new())?;
+        let count = hi - lo.clone() + 1;
+        let tidx = pb.time_loop(count);
+        ctx.time = Some(TimeVar { name: td.var.clone(), param: tidx, lo });
+    }
+
+    // Init nests: CDCT$ INIT items plus (when a time loop exists) the
+    // compute-position nests before it — but with a single top-level
+    // time DO there are none of the latter.
+    for d in top.iter().filter(|d| is_init(d)) {
+        for nest in ctx.distribute_and_build(&pb, d)? {
+            pb.init_nest(nest);
+        }
+    }
+    match time_do {
+        Some(td) => {
+            for item in &td.body {
+                match item {
+                    Item::Do(d) => {
+                        for nest in ctx.distribute_and_build(&pb, d)? {
+                            pb.nest(nest);
+                        }
+                    }
+                    Item::Assign(a) => {
+                        // A statement directly under the time loop: a
+                        // zero-depth nest.
+                        let nest = ctx.build_nest(&pb, &[], &[a], 1, a.lineno)?;
+                        pb.nest(nest);
+                    }
+                }
+            }
+        }
+        None => {
+            for d in &compute {
+                for nest in ctx.distribute_and_build(&pb, d)? {
+                    pb.nest(nest);
+                }
+            }
+        }
+    }
+
+    let prog = pb.build();
+    Ok(prog)
+}
+
+/// The time variable binding: `var = lo + t`.
+struct TimeVar {
+    name: String,
+    param: usize,
+    lo: Aff,
+}
+
+#[derive(Default)]
+struct Ctx {
+    params: HashMap<String, usize>,
+    arrays: HashMap<String, (dct_ir::ArrayId, usize)>,
+    time: Option<TimeVar>,
+}
+
+impl Ctx {
+    /// Loop distribution: split a DO tree into perfect nests and build
+    /// them.
+    fn distribute_and_build(
+        &self,
+        pb: &ProgramBuilder,
+        d: &DoItem,
+    ) -> Result<Vec<dct_ir::LoopNest>, FrontendError> {
+        let mut out = Vec::new();
+        let mut chain: Vec<&DoItem> = Vec::new();
+        self.walk(pb, d, &mut chain, &mut out)?;
+        Ok(out)
+    }
+
+    fn walk<'a>(
+        &self,
+        pb: &ProgramBuilder,
+        d: &'a DoItem,
+        chain: &mut Vec<&'a DoItem>,
+        out: &mut Vec<dct_ir::LoopNest>,
+    ) -> Result<(), FrontendError> {
+        chain.push(d);
+        // Gather maximal runs of assignments and recurse into child DOs.
+        let mut run: Vec<&AssignItem> = Vec::new();
+        let freq = chain
+            .iter()
+            .flat_map(|x| &x.directives)
+            .filter_map(|dir| match dir {
+                Directive::Freq(f) => Some(*f),
+                _ => None,
+            })
+            .next_back()
+            .unwrap_or(1);
+        for item in &d.body {
+            match item {
+                Item::Assign(a) => run.push(a),
+                Item::Do(child) => {
+                    if !run.is_empty() {
+                        out.push(self.build_nest(pb, chain, &run, freq, d.lineno)?);
+                        run.clear();
+                    }
+                    self.walk(pb, child, chain, out)?;
+                }
+            }
+        }
+        if !run.is_empty() {
+            out.push(self.build_nest(pb, chain, &run, freq, d.lineno)?);
+        }
+        chain.pop();
+        Ok(())
+    }
+
+    /// Build one perfect nest from a loop chain and its statements.
+    fn build_nest(
+        &self,
+        pb: &ProgramBuilder,
+        chain: &[&DoItem],
+        stmts: &[&AssignItem],
+        freq: u64,
+        lineno: usize,
+    ) -> Result<dct_ir::LoopNest, FrontendError> {
+        let mut scope: HashMap<String, usize> = HashMap::new();
+        let mut nb: NestBuilder = pb.nest_builder(&format!("L{lineno}"));
+        for (level, d) in chain.iter().enumerate() {
+            if self.params.contains_key(&d.var)
+                || self.time.as_ref().is_some_and(|t| t.name == d.var)
+            {
+                return err(d.lineno, format!("loop variable {} shadows a parameter", d.var));
+            }
+            let lo = self.aff(&d.lo, d.lineno, &scope)?;
+            let hi = self.aff(&d.hi, d.lineno, &scope)?;
+            let l = nb.loop_var(lo, hi);
+            debug_assert_eq!(l, level);
+            scope.insert(d.var.clone(), level);
+        }
+        nb.freq(freq);
+        for a in stmts {
+            let (id, rank) = self
+                .arrays
+                .get(&a.name)
+                .copied()
+                .ok_or_else(|| FrontendError {
+                    lineno: a.lineno,
+                    message: format!("assignment to undeclared array {}", a.name),
+                })?;
+            if a.subs.len() != rank {
+                return err(a.lineno, format!("{} has rank {rank}, {} subscripts given", a.name, a.subs.len()));
+            }
+            let subs = a
+                .subs
+                .iter()
+                .map(|s| Ok(self.aff(s, a.lineno, &scope)? - 1)) // 1-based -> 0-based
+                .collect::<Result<Vec<_>, FrontendError>>()?;
+            let rhs = self.value(&a.rhs, a.lineno, &scope, &nb)?;
+            nb.assign(id, &subs, rhs);
+        }
+        Ok(nb.build())
+    }
+
+    /// Convert an expression used as a subscript or bound into an affine
+    /// form over loop variables, parameters and the time pseudo-parameter.
+    fn aff(
+        &self,
+        e: &ExprAst,
+        lineno: usize,
+        scope: &HashMap<String, usize>,
+    ) -> Result<Aff, FrontendError> {
+        match e {
+            ExprAst::Int(v) => Ok(Aff::konst(*v)),
+            ExprAst::Num(_) => err(lineno, "real literal in integer context"),
+            ExprAst::Var(w) => {
+                if let Some(&l) = scope.get(w) {
+                    Ok(Aff::var(l))
+                } else if let Some(t) = &self.time {
+                    if t.name == *w {
+                        Ok(Aff::param(t.param) + t.lo.clone())
+                    } else if let Some(&p) = self.params.get(w) {
+                        Ok(Aff::param(p))
+                    } else {
+                        err(lineno, format!("unknown name '{w}' in affine context"))
+                    }
+                } else if let Some(&p) = self.params.get(w) {
+                    Ok(Aff::param(p))
+                } else {
+                    err(lineno, format!("unknown name '{w}' in affine context"))
+                }
+            }
+            ExprAst::Add(a, b) => Ok(self.aff(a, lineno, scope)? + self.aff(b, lineno, scope)?),
+            ExprAst::Sub(a, b) => Ok(self.aff(a, lineno, scope)? - self.aff(b, lineno, scope)?),
+            ExprAst::Neg(a) => Ok(self.aff(a, lineno, scope)? * -1),
+            ExprAst::Mul(a, b) => {
+                if let Some(k) = const_of(a) {
+                    Ok(self.aff(b, lineno, scope)? * k)
+                } else if let Some(k) = const_of(b) {
+                    Ok(self.aff(a, lineno, scope)? * k)
+                } else {
+                    err(lineno, "non-affine subscript: product of two variables")
+                }
+            }
+            ExprAst::Div(_, _) => err(lineno, "non-affine subscript: division"),
+            ExprAst::Ref(w, _) => err(lineno, format!("array reference {w}(...) in affine context")),
+        }
+    }
+
+    /// Convert a right-hand-side expression to the IR's value language.
+    fn value(
+        &self,
+        e: &ExprAst,
+        lineno: usize,
+        scope: &HashMap<String, usize>,
+        nb: &NestBuilder,
+    ) -> Result<Expr, FrontendError> {
+        Ok(match e {
+            ExprAst::Num(v) => Expr::Const(*v),
+            ExprAst::Int(v) => Expr::Const(*v as f64),
+            ExprAst::Var(w) => {
+                if let Some(&l) = scope.get(w) {
+                    Expr::Index(l)
+                } else if self.time.as_ref().is_some_and(|t| t.name == *w) {
+                    return err(lineno, "time variable used as a value is not supported");
+                } else {
+                    return err(lineno, format!("unknown value '{w}'"));
+                }
+            }
+            ExprAst::Ref(w, subs) => {
+                let (id, rank) = self.arrays.get(w).copied().ok_or_else(|| FrontendError {
+                    lineno,
+                    message: format!("read of undeclared array {w}"),
+                })?;
+                if subs.len() != rank {
+                    return err(lineno, format!("{w} has rank {rank}, {} subscripts given", subs.len()));
+                }
+                let affs = subs
+                    .iter()
+                    .map(|s| Ok(self.aff(s, lineno, scope)? - 1))
+                    .collect::<Result<Vec<_>, FrontendError>>()?;
+                nb.read(id, &affs)
+            }
+            ExprAst::Add(a, b) => {
+                self.value(a, lineno, scope, nb)? + self.value(b, lineno, scope, nb)?
+            }
+            ExprAst::Sub(a, b) => {
+                self.value(a, lineno, scope, nb)? - self.value(b, lineno, scope, nb)?
+            }
+            ExprAst::Mul(a, b) => {
+                self.value(a, lineno, scope, nb)? * self.value(b, lineno, scope, nb)?
+            }
+            ExprAst::Div(a, b) => {
+                self.value(a, lineno, scope, nb)? / self.value(b, lineno, scope, nb)?
+            }
+            ExprAst::Neg(a) => Expr::Const(-1.0) * self.value(a, lineno, scope, nb)?,
+        })
+    }
+}
+
+/// Fold an integer-constant expression.
+fn const_of(e: &ExprAst) -> Option<i64> {
+    match e {
+        ExprAst::Int(v) => Some(*v),
+        ExprAst::Neg(a) => const_of(a).map(|v| -v),
+        ExprAst::Add(a, b) => Some(const_of(a)? + const_of(b)?),
+        ExprAst::Sub(a, b) => Some(const_of(a)? - const_of(b)?),
+        ExprAst::Mul(a, b) => Some(const_of(a)? * const_of(b)?),
+        _ => None,
+    }
+}
+
+/// A DO tree is perfect if its body is a single DO chain ending in
+/// assignments only.
+fn is_perfect(d: &DoItem) -> bool {
+    let dos: Vec<&DoItem> = d
+        .body
+        .iter()
+        .filter_map(|i| match i {
+            Item::Do(x) => Some(x),
+            _ => None,
+        })
+        .collect();
+    let assigns = d.body.len() - dos.len();
+    match (dos.len(), assigns) {
+        (0, _) => true,
+        (1, 0) => is_perfect(dos[0]),
+        _ => false,
+    }
+}
+
+/// Does `var` appear in any subscript within the tree?
+fn var_in_subscripts(d: &DoItem, var: &str) -> bool {
+    fn in_expr(e: &ExprAst, var: &str, in_sub: bool) -> bool {
+        match e {
+            ExprAst::Var(w) => in_sub && w == var,
+            ExprAst::Ref(_, subs) => subs.iter().any(|s| in_expr(s, var, true)),
+            ExprAst::Add(a, b) | ExprAst::Sub(a, b) | ExprAst::Mul(a, b) | ExprAst::Div(a, b) => {
+                in_expr(a, var, in_sub) || in_expr(b, var, in_sub)
+            }
+            ExprAst::Neg(a) => in_expr(a, var, in_sub),
+            _ => false,
+        }
+    }
+    fn walk(d: &DoItem, var: &str) -> bool {
+        // Bounds of inner loops referencing the var also count as "used"
+        // (LU's I2 = I1+1 would otherwise misclassify when subscripts use
+        // only derived values).
+        d.body.iter().any(|i| match i {
+            Item::Assign(a) => {
+                a.subs.iter().any(|s| in_expr(s, var, true)) || in_expr(&a.rhs, var, false)
+            }
+            Item::Do(x) => {
+                in_expr(&x.lo, var, true) || in_expr(&x.hi, var, true) || walk(x, var)
+            }
+        })
+    }
+    walk(d, var)
+}

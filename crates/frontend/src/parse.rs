@@ -1,0 +1,473 @@
+//! Parser: token lines → a small AST of declarations and DO trees.
+//!
+//! Supports the FORTRAN-77 constructs the paper's figures use:
+//! `PROGRAM` / `PARAMETER` / `REAL` / `DOUBLE PRECISION` declarations,
+//! label-terminated and `END DO`-terminated DO loops (including several
+//! loops sharing one label, as in Figure 5), assignments, `CONTINUE`,
+//! `END`.
+
+use crate::lex::{err, Directive, FrontendError, Lexed, Line, Tok};
+
+/// Arithmetic expression AST (used for both subscripts and right-hand
+/// sides; subscripts are later checked to be affine).
+#[derive(Clone, PartialEq, Debug)]
+pub enum ExprAst {
+    Num(f64),
+    Int(i64),
+    Var(String),
+    Ref(String, Vec<ExprAst>),
+    Add(Box<ExprAst>, Box<ExprAst>),
+    Sub(Box<ExprAst>, Box<ExprAst>),
+    Mul(Box<ExprAst>, Box<ExprAst>),
+    Div(Box<ExprAst>, Box<ExprAst>),
+    Neg(Box<ExprAst>),
+}
+
+/// One statement/loop item.
+#[derive(Clone, Debug)]
+pub enum Item {
+    Do(DoItem),
+    Assign(AssignItem),
+}
+
+#[derive(Clone, Debug)]
+pub struct DoItem {
+    pub var: String,
+    pub lo: ExprAst,
+    pub hi: ExprAst,
+    pub body: Vec<Item>,
+    pub directives: Vec<Directive>,
+    pub lineno: usize,
+}
+
+#[derive(Clone, Debug)]
+pub struct AssignItem {
+    pub name: String,
+    pub subs: Vec<ExprAst>,
+    pub rhs: ExprAst,
+    pub lineno: usize,
+}
+
+/// A whole parsed source file.
+#[derive(Clone, Debug, Default)]
+pub struct Ast {
+    pub name: String,
+    /// `PARAMETER` constants in declaration order.
+    pub params: Vec<(String, i64)>,
+    /// Array declarations: (name, extents, element bytes).
+    pub decls: Vec<(String, Vec<ExprAst>, u32)>,
+    pub items: Vec<Item>,
+}
+
+/// Parse a lexed file.
+pub fn parse(lexed: &Lexed) -> Result<Ast, FrontendError> {
+    let mut ast = Ast { name: "program".into(), ..Default::default() };
+    // Stack of open DO loops: (item, terminating label or None for END DO).
+    let mut stack: Vec<(DoItem, Option<i64>)> = Vec::new();
+
+    let push_item = |stack: &mut Vec<(DoItem, Option<i64>)>, ast: &mut Ast, item: Item| {
+        match stack.last_mut() {
+            Some((d, _)) => d.body.push(item),
+            None => ast.items.push(item),
+        }
+    };
+    // Close every open DO waiting for `label`.
+    fn close_label(
+        stack: &mut Vec<(DoItem, Option<i64>)>,
+        ast: &mut Ast,
+        label: i64,
+    ) {
+        while stack
+            .last()
+            .is_some_and(|(_, l)| *l == Some(label))
+        {
+            let (done, _) = stack.pop().unwrap();
+            match stack.last_mut() {
+                Some((d, _)) => d.body.push(Item::Do(done)),
+                None => ast.items.push(Item::Do(done)),
+            }
+        }
+    }
+
+    for (k, line) in lexed.lines.iter().enumerate() {
+        let dirs = &lexed.directives[k];
+        let t = &line.toks;
+        let lineno = line.lineno;
+        let kw = match &t[0] {
+            Tok::Ident(w) => w.as_str(),
+            _ => return err(lineno, "statement must start with a keyword or name"),
+        };
+        match kw {
+            "PROGRAM" => {
+                if let Some(Tok::Ident(n)) = t.get(1) {
+                    ast.name = n.to_lowercase();
+                }
+            }
+            "PARAMETER" => parse_parameter(&mut ast, line)?,
+            "REAL" => parse_decl(&mut ast, line, 4, 1)?,
+            "DOUBLE" => {
+                // DOUBLE PRECISION A(...)
+                match t.get(1) {
+                    Some(Tok::Ident(p)) if p == "PRECISION" => parse_decl(&mut ast, line, 8, 2)?,
+                    _ => return err(lineno, "expected DOUBLE PRECISION"),
+                }
+            }
+            "INTEGER" => { /* scalar integer declarations are ignored */ }
+            "DO" => {
+                let (d, term) = parse_do(line, dirs.clone())?;
+                stack.push((d, term));
+            }
+            "CONTINUE" => {
+                match line.label {
+                    Some(l) => close_label(&mut stack, &mut ast, l),
+                    None => { /* bare CONTINUE is a no-op */ }
+                }
+            }
+            "ENDDO" => match stack.pop() {
+                Some((done, None)) => push_item(&mut stack, &mut ast, Item::Do(done)),
+                Some((_, Some(_))) => return err(lineno, "END DO closing a labeled DO"),
+                None => return err(lineno, "END DO without open loop"),
+            },
+            "END" => {
+                match t.get(1) {
+                    Some(Tok::Ident(w)) if w == "DO" => match stack.pop() {
+                        Some((done, None)) => push_item(&mut stack, &mut ast, Item::Do(done)),
+                        _ => return err(lineno, "END DO without matching DO"),
+                    },
+                    _ => { /* END of program */ }
+                }
+            }
+            _ => {
+                // Assignment: NAME(subs) = expr.
+                let item = parse_assign(line)?;
+                push_item(&mut stack, &mut ast, Item::Assign(item));
+                if let Some(l) = line.label {
+                    close_label(&mut stack, &mut ast, l);
+                }
+            }
+        }
+    }
+    if let Some((d, _)) = stack.last() {
+        return err(d.lineno, format!("DO {} never closed", d.var));
+    }
+    Ok(ast)
+}
+
+fn parse_parameter(ast: &mut Ast, line: &Line) -> Result<(), FrontendError> {
+    // PARAMETER ( N = 512 , M = 4 )
+    let mut p = Cursor::new(&line.toks[1..], line.lineno);
+    p.expect(&Tok::LParen)?;
+    loop {
+        let name = p.ident()?;
+        p.expect(&Tok::Equals)?;
+        let neg = p.eat(&Tok::Minus);
+        let v = p.int()?;
+        ast.params.push((name, if neg { -v } else { v }));
+        if !p.eat(&Tok::Comma) {
+            break;
+        }
+    }
+    p.expect(&Tok::RParen)?;
+    Ok(())
+}
+
+fn parse_decl(ast: &mut Ast, line: &Line, bytes: u32, skip: usize) -> Result<(), FrontendError> {
+    let mut p = Cursor::new(&line.toks[skip..], line.lineno);
+    loop {
+        let name = p.ident()?;
+        p.expect(&Tok::LParen)?;
+        let mut dims = Vec::new();
+        loop {
+            dims.push(p.expr()?);
+            if !p.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        p.expect(&Tok::RParen)?;
+        ast.decls.push((name, dims, bytes));
+        if !p.eat(&Tok::Comma) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn parse_do(line: &Line, directives: Vec<Directive>) -> Result<(DoItem, Option<i64>), FrontendError> {
+    // DO [label] VAR = lo, hi
+    let mut p = Cursor::new(&line.toks[1..], line.lineno);
+    let term = p.opt_int();
+    let var = p.ident()?;
+    p.expect(&Tok::Equals)?;
+    let lo = p.expr()?;
+    p.expect(&Tok::Comma)?;
+    let hi = p.expr()?;
+    p.end()?;
+    Ok((DoItem { var, lo, hi, body: Vec::new(), directives, lineno: line.lineno }, term))
+}
+
+fn parse_assign(line: &Line) -> Result<AssignItem, FrontendError> {
+    let mut p = Cursor::new(&line.toks, line.lineno);
+    let name = p.ident()?;
+    p.expect(&Tok::LParen)?;
+    let mut subs = Vec::new();
+    loop {
+        subs.push(p.expr()?);
+        if !p.eat(&Tok::Comma) {
+            break;
+        }
+    }
+    p.expect(&Tok::RParen)?;
+    p.expect(&Tok::Equals)?;
+    let rhs = p.expr()?;
+    p.end()?;
+    Ok(AssignItem { name, subs, rhs, lineno: line.lineno })
+}
+
+/// Token cursor with a recursive-descent expression parser.
+struct Cursor<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+    lineno: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(toks: &'a [Tok], lineno: usize) -> Cursor<'a> {
+        Cursor { toks, pos: 0, lineno }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), FrontendError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            err(self.lineno, format!("expected {t:?}, found {:?}", self.peek()))
+        }
+    }
+
+    fn end(&mut self) -> Result<(), FrontendError> {
+        if self.pos == self.toks.len() {
+            Ok(())
+        } else {
+            err(self.lineno, format!("trailing tokens: {:?}", &self.toks[self.pos..]))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, FrontendError> {
+        match self.peek() {
+            Some(Tok::Ident(w)) => {
+                let w = w.clone();
+                self.pos += 1;
+                Ok(w)
+            }
+            other => err(self.lineno, format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn int(&mut self) -> Result<i64, FrontendError> {
+        match self.peek() {
+            Some(Tok::Int(v)) => {
+                let v = *v;
+                self.pos += 1;
+                Ok(v)
+            }
+            other => err(self.lineno, format!("expected integer, found {other:?}")),
+        }
+    }
+
+    fn opt_int(&mut self) -> Option<i64> {
+        match self.peek() {
+            Some(Tok::Int(v)) => {
+                let v = *v;
+                self.pos += 1;
+                Some(v)
+            }
+            _ => None,
+        }
+    }
+
+    /// expr := term (('+'|'-') term)*
+    fn expr(&mut self) -> Result<ExprAst, FrontendError> {
+        let mut e = self.term()?;
+        loop {
+            if self.eat(&Tok::Plus) {
+                e = ExprAst::Add(Box::new(e), Box::new(self.term()?));
+            } else if self.eat(&Tok::Minus) {
+                e = ExprAst::Sub(Box::new(e), Box::new(self.term()?));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    /// term := factor (('*'|'/') factor)*
+    fn term(&mut self) -> Result<ExprAst, FrontendError> {
+        let mut e = self.factor()?;
+        loop {
+            if self.eat(&Tok::Star) {
+                e = ExprAst::Mul(Box::new(e), Box::new(self.factor()?));
+            } else if self.eat(&Tok::Slash) {
+                e = ExprAst::Div(Box::new(e), Box::new(self.factor()?));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    /// factor := num | ident [ '(' expr, ... ')' ] | '(' expr ')' | '-' factor
+    fn factor(&mut self) -> Result<ExprAst, FrontendError> {
+        if self.eat(&Tok::Minus) {
+            return Ok(ExprAst::Neg(Box::new(self.factor()?)));
+        }
+        match self.peek().cloned() {
+            Some(Tok::Int(v)) => {
+                self.pos += 1;
+                Ok(ExprAst::Int(v))
+            }
+            Some(Tok::Real(v)) => {
+                self.pos += 1;
+                Ok(ExprAst::Num(v))
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Tok::Ident(w)) => {
+                self.pos += 1;
+                if self.eat(&Tok::LParen) {
+                    let mut subs = Vec::new();
+                    loop {
+                        subs.push(self.expr()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&Tok::RParen)?;
+                    Ok(ExprAst::Ref(w, subs))
+                } else {
+                    Ok(ExprAst::Var(w))
+                }
+            }
+            other => err(self.lineno, format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    fn parse_src(src: &str) -> Ast {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn shared_label_nests() {
+        // Figure 5's shape: three DOs sharing one label.
+        let src = "
+      PARAMETER (N = 8)
+      DOUBLE PRECISION A(N, N)
+      DO 10 I1 = 1, N
+      DO 10 I2 = I1+1, N
+      A(I2,I1) = A(I2,I1) / A(I1,I1)
+      DO 10 I3 = I1+1, N
+      A(I2,I3) = A(I2,I3) - A(I2,I1)*A(I1,I3)
+   10 CONTINUE
+      END
+";
+        let ast = parse_src(src);
+        assert_eq!(ast.params, vec![("N".to_string(), 8)]);
+        assert_eq!(ast.decls.len(), 1);
+        assert_eq!(ast.decls[0].2, 8);
+        assert_eq!(ast.items.len(), 1);
+        let Item::Do(outer) = &ast.items[0] else { panic!("expected DO") };
+        assert_eq!(outer.var, "I1");
+        // Body: DO I2 containing [assign, DO I3 [assign]].
+        let Item::Do(i2) = &outer.body[0] else { panic!() };
+        assert_eq!(i2.var, "I2");
+        assert_eq!(i2.body.len(), 2);
+        assert!(matches!(i2.body[0], Item::Assign(_)));
+        assert!(matches!(i2.body[1], Item::Do(_)));
+    }
+
+    #[test]
+    fn enddo_form() {
+        let src = "
+      REAL A(4,4)
+      DO I = 1, 4
+        DO J = 1, 4
+          A(I,J) = 0.0
+        END DO
+      ENDDO
+";
+        let ast = parse_src(src);
+        assert_eq!(ast.items.len(), 1);
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let src = "
+      REAL X(4)
+      DO 1 I = 1, 4
+      X(I) = 1.0 + 2.0 * 3.0 - X(I) / 2.0
+    1 CONTINUE
+";
+        let ast = parse_src(src);
+        let Item::Do(d) = &ast.items[0] else { panic!() };
+        let Item::Assign(a) = &d.body[0] else { panic!() };
+        // (1 + (2*3)) - (X(I)/2)
+        assert!(matches!(a.rhs, ExprAst::Sub(_, _)));
+    }
+
+    #[test]
+    fn labeled_assignment_closes_loop() {
+        let src = "
+      REAL A(4,4)
+      DO 20 J = 1, 4
+      DO 20 I = 1, 4
+   20 A(I,J) = 1.0
+      DO 30 I = 1, 4
+   30 A(I,I) = 2.0
+";
+        let ast = parse_src(src);
+        assert_eq!(ast.items.len(), 2);
+    }
+
+    #[test]
+    fn unclosed_do_rejected() {
+        let src = "
+      REAL A(4)
+      DO 10 I = 1, 4
+      A(I) = 1.0
+";
+        assert!(parse(&lex(src).unwrap()).is_err());
+    }
+
+    #[test]
+    fn unary_minus_and_parens() {
+        let src = "
+      REAL X(8)
+      DO 1 I = 1, 4
+    1 X(2*I - 1) = -(1.0 + 0.5)
+";
+        let ast = parse_src(src);
+        let Item::Do(d) = &ast.items[0] else { panic!() };
+        let Item::Assign(a) = &d.body[0] else { panic!() };
+        assert!(matches!(a.rhs, ExprAst::Neg(_)));
+        assert!(matches!(a.subs[0], ExprAst::Sub(_, _)));
+    }
+}

@@ -1,0 +1,224 @@
+//! End-to-end front-end tests: the paper's own figure code, as written,
+//! must parse, lower, compile to the paper's decompositions, and compute
+//! the same values as the hand-built IR versions.
+
+use dct_core::{Compiler, Strategy};
+use dct_frontend::parse_fortran;
+
+/// Figure 5 verbatim (plus declarations): LU decomposition.
+const FIGURE5: &str = "
+      PROGRAM LU
+      PARAMETER (N = 16)
+      DOUBLE PRECISION A(N, N)
+CDCT$ INIT
+      DO 5 J = 1, N
+      DO 5 I = 1, N
+    5 A(I,J) = 1.0 / (I + J - 1.0) + 4.0
+      DO 10 I1 = 1, N
+      DO 10 I2 = I1+1, N
+      A(I2,I1) = A(I2,I1) / A(I1,I1)
+      DO 10 I3 = I1+1, N
+      A(I2,I3) = A(I2,I3) - A(I2,I1)*A(I1,I3)
+   10 CONTINUE
+      END
+";
+
+/// Figure 7 shape: five-point stencil with a time loop.
+const FIGURE7: &str = "
+      PROGRAM STENCIL
+      PARAMETER (N = 16, NSTEPS = 3)
+      REAL A(N,N), B(N,N)
+C Initialize B
+CDCT$ INIT
+      DO 5 J = 1, N
+      DO 5 I = 1, N
+    5 B(I,J) = I * 0.01 + J * 0.02
+C Calculate Stencil
+      DO 30 TIME = 1, NSTEPS
+      DO 10 I1 = 2, N-1
+      DO 10 I2 = 2, N-1
+      A(I2,I1) = 0.2*(B(I2,I1)+B(I2-1,I1)+B(I2+1,I1)+B(I2,I1-1)+B(I2,I1+1))
+   10 CONTINUE
+      DO 20 I1 = 2, N-1
+      DO 20 I2 = 2, N-1
+      B(I2,I1) = A(I2,I1)
+   20 CONTINUE
+   30 CONTINUE
+      END
+";
+
+/// Figure 9 shape: ADI column then row sweep.
+const FIGURE9: &str = "
+      PROGRAM ADI
+      PARAMETER (N = 16, NSTEPS = 2)
+      REAL X(N,N), A(N,N), B(N,N)
+CDCT$ INIT
+      DO 3 J = 1, N
+      DO 3 I = 1, N
+    3 X(I,J) = I * 0.003 + J * 0.001 + 1.0
+CDCT$ INIT
+      DO 4 J = 1, N
+      DO 4 I = 1, N
+    4 A(I,J) = 0.3
+CDCT$ INIT
+      DO 5 J = 1, N
+      DO 5 I = 1, N
+    5 B(I,J) = 2.0 + I * 0.001
+      DO 30 TIME = 1, NSTEPS
+C Column Sweep
+      DO 10 I1 = 1, N
+      DO 10 I2 = 2, N
+      X(I2,I1) = X(I2,I1) - X(I2-1,I1)*A(I2,I1)/B(I2-1,I1)
+      B(I2,I1) = B(I2,I1) - A(I2,I1)*A(I2,I1)/B(I2-1,I1)
+   10 CONTINUE
+C Row Sweep
+      DO 20 I1 = 2, N
+      DO 20 I2 = 1, N
+      X(I2,I1) = X(I2,I1) - X(I2,I1-1)*A(I2,I1)/B(I2,I1-1)
+      B(I2,I1) = B(I2,I1) - A(I2,I1)*A(I2,I1)/B(I2,I1-1)
+   20 CONTINUE
+   30 CONTINUE
+      END
+";
+
+#[test]
+fn figure5_lu_parses_and_decomposes() {
+    let prog = parse_fortran(FIGURE5).expect("figure 5 must parse");
+    assert_eq!(prog.name, "lu");
+    assert!(prog.time.is_some(), "pivot loop must become the time loop");
+    assert_eq!(prog.nests.len(), 2, "div + update after loop distribution");
+    assert_eq!(prog.init_nests.len(), 1);
+
+    let c = Compiler::new(Strategy::Full).compile(&prog);
+    assert_eq!(c.decomposition.hpf_of(&c.program, 0), "A(*, CYCLIC)");
+}
+
+#[test]
+fn figure5_lu_computes_a_correct_factorization() {
+    let prog = parse_fortran(FIGURE5).unwrap();
+    let c = Compiler::new(Strategy::Full);
+    let compiled = c.compile(&prog);
+    let opts = c.sim_options(4, prog.default_params());
+    let (_, vals) = dct_core::spmd::simulate_with_values(
+        &compiled.program,
+        &compiled.decomposition,
+        &opts,
+    );
+    // Reconstruct L*U and compare with the initialized matrix
+    // orig(i,j) = 1/(i+j+1) + 4 (0-based i,j).
+    let n = 16usize;
+    let lu = &vals[0];
+    let get = |i: usize, j: usize| lu[i + n * j];
+    for i in 0..n {
+        for j in 0..n {
+            let mut s = 0.0;
+            for k in 0..=i.min(j) {
+                let l = if k == i { 1.0 } else { get(i, k) };
+                s += if k == i { get(k, j) } else { l * get(k, j) };
+            }
+            let expect = 1.0 / ((i + j) as f64 + 1.0) + 4.0;
+            assert!(
+                (s - expect).abs() < 1e-9,
+                "LU mismatch at ({i},{j}): {s} vs {expect}"
+            );
+        }
+    }
+}
+
+#[test]
+fn figure7_stencil_parses_and_decomposes() {
+    let prog = parse_fortran(FIGURE7).expect("figure 7 must parse");
+    assert!(prog.time.is_some());
+    assert_eq!(prog.nests.len(), 2);
+    assert_eq!(prog.time_step_count(&prog.default_params()), 3);
+    let c = Compiler::new(Strategy::Full).compile(&prog);
+    assert_eq!(c.decomposition.grid_rank, 2, "stencil gets 2-D blocks");
+    assert_eq!(c.decomposition.hpf_of(&c.program, 0), "A(BLOCK, BLOCK)");
+}
+
+#[test]
+fn figure7_matches_handbuilt_values() {
+    // The FORTRAN version and an equivalent builder version must compute
+    // identical values.
+    let prog_f = parse_fortran(FIGURE7).unwrap();
+
+    use dct_core::ir::{Aff, Expr, ProgramBuilder};
+    let mut pb = ProgramBuilder::new("stencil");
+    let n = pb.param("N", 16);
+    let nsteps = pb.param("NSTEPS", 3);
+    let a = pb.array("A", &[Aff::param(n), Aff::param(n)], 4);
+    let b = pb.array("B", &[Aff::param(n), Aff::param(n)], 4);
+    let _t = pb.time_loop(Aff::param(nsteps));
+    let mut nb = pb.nest_builder("init");
+    let j = nb.loop_var(Aff::konst(1), Aff::param(n));
+    let i = nb.loop_var(Aff::konst(1), Aff::param(n));
+    let v = Expr::Index(i) * Expr::Const(0.01) + Expr::Index(j) * Expr::Const(0.02);
+    nb.assign(b, &[Aff::var(i) - 1, Aff::var(j) - 1], v);
+    pb.init_nest(nb.build());
+    let mut nb = pb.nest_builder("stencil");
+    let i1 = nb.loop_var(Aff::konst(2), Aff::param(n) - 1);
+    let i2 = nb.loop_var(Aff::konst(2), Aff::param(n) - 1);
+    let rhs = Expr::Const(0.2)
+        * (nb.read(b, &[Aff::var(i2) - 1, Aff::var(i1) - 1])
+            + nb.read(b, &[Aff::var(i2) - 2, Aff::var(i1) - 1])
+            + nb.read(b, &[Aff::var(i2), Aff::var(i1) - 1])
+            + nb.read(b, &[Aff::var(i2) - 1, Aff::var(i1) - 2])
+            + nb.read(b, &[Aff::var(i2) - 1, Aff::var(i1)]));
+    nb.assign(a, &[Aff::var(i2) - 1, Aff::var(i1) - 1], rhs);
+    pb.nest(nb.build());
+    let mut nb = pb.nest_builder("copy");
+    let i1 = nb.loop_var(Aff::konst(2), Aff::param(n) - 1);
+    let i2 = nb.loop_var(Aff::konst(2), Aff::param(n) - 1);
+    let rhs = nb.read(a, &[Aff::var(i2) - 1, Aff::var(i1) - 1]);
+    nb.assign(b, &[Aff::var(i2) - 1, Aff::var(i1) - 1], rhs);
+    pb.nest(nb.build());
+    let prog_b = pb.build();
+
+    let run = |prog: &dct_core::ir::Program| {
+        let c = Compiler::new(Strategy::Full);
+        let compiled = c.compile(prog);
+        let opts = c.sim_options(4, prog.default_params());
+        dct_core::spmd::simulate_with_values(&compiled.program, &compiled.decomposition, &opts).1
+    };
+    let vf = run(&prog_f);
+    let vb = run(&prog_b);
+    assert_eq!(vf.len(), vb.len());
+    for (x, (p, q)) in vf.iter().zip(&vb).enumerate() {
+        assert_eq!(p.len(), q.len());
+        for (k, (u, w)) in p.iter().zip(q).enumerate() {
+            assert!(
+                (u - w).abs() < 1e-12,
+                "array {x} elem {k}: fortran {u} vs builder {w}"
+            );
+        }
+    }
+}
+
+#[test]
+fn figure9_adi_pipeline_found() {
+    let prog = parse_fortran(FIGURE9).expect("figure 9 must parse");
+    assert_eq!(prog.nests.len(), 2);
+    let c = Compiler::new(Strategy::Full).compile(&prog);
+    assert_eq!(c.decomposition.hpf_of(&c.program, 0), "X(*, BLOCK)");
+    // One of the sweeps runs as a pipeline.
+    assert!(c.decomposition.comp.iter().any(|cd| cd.pipeline_level.is_some()));
+}
+
+#[test]
+fn useful_errors() {
+    // Unknown array.
+    let e = parse_fortran("      DO 1 I = 1, 4\n    1 Z(I) = 0.0\n").unwrap_err();
+    assert!(e.message.contains("undeclared"), "{e}");
+    // Non-affine subscript.
+    let e = parse_fortran(
+        "      REAL A(4)\n      DO 1 I = 1, 4\n    1 A(I*I) = 0.0\n",
+    )
+    .unwrap_err();
+    assert!(e.message.contains("non-affine"), "{e}");
+    // Rank mismatch.
+    let e = parse_fortran(
+        "      REAL A(4,4)\n      DO 1 I = 1, 4\n    1 A(I) = 0.0\n",
+    )
+    .unwrap_err();
+    assert!(e.message.contains("rank"), "{e}");
+}

@@ -1,0 +1,201 @@
+//! Affine array access functions.
+//!
+//! An access maps a loop iteration vector `i` (and the symbolic parameters
+//! `n`) to an array index vector: `idx = F·i + Fp·n + f0`. The matrices are
+//! the objects the decomposition and data-transformation algorithms reason
+//! about (the `F_jx` of Equation 1 in the paper).
+
+use crate::expr::Aff;
+use dct_linalg::IntMat;
+
+/// Identifies an array declared in a [`crate::Program`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ArrayId(pub usize);
+
+/// An affine access function of a given nest depth.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct AffineAccess {
+    /// `F`: array-rank x nest-depth coefficient matrix over loop indices.
+    pub mat: IntMat,
+    /// `Fp`: array-rank x nparams coefficient matrix over parameters.
+    pub param_mat: IntMat,
+    /// `f0`: constant offsets, one per array dimension.
+    pub offset: Vec<i64>,
+}
+
+impl AffineAccess {
+    /// Build from one affine form per array dimension.
+    ///
+    /// `depth` and `nparams` fix the matrix shapes (forms are zero-padded).
+    pub fn from_affs(dims: &[Aff], depth: usize, nparams: usize) -> AffineAccess {
+        let rank = dims.len();
+        let mut mat = IntMat::zeros(rank, depth);
+        let mut param_mat = IntMat::zeros(rank, nparams);
+        let mut offset = vec![0i64; rank];
+        for (d, a) in dims.iter().enumerate() {
+            if let Some(lvl) = a.max_var_level() {
+                assert!(lvl < depth, "access uses loop level {lvl} beyond depth {depth}");
+            }
+            if let Some(pl) = a.param_coeffs.iter().rposition(|&c| c != 0) {
+                assert!(
+                    pl < nparams,
+                    "access uses parameter {pl} beyond declared nparams {nparams}"
+                );
+            }
+            for l in 0..depth {
+                mat[(d, l)] = a.var_coeff(l);
+            }
+            for p in 0..nparams {
+                param_mat[(d, p)] = a.param_coeff(p);
+            }
+            offset[d] = a.konst;
+        }
+        AffineAccess { mat, param_mat, offset }
+    }
+
+    /// Array rank (number of subscripts).
+    pub fn rank(&self) -> usize {
+        self.mat.rows()
+    }
+
+    /// Nest depth this access was built for.
+    pub fn depth(&self) -> usize {
+        self.mat.cols()
+    }
+
+    /// Evaluate to a concrete index vector. `params` may be longer than
+    /// the access was built for (later-declared parameters have zero
+    /// coefficients).
+    pub fn eval(&self, ivec: &[i64], params: &[i64]) -> Vec<i64> {
+        let mut idx = self.mat.mul_vec(ivec);
+        let np = self.param_mat.cols();
+        assert!(params.len() >= np, "missing parameter values");
+        let pc = self.param_mat.mul_vec(&params[..np]);
+        for d in 0..idx.len() {
+            idx[d] += pc[d] + self.offset[d];
+        }
+        idx
+    }
+
+    /// Allocation-free variant of [`AffineAccess::eval`]: writes the index
+    /// vector into `out` (cleared first).
+    pub fn eval_into(&self, ivec: &[i64], params: &[i64], out: &mut Vec<i64>) {
+        out.clear();
+        let rank = self.mat.rows();
+        let depth = self.mat.cols();
+        let np = self.param_mat.cols();
+        for d in 0..rank {
+            let mut s = self.offset[d];
+            let row = self.mat.row(d);
+            for l in 0..depth {
+                let c = row[l];
+                if c != 0 {
+                    s += c * ivec[l];
+                }
+            }
+            let prow = self.param_mat.row(d);
+            for p in 0..np {
+                let c = prow[p];
+                if c != 0 {
+                    s += c * params[p];
+                }
+            }
+            out.push(s);
+        }
+    }
+
+    /// Parameter coefficient of subscript `d`, zero when the access was
+    /// built before the parameter was declared.
+    pub fn param_coeff(&self, d: usize, p: usize) -> i64 {
+        if p < self.param_mat.cols() {
+            self.param_mat[(d, p)]
+        } else {
+            0
+        }
+    }
+
+    /// The affine form of one subscript dimension.
+    pub fn dim_aff(&self, d: usize) -> Aff {
+        Aff {
+            var_coeffs: self.mat.row(d).to_vec(),
+            param_coeffs: self.param_mat.row(d).to_vec(),
+            konst: self.offset[d],
+        }
+    }
+
+    /// Apply a unimodular change of iteration variables: if new iteration
+    /// vector is `i' = T·i`, the access in terms of `i'` is `F·T^-1·i'`.
+    pub fn transformed(&self, t_inv: &IntMat) -> AffineAccess {
+        AffineAccess {
+            mat: self.mat.mul(t_inv),
+            param_mat: self.param_mat.clone(),
+            offset: self.offset.clone(),
+        }
+    }
+
+    /// Two accesses to the same array differ only in constant offsets
+    /// (uniformly generated references — common in stencils).
+    pub fn uniformly_generated_with(&self, other: &AffineAccess) -> bool {
+        self.mat == other.mat && self.param_mat == other.param_mat
+    }
+}
+
+/// A read or write reference to an array.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ArrayRef {
+    pub array: ArrayId,
+    pub access: AffineAccess,
+}
+
+impl ArrayRef {
+    pub fn new(array: ArrayId, access: AffineAccess) -> ArrayRef {
+        ArrayRef { array, access }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_affs_eval() {
+        // A(I2, I1-1) in a depth-2 nest (0-based forms).
+        let dims = [Aff::var(1), Aff::var(0) - 1];
+        let acc = AffineAccess::from_affs(&dims, 2, 0);
+        assert_eq!(acc.rank(), 2);
+        assert_eq!(acc.eval(&[3, 7], &[]), vec![7, 2]);
+    }
+
+    #[test]
+    fn param_offsets() {
+        // A(N - I0) with param N.
+        let dims = [Aff::param(0) - Aff::var(0)];
+        let acc = AffineAccess::from_affs(&dims, 1, 1);
+        assert_eq!(acc.eval(&[3], &[10]), vec![7]);
+    }
+
+    #[test]
+    fn uniformly_generated() {
+        let a = AffineAccess::from_affs(&[Aff::var(0), Aff::var(1)], 2, 0);
+        let b = AffineAccess::from_affs(&[Aff::var(0) - 1, Aff::var(1) + 1], 2, 0);
+        let c = AffineAccess::from_affs(&[Aff::var(1), Aff::var(0)], 2, 0);
+        assert!(a.uniformly_generated_with(&b));
+        assert!(!a.uniformly_generated_with(&c));
+    }
+
+    #[test]
+    fn transformed_by_interchange() {
+        // Access A(I0) under loop interchange T = [[0,1],[1,0]] (T^-1 = T):
+        // new access reads A(I1').
+        let acc = AffineAccess::from_affs(&[Aff::var(0)], 2, 0);
+        let t = IntMat::from_rows(&[vec![0, 1], vec![1, 0]]);
+        let acc2 = acc.transformed(&t);
+        assert_eq!(acc2.eval(&[5, 9], &[]), vec![9]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn depth_violation_panics() {
+        let _ = AffineAccess::from_affs(&[Aff::var(3)], 2, 0);
+    }
+}

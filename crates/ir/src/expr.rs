@@ -1,0 +1,340 @@
+//! Affine expressions and scalar computation expressions.
+//!
+//! `Aff` is an affine form over a loop nest's index variables and the
+//! program's symbolic parameters (array sizes like `N`). It is the currency
+//! for loop bounds and array subscripts. `Expr` is the right-hand-side
+//! computation language (floating-point arithmetic over array references),
+//! which is all the paper's FORTRAN benchmarks need.
+
+use crate::access::ArrayRef;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// An affine form `sum(var_coeffs[l] * i_l) + sum(param_coeffs[p] * N_p) + konst`.
+///
+/// Coefficient vectors are implicitly zero-padded, so forms built for
+/// different depths combine freely.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Aff {
+    pub var_coeffs: Vec<i64>,
+    pub param_coeffs: Vec<i64>,
+    pub konst: i64,
+}
+
+impl Aff {
+    /// The constant form `c`.
+    pub fn konst(c: i64) -> Aff {
+        Aff { var_coeffs: vec![], param_coeffs: vec![], konst: c }
+    }
+
+    /// The loop variable at `level` (0 = outermost).
+    pub fn var(level: usize) -> Aff {
+        let mut v = vec![0; level + 1];
+        v[level] = 1;
+        Aff { var_coeffs: v, param_coeffs: vec![], konst: 0 }
+    }
+
+    /// The symbolic parameter `p`.
+    pub fn param(p: usize) -> Aff {
+        let mut v = vec![0; p + 1];
+        v[p] = 1;
+        Aff { var_coeffs: vec![], param_coeffs: v, konst: 0 }
+    }
+
+    /// Coefficient of loop variable `level` (0 when beyond stored length).
+    pub fn var_coeff(&self, level: usize) -> i64 {
+        self.var_coeffs.get(level).copied().unwrap_or(0)
+    }
+
+    /// Coefficient of parameter `p`.
+    pub fn param_coeff(&self, p: usize) -> i64 {
+        self.param_coeffs.get(p).copied().unwrap_or(0)
+    }
+
+    /// True if no loop variable occurs.
+    pub fn is_loop_invariant(&self) -> bool {
+        self.var_coeffs.iter().all(|&c| c == 0)
+    }
+
+    /// True if constant (no variables, no parameters).
+    pub fn is_const(&self) -> bool {
+        self.is_loop_invariant() && self.param_coeffs.iter().all(|&c| c == 0)
+    }
+
+    /// Highest loop level mentioned, if any.
+    pub fn max_var_level(&self) -> Option<usize> {
+        self.var_coeffs.iter().rposition(|&c| c != 0)
+    }
+
+    /// Evaluate with concrete loop indices and parameter values.
+    pub fn eval(&self, ivec: &[i64], params: &[i64]) -> i64 {
+        let mut s = self.konst;
+        for (l, &c) in self.var_coeffs.iter().enumerate() {
+            if c != 0 {
+                s = s
+                    .checked_add(c.checked_mul(ivec[l]).expect("aff overflow"))
+                    .expect("aff overflow");
+            }
+        }
+        for (p, &c) in self.param_coeffs.iter().enumerate() {
+            if c != 0 {
+                s = s
+                    .checked_add(c.checked_mul(params[p]).expect("aff overflow"))
+                    .expect("aff overflow");
+            }
+        }
+        s
+    }
+
+    /// Multiply by an integer scalar.
+    pub fn scale(&self, k: i64) -> Aff {
+        Aff {
+            var_coeffs: self.var_coeffs.iter().map(|&c| c * k).collect(),
+            param_coeffs: self.param_coeffs.iter().map(|&c| c * k).collect(),
+            konst: self.konst * k,
+        }
+    }
+
+    /// Render with variable names (`i0, i1, ...` and parameter names).
+    pub fn render(&self, var_names: &[String], param_names: &[String]) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        for (l, &c) in self.var_coeffs.iter().enumerate() {
+            if c != 0 {
+                let name = var_names.get(l).cloned().unwrap_or_else(|| format!("i{l}"));
+                parts.push(term(c, &name, parts.is_empty()));
+            }
+        }
+        for (p, &c) in self.param_coeffs.iter().enumerate() {
+            if c != 0 {
+                let name = param_names.get(p).cloned().unwrap_or_else(|| format!("P{p}"));
+                parts.push(term(c, &name, parts.is_empty()));
+            }
+        }
+        if self.konst != 0 || parts.is_empty() {
+            if parts.is_empty() {
+                parts.push(format!("{}", self.konst));
+            } else if self.konst > 0 {
+                parts.push(format!(" + {}", self.konst));
+            } else {
+                parts.push(format!(" - {}", -self.konst));
+            }
+        }
+        parts.concat()
+    }
+}
+
+fn term(c: i64, name: &str, first: bool) -> String {
+    let sign = if c < 0 {
+        if first { "-" } else { " - " }
+    } else if first {
+        ""
+    } else {
+        " + "
+    };
+    let mag = c.abs();
+    if mag == 1 {
+        format!("{sign}{name}")
+    } else {
+        format!("{sign}{mag}*{name}")
+    }
+}
+
+fn zip_pad(a: &[i64], b: &[i64], f: impl Fn(i64, i64) -> i64) -> Vec<i64> {
+    let n = a.len().max(b.len());
+    (0..n)
+        .map(|i| f(a.get(i).copied().unwrap_or(0), b.get(i).copied().unwrap_or(0)))
+        .collect()
+}
+
+impl Add for Aff {
+    type Output = Aff;
+    fn add(self, o: Aff) -> Aff {
+        Aff {
+            var_coeffs: zip_pad(&self.var_coeffs, &o.var_coeffs, |a, b| a + b),
+            param_coeffs: zip_pad(&self.param_coeffs, &o.param_coeffs, |a, b| a + b),
+            konst: self.konst + o.konst,
+        }
+    }
+}
+
+impl Sub for Aff {
+    type Output = Aff;
+    fn sub(self, o: Aff) -> Aff {
+        self + (-o)
+    }
+}
+
+impl Neg for Aff {
+    type Output = Aff;
+    fn neg(self) -> Aff {
+        self.scale(-1)
+    }
+}
+
+impl Add<i64> for Aff {
+    type Output = Aff;
+    fn add(self, k: i64) -> Aff {
+        self + Aff::konst(k)
+    }
+}
+
+impl Sub<i64> for Aff {
+    type Output = Aff;
+    fn sub(self, k: i64) -> Aff {
+        self + Aff::konst(-k)
+    }
+}
+
+impl Mul<i64> for Aff {
+    type Output = Aff;
+    fn mul(self, k: i64) -> Aff {
+        self.scale(k)
+    }
+}
+
+/// Binary floating-point operators available to benchmark kernels.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl BinOp {
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => a / b,
+        }
+    }
+
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        }
+    }
+}
+
+/// A scalar computation expression (statement right-hand side).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// Floating constant.
+    Const(f64),
+    /// The value of the loop index at `level`, as a float (used by
+    /// initialization kernels to produce distinct array contents).
+    Index(usize),
+    /// An array read.
+    Ref(ArrayRef),
+    /// Binary arithmetic.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// Collect every array reference in evaluation order.
+    pub fn collect_refs<'a>(&'a self, out: &mut Vec<&'a ArrayRef>) {
+        match self {
+            Expr::Const(_) | Expr::Index(_) => {}
+            Expr::Ref(r) => out.push(r),
+            Expr::Bin(_, a, b) => {
+                a.collect_refs(out);
+                b.collect_refs(out);
+            }
+        }
+    }
+
+    /// Count of arithmetic operations in the expression.
+    pub fn flop_count(&self) -> u32 {
+        match self {
+            Expr::Const(_) | Expr::Index(_) | Expr::Ref(_) => 0,
+            Expr::Bin(_, a, b) => 1 + a.flop_count() + b.flop_count(),
+        }
+    }
+}
+
+impl Add for Expr {
+    type Output = Expr;
+    fn add(self, o: Expr) -> Expr {
+        Expr::bin(BinOp::Add, self, o)
+    }
+}
+
+impl Sub for Expr {
+    type Output = Expr;
+    fn sub(self, o: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, self, o)
+    }
+}
+
+impl Mul for Expr {
+    type Output = Expr;
+    fn mul(self, o: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, self, o)
+    }
+}
+
+impl std::ops::Div for Expr {
+    type Output = Expr;
+    fn div(self, o: Expr) -> Expr {
+        Expr::bin(BinOp::Div, self, o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aff_algebra() {
+        let f = Aff::var(0) * 2 + Aff::var(1) - Aff::param(0) + 3;
+        assert_eq!(f.var_coeff(0), 2);
+        assert_eq!(f.var_coeff(1), 1);
+        assert_eq!(f.var_coeff(2), 0);
+        assert_eq!(f.param_coeff(0), -1);
+        assert_eq!(f.konst, 3);
+        assert_eq!(f.eval(&[5, 7], &[10]), 10 + 7 - 10 + 3);
+    }
+
+    #[test]
+    fn aff_properties() {
+        assert!(Aff::konst(4).is_const());
+        assert!(Aff::param(0).is_loop_invariant());
+        assert!(!Aff::param(0).is_const());
+        assert_eq!((Aff::var(2) + Aff::var(0)).max_var_level(), Some(2));
+        assert_eq!(Aff::konst(1).max_var_level(), None);
+    }
+
+    #[test]
+    fn aff_render() {
+        let f = Aff::var(0) * 2 - Aff::var(1) + 1;
+        let names = vec!["I".to_string(), "J".to_string()];
+        assert_eq!(f.render(&names, &[]), "2*I - J + 1");
+        assert_eq!(Aff::konst(0).render(&names, &[]), "0");
+        assert_eq!((-Aff::var(0)).render(&names, &[]), "-I");
+    }
+
+    #[test]
+    fn expr_flops_and_refs() {
+        let e = Expr::Const(1.0) + Expr::Const(2.0) * Expr::Const(3.0);
+        assert_eq!(e.flop_count(), 2);
+        let mut refs = Vec::new();
+        e.collect_refs(&mut refs);
+        assert!(refs.is_empty());
+    }
+
+    #[test]
+    fn binop_eval() {
+        assert_eq!(BinOp::Add.apply(2.0, 3.0), 5.0);
+        assert_eq!(BinOp::Sub.apply(2.0, 3.0), -1.0);
+        assert_eq!(BinOp::Mul.apply(2.0, 3.0), 6.0);
+        assert_eq!(BinOp::Div.apply(3.0, 2.0), 1.5);
+    }
+}

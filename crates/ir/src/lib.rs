@@ -1,0 +1,18 @@
+//! # dct-ir
+//!
+//! The affine program representation consumed by every compiler phase:
+//! affine forms ([`Aff`]), access functions ([`AffineAccess`]), statements,
+//! perfectly nested affine loop nests, and whole programs with a builder
+//! DSL. This plays the role of SUIF's restricted affine IR in the paper.
+
+#![allow(clippy::needless_range_loop, clippy::manual_memcpy)]
+
+pub mod access;
+pub mod expr;
+pub mod pretty;
+pub mod program;
+
+pub use access::{AffineAccess, ArrayId, ArrayRef};
+pub use expr::{Aff, BinOp, Expr};
+pub use pretty::render_program;
+pub use program::{ArrayDecl, BoundForm, LoopBounds, LoopNest, NestBuilder, NestId, Param, Program, ProgramBuilder, Stmt, TimeLoop};

@@ -1,0 +1,139 @@
+//! Pretty-printing of programs as pseudo-FORTRAN, for reports and examples.
+
+use crate::access::ArrayRef;
+use crate::expr::Expr;
+use crate::program::{LoopNest, Program};
+use std::fmt::Write;
+
+/// Render a whole program in a FORTRAN-flavoured pseudo-syntax.
+pub fn render_program(p: &Program) -> String {
+    let mut out = String::new();
+    let param_names: Vec<String> = p.params.iter().map(|x| x.name.clone()).collect();
+    for a in &p.arrays {
+        let dims: Vec<String> =
+            a.dims.iter().map(|d| d.render(&[], &param_names)).collect();
+        let _ = writeln!(out, "{} {}({})", elem_type(a.elem_bytes), a.name, dims.join(", "));
+    }
+    for nest in &p.init_nests {
+        let _ = writeln!(out, "C init");
+        render_nest(&mut out, p, nest, 0);
+    }
+    if let Some(tl) = &p.time {
+        let _ = writeln!(
+            out,
+            "DO {} = 0, {} - 1",
+            p.params[tl.param].name,
+            tl.count.render(&[], &param_names)
+        );
+    }
+    let indent = if p.time.is_some() { 1 } else { 0 };
+    for nest in &p.nests {
+        render_nest(&mut out, p, nest, indent);
+    }
+    if p.time.is_some() {
+        let _ = writeln!(out, "END DO");
+    }
+    out
+}
+
+fn elem_type(bytes: u32) -> &'static str {
+    match bytes {
+        4 => "REAL",
+        8 => "DOUBLE PRECISION",
+        _ => "REAL*?",
+    }
+}
+
+/// Render one loop nest.
+pub fn render_nest(out: &mut String, p: &Program, nest: &LoopNest, base_indent: usize) {
+    let param_names: Vec<String> = p.params.iter().map(|x| x.name.clone()).collect();
+    let var_names: Vec<String> = (0..nest.depth).map(|l| format!("I{}", l + 1)).collect();
+    let pad = |n: usize| "  ".repeat(n);
+    let _ = writeln!(out, "{}C nest {}", pad(base_indent), nest.name);
+    for (l, b) in nest.bounds.iter().enumerate() {
+        let lo = render_side(&b.los, "MAX", &var_names, &param_names);
+        let hi = render_side(&b.his, "MIN", &var_names, &param_names);
+        let _ = writeln!(out, "{}DO {} = {}, {}", pad(base_indent + l), var_names[l], lo, hi);
+    }
+    for s in &nest.body {
+        let _ = writeln!(
+            out,
+            "{}{} = {}",
+            pad(base_indent + nest.depth),
+            render_ref(p, &s.lhs, &var_names, &param_names),
+            render_expr(p, &s.rhs, &var_names, &param_names)
+        );
+    }
+    for l in (0..nest.depth).rev() {
+        let _ = writeln!(out, "{}END DO", pad(base_indent + l));
+    }
+}
+
+fn render_side(
+    forms: &[crate::program::BoundForm],
+    op: &str,
+    vars: &[String],
+    params: &[String],
+) -> String {
+    let one = |f: &crate::program::BoundForm| {
+        if f.div == 1 {
+            f.aff.render(vars, params)
+        } else {
+            format!("({})/{}", f.aff.render(vars, params), f.div)
+        }
+    };
+    if forms.len() == 1 {
+        one(&forms[0])
+    } else {
+        let parts: Vec<String> = forms.iter().map(one).collect();
+        format!("{op}({})", parts.join(", "))
+    }
+}
+
+fn render_ref(p: &Program, r: &ArrayRef, vars: &[String], params: &[String]) -> String {
+    let name = &p.array(r.array).name;
+    let subs: Vec<String> =
+        (0..r.access.rank()).map(|d| r.access.dim_aff(d).render(vars, params)).collect();
+    format!("{}({})", name, subs.join(", "))
+}
+
+fn render_expr(p: &Program, e: &Expr, vars: &[String], params: &[String]) -> String {
+    match e {
+        Expr::Const(c) => format!("{c}"),
+        Expr::Index(l) => vars.get(*l).cloned().unwrap_or_else(|| format!("I{l}")),
+        Expr::Ref(r) => render_ref(p, r, vars, params),
+        Expr::Bin(op, a, b) => format!(
+            "({} {} {})",
+            render_expr(p, a, vars, params),
+            op.symbol(),
+            render_expr(p, b, vars, params)
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Aff;
+    use crate::program::{NestBuilder, ProgramBuilder};
+
+    #[test]
+    fn renders_fortran_like() {
+        let mut pb = ProgramBuilder::new("demo");
+        let n = pb.param("N", 8);
+        let a = pb.array("A", &[Aff::param(n), Aff::param(n)], 4);
+        let mut nb = NestBuilder::new("n0", 1);
+        let j = nb.loop_var(Aff::konst(1), Aff::param(n) - 2);
+        let i = nb.loop_var(Aff::konst(0), Aff::param(n) - 1);
+        let rhs = nb.read(a, &[Aff::var(i), Aff::var(j) - 1])
+            + nb.read(a, &[Aff::var(i), Aff::var(j) + 1]);
+        nb.assign(a, &[Aff::var(i), Aff::var(j)], rhs);
+        pb.nest(nb.build());
+        let p = pb.build();
+        let s = render_program(&p);
+        assert!(s.contains("REAL A(N, N)"));
+        assert!(s.contains("DO I1 = 1, N - 2"));
+        assert!(s.contains("A(I2, I1) = (A(I2, I1 - 1) + A(I2, I1 + 1))"));
+        assert!(s.contains("END DO"));
+    }
+}

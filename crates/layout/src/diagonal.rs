@@ -1,0 +1,142 @@
+//! Diagonal layouts (paper Section 4.1.2).
+//!
+//! "In theory, we can generalize permutations to other unimodular
+//! transforms. For example, rotating a two-dimensional array by 45 degrees
+//! makes data along a diagonal contiguous ... There are two plausible ways
+//! of laying the data out in memory. The first is to embed the resulting
+//! parallelogram in the smallest enclosing rectilinear space, and the
+//! second is to simply place the diagonals consecutively, one after the
+//! other. The former has the advantage of simpler address calculation, and
+//! the latter has the advantage of more compact storage."
+//!
+//! Both options are provided: the rectilinear embedding composes the
+//! [`DataLayout::skew`] primitive with a permutation; the packed variant is
+//! the standalone [`PackedDiagonals`] map (not expressible as strip-mine +
+//! permute, hence its own address function).
+
+use crate::layout::DataLayout;
+
+/// Option 1: the enclosing-rectilinear-space diagonal layout of a 2-D
+/// array: elements of the anti-diagonal family `i - j` become contiguous
+/// (the diagonal index is the slowest dimension; positions along a
+/// diagonal are adjacent).
+pub fn diagonal_embedded(d0: i64, d1: i64) -> DataLayout {
+    let mut l = DataLayout::identity(&[d0, d1]);
+    // i' = i - j (offset keeps it non-negative), then put the diagonal
+    // index last so each diagonal occupies one "column".
+    l.skew(0, 1, -1);
+    l.permute(&[1, 0]);
+    l
+}
+
+/// Option 2: packed diagonals — diagonals stored consecutively with no
+/// padding. More compact ((d0*d1) slots instead of (d0+d1-1)*d1), at the
+/// price of a lookup-style address computation.
+#[derive(Clone, Debug)]
+pub struct PackedDiagonals {
+    d0: i64,
+    d1: i64,
+    /// Start address of each diagonal `d = i - j + (d1 - 1)`.
+    starts: Vec<i64>,
+}
+
+impl PackedDiagonals {
+    pub fn new(d0: i64, d1: i64) -> PackedDiagonals {
+        assert!(d0 > 0 && d1 > 0);
+        let ndiag = d0 + d1 - 1;
+        let mut starts = Vec::with_capacity(ndiag as usize + 1);
+        let mut acc = 0i64;
+        for d in 0..ndiag {
+            starts.push(acc);
+            // Length of diagonal d: elements (i,j) with i-j = d-(d1-1).
+            let k = d - (d1 - 1);
+            let len = (d0 - k.max(0)).min(d1 + k.min(0));
+            acc += len;
+        }
+        starts.push(acc);
+        PackedDiagonals { d0, d1, starts }
+    }
+
+    /// Total element count: exactly d0*d1 (no padding).
+    pub fn size(&self) -> i64 {
+        *self.starts.last().unwrap()
+    }
+
+    /// Linear address of element (i, j).
+    pub fn address_of(&self, i: i64, j: i64) -> i64 {
+        debug_assert!((0..self.d0).contains(&i) && (0..self.d1).contains(&j));
+        let d = i - j + (self.d1 - 1);
+        // Position along the diagonal: count from its first element.
+        let pos = j.min(i);
+        self.starts[d as usize] + pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embedded_diagonals_contiguous() {
+        let l = diagonal_embedded(4, 4);
+        // Elements of the main diagonal (i == j) are adjacent.
+        let addrs: Vec<i64> = (0..4).map(|k| l.address_of(&[k, k])).collect();
+        for w in addrs.windows(2) {
+            assert_eq!(w[1] - w[0], 1, "diagonal not contiguous: {addrs:?}");
+        }
+        // And so are the off-diagonals.
+        let addrs: Vec<i64> = (0..3).map(|k| l.address_of(&[k + 1, k])).collect();
+        for w in addrs.windows(2) {
+            assert_eq!(w[1] - w[0], 1);
+        }
+    }
+
+    #[test]
+    fn embedded_is_injective_with_padding() {
+        let l = diagonal_embedded(3, 5);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..3 {
+            for j in 0..5 {
+                assert!(seen.insert(l.address_of(&[i, j])));
+            }
+        }
+        // Enclosing rectilinear space is larger than the element count.
+        assert!(l.size() > 15);
+        assert_eq!(l.size(), (3 + 5 - 1) * 5);
+    }
+
+    #[test]
+    fn packed_is_a_compact_bijection() {
+        for (d0, d1) in [(4i64, 4i64), (3, 5), (5, 3), (1, 7), (7, 1)] {
+            let p = PackedDiagonals::new(d0, d1);
+            assert_eq!(p.size(), d0 * d1, "packed layout must not pad");
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..d0 {
+                for j in 0..d1 {
+                    let a = p.address_of(i, j);
+                    assert!((0..p.size()).contains(&a));
+                    assert!(seen.insert(a), "collision at ({i},{j}) for {d0}x{d1}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_diagonals_contiguous() {
+        let p = PackedDiagonals::new(4, 4);
+        // Walk down the main diagonal: consecutive addresses.
+        let addrs: Vec<i64> = (0..4).map(|k| p.address_of(k, k)).collect();
+        for w in addrs.windows(2) {
+            assert_eq!(w[1] - w[0], 1);
+        }
+        // Diagonals are stored one after the other with no gaps.
+        let mut all: Vec<i64> = Vec::new();
+        for i in 0..4 {
+            for j in 0..4 {
+                all.push(p.address_of(i, j));
+            }
+        }
+        all.sort();
+        assert_eq!(all, (0..16).collect::<Vec<i64>>());
+    }
+}

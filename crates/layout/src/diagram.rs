@@ -1,0 +1,69 @@
+//! Render the index/address tables of Figures 2 and 3.
+//!
+//! Each cell of the original array is labeled with its transformed index
+//! vector and its new linear address, exactly like the figures in the
+//! paper.
+
+use crate::layout::DataLayout;
+use std::fmt::Write;
+
+/// Render a 1-D array's transformation table: one row per element with its
+/// new index vector and new linear address (Figure 2).
+pub fn render_1d(layout: &DataLayout) -> String {
+    assert_eq!(layout.orig_dims().len(), 1, "render_1d wants a 1-D array");
+    let d = layout.orig_dims()[0];
+    let mut out = String::new();
+    let _ = writeln!(out, "elem -> new index : new address");
+    for i in 0..d {
+        let t = layout.apply_index(&[i]);
+        let a = layout.address_of(&[i]);
+        let ts: Vec<String> = t.iter().map(|x| x.to_string()).collect();
+        let _ = writeln!(out, "{i:4} -> ({}) : {a}", ts.join(","));
+    }
+    out
+}
+
+/// Render a 2-D array as a grid; each cell shows `new-index|addr`
+/// (Figure 3's layout pictures, in text form).
+pub fn render_2d(layout: &DataLayout) -> String {
+    assert_eq!(layout.orig_dims().len(), 2, "render_2d wants a 2-D array");
+    let (d0, d1) = (layout.orig_dims()[0], layout.orig_dims()[1]);
+    let mut out = String::new();
+    for i in 0..d0 {
+        for j in 0..d1 {
+            let t = layout.apply_index(&[i, j]);
+            let a = layout.address_of(&[i, j]);
+            let ts: Vec<String> = t.iter().map(|x| x.to_string()).collect();
+            let _ = write!(out, "{:>14}", format!("({}){:>3}", ts.join(","), a));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_table() {
+        let mut l = DataLayout::identity(&[32]);
+        l.strip_mine(0, 8);
+        l.permute(&[1, 0]);
+        let s = render_1d(&l);
+        // Element 8 maps to index (1,0) address 1 (second of the
+        // every-eighth contiguous run).
+        assert!(s.contains("   8 -> (1,0) : 1"));
+        assert!(s.contains("   0 -> (0,0) : 0"));
+    }
+
+    #[test]
+    fn figure3_table_shape() {
+        let mut l = DataLayout::identity(&[8, 4]);
+        l.strip_mine(0, 4);
+        l.move_to_last(1);
+        let s = render_2d(&l);
+        assert_eq!(s.lines().count(), 8);
+        assert!(s.contains("(0,0,0)  0"));
+    }
+}

@@ -1,0 +1,346 @@
+//! The data transformation model: strip-mining and permutation primitives
+//! composed into array layouts (Section 4.1 of the paper).
+//!
+//! An n-dimensional array is a polytope of index points; the layout is the
+//! column-major (FORTRAN) linearization of the *transformed* index space.
+//! Strip-mining splits one dimension in two (`i -> (i mod b, i div b)`) and
+//! by itself does not move any data; permutation reorders dimensions and
+//! does. Their composition expresses blocked, cyclic and block-cyclic
+//! layouts.
+
+/// A primitive data transformation step.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DataTransform {
+    /// Replace dimension `dim` (extent `d`) with two dimensions
+    /// `(i mod strip, i div strip)` of extents `(strip, ceil(d/strip))`,
+    /// inserted in place of `dim` in that order.
+    StripMine { dim: usize, strip: i64 },
+    /// Reorder dimensions: new dimension `k` is old dimension `perm[k]`.
+    Permute { perm: Vec<usize> },
+    /// Generalized unimodular step (paper Section 4.1.2): shear dimension
+    /// `target` by `factor` times dimension `source`, embedding the result
+    /// in the smallest enclosing rectilinear space (the paper's first
+    /// layout option for rotated arrays). `offset` keeps indices
+    /// non-negative when `factor < 0`.
+    Skew { target: usize, source: usize, factor: i64, offset: i64 },
+}
+
+/// A concrete array layout: original extents plus a transform pipeline.
+#[derive(Clone, Debug)]
+pub struct DataLayout {
+    orig_dims: Vec<i64>,
+    transforms: Vec<DataTransform>,
+    final_dims: Vec<i64>,
+}
+
+impl DataLayout {
+    /// The identity (FORTRAN column-major) layout.
+    pub fn identity(dims: &[i64]) -> DataLayout {
+        assert!(dims.iter().all(|&d| d > 0), "non-positive extent");
+        DataLayout { orig_dims: dims.to_vec(), transforms: Vec::new(), final_dims: dims.to_vec() }
+    }
+
+    pub fn orig_dims(&self) -> &[i64] {
+        &self.orig_dims
+    }
+
+    pub fn final_dims(&self) -> &[i64] {
+        &self.final_dims
+    }
+
+    pub fn transforms(&self) -> &[DataTransform] {
+        &self.transforms
+    }
+
+    pub fn is_identity(&self) -> bool {
+        self.transforms.is_empty()
+    }
+
+    /// Total number of elements in the transformed array (>= original
+    /// element count when strips do not divide extents evenly).
+    pub fn size(&self) -> i64 {
+        self.final_dims.iter().product()
+    }
+
+    /// Append a strip-mine step. Panics on invalid dim or strip.
+    pub fn strip_mine(&mut self, dim: usize, strip: i64) {
+        assert!(dim < self.final_dims.len(), "strip-mine dim out of range");
+        assert!(strip >= 1, "strip must be positive");
+        let d = self.final_dims[dim];
+        let outer = (d + strip - 1) / strip;
+        self.final_dims.splice(dim..=dim, [strip, outer]);
+        self.transforms.push(DataTransform::StripMine { dim, strip });
+    }
+
+    /// Append a permutation step.
+    pub fn permute(&mut self, perm: &[usize]) {
+        let n = self.final_dims.len();
+        assert_eq!(perm.len(), n, "permutation length mismatch");
+        let mut seen = vec![false; n];
+        for &p in perm {
+            assert!(p < n && !seen[p], "invalid permutation");
+            seen[p] = true;
+        }
+        self.final_dims = perm.iter().map(|&p| self.final_dims[p]).collect();
+        self.transforms.push(DataTransform::Permute { perm: perm.to_vec() });
+    }
+
+    /// Append a skew step (generalized unimodular transform, paper
+    /// §4.1.2): dimension `target` becomes `target + factor*source`,
+    /// embedded in the enclosing rectilinear space. Composed with a
+    /// permutation this yields diagonal layouts ("rotating a
+    /// two-dimensional array by 45 degrees makes data along a diagonal
+    /// contiguous").
+    pub fn skew(&mut self, target: usize, source: usize, factor: i64) {
+        let n = self.final_dims.len();
+        assert!(target < n && source < n && target != source, "bad skew dims");
+        assert!(factor != 0, "zero skew is the identity");
+        let src_extent = self.final_dims[source];
+        let offset = if factor < 0 { -factor * (src_extent - 1) } else { 0 };
+        self.final_dims[target] += factor.abs() * (src_extent - 1);
+        self.transforms.push(DataTransform::Skew { target, source, factor, offset });
+    }
+
+    /// Convenience: move dimension `from` to the last position, keeping the
+    /// relative order of all other dimensions.
+    pub fn move_to_last(&mut self, from: usize) {
+        let n = self.final_dims.len();
+        if from == n - 1 {
+            return;
+        }
+        let mut perm: Vec<usize> = (0..n).filter(|&k| k != from).collect();
+        perm.push(from);
+        self.permute(&perm);
+    }
+
+    /// Map an original index vector to the transformed index vector.
+    pub fn apply_index(&self, idx: &[i64]) -> Vec<i64> {
+        assert_eq!(idx.len(), self.orig_dims.len(), "index rank mismatch");
+        let mut v = idx.to_vec();
+        for t in &self.transforms {
+            match t {
+                DataTransform::StripMine { dim, strip } => {
+                    let i = v[*dim];
+                    v.splice(*dim..=*dim, [i.rem_euclid(*strip), i.div_euclid(*strip)]);
+                }
+                DataTransform::Permute { perm } => {
+                    v = perm.iter().map(|&p| v[p]).collect();
+                }
+                DataTransform::Skew { target, source, factor, offset } => {
+                    v[*target] += factor * v[*source] + offset;
+                }
+            }
+        }
+        v
+    }
+
+    /// Column-major linear address of a transformed index vector.
+    pub fn linearize(&self, tidx: &[i64]) -> i64 {
+        assert_eq!(tidx.len(), self.final_dims.len());
+        let mut addr = 0i64;
+        for k in (0..tidx.len()).rev() {
+            debug_assert!(
+                tidx[k] >= 0 && tidx[k] < self.final_dims[k],
+                "index {tidx:?} out of extents {:?}",
+                self.final_dims
+            );
+            addr = addr * self.final_dims[k] + tidx[k];
+        }
+        addr
+    }
+
+    /// Linear address (in elements) of an original index vector.
+    pub fn address_of(&self, idx: &[i64]) -> i64 {
+        self.linearize(&self.apply_index(idx))
+    }
+
+    /// Allocation-free address computation: `buf` is scratch space reused
+    /// across calls.
+    pub fn address_of_buf(&self, idx: &[i64], buf: &mut Vec<i64>) -> i64 {
+        debug_assert_eq!(idx.len(), self.orig_dims.len());
+        buf.clear();
+        buf.extend_from_slice(idx);
+        for t in &self.transforms {
+            match t {
+                DataTransform::StripMine { dim, strip } => {
+                    let i = buf[*dim];
+                    buf[*dim] = i.rem_euclid(*strip);
+                    buf.insert(*dim + 1, i.div_euclid(*strip));
+                }
+                DataTransform::Permute { perm } => {
+                    // Permute in place via a small fixed scratch.
+                    debug_assert!(perm.len() <= 16, "rank beyond in-place permute scratch");
+                    let mut tmp = [0i64; 16];
+                    tmp[..buf.len()].copy_from_slice(buf);
+                    for (k, &p) in perm.iter().enumerate() {
+                        buf[k] = tmp[p];
+                    }
+                }
+                DataTransform::Skew { target, source, factor, offset } => {
+                    buf[*target] += factor * buf[*source] + offset;
+                }
+            }
+        }
+        let mut addr = 0i64;
+        for k in (0..buf.len()).rev() {
+            debug_assert!(buf[k] >= 0 && buf[k] < self.final_dims[k]);
+            addr = addr * self.final_dims[k] + buf[k];
+        }
+        addr
+    }
+
+    /// Static allocation bound for a layout whose strip sizes are only
+    /// known to be at most `bmax` (paper Section 4.3): strip-mining a
+    /// `d`-element dimension with strip `b` needs `b * ceil(d/b) <= d +
+    /// b - 1` slots, so replacing every strip by `bmax` bounds the size a
+    /// compiler can allocate before the processor count is known.
+    pub fn static_alloc_bound(orig_dims: &[i64], strips: usize, bmax: i64) -> i64 {
+        assert!(bmax >= 1);
+        let base: i64 = orig_dims.iter().product();
+        // Each strip-mine can add at most (bmax - 1) elements per slice of
+        // the remaining dimensions; a safe coarse bound multiplies per
+        // strip.
+        let mut bound = base;
+        for _ in 0..strips {
+            bound += bmax - 1;
+            bound = (bound + bmax - 1) / bmax * bmax;
+        }
+        bound
+    }
+
+    /// All strip-mine steps expressed against *original* dimensions:
+    /// `(original_dim, strip)`. Used by the address-cost model.
+    pub fn strip_mines_by_orig_dim(&self) -> Vec<(usize, i64)> {
+        // Track, for each current dimension, which original dimension it
+        // came from.
+        let mut from: Vec<usize> = (0..self.orig_dims.len()).collect();
+        let mut out = Vec::new();
+        for t in &self.transforms {
+            match t {
+                DataTransform::StripMine { dim, strip } => {
+                    let o = from[*dim];
+                    out.push((o, *strip));
+                    from.splice(*dim..=*dim, [o, o]);
+                }
+                DataTransform::Permute { perm } => {
+                    from = perm.iter().map(|&p| from[p]).collect();
+                }
+                DataTransform::Skew { .. } => {}
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_column_major() {
+        // FORTRAN column-major: A(i,j) at address i + d0*j.
+        let l = DataLayout::identity(&[4, 3]);
+        assert_eq!(l.address_of(&[0, 0]), 0);
+        assert_eq!(l.address_of(&[1, 0]), 1);
+        assert_eq!(l.address_of(&[0, 1]), 4);
+        assert_eq!(l.address_of(&[3, 2]), 11);
+        assert!(l.is_identity());
+    }
+
+    #[test]
+    fn strip_mine_alone_is_noop_on_addresses() {
+        // Paper 4.1.1: strip-mining on its own does not change the layout
+        // (when the strip divides the extent).
+        let mut l = DataLayout::identity(&[12]);
+        l.strip_mine(0, 4);
+        assert_eq!(l.final_dims(), &[4, 3]);
+        for i in 0..12 {
+            assert_eq!(l.address_of(&[i]), i);
+        }
+    }
+
+    #[test]
+    fn figure2_strip_and_transpose() {
+        // Figure 2: 32-element array, strip 8, then transpose: every 4th
+        // element becomes contiguous... (strip b=8 gives (i mod 8, i/8);
+        // transposing makes address = i/8 + 4*(i mod 8), so elements
+        // 0,8,16,24 occupy addresses 0..3.
+        let mut l = DataLayout::identity(&[32]);
+        l.strip_mine(0, 8);
+        l.permute(&[1, 0]);
+        assert_eq!(l.final_dims(), &[4, 8]);
+        assert_eq!(l.address_of(&[0]), 0);
+        assert_eq!(l.address_of(&[8]), 1);
+        assert_eq!(l.address_of(&[16]), 2);
+        assert_eq!(l.address_of(&[24]), 3);
+        assert_eq!(l.address_of(&[1]), 4);
+    }
+
+    #[test]
+    fn move_to_last() {
+        let mut l = DataLayout::identity(&[2, 3, 4]);
+        l.move_to_last(0);
+        assert_eq!(l.final_dims(), &[3, 4, 2]);
+        // (i,j,k) -> (j,k,i): address = j + 3*(k + 4*i).
+        assert_eq!(l.address_of(&[1, 2, 3]), 2 + 3 * (3 + 4));
+        // Moving the last dim is a no-op.
+        let mut l2 = DataLayout::identity(&[2, 3]);
+        l2.move_to_last(1);
+        assert!(l2.is_identity());
+    }
+
+    #[test]
+    fn layout_is_bijective() {
+        let mut l = DataLayout::identity(&[6, 5]);
+        l.strip_mine(0, 2);
+        l.move_to_last(1);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..6 {
+            for j in 0..5 {
+                let a = l.address_of(&[i, j]);
+                assert!(a >= 0 && a < l.size());
+                assert!(seen.insert(a), "address collision at ({i},{j})");
+            }
+        }
+        assert_eq!(seen.len(), 30);
+    }
+
+    #[test]
+    fn non_dividing_strip_pads() {
+        let mut l = DataLayout::identity(&[10]);
+        l.strip_mine(0, 4);
+        // ceil(10/4) = 3 -> total 12 slots >= 10, < 10 + 4 - 1 (paper 4.3).
+        assert_eq!(l.size(), 12);
+        assert!(l.size() < 10 + 4);
+    }
+
+    #[test]
+    fn static_alloc_bound_covers_every_strip_choice() {
+        // For every strip b <= bmax, the actual size after one strip-mine
+        // must fit inside the static bound.
+        let d = 23i64;
+        let bmax = 7i64;
+        let bound = DataLayout::static_alloc_bound(&[d], 1, bmax);
+        for b in 1..=bmax {
+            let mut l = DataLayout::identity(&[d]);
+            l.strip_mine(0, b);
+            assert!(l.size() <= bound, "b={b}: {} > {bound}", l.size());
+        }
+    }
+
+    #[test]
+    fn strip_mines_by_orig_dim_tracking() {
+        let mut l = DataLayout::identity(&[8, 8]);
+        l.strip_mine(1, 4); // dims: [8, 4, 2]
+        l.move_to_last(2); // dims: [8, 4, 2]
+        l.strip_mine(0, 2); // splits original dim 0
+        assert_eq!(l.strip_mines_by_orig_dim(), vec![(1, 4), (0, 2)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_permutation_rejected() {
+        let mut l = DataLayout::identity(&[2, 2]);
+        l.permute(&[0, 0]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests for the data-transformation framework: any pipeline of
+//! strip-mines and permutations must remain a bijection with the documented
+//! structural properties, and synthesized layouts must keep every
+//! processor's share contiguous.
+
+#![allow(clippy::needless_range_loop)]
+
+use dct_decomp::{ArrayDist, DataDecomp, Folding};
+use dct_layout::{synthesize_array_layout, DataLayout};
+use proptest::prelude::*;
+
+/// A random transform pipeline applied to a random-rank array.
+fn arb_layout() -> impl Strategy<Value = DataLayout> {
+    let dims = proptest::collection::vec(1i64..=7, 1..=3);
+    (dims, proptest::collection::vec((any::<u8>(), 2i64..=4, any::<u8>()), 0..4)).prop_map(
+        |(dims, steps)| {
+            let mut l = DataLayout::identity(&dims);
+            for (which, strip, perm_seed) in steps {
+                let n = l.final_dims().len();
+                if which % 2 == 0 && n < 6 {
+                    l.strip_mine((which as usize / 2) % n, strip);
+                } else {
+                    // Rotate by perm_seed as a valid permutation.
+                    let r = (perm_seed as usize) % n;
+                    let perm: Vec<usize> = (0..n).map(|k| (k + r) % n).collect();
+                    l.permute(&perm);
+                }
+            }
+            l
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Address map is a bijection into [0, size).
+    #[test]
+    fn layout_bijective(l in arb_layout()) {
+        let dims = l.orig_dims().to_vec();
+        let mut seen = std::collections::HashSet::new();
+        let total: i64 = dims.iter().product();
+        let mut idx = vec![0i64; dims.len()];
+        for _ in 0..total {
+            let a = l.address_of(&idx);
+            prop_assert!(a >= 0 && a < l.size());
+            prop_assert!(seen.insert(a));
+            // Buffered variant agrees with the allocating one.
+            let mut buf = Vec::new();
+            prop_assert_eq!(l.address_of_buf(&idx, &mut buf), a);
+            // Odometer.
+            for d in 0..dims.len() {
+                idx[d] += 1;
+                if idx[d] < dims[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+    }
+
+    /// Strip-mining with a dividing strip, alone, never moves data.
+    #[test]
+    fn dividing_strip_is_identity(k in 1i64..=5, b in 1i64..=5) {
+        let d = k * b;
+        let mut l = DataLayout::identity(&[d]);
+        l.strip_mine(0, b);
+        for i in 0..d {
+            prop_assert_eq!(l.address_of(&[i]), i);
+        }
+    }
+
+    /// Synthesized single-dim layouts keep each processor's share in a
+    /// contiguous address range (the core claim of Section 4).
+    #[test]
+    fn synthesized_share_contiguous(
+        d0 in 4i64..=24,
+        d1 in 1i64..=6,
+        p in 1usize..=5,
+        which in 0usize..2,
+        folding_sel in 0usize..3,
+    ) {
+        let folding = match folding_sel {
+            0 => Folding::Block,
+            1 => Folding::Cyclic,
+            _ => Folding::BlockCyclic { block: 2 },
+        };
+        let dims = [d0, d1];
+        let dd = DataDecomp { dists: vec![ArrayDist { dim: which, proc_dim: 0 }], replicated: false };
+        let al = synthesize_array_layout(&dims, &dd, &[folding], &[p], true);
+        let mut per_proc: Vec<Vec<i64>> = vec![Vec::new(); p];
+        for i in 0..d0 {
+            for j in 0..d1 {
+                let owner = al.owner(&[i, j])[0].1 as usize;
+                prop_assert!(owner < p);
+                per_proc[owner].push(al.layout.address_of(&[i, j]));
+            }
+        }
+        // Each processor's share must fit inside one per-processor region
+        // of the transformed array: the region size is the total size
+        // divided by the processor-identifying (last) dimension. Within a
+        // region the only holes are strip-padding slots.
+        let region = if al.transformed {
+            let last = *al.layout.final_dims().last().unwrap();
+            al.layout.size() / last
+        } else {
+            al.layout.size()
+        };
+        for addrs in per_proc.iter_mut().filter(|a| !a.is_empty()) {
+            addrs.sort();
+            let span = addrs.last().unwrap() - addrs.first().unwrap() + 1;
+            prop_assert!(
+                span <= region,
+                "share spans {span} > region {region} (folding {folding:?}, p={p}, dims {:?})",
+                al.layout.final_dims()
+            );
+        }
+    }
+
+    /// Owners computed through the layout partition the index space.
+    #[test]
+    fn owner_partition(
+        d0 in 4i64..=24,
+        p in 1usize..=6,
+        folding_sel in 0usize..3,
+    ) {
+        let folding = match folding_sel {
+            0 => Folding::Block,
+            1 => Folding::Cyclic,
+            _ => Folding::BlockCyclic { block: 3 },
+        };
+        let dd = DataDecomp { dists: vec![ArrayDist { dim: 0, proc_dim: 0 }], replicated: false };
+        let al = synthesize_array_layout(&[d0], &dd, &[folding], &[p], true);
+        let mut counts = vec![0usize; p];
+        for i in 0..d0 {
+            counts[al.owner(&[i])[0].1 as usize] += 1;
+        }
+        prop_assert_eq!(counts.iter().sum::<usize>(), d0 as usize);
+        // Block folding is balanced to within one strip.
+        if matches!(folding, Folding::Block) {
+            let b = (d0 + p as i64 - 1) / p as i64;
+            for &c in &counts {
+                prop_assert!(c as i64 <= b);
+            }
+        }
+    }
+}

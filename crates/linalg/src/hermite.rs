@@ -1,0 +1,291 @@
+//! Integer lattice algorithms: column-style Hermite normal form, integer
+//! nullspaces, and unimodular completion.
+//!
+//! Loop transformations must be *unimodular* (integer with determinant ±1) so
+//! that the transformed iteration space contains exactly the original integer
+//! points. These routines provide the integer-exact machinery: HNF with a
+//! recorded unimodular column transform, integer nullspace bases, and
+//! completion of independent rows to a full unimodular matrix.
+
+use crate::matrix::IntMat;
+
+/// Result of a column Hermite normal form computation: `a * u = h` where `u`
+/// is unimodular and `h` is lower-triangular-ish with zero columns on the
+/// right.
+pub struct ColumnHnf {
+    pub h: IntMat,
+    pub u: IntMat,
+    /// Rank of the input (number of nonzero columns of `h`).
+    pub rank: usize,
+}
+
+/// Compute the column-style Hermite normal form of `a`.
+///
+/// Column operations (swap, negate, add integer multiple) are applied to
+/// reduce `a` so that the first `rank` columns are in echelon form and the
+/// remaining columns are zero; the same operations accumulate in `u`.
+pub fn column_hnf(a: &IntMat) -> ColumnHnf {
+    let rows = a.rows();
+    let cols = a.cols();
+    let mut h = a.clone();
+    let mut u = IntMat::identity(cols);
+    let mut pivot_col = 0;
+
+    for r in 0..rows {
+        if pivot_col >= cols {
+            break;
+        }
+        // Euclidean reduction across columns pivot_col.. on row r until at
+        // most one nonzero remains (in pivot_col).
+        loop {
+            // Find column with the smallest nonzero |entry| in row r.
+            let mut best: Option<(usize, i64)> = None;
+            for c in pivot_col..cols {
+                let v = h[(r, c)];
+                if v != 0 && best.is_none_or(|(_, bv)| v.abs() < bv.abs()) {
+                    best = Some((c, v));
+                }
+            }
+            let Some((bc, bv)) = best else {
+                break; // row r entirely zero in the working columns
+            };
+            swap_cols(&mut h, &mut u, pivot_col, bc);
+            if bv < 0 {
+                negate_col(&mut h, &mut u, pivot_col);
+            }
+            let p = h[(r, pivot_col)];
+            let mut done = true;
+            for c in pivot_col + 1..cols {
+                let v = h[(r, c)];
+                if v != 0 {
+                    let q = v.div_euclid(p);
+                    add_col_multiple(&mut h, &mut u, c, pivot_col, -q);
+                    if h[(r, c)] != 0 {
+                        done = false;
+                    }
+                }
+            }
+            if done {
+                break;
+            }
+        }
+        if h[(r, pivot_col)] != 0 {
+            // Reduce entries to the left of the pivot in this row so that
+            // 0 <= entry < pivot (canonical HNF off-diagonal reduction).
+            let p = h[(r, pivot_col)];
+            for c in 0..pivot_col {
+                let v = h[(r, c)];
+                let q = v.div_euclid(p);
+                if q != 0 {
+                    add_col_multiple(&mut h, &mut u, c, pivot_col, -q);
+                }
+            }
+            pivot_col += 1;
+        }
+    }
+
+    ColumnHnf { h, u, rank: pivot_col }
+}
+
+fn swap_cols(h: &mut IntMat, u: &mut IntMat, a: usize, b: usize) {
+    if a == b {
+        return;
+    }
+    for i in 0..h.rows() {
+        let t = h[(i, a)];
+        h[(i, a)] = h[(i, b)];
+        h[(i, b)] = t;
+    }
+    for i in 0..u.rows() {
+        let t = u[(i, a)];
+        u[(i, a)] = u[(i, b)];
+        u[(i, b)] = t;
+    }
+}
+
+fn negate_col(h: &mut IntMat, u: &mut IntMat, c: usize) {
+    for i in 0..h.rows() {
+        h[(i, c)] = -h[(i, c)];
+    }
+    for i in 0..u.rows() {
+        u[(i, c)] = -u[(i, c)];
+    }
+}
+
+fn add_col_multiple(h: &mut IntMat, u: &mut IntMat, dst: usize, src: usize, k: i64) {
+    if k == 0 {
+        return;
+    }
+    for i in 0..h.rows() {
+        h[(i, dst)] = h[(i, dst)]
+            .checked_add(k.checked_mul(h[(i, src)]).expect("hnf overflow"))
+            .expect("hnf overflow");
+    }
+    for i in 0..u.rows() {
+        u[(i, dst)] = u[(i, dst)]
+            .checked_add(k.checked_mul(u[(i, src)]).expect("hnf overflow"))
+            .expect("hnf overflow");
+    }
+}
+
+/// Integer basis (rows of the result) of `{x : a x = 0}`.
+///
+/// The columns of the HNF transform `u` corresponding to zero columns of `h`
+/// form a lattice basis of the integer nullspace.
+pub fn int_nullspace(a: &IntMat) -> IntMat {
+    let hnf = column_hnf(a);
+    let mut basis = Vec::new();
+    for c in hnf.rank..a.cols() {
+        basis.push(hnf.u.col(c));
+    }
+    IntMat::from_rows(&basis)
+}
+
+/// Complete the rows of `partial` (which must be linearly independent) to an
+/// `n x n` unimodular matrix whose first `partial.rows()` rows are `partial`.
+///
+/// Returns `None` if the rows are dependent or cannot head a unimodular
+/// matrix over the integers (e.g. a single row `[2, 0]`).
+pub fn unimodular_completion(partial: &IntMat) -> Option<IntMat> {
+    let k = partial.rows();
+    let n = partial.cols();
+    assert!(k <= n, "more rows than columns");
+    if k == 0 {
+        return Some(IntMat::identity(n));
+    }
+    // Column HNF of partial: partial * U = [H 0]. The rows of U^-1 span Z^n;
+    // if H is unimodular (diag ±1 ... actually |det H| == 1), then
+    // partial = [H 0] * U^-1 and we can take completion rows from U^-1.
+    let hnf = column_hnf(partial);
+    if hnf.rank < k {
+        return None; // dependent rows
+    }
+    // H's leading k x k block must have |det| 1 for an exact completion.
+    let mut hk = IntMat::zeros(k, k);
+    for i in 0..k {
+        for j in 0..k {
+            hk[(i, j)] = hnf.h[(i, j)];
+        }
+    }
+    let det = hk.determinant()?;
+    if det.abs() != 1 {
+        return None;
+    }
+    // U is unimodular; U^-1 is integer. partial = Hk_ext * U^-1 where
+    // Hk_ext = [Hk 0]. Completion: rows k..n of U^-1 complete the basis, and
+    // we pre-multiply the top block by Hk to make the first k rows equal to
+    // partial exactly.
+    let uinv = int_inverse_unimodular(&hnf.u);
+    let mut rows = Vec::with_capacity(n);
+    // First k rows: Hk * (first k rows of U^-1) == partial.
+    let top = uinv.select_rows(&(0..k).collect::<Vec<_>>());
+    let top = hk.mul(&top);
+    for i in 0..k {
+        rows.push(top.row(i).to_vec());
+    }
+    for i in k..n {
+        rows.push(uinv.row(i).to_vec());
+    }
+    let m = IntMat::from_rows(&rows);
+    debug_assert!(m.is_unimodular());
+    Some(m)
+}
+
+/// Exact inverse of a unimodular integer matrix (panics otherwise).
+pub fn int_inverse_unimodular(u: &IntMat) -> IntMat {
+    assert!(u.is_unimodular(), "matrix is not unimodular");
+    let n = u.rows();
+    let r = u.to_rat();
+    let mut inv = IntMat::zeros(n, n);
+    // Solve U x = e_j for each j.
+    for j in 0..n {
+        let mut e = vec![crate::rational::Rat::ZERO; n];
+        e[j] = crate::rational::Rat::ONE;
+        let x = r.solve(&e).expect("unimodular matrix must be invertible");
+        for i in 0..n {
+            inv[(i, j)] = x[i].to_i64();
+        }
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: &[&[i64]]) -> IntMat {
+        IntMat::from_rows(&rows.iter().map(|r| r.to_vec()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn hnf_factors() {
+        let a = m(&[&[2, 4, 4], &[-6, 6, 12], &[10, 4, 16]]);
+        let hnf = column_hnf(&a);
+        assert!(hnf.u.is_unimodular());
+        assert_eq!(a.mul(&hnf.u), hnf.h);
+        assert_eq!(hnf.rank, a.rank());
+    }
+
+    #[test]
+    fn hnf_zero_matrix() {
+        let a = IntMat::zeros(2, 3);
+        let hnf = column_hnf(&a);
+        assert_eq!(hnf.rank, 0);
+        assert!(hnf.h.is_zero());
+    }
+
+    #[test]
+    fn nullspace_basis() {
+        let a = m(&[&[1, 2, 3]]);
+        let ns = int_nullspace(&a);
+        assert_eq!(ns.rows(), 2);
+        for i in 0..ns.rows() {
+            assert_eq!(a.mul_vec(ns.row(i)), vec![0]);
+        }
+        // The basis must be primitive enough to include (e.g.) [-2,1,0]-like
+        // integer solutions: check rank.
+        assert_eq!(ns.rank(), 2);
+    }
+
+    #[test]
+    fn nullspace_full_rank() {
+        let a = m(&[&[1, 0], &[0, 1]]);
+        assert_eq!(int_nullspace(&a).rows(), 0);
+    }
+
+    #[test]
+    fn completion_simple() {
+        let p = m(&[&[0, 1]]);
+        let c = unimodular_completion(&p).unwrap();
+        assert!(c.is_unimodular());
+        assert_eq!(c.row(0), &[0, 1]);
+    }
+
+    #[test]
+    fn completion_skew() {
+        let p = m(&[&[1, 1, 0], &[0, 1, 1]]);
+        let c = unimodular_completion(&p).unwrap();
+        assert!(c.is_unimodular());
+        assert_eq!(c.row(0), &[1, 1, 0]);
+        assert_eq!(c.row(1), &[0, 1, 1]);
+    }
+
+    #[test]
+    fn completion_fails_on_non_primitive() {
+        let p = m(&[&[2, 0]]);
+        assert!(unimodular_completion(&p).is_none());
+    }
+
+    #[test]
+    fn completion_fails_on_dependent() {
+        let p = m(&[&[1, 2], &[2, 4]]);
+        assert!(unimodular_completion(&p).is_none());
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let u = m(&[&[1, 1], &[0, 1]]);
+        let inv = int_inverse_unimodular(&u);
+        assert_eq!(u.mul(&inv), IntMat::identity(2));
+    }
+}

@@ -1,0 +1,26 @@
+//! # dct-linalg
+//!
+//! Exact linear algebra for affine compiler analyses: rationals, integer and
+//! rational matrices, Hermite and Smith normal forms, integer nullspaces,
+//! unimodular completion, rational subspaces, and Fourier–Motzkin
+//! elimination over affine inequality systems.
+//!
+//! Everything is exact (no floating point): the results feed loop
+//! transformations and data-layout decisions where approximation would mean
+//! generating incorrect code.
+
+#![allow(clippy::needless_range_loop, clippy::manual_memcpy)]
+
+pub mod hermite;
+pub mod matrix;
+pub mod polyhedron;
+pub mod rational;
+pub mod smith;
+pub mod subspace;
+
+pub use hermite::{column_hnf, int_inverse_unimodular, int_nullspace, unimodular_completion, ColumnHnf};
+pub use matrix::{IntMat, RatMat};
+pub use polyhedron::{LinIneq, Polyhedron, VarBound};
+pub use rational::{gcd_i64, lcm_i64, Rat};
+pub use smith::{smith_normal_form, Snf};
+pub use subspace::Subspace;

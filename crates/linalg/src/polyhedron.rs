@@ -1,0 +1,359 @@
+//! Systems of affine inequalities and Fourier–Motzkin elimination.
+//!
+//! Loop bounds are represented as inequalities over the loop index variables
+//! and symbolic parameters (array sizes such as `N`). After a unimodular
+//! transformation of the iteration space, the bounds of each new loop
+//! variable are recovered by projecting out the inner variables with
+//! Fourier–Motzkin elimination and reading off the remaining constraints.
+//!
+//! Variables are identified by position `0..nvars`. The caller decides which
+//! positions are loop indices and which are symbolic parameters (parameters
+//! are simply never eliminated).
+
+use crate::rational::gcd_i64;
+
+/// An affine inequality `coeffs . x + konst >= 0`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct LinIneq {
+    pub coeffs: Vec<i64>,
+    pub konst: i64,
+}
+
+impl LinIneq {
+    pub fn new(coeffs: Vec<i64>, konst: i64) -> LinIneq {
+        let mut q = LinIneq { coeffs, konst };
+        q.normalize();
+        q
+    }
+
+    /// Divide through by the gcd of all coefficients (tightening the constant
+    /// toward feasibility-preserving integer form).
+    fn normalize(&mut self) {
+        let mut g = 0i64;
+        for &c in &self.coeffs {
+            g = gcd_i64(g, c);
+        }
+        if g > 1 {
+            for c in &mut self.coeffs {
+                *c /= g;
+            }
+            // For integer solutions, (a g) . x + k >= 0  <=>  a . x >= -k/g,
+            // i.e. a . x + floor(k/g) >= 0.
+            self.konst = self.konst.div_euclid(g);
+        }
+    }
+
+    /// Evaluate the left-hand side at a point.
+    pub fn eval(&self, x: &[i64]) -> i64 {
+        assert_eq!(x.len(), self.coeffs.len());
+        self.coeffs
+            .iter()
+            .zip(x)
+            .map(|(&a, &b)| a.checked_mul(b).expect("overflow"))
+            .fold(self.konst, |s, t| s.checked_add(t).expect("overflow"))
+    }
+
+    pub fn satisfied(&self, x: &[i64]) -> bool {
+        self.eval(x) >= 0
+    }
+
+    /// True if the inequality mentions no variables.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.iter().all(|&c| c == 0)
+    }
+}
+
+/// A convex polyhedron `{ x : A x + b >= 0 }` over `nvars` variables.
+#[derive(Clone, Debug)]
+pub struct Polyhedron {
+    nvars: usize,
+    ineqs: Vec<LinIneq>,
+}
+
+/// A one-sided affine bound on a variable: `var >= (coeffs . x + konst)/divisor`
+/// (lower) or `var <= (coeffs . x + konst)/divisor` (upper), with
+/// `divisor > 0`. Ceiling/floor division applies for integer loop bounds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VarBound {
+    pub coeffs: Vec<i64>,
+    pub konst: i64,
+    pub divisor: i64,
+}
+
+impl VarBound {
+    /// Evaluate as a lower bound (ceiling division).
+    pub fn eval_lower(&self, x: &[i64]) -> i64 {
+        let num = self.numerator(x);
+        div_ceil(num, self.divisor)
+    }
+
+    /// Evaluate as an upper bound (floor division).
+    pub fn eval_upper(&self, x: &[i64]) -> i64 {
+        let num = self.numerator(x);
+        num.div_euclid(self.divisor)
+    }
+
+    fn numerator(&self, x: &[i64]) -> i64 {
+        self.coeffs
+            .iter()
+            .zip(x)
+            .map(|(&a, &b)| a.checked_mul(b).expect("overflow"))
+            .fold(self.konst, |s, t| s.checked_add(t).expect("overflow"))
+    }
+}
+
+fn div_ceil(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    -((-a).div_euclid(b))
+}
+
+impl Polyhedron {
+    pub fn new(nvars: usize) -> Polyhedron {
+        Polyhedron { nvars, ineqs: Vec::new() }
+    }
+
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    pub fn ineqs(&self) -> &[LinIneq] {
+        &self.ineqs
+    }
+
+    /// Add `coeffs . x + konst >= 0`. Inequalities with identical
+    /// coefficient vectors are merged, keeping the tightest constant —
+    /// a cheap redundancy filter that keeps Fourier–Motzkin outputs small.
+    pub fn add(&mut self, coeffs: Vec<i64>, konst: i64) {
+        assert_eq!(coeffs.len(), self.nvars);
+        let q = LinIneq::new(coeffs, konst);
+        if let Some(existing) = self.ineqs.iter_mut().find(|e| e.coeffs == q.coeffs) {
+            existing.konst = existing.konst.min(q.konst);
+        } else {
+            self.ineqs.push(q);
+        }
+    }
+
+    /// Add `var >= lo` where `lo` is constant.
+    pub fn add_lower_const(&mut self, var: usize, lo: i64) {
+        let mut c = vec![0; self.nvars];
+        c[var] = 1;
+        self.add(c, -lo);
+    }
+
+    /// Add `var <= hi` where `hi` is constant.
+    pub fn add_upper_const(&mut self, var: usize, hi: i64) {
+        let mut c = vec![0; self.nvars];
+        c[var] = -1;
+        self.add(c, hi);
+    }
+
+    pub fn contains(&self, x: &[i64]) -> bool {
+        self.ineqs.iter().all(|q| q.satisfied(x))
+    }
+
+    /// Fourier–Motzkin: eliminate variable `var`, returning the projection
+    /// onto the remaining variables (the variable keeps its slot with a zero
+    /// coefficient so indices stay stable).
+    pub fn eliminate(&self, var: usize) -> Polyhedron {
+        assert!(var < self.nvars);
+        let mut lowers = Vec::new(); // coefficient on var > 0
+        let mut uppers = Vec::new(); // coefficient on var < 0
+        let mut rest = Vec::new();
+        for q in &self.ineqs {
+            match q.coeffs[var].signum() {
+                1 => lowers.push(q.clone()),
+                -1 => uppers.push(q.clone()),
+                _ => rest.push(q.clone()),
+            }
+        }
+        let mut out = Polyhedron { nvars: self.nvars, ineqs: rest };
+        for lo in &lowers {
+            for up in &uppers {
+                // a*var >= -(lo-part), b*var <= (up-part): combine
+                // b*(lo) + a*(-up coefficient...) — standard positive combo:
+                let a = lo.coeffs[var]; // > 0
+                let b = -up.coeffs[var]; // > 0
+                let mut coeffs = vec![0i64; self.nvars];
+                for k in 0..self.nvars {
+                    if k == var {
+                        continue;
+                    }
+                    coeffs[k] = b
+                        .checked_mul(lo.coeffs[k])
+                        .and_then(|x| a.checked_mul(up.coeffs[k]).and_then(|y| x.checked_add(y)))
+                        .expect("fm overflow");
+                }
+                let konst = b
+                    .checked_mul(lo.konst)
+                    .and_then(|x| a.checked_mul(up.konst).and_then(|y| x.checked_add(y)))
+                    .expect("fm overflow");
+                let q = LinIneq::new(coeffs, konst);
+                if q.is_constant() {
+                    // A constant inequality: either trivially true or the
+                    // system is empty; keep the violated ones to record
+                    // emptiness.
+                    if q.konst < 0 {
+                        out.ineqs.push(q);
+                    }
+                } else if let Some(existing) =
+                    out.ineqs.iter_mut().find(|e| e.coeffs == q.coeffs)
+                {
+                    existing.konst = existing.konst.min(q.konst);
+                } else {
+                    out.ineqs.push(q);
+                }
+            }
+        }
+        out
+    }
+
+    /// True if some constant inequality is violated (a cheap emptiness
+    /// witness after full elimination; not a complete emptiness test before).
+    pub fn trivially_empty(&self) -> bool {
+        self.ineqs.iter().any(|q| q.is_constant() && q.konst < 0)
+    }
+
+    /// Complete integer-rational emptiness test over the *rationals*: project
+    /// out every variable in `vars` and check for violated constants.
+    pub fn empty_after_eliminating(&self, vars: &[usize]) -> bool {
+        let mut p = self.clone();
+        for &v in vars {
+            p = p.eliminate(v);
+            if p.trivially_empty() {
+                return true;
+            }
+        }
+        p.trivially_empty()
+    }
+
+    /// Extract the lower and upper bounds of `var` from inequalities that
+    /// mention it, expressed over the other variables. Panics if any
+    /// inequality still involves a variable in `inner` (those must be
+    /// eliminated first).
+    pub fn bounds_of(&self, var: usize, inner: &[usize]) -> (Vec<VarBound>, Vec<VarBound>) {
+        let mut lowers = Vec::new();
+        let mut uppers = Vec::new();
+        for q in &self.ineqs {
+            let c = q.coeffs[var];
+            if c == 0 {
+                continue;
+            }
+            for &iv in inner {
+                assert_eq!(q.coeffs[iv], 0, "inner variable {iv} not eliminated");
+            }
+            let mut coeffs = q.coeffs.clone();
+            coeffs[var] = 0;
+            if c > 0 {
+                // c*var + rest + k >= 0  =>  var >= ceil((-rest - k)/c)
+                let b = VarBound {
+                    coeffs: coeffs.iter().map(|&x| -x).collect(),
+                    konst: -q.konst,
+                    divisor: c,
+                };
+                if !lowers.contains(&b) {
+                    lowers.push(b);
+                }
+            } else {
+                // -|c|*var + rest + k >= 0 => var <= floor((rest + k)/|c|)
+                let b = VarBound { coeffs, konst: q.konst, divisor: -c };
+                if !uppers.contains(&b) {
+                    uppers.push(b);
+                }
+            }
+        }
+        (lowers, uppers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Triangle: 0 <= j <= i <= 9 over vars (i, j).
+    fn triangle() -> Polyhedron {
+        let mut p = Polyhedron::new(2);
+        p.add_lower_const(1, 0); // j >= 0
+        p.add(vec![1, -1], 0); // i - j >= 0
+        p.add_upper_const(0, 9); // i <= 9
+        p
+    }
+
+    #[test]
+    fn membership() {
+        let p = triangle();
+        assert!(p.contains(&[5, 3]));
+        assert!(p.contains(&[0, 0]));
+        assert!(!p.contains(&[3, 5]));
+        assert!(!p.contains(&[10, 0]));
+    }
+
+    #[test]
+    fn eliminate_inner() {
+        // Projecting out j from the triangle leaves 0 <= i <= 9.
+        let p = triangle().eliminate(1);
+        assert!(p.contains(&[0, 0]));
+        assert!(p.contains(&[9, 999])); // j unconstrained now
+        assert!(!p.contains(&[10, 0]));
+        assert!(!p.contains(&[-1, 0]));
+    }
+
+    #[test]
+    fn bounds_extraction() {
+        let p = triangle();
+        // Bounds of j in terms of i.
+        let (lo, hi) = p.bounds_of(1, &[]);
+        assert_eq!(lo.len(), 1);
+        assert_eq!(hi.len(), 1);
+        assert_eq!(lo[0].eval_lower(&[7, 0]), 0);
+        assert_eq!(hi[0].eval_upper(&[7, 0]), 7);
+    }
+
+    #[test]
+    fn bounds_with_division() {
+        // 2j <= i  =>  j <= floor(i/2).
+        let mut p = Polyhedron::new(2);
+        p.add(vec![1, -2], 0);
+        let (_, hi) = p.bounds_of(1, &[]);
+        assert_eq!(hi[0].eval_upper(&[5, 0]), 2);
+        assert_eq!(hi[0].eval_upper(&[4, 0]), 2);
+        // 3j >= i => j >= ceil(i/3).
+        let mut p2 = Polyhedron::new(2);
+        p2.add(vec![-1, 3], 0);
+        let (lo, _) = p2.bounds_of(1, &[]);
+        assert_eq!(lo[0].eval_lower(&[7, 0]), 3);
+        assert_eq!(lo[0].eval_lower(&[6, 0]), 2);
+    }
+
+    #[test]
+    fn emptiness() {
+        let mut p = Polyhedron::new(1);
+        p.add_lower_const(0, 5);
+        p.add_upper_const(0, 3);
+        assert!(p.empty_after_eliminating(&[0]));
+
+        let mut q = Polyhedron::new(1);
+        q.add_lower_const(0, 3);
+        q.add_upper_const(0, 5);
+        assert!(!q.empty_after_eliminating(&[0]));
+    }
+
+    #[test]
+    fn same_coeff_inequalities_merge() {
+        let mut p = Polyhedron::new(1);
+        p.add(vec![1], 5); // x >= -5
+        p.add(vec![1], 2); // x >= -2 (tighter)
+        assert_eq!(p.ineqs().len(), 1);
+        assert!(p.contains(&[-2]));
+        assert!(!p.contains(&[-3]));
+    }
+
+    #[test]
+    fn normalization_tightens() {
+        // 2x - 1 >= 0 over integers means x >= 1 (after normalize: x + floor(-1/2) = x - 1 >= 0).
+        let q = LinIneq::new(vec![2], -1);
+        assert_eq!(q.coeffs, vec![1]);
+        assert_eq!(q.konst, -1);
+        assert!(q.satisfied(&[1]));
+        assert!(!q.satisfied(&[0]));
+    }
+}

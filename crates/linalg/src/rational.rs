@@ -1,0 +1,276 @@
+//! Exact rational arithmetic on `i128` numerator/denominator pairs.
+//!
+//! All compiler analyses in this project (subspace intersections,
+//! Fourier–Motzkin elimination, dependence tests) must be exact: a rounding
+//! error in a loop bound or a decomposition constraint produces incorrect
+//! parallel code rather than merely imprecise numbers. `Rat` keeps values in
+//! lowest terms with a strictly positive denominator, and panics on overflow
+//! (the affine programs handled here have tiny coefficients, so overflow
+//! indicates a logic error, not a data-size problem).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Greatest common divisor of two non-negative integers.
+pub fn gcd_i128(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Greatest common divisor on `i64` (non-negative result).
+pub fn gcd_i64(a: i64, b: i64) -> i64 {
+    gcd_i128(a as i128, b as i128) as i64
+}
+
+/// Least common multiple on `i64`.
+pub fn lcm_i64(a: i64, b: i64) -> i64 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    (a / gcd_i64(a, b)).checked_mul(b).expect("lcm overflow").abs()
+}
+
+/// An exact rational number in lowest terms with positive denominator.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+impl Rat {
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// Construct `n/d`, normalizing sign and common factors. Panics if `d == 0`.
+    pub fn new(n: i128, d: i128) -> Rat {
+        assert!(d != 0, "rational with zero denominator");
+        let g = gcd_i128(n, d);
+        let (mut n, mut d) = if g == 0 { (0, 1) } else { (n / g, d / g) };
+        if d < 0 {
+            n = -n;
+            d = -d;
+        }
+        Rat { num: n, den: d }
+    }
+
+    /// The integer `n` as a rational.
+    pub fn int(n: i64) -> Rat {
+        Rat { num: n as i128, den: 1 }
+    }
+
+    pub fn num(&self) -> i128 {
+        self.num
+    }
+
+    pub fn den(&self) -> i128 {
+        self.den
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// The value as an `i64`, panicking if it is not an integer or out of range.
+    pub fn to_i64(&self) -> i64 {
+        assert!(self.den == 1, "rational {self} is not an integer");
+        i64::try_from(self.num).expect("rational out of i64 range")
+    }
+
+    pub fn abs(&self) -> Rat {
+        Rat { num: self.num.abs(), den: self.den }
+    }
+
+    /// Multiplicative inverse; panics on zero.
+    pub fn recip(&self) -> Rat {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rat::new(self.den, self.num)
+    }
+
+    /// Floor of the rational as an integer.
+    pub fn floor(&self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Ceiling of the rational as an integer.
+    pub fn ceil(&self) -> i128 {
+        -((-self.num).div_euclid(self.den))
+    }
+
+    /// Sign: -1, 0, or 1.
+    pub fn signum(&self) -> i32 {
+        self.num.signum() as i32
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(n: i64) -> Rat {
+        Rat::int(n)
+    }
+}
+
+impl Add for Rat {
+    type Output = Rat;
+    fn add(self, o: Rat) -> Rat {
+        let g = gcd_i128(self.den, o.den);
+        let l = self.den / g * o.den;
+        Rat::new(
+            self.num
+                .checked_mul(l / self.den)
+                .and_then(|a| a.checked_add(o.num.checked_mul(l / o.den).expect("rat overflow")))
+                .expect("rat overflow"),
+            l,
+        )
+    }
+}
+
+impl Sub for Rat {
+    type Output = Rat;
+    fn sub(self, o: Rat) -> Rat {
+        self + (-o)
+    }
+}
+
+impl Mul for Rat {
+    type Output = Rat;
+    fn mul(self, o: Rat) -> Rat {
+        // Cross-cancel before multiplying to keep intermediates small.
+        let g1 = gcd_i128(self.num, o.den);
+        let g2 = gcd_i128(o.num, self.den);
+        let n = (self.num / g1).checked_mul(o.num / g2).expect("rat overflow");
+        let d = (self.den / g2).checked_mul(o.den / g1).expect("rat overflow");
+        Rat::new(n, d)
+    }
+}
+
+impl Div for Rat {
+    type Output = Rat;
+    #[allow(clippy::suspicious_arithmetic_impl)] // division via reciprocal is intended
+    fn div(self, o: Rat) -> Rat {
+        self * o.recip()
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat { num: -self.num, den: self.den }
+    }
+}
+
+impl AddAssign for Rat {
+    fn add_assign(&mut self, o: Rat) {
+        *self = *self + o;
+    }
+}
+
+impl SubAssign for Rat {
+    fn sub_assign(&mut self, o: Rat) {
+        *self = *self - o;
+    }
+}
+
+impl MulAssign for Rat {
+    fn mul_assign(&mut self, o: Rat) {
+        *self = *self * o;
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, o: &Rat) -> Option<Ordering> {
+        Some(self.cmp(o))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, o: &Rat) -> Ordering {
+        // den > 0 is an invariant, so cross-multiplication preserves order.
+        // Checked, like every other operation in this crate: silent
+        // wrapping would return a wrong ordering instead of failing loudly.
+        let a = self.num.checked_mul(o.den).expect("rat overflow");
+        let b = o.num.checked_mul(self.den).expect("rat overflow");
+        a.cmp(&b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+        assert_eq!(Rat::new(-2, -4), Rat::new(1, 2));
+        assert_eq!(Rat::new(2, -4), Rat::new(-1, 2));
+        assert_eq!(Rat::new(0, -7), Rat::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rat::new(1, 3);
+        let b = Rat::new(1, 6);
+        assert_eq!(a + b, Rat::new(1, 2));
+        assert_eq!(a - b, Rat::new(1, 6));
+        assert_eq!(a * b, Rat::new(1, 18));
+        assert_eq!(a / b, Rat::int(2));
+        assert_eq!(-a, Rat::new(-1, 3));
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(Rat::new(7, 2).floor(), 3);
+        assert_eq!(Rat::new(7, 2).ceil(), 4);
+        assert_eq!(Rat::new(-7, 2).floor(), -4);
+        assert_eq!(Rat::new(-7, 2).ceil(), -3);
+        assert_eq!(Rat::int(5).floor(), 5);
+        assert_eq!(Rat::int(5).ceil(), 5);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rat::new(1, 3) < Rat::new(1, 2));
+        assert!(Rat::new(-1, 2) < Rat::new(-1, 3));
+        assert!(Rat::int(2) > Rat::new(3, 2));
+    }
+
+    #[test]
+    fn gcd_lcm() {
+        assert_eq!(gcd_i64(12, 18), 6);
+        assert_eq!(gcd_i64(-12, 18), 6);
+        assert_eq!(gcd_i64(0, 5), 5);
+        assert_eq!(lcm_i64(4, 6), 12);
+        assert_eq!(lcm_i64(0, 6), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_denominator_panics() {
+        let _ = Rat::new(1, 0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Smith normal form over the integers.
+//!
+//! `A = U^-1 S V^-1` with `U`, `V` unimodular and `S` diagonal with each
+//! diagonal entry dividing the next. Used to solve integer linear systems
+//! exactly (e.g. checking whether an alignment offset admits an integer
+//! solution) and in tests as an independent check on rank computations.
+//!
+//! Caveat: this is the classic elimination algorithm without coefficient-
+//! growth control; the accumulated transforms can exceed `i64` for large
+//! matrices with adversarial entries (checked arithmetic panics rather than
+//! wrapping). The access matrices this compiler manipulates are tiny
+//! (rank x depth with single-digit entries), far below that regime.
+
+use crate::matrix::IntMat;
+
+/// Smith normal form decomposition: `u * a * v = s`.
+pub struct Snf {
+    pub s: IntMat,
+    pub u: IntMat,
+    pub v: IntMat,
+    pub rank: usize,
+}
+
+/// Compute the Smith normal form of `a`.
+pub fn smith_normal_form(a: &IntMat) -> Snf {
+    let rows = a.rows();
+    let cols = a.cols();
+    let mut s = a.clone();
+    let mut u = IntMat::identity(rows);
+    let mut v = IntMat::identity(cols);
+    let n = rows.min(cols);
+
+    for t in 0..n {
+        // Find a nonzero pivot in the trailing submatrix.
+        let Some((pi, pj)) = smallest_nonzero(&s, t) else {
+            break;
+        };
+        swap_rows(&mut s, &mut u, t, pi);
+        swap_cols(&mut s, &mut v, t, pj);
+        loop {
+            // Clear column t below the pivot.
+            let mut again = false;
+            for i in t + 1..rows {
+                let q = s[(i, t)].div_euclid(s[(t, t)]);
+                if q != 0 {
+                    add_row_multiple(&mut s, &mut u, i, t, -q);
+                }
+                if s[(i, t)] != 0 {
+                    // Remainder smaller than pivot: swap up and restart.
+                    swap_rows(&mut s, &mut u, t, i);
+                    again = true;
+                }
+            }
+            for j in t + 1..cols {
+                let q = s[(t, j)].div_euclid(s[(t, t)]);
+                if q != 0 {
+                    add_col_multiple(&mut s, &mut v, j, t, -q);
+                }
+                if s[(t, j)] != 0 {
+                    swap_cols(&mut s, &mut v, t, j);
+                    again = true;
+                }
+            }
+            if !again {
+                break;
+            }
+        }
+        if s[(t, t)] < 0 {
+            negate_row(&mut s, &mut u, t);
+        }
+        // Divisibility fixup: if s[t][t] does not divide some trailing entry,
+        // fold that row in and redo this pivot.
+        'fix: for i in t + 1..rows {
+            for j in t + 1..cols {
+                if s[(i, j)] % s[(t, t)] != 0 {
+                    add_row_multiple(&mut s, &mut u, t, i, 1);
+                    // Re-clear row/column t.
+                    let snf_rest = redo_pivot(&mut s, &mut u, &mut v, t);
+                    debug_assert!(snf_rest);
+                    break 'fix;
+                }
+            }
+        }
+    }
+
+    let rank = (0..n).take_while(|&i| s[(i, i)] != 0).count();
+    Snf { s, u, v, rank }
+}
+
+fn redo_pivot(s: &mut IntMat, u: &mut IntMat, v: &mut IntMat, t: usize) -> bool {
+    let rows = s.rows();
+    let cols = s.cols();
+    loop {
+        let mut again = false;
+        for i in t + 1..rows {
+            if s[(t, t)] == 0 {
+                return false;
+            }
+            let q = s[(i, t)].div_euclid(s[(t, t)]);
+            if q != 0 {
+                add_row_multiple(s, u, i, t, -q);
+            }
+            if s[(i, t)] != 0 {
+                swap_rows(s, u, t, i);
+                again = true;
+            }
+        }
+        for j in t + 1..cols {
+            if s[(t, t)] == 0 {
+                return false;
+            }
+            let q = s[(t, j)].div_euclid(s[(t, t)]);
+            if q != 0 {
+                add_col_multiple(s, v, j, t, -q);
+            }
+            if s[(t, j)] != 0 {
+                swap_cols(s, v, t, j);
+                again = true;
+            }
+        }
+        if !again {
+            if s[(t, t)] < 0 {
+                negate_row(s, u, t);
+            }
+            return true;
+        }
+    }
+}
+
+fn smallest_nonzero(s: &IntMat, t: usize) -> Option<(usize, usize)> {
+    let mut best: Option<(usize, usize, i64)> = None;
+    for i in t..s.rows() {
+        for j in t..s.cols() {
+            let x = s[(i, j)];
+            if x != 0 && best.is_none_or(|(_, _, b)| x.abs() < b.abs()) {
+                best = Some((i, j, x));
+            }
+        }
+    }
+    best.map(|(i, j, _)| (i, j))
+}
+
+fn swap_rows(s: &mut IntMat, u: &mut IntMat, a: usize, b: usize) {
+    if a == b {
+        return;
+    }
+    for j in 0..s.cols() {
+        let t = s[(a, j)];
+        s[(a, j)] = s[(b, j)];
+        s[(b, j)] = t;
+    }
+    for j in 0..u.cols() {
+        let t = u[(a, j)];
+        u[(a, j)] = u[(b, j)];
+        u[(b, j)] = t;
+    }
+}
+
+fn swap_cols(s: &mut IntMat, v: &mut IntMat, a: usize, b: usize) {
+    if a == b {
+        return;
+    }
+    for i in 0..s.rows() {
+        let t = s[(i, a)];
+        s[(i, a)] = s[(i, b)];
+        s[(i, b)] = t;
+    }
+    for i in 0..v.rows() {
+        let t = v[(i, a)];
+        v[(i, a)] = v[(i, b)];
+        v[(i, b)] = t;
+    }
+}
+
+fn add_row_multiple(s: &mut IntMat, u: &mut IntMat, dst: usize, src: usize, k: i64) {
+    for j in 0..s.cols() {
+        s[(dst, j)] = s[(dst, j)]
+            .checked_add(k.checked_mul(s[(src, j)]).expect("snf overflow"))
+            .expect("snf overflow");
+    }
+    for j in 0..u.cols() {
+        u[(dst, j)] = u[(dst, j)]
+            .checked_add(k.checked_mul(u[(src, j)]).expect("snf overflow"))
+            .expect("snf overflow");
+    }
+}
+
+fn add_col_multiple(s: &mut IntMat, v: &mut IntMat, dst: usize, src: usize, k: i64) {
+    for i in 0..s.rows() {
+        s[(i, dst)] = s[(i, dst)]
+            .checked_add(k.checked_mul(s[(i, src)]).expect("snf overflow"))
+            .expect("snf overflow");
+    }
+    for i in 0..v.rows() {
+        v[(i, dst)] = v[(i, dst)]
+            .checked_add(k.checked_mul(v[(i, src)]).expect("snf overflow"))
+            .expect("snf overflow");
+    }
+}
+
+fn negate_row(s: &mut IntMat, u: &mut IntMat, r: usize) {
+    for j in 0..s.cols() {
+        s[(r, j)] = -s[(r, j)];
+    }
+    for j in 0..u.cols() {
+        u[(r, j)] = -u[(r, j)];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: &[&[i64]]) -> IntMat {
+        IntMat::from_rows(&rows.iter().map(|r| r.to_vec()).collect::<Vec<_>>())
+    }
+
+    fn check(a: &IntMat) {
+        let snf = smith_normal_form(a);
+        assert!(snf.u.is_unimodular(), "U not unimodular");
+        assert!(snf.v.is_unimodular(), "V not unimodular");
+        assert_eq!(snf.u.mul(a).mul(&snf.v), snf.s, "U A V != S");
+        // Diagonal, non-negative, divisibility chain.
+        for i in 0..snf.s.rows() {
+            for j in 0..snf.s.cols() {
+                if i != j {
+                    assert_eq!(snf.s[(i, j)], 0, "S not diagonal");
+                }
+            }
+        }
+        for i in 1..snf.rank {
+            assert_eq!(snf.s[(i, i)] % snf.s[(i - 1, i - 1)], 0, "divisibility violated");
+        }
+        assert_eq!(snf.rank, a.rank());
+    }
+
+    #[test]
+    fn snf_examples() {
+        check(&m(&[&[2, 4, 4], &[-6, 6, 12], &[10, 4, 16]]));
+        check(&m(&[&[1, 2], &[3, 4]]));
+        check(&m(&[&[2, 0], &[0, 3]]));
+        check(&m(&[&[0, 0], &[0, 0]]));
+        check(&m(&[&[6, 4], &[4, 6], &[2, 2]]));
+        check(&m(&[&[1, 2, 3]]));
+    }
+
+    #[test]
+    fn snf_known_values() {
+        let snf = smith_normal_form(&m(&[&[2, 4, 4], &[-6, 6, 12], &[10, 4, 16]]));
+        // Known invariant factors for this classic example: 2, 2, 156.
+        assert_eq!(snf.s[(0, 0)], 2);
+        assert_eq!(snf.s[(1, 1)], 2);
+        assert_eq!(snf.s[(2, 2)], 156);
+    }
+}

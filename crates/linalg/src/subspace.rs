@@ -1,0 +1,235 @@
+//! Rational vector subspaces with the operations the decomposition solver
+//! needs: intersection, sum, image and preimage under a linear map.
+//!
+//! The Anderson–Lam algorithm (Section 3 of the paper) reasons about the row
+//! spaces of candidate computation decompositions `C_j` and data
+//! decompositions `D_x`. Constraints of the form `D (F1 - F2) = 0` and
+//! `D F = C` shrink these spaces; we iterate to a fixpoint. All operations
+//! here are exact over the rationals.
+
+use crate::matrix::{IntMat, RatMat};
+use crate::rational::Rat;
+
+/// A linear subspace of `Q^n`, stored as a reduced-row-echelon basis.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Subspace {
+    /// Basis vectors as rows, in RREF (canonical per subspace).
+    basis: RatMat,
+    /// Ambient dimension `n`.
+    ambient: usize,
+}
+
+impl Subspace {
+    /// The full space `Q^n`.
+    pub fn full(n: usize) -> Subspace {
+        Subspace { basis: RatMat::identity(n), ambient: n }
+    }
+
+    /// The zero subspace of `Q^n`.
+    pub fn zero(n: usize) -> Subspace {
+        Subspace { basis: RatMat::zeros(0, n), ambient: n }
+    }
+
+    /// Span of the given row vectors.
+    pub fn span(rows: &RatMat) -> Subspace {
+        let ambient = rows.cols();
+        let (rref, pivots) = rows.rref();
+        let basis = RatMat::from_rows(
+            &(0..pivots.len()).map(|i| rref.row(i).to_vec()).collect::<Vec<_>>(),
+        );
+        let basis = if pivots.is_empty() { RatMat::zeros(0, ambient) } else { basis };
+        Subspace { basis, ambient }
+    }
+
+    /// Span of integer row vectors.
+    pub fn span_int(rows: &IntMat) -> Subspace {
+        Subspace::span(&rows.to_rat())
+    }
+
+    pub fn dim(&self) -> usize {
+        self.basis.rows()
+    }
+
+    pub fn ambient(&self) -> usize {
+        self.ambient
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.dim() == 0
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.dim() == self.ambient
+    }
+
+    /// Canonical RREF basis (rows).
+    pub fn basis(&self) -> &RatMat {
+        &self.basis
+    }
+
+    /// An integer basis spanning the same subspace (rows).
+    pub fn int_basis(&self) -> IntMat {
+        self.basis.integerize_rows()
+    }
+
+    /// Does the subspace contain the vector `v`?
+    pub fn contains(&self, v: &[Rat]) -> bool {
+        assert_eq!(v.len(), self.ambient);
+        // v in span(B) iff rank([B; v]) == rank(B).
+        let stacked = self.basis.vstack(&RatMat::from_rows(&[v.to_vec()]));
+        stacked.rank() == self.dim()
+    }
+
+    pub fn contains_int(&self, v: &[i64]) -> bool {
+        self.contains(&v.iter().map(|&x| Rat::int(x)).collect::<Vec<_>>())
+    }
+
+    /// Is `other` a subspace of `self`?
+    pub fn contains_space(&self, other: &Subspace) -> bool {
+        (0..other.dim()).all(|i| self.contains(other.basis.row(i)))
+    }
+
+    /// The constraint matrix `C`: rows `c` with `c . y = 0` for all `y` in the
+    /// subspace; i.e. `self = { y : C y = 0 }`.
+    pub fn constraints(&self) -> RatMat {
+        // c satisfies B c^T = 0, i.e. c in nullspace of B.
+        if self.dim() == 0 {
+            return RatMat::identity(self.ambient);
+        }
+        self.basis.nullspace()
+    }
+
+    /// Sum (join) of two subspaces of the same ambient space.
+    pub fn sum(&self, other: &Subspace) -> Subspace {
+        assert_eq!(self.ambient, other.ambient);
+        Subspace::span(&self.basis.vstack(&other.basis))
+    }
+
+    /// Intersection (meet) of two subspaces of the same ambient space.
+    pub fn intersect(&self, other: &Subspace) -> Subspace {
+        assert_eq!(self.ambient, other.ambient);
+        // {y : C1 y = 0 and C2 y = 0}.
+        let c = self.constraints().vstack(&other.constraints());
+        if c.rows() == 0 {
+            return Subspace::full(self.ambient);
+        }
+        Subspace::span(&c.nullspace())
+    }
+
+    /// Image `{A x : x in self}` where `A` is `m x ambient`.
+    pub fn image(&self, a: &RatMat) -> Subspace {
+        assert_eq!(a.cols(), self.ambient);
+        // Row vector v maps to (A v^T)^T = v A^T.
+        Subspace::span(&self.basis.mul(&a.transpose()))
+    }
+
+    /// Preimage `{x : A x in self}` where `A` is `ambient x n`.
+    pub fn preimage(&self, a: &RatMat) -> Subspace {
+        assert_eq!(a.rows(), self.ambient);
+        // A x in S  <=>  C A x = 0 where C = constraints(S).
+        let c = self.constraints();
+        if c.rows() == 0 {
+            return Subspace::full(a.cols());
+        }
+        let ca = c.mul(a);
+        Subspace::span(&ca.nullspace())
+    }
+
+    /// Orthogonal complement within `Q^n`.
+    pub fn orthogonal_complement(&self) -> Subspace {
+        Subspace::span(&self.constraints())
+    }
+}
+
+impl std::fmt::Debug for Subspace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Subspace(dim {} of Q^{}) {:?}", self.dim(), self.ambient, self.basis)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: &[&[i64]]) -> IntMat {
+        IntMat::from_rows(&rows.iter().map(|r| r.to_vec()).collect::<Vec<_>>())
+    }
+
+    fn sp(rows: &[&[i64]]) -> Subspace {
+        Subspace::span_int(&m(rows))
+    }
+
+    #[test]
+    fn canonical_basis() {
+        // Same span, different generators => same canonical basis.
+        let a = sp(&[&[1, 1, 0], &[0, 0, 1]]);
+        let b = sp(&[&[1, 1, 1], &[2, 2, 1]]);
+        assert_eq!(a.basis(), b.basis());
+        assert_eq!(a.dim(), 2);
+    }
+
+    #[test]
+    fn membership() {
+        let s = sp(&[&[1, 0, 1]]);
+        assert!(s.contains_int(&[2, 0, 2]));
+        assert!(!s.contains_int(&[1, 0, 0]));
+        assert!(s.contains_int(&[0, 0, 0]));
+    }
+
+    #[test]
+    fn intersect_and_sum() {
+        let xy = sp(&[&[1, 0, 0], &[0, 1, 0]]);
+        let yz = sp(&[&[0, 1, 0], &[0, 0, 1]]);
+        let meet = xy.intersect(&yz);
+        assert_eq!(meet.dim(), 1);
+        assert!(meet.contains_int(&[0, 1, 0]));
+        let join = xy.sum(&yz);
+        assert!(join.is_full());
+    }
+
+    #[test]
+    fn intersect_with_full_and_zero() {
+        let s = sp(&[&[1, 2, 3]]);
+        assert_eq!(s.intersect(&Subspace::full(3)).basis(), s.basis());
+        assert!(s.intersect(&Subspace::zero(3)).is_zero());
+    }
+
+    #[test]
+    fn image_preimage() {
+        // A = [[1,0,0],[0,1,0]] projects Q^3 onto first two coords.
+        let a = m(&[&[1, 0, 0], &[0, 1, 0]]).to_rat();
+        let s = sp(&[&[1, 1, 5]]);
+        let img = s.image(&a);
+        assert_eq!(img.dim(), 1);
+        assert!(img.contains_int(&[1, 1]));
+
+        // Preimage of span{[1,0]} under A is span{[1,0,0],[0,0,1]}.
+        let t = Subspace::span_int(&m(&[&[1, 0]]));
+        let pre = t.preimage(&a);
+        assert_eq!(pre.dim(), 2);
+        assert!(pre.contains_int(&[1, 0, 0]));
+        assert!(pre.contains_int(&[0, 0, 1]));
+        assert!(!pre.contains_int(&[0, 1, 0]));
+    }
+
+    #[test]
+    fn complement() {
+        let s = sp(&[&[1, 1, 0]]);
+        let c = s.orthogonal_complement();
+        assert_eq!(c.dim(), 2);
+        assert!(c.contains_int(&[1, -1, 0]));
+        assert!(c.contains_int(&[0, 0, 1]));
+    }
+
+    #[test]
+    fn int_basis_spans_same() {
+        let s = Subspace::span(&RatMat::from_rows(&[vec![
+            Rat::new(1, 2),
+            Rat::new(1, 3),
+            Rat::ZERO,
+        ]]));
+        let ib = s.int_basis();
+        assert_eq!(ib.rows(), 1);
+        assert!(s.contains_int(ib.row(0)));
+    }
+}

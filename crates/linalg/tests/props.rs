@@ -1,0 +1,167 @@
+//! Property-based tests for the exact linear algebra kernels.
+
+#![allow(clippy::needless_range_loop)]
+
+use dct_linalg::*;
+use proptest::prelude::*;
+
+fn small_mat(max_rows: usize, max_cols: usize) -> impl Strategy<Value = IntMat> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(proptest::collection::vec(-9i64..=9, c), r)
+            .prop_map(|rows| IntMat::from_rows(&rows))
+    })
+}
+
+/// A matrix with exactly the given shape.
+fn fixed_mat(rows: usize, cols: usize) -> impl Strategy<Value = IntMat> {
+    proptest::collection::vec(proptest::collection::vec(-9i64..=9, cols), rows)
+        .prop_map(|rows| IntMat::from_rows(&rows))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Column HNF factorization: A·U = H with U unimodular, rank preserved.
+    #[test]
+    fn hnf_factorization(a in small_mat(4, 4)) {
+        let hnf = column_hnf(&a);
+        prop_assert!(hnf.u.is_unimodular());
+        prop_assert_eq!(a.mul(&hnf.u), hnf.h.clone());
+        prop_assert_eq!(hnf.rank, a.rank());
+        // Columns beyond rank are zero.
+        for c in hnf.rank..a.cols() {
+            for r in 0..a.rows() {
+                prop_assert_eq!(hnf.h[(r, c)], 0);
+            }
+        }
+    }
+
+    /// Smith normal form: U·A·V = S diagonal with the divisibility chain.
+    /// (Bounded to 3x3 with small entries: the naive SNF reduction can grow
+    /// transform entries past i64 on adversarial larger inputs; compiler
+    /// uses only involve tiny access matrices.)
+    #[test]
+    fn snf_factorization(a in small_mat(3, 3)) {
+        let snf = smith_normal_form(&a);
+        prop_assert!(snf.u.is_unimodular());
+        prop_assert!(snf.v.is_unimodular());
+        prop_assert_eq!(snf.u.mul(&a).mul(&snf.v), snf.s.clone());
+        for i in 0..snf.s.rows() {
+            for j in 0..snf.s.cols() {
+                if i != j {
+                    prop_assert_eq!(snf.s[(i, j)], 0);
+                }
+            }
+        }
+        for i in 1..snf.rank {
+            prop_assert!(snf.s[(i, i)] % snf.s[(i - 1, i - 1)] == 0);
+        }
+        prop_assert_eq!(snf.rank, a.rank());
+    }
+
+    /// Every integer nullspace basis vector is annihilated by A, and the
+    /// basis has the right dimension (cols - rank).
+    #[test]
+    fn int_nullspace_props(a in small_mat(4, 4)) {
+        let ns = int_nullspace(&a);
+        prop_assert_eq!(ns.rows(), a.cols() - a.rank());
+        for i in 0..ns.rows() {
+            let prod = a.mul_vec(ns.row(i));
+            prop_assert!(prod.iter().all(|&x| x == 0));
+        }
+        if ns.rows() > 0 {
+            prop_assert_eq!(ns.rank(), ns.rows());
+        }
+    }
+
+    /// Rational nullspace ⊥ row space, with complementary dimensions.
+    #[test]
+    fn subspace_complement_dims(a in small_mat(4, 4)) {
+        let s = Subspace::span_int(&a);
+        let c = s.orthogonal_complement();
+        prop_assert_eq!(s.dim() + c.dim(), a.cols());
+        prop_assert!(s.intersect(&c).is_zero());
+        prop_assert!(s.sum(&c).is_full());
+    }
+
+    /// Modular law sanity: dim(S+T) + dim(S∩T) == dim S + dim T.
+    #[test]
+    fn subspace_dim_formula(a in fixed_mat(3, 4), b in fixed_mat(3, 4)) {
+        let s = Subspace::span_int(&a);
+        let t = Subspace::span_int(&b);
+        let sum = s.sum(&t);
+        let meet = s.intersect(&t);
+        prop_assert_eq!(sum.dim() + meet.dim(), s.dim() + t.dim());
+        prop_assert!(sum.contains_space(&s));
+        prop_assert!(sum.contains_space(&t));
+        prop_assert!(s.contains_space(&meet));
+        prop_assert!(t.contains_space(&meet));
+    }
+
+    /// Unimodular completion really completes, with the original rows on top.
+    #[test]
+    fn completion_props(a in fixed_mat(2, 4)) {
+        if let Some(c) = unimodular_completion(&a) {
+            prop_assert!(c.is_unimodular());
+            for i in 0..a.rows() {
+                prop_assert_eq!(c.row(i), a.row(i));
+            }
+        }
+    }
+
+    /// Fourier–Motzkin elimination is a sound projection: any point of the
+    /// original polyhedron satisfies the projection.
+    #[test]
+    fn fm_projection_sound(
+        lo0 in -5i64..0, hi0 in 0i64..5,
+        lo1 in -5i64..0, hi1 in 0i64..5,
+        a in -3i64..=3, b in -3i64..=3, k in -10i64..=10,
+        x in -5i64..=5, y in -5i64..=5,
+    ) {
+        let mut p = Polyhedron::new(2);
+        p.add_lower_const(0, lo0);
+        p.add_upper_const(0, hi0);
+        p.add_lower_const(1, lo1);
+        p.add_upper_const(1, hi1);
+        p.add(vec![a, b], k);
+        if p.contains(&[x, y]) {
+            let proj = p.eliminate(1);
+            prop_assert!(proj.contains(&[x, y]));
+            prop_assert!(!proj.trivially_empty());
+        }
+    }
+
+    /// FM emptiness is complete on box+one-constraint systems: if FM reports
+    /// empty, no integer point in a generous box satisfies the system.
+    #[test]
+    fn fm_empty_means_empty(
+        a in -3i64..=3, b in -3i64..=3, k in -10i64..=10,
+    ) {
+        let mut p = Polyhedron::new(2);
+        p.add_lower_const(0, 0);
+        p.add_upper_const(0, 4);
+        p.add_lower_const(1, 0);
+        p.add_upper_const(1, 4);
+        p.add(vec![a, b], k);
+        if p.empty_after_eliminating(&[1, 0]) {
+            for x in 0..=4 {
+                for y in 0..=4 {
+                    prop_assert!(!p.contains(&[x, y]));
+                }
+            }
+        }
+    }
+
+    /// Rational matrix solve: if a solution is returned it satisfies Ax=b.
+    #[test]
+    fn solve_verifies(a in fixed_mat(3, 3), bv in proptest::collection::vec(-9i64..=9, 3)) {
+        let ar = a.to_rat();
+        let b: Vec<Rat> = bv.iter().map(|&x| Rat::int(x)).collect();
+        if let Some(x) = ar.solve(&b) {
+            for i in 0..3 {
+                let lhs = ar.row(i).iter().zip(&x).fold(Rat::ZERO, |s, (&c, &xi)| s + c * xi);
+                prop_assert_eq!(lhs, b[i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Set-associative cache model with LRU replacement and a two-state
+//! (Shared/Modified) line protocol driven by the directory in
+//! [`crate::system`].
+
+/// Coherence state of a cached line.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LineState {
+    Shared,
+    Modified,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct CacheLine {
+    tag: u64,
+    state: LineState,
+    /// Larger = more recently used.
+    lru: u64,
+}
+
+/// One cache level of one processor.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    sets: Vec<Vec<Option<CacheLine>>>,
+    nsets: u64,
+    tick: u64,
+}
+
+impl Cache {
+    /// `size`/`line` in bytes; `assoc` ways.
+    pub fn new(size: usize, line: usize, assoc: usize) -> Cache {
+        let nsets = size / line / assoc;
+        assert!(nsets.is_power_of_two(), "set count must be a power of two");
+        Cache { sets: vec![vec![None; assoc]; nsets], nsets: nsets as u64, tick: 0 }
+    }
+
+    fn set_of(&self, line_addr: u64) -> usize {
+        (line_addr % self.nsets) as usize
+    }
+
+    /// Look up a line; returns its state if present (and touches LRU).
+    pub fn probe(&mut self, line_addr: u64) -> Option<LineState> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(line_addr);
+        for way in self.sets[set].iter_mut().flatten() {
+            if way.tag == line_addr {
+                way.lru = tick;
+                return Some(way.state);
+            }
+        }
+        None
+    }
+
+    /// Presence check without LRU update.
+    pub fn contains(&self, line_addr: u64) -> bool {
+        let set = self.set_of(line_addr);
+        self.sets[set].iter().flatten().any(|w| w.tag == line_addr)
+    }
+
+    /// Upgrade a present line to Modified (no-op if absent).
+    pub fn set_state(&mut self, line_addr: u64, state: LineState) {
+        let set = self.set_of(line_addr);
+        for way in self.sets[set].iter_mut().flatten() {
+            if way.tag == line_addr {
+                way.state = state;
+            }
+        }
+    }
+
+    /// Insert a line, evicting LRU if needed. Returns the evicted line
+    /// (address, state) if any.
+    pub fn insert(&mut self, line_addr: u64, state: LineState) -> Option<(u64, LineState)> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(line_addr);
+        // Already present: update.
+        for way in self.sets[set].iter_mut().flatten() {
+            if way.tag == line_addr {
+                way.state = state;
+                way.lru = tick;
+                return None;
+            }
+        }
+        // Free way?
+        if let Some(slot) = self.sets[set].iter_mut().find(|w| w.is_none()) {
+            *slot = Some(CacheLine { tag: line_addr, state, lru: tick });
+            return None;
+        }
+        // Evict LRU.
+        let victim = self.sets[set]
+            .iter_mut()
+            .min_by_key(|w| w.as_ref().unwrap().lru)
+            .unwrap();
+        let old = victim.take().unwrap();
+        *victim = Some(CacheLine { tag: line_addr, state, lru: tick });
+        Some((old.tag, old.state))
+    }
+
+    /// Remove a line (directory-initiated invalidation). Returns true if it
+    /// was present.
+    pub fn invalidate(&mut self, line_addr: u64) -> bool {
+        let set = self.set_of(line_addr);
+        for way in self.sets[set].iter_mut() {
+            if way.is_some_and(|w| w.tag == line_addr) {
+                *way = None;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Drop everything (used between independent simulations).
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            for way in set.iter_mut() {
+                *way = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss() {
+        let mut c = Cache::new(256, 16, 1); // 16 sets
+        assert_eq!(c.probe(5), None);
+        assert_eq!(c.insert(5, LineState::Shared), None);
+        assert_eq!(c.probe(5), Some(LineState::Shared));
+    }
+
+    #[test]
+    fn direct_mapped_conflict() {
+        let mut c = Cache::new(256, 16, 1); // 16 sets: lines 0 and 16 collide
+        c.insert(0, LineState::Shared);
+        let evicted = c.insert(16, LineState::Modified);
+        assert_eq!(evicted, Some((0, LineState::Shared)));
+        assert_eq!(c.probe(0), None);
+        assert_eq!(c.probe(16), Some(LineState::Modified));
+    }
+
+    #[test]
+    fn two_way_lru() {
+        let mut c = Cache::new(256, 16, 2); // 8 sets, 2 ways: 0, 8, 16 collide
+        c.insert(0, LineState::Shared);
+        c.insert(8, LineState::Shared);
+        // Touch 0 so 8 becomes LRU.
+        c.probe(0);
+        let evicted = c.insert(16, LineState::Shared);
+        assert_eq!(evicted, Some((8, LineState::Shared)));
+        assert!(c.contains(0) && c.contains(16));
+    }
+
+    #[test]
+    fn invalidation() {
+        let mut c = Cache::new(256, 16, 1);
+        c.insert(3, LineState::Modified);
+        assert!(c.invalidate(3));
+        assert!(!c.invalidate(3));
+        assert_eq!(c.probe(3), None);
+    }
+
+    #[test]
+    fn state_upgrade() {
+        let mut c = Cache::new(256, 16, 1);
+        c.insert(3, LineState::Shared);
+        c.set_state(3, LineState::Modified);
+        assert_eq!(c.probe(3), Some(LineState::Modified));
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut c = Cache::new(256, 16, 1);
+        c.insert(3, LineState::Shared);
+        assert_eq!(c.insert(3, LineState::Modified), None);
+        assert_eq!(c.probe(3), Some(LineState::Modified));
+    }
+}

@@ -1,0 +1,474 @@
+//! The full machine: per-processor two-level caches, a directory-based
+//! invalidation protocol, and first-touch NUMA page placement — the
+//! measurable effects the paper's evaluation depends on (true/false
+//! sharing, conflict misses, local/remote latency).
+//!
+//! The machine models *timing only*: program values live in the SPMD
+//! interpreter. Every `access` returns its cost in cycles; the caller
+//! accumulates per-processor clocks.
+
+use crate::cache::{Cache, LineState};
+use crate::classify::{Classifier, MissClasses};
+use crate::config::MachineConfig;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-shift hasher for u64 keys (line and page numbers). The default
+/// SipHash is needlessly slow for the hundreds of millions of lookups a
+/// simulation performs.
+#[derive(Default)]
+pub struct FastHash(u64);
+
+impl Hasher for FastHash {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+    }
+    fn write_u64(&mut self, x: u64) {
+        let h = x.wrapping_mul(0x9E3779B97F4A7C15);
+        self.0 = h ^ (h >> 29);
+    }
+}
+
+type FastMap<V> = HashMap<u64, V, BuildHasherDefault<FastHash>>;
+
+/// Directory entry for one cache line.
+#[derive(Clone, Copy, Default, Debug)]
+struct DirEntry {
+    /// Bitmask of processors holding the line (any state).
+    sharers: u64,
+    /// Processor holding the line Modified, if any.
+    dirty: Option<u8>,
+}
+
+/// Per-processor event counters.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct ProcStats {
+    pub accesses: u64,
+    pub l1_hits: u64,
+    pub l2_hits: u64,
+    pub local_mem: u64,
+    pub remote_mem: u64,
+    pub remote_dirty: u64,
+    pub upgrades: u64,
+    pub invalidations_received: u64,
+    pub mem_cycles: u64,
+}
+
+/// Aggregated machine statistics.
+#[derive(Clone, Default, Debug)]
+pub struct Stats {
+    pub per_proc: Vec<ProcStats>,
+}
+
+impl Stats {
+    pub fn total(&self) -> ProcStats {
+        let mut t = ProcStats::default();
+        for p in &self.per_proc {
+            t.accesses += p.accesses;
+            t.l1_hits += p.l1_hits;
+            t.l2_hits += p.l2_hits;
+            t.local_mem += p.local_mem;
+            t.remote_mem += p.remote_mem;
+            t.remote_dirty += p.remote_dirty;
+            t.upgrades += p.upgrades;
+            t.invalidations_received += p.invalidations_received;
+            t.mem_cycles += p.mem_cycles;
+        }
+        t
+    }
+
+    /// Fraction of accesses that miss both cache levels.
+    pub fn memory_miss_rate(&self) -> f64 {
+        let t = self.total();
+        if t.accesses == 0 {
+            return 0.0;
+        }
+        (t.local_mem + t.remote_mem + t.remote_dirty) as f64 / t.accesses as f64
+    }
+}
+
+/// The simulated machine.
+pub struct Machine {
+    pub cfg: MachineConfig,
+    l1: Vec<Cache>,
+    l2: Vec<Cache>,
+    dir: FastMap<DirEntry>,
+    /// First-touch page homes (page number -> cluster).
+    page_home: FastMap<u32>,
+    pub stats: Stats,
+    /// Optional 4-C miss classifiers (one per processor).
+    classifiers: Option<Vec<Classifier>>,
+}
+
+impl Machine {
+    pub fn new(cfg: MachineConfig) -> Machine {
+        cfg.validate();
+        assert!(cfg.nprocs <= 64, "directory bitmask supports up to 64 processors");
+        let l1 = (0..cfg.nprocs)
+            .map(|_| Cache::new(cfg.l1_bytes, cfg.line_bytes, cfg.l1_assoc))
+            .collect();
+        let l2 = (0..cfg.nprocs)
+            .map(|_| Cache::new(cfg.l2_bytes, cfg.line_bytes, cfg.l2_assoc))
+            .collect();
+        let classifiers = cfg.classify_misses.then(|| {
+            let lines = cfg.l1_bytes / cfg.line_bytes;
+            (0..cfg.nprocs).map(|_| Classifier::new(lines)).collect()
+        });
+        Machine {
+            stats: Stats { per_proc: vec![ProcStats::default(); cfg.nprocs] },
+            cfg,
+            l1,
+            l2,
+            dir: FastMap::default(),
+            page_home: FastMap::default(),
+            classifiers,
+        }
+    }
+
+    /// Per-processor miss-class counters (when classification is enabled).
+    pub fn miss_classes(&self) -> Option<Vec<MissClasses>> {
+        self.classifiers
+            .as_ref()
+            .map(|cs| cs.iter().map(|c| c.classes).collect())
+    }
+
+    /// Pre-assign the home cluster of the page containing `byte_addr`
+    /// (models explicit placement; normally first touch does this).
+    pub fn place_page(&mut self, byte_addr: u64, cluster: usize) {
+        let page = byte_addr / self.cfg.page_bytes as u64;
+        self.page_home.entry(page).or_insert(cluster as u32);
+    }
+
+    /// Home cluster of an address, assigning by first touch from `proc`.
+    fn home_of(&mut self, byte_addr: u64, proc: usize) -> usize {
+        let page = byte_addr / self.cfg.page_bytes as u64;
+        let cluster = self.cfg.cluster_of(proc) as u32;
+        *self.page_home.entry(page).or_insert(cluster) as usize
+    }
+
+    /// Perform one memory access; returns its latency in cycles.
+    pub fn access(&mut self, proc: usize, byte_addr: u64, write: bool) -> u64 {
+        debug_assert!(proc < self.cfg.nprocs);
+        let line = byte_addr / self.cfg.line_bytes as u64;
+        self.stats.per_proc[proc].accesses += 1;
+
+        // L1.
+        if let Some(state) = self.l1[proc].probe(line) {
+            if let Some(cs) = &mut self.classifiers {
+                cs[proc].note_hit(line);
+            }
+            self.stats.per_proc[proc].l1_hits += 1;
+            let mut cost = self.cfg.lat_l1;
+            if write && state == LineState::Shared {
+                cost += self.upgrade(proc, line);
+            }
+            self.stats.per_proc[proc].mem_cycles += cost;
+            return cost;
+        }
+
+        // L2.
+        if let Some(state) = self.l2[proc].probe(line) {
+            if let Some(cs) = &mut self.classifiers {
+                cs[proc].note_hit(line);
+            }
+            self.stats.per_proc[proc].l2_hits += 1;
+            let mut cost = self.cfg.lat_l2;
+            if write && state == LineState::Shared {
+                cost += self.upgrade(proc, line);
+            }
+            // Fill L1 with the (possibly upgraded) state.
+            let new_state = if write { LineState::Modified } else { state };
+            self.fill_l1(proc, line, new_state);
+            self.stats.per_proc[proc].mem_cycles += cost;
+            return cost;
+        }
+
+        // Memory (through the directory).
+        if let Some(cs) = &mut self.classifiers {
+            cs[proc].classify_miss(line);
+        }
+        let mut cost;
+        let entry = self.dir.get(&line).copied().unwrap_or_default();
+        if let Some(owner) = entry.dirty {
+            let owner = owner as usize;
+            if owner != proc {
+                // Dirty in another cache: 3-hop intervention.
+                cost = self.cfg.lat_remote_dirty;
+                self.stats.per_proc[proc].remote_dirty += 1;
+                if write {
+                    // Transfer ownership: invalidate the previous owner.
+                    self.l1[owner].invalidate(line);
+                    self.l2[owner].invalidate(line);
+                    if let Some(cs) = &mut self.classifiers {
+                        cs[owner].note_invalidation(line);
+                    }
+                    self.stats.per_proc[owner].invalidations_received += 1;
+                    self.set_dir(line, 1u64 << proc, Some(proc));
+                } else {
+                    // Downgrade the owner to Shared.
+                    self.l1[owner].set_state(line, LineState::Shared);
+                    self.l2[owner].set_state(line, LineState::Shared);
+                    let sharers = entry.sharers | (1 << proc);
+                    self.set_dir(line, sharers, None);
+                }
+            } else {
+                // We are the dirty owner but the line fell out of our
+                // caches (silent eviction bookkeeping miss): local refill.
+                let home = self.home_of(byte_addr, proc);
+                cost = if home == self.cfg.cluster_of(proc) {
+                    self.cfg.lat_local
+                } else {
+                    self.cfg.lat_remote
+                };
+                self.count_mem(proc, home);
+            }
+        } else {
+            let home = self.home_of(byte_addr, proc);
+            cost = if home == self.cfg.cluster_of(proc) {
+                self.cfg.lat_local
+            } else {
+                self.cfg.lat_remote
+            };
+            self.count_mem(proc, home);
+            if write {
+                cost += self.invalidate_sharers(proc, line, entry.sharers);
+                self.set_dir(line, 1u64 << proc, Some(proc));
+            } else {
+                self.set_dir(line, entry.sharers | (1 << proc), entry.dirty.map(|p| p as usize));
+            }
+        }
+
+        if write && entry.dirty != Some(proc as u8) {
+            // Ensure directory reflects new ownership on write-allocate.
+            if entry.dirty.is_none() {
+                self.set_dir(line, 1u64 << proc, Some(proc));
+            }
+        }
+
+        let state = if write { LineState::Modified } else { LineState::Shared };
+        self.fill_l2(proc, line, state);
+        self.fill_l1(proc, line, state);
+        self.stats.per_proc[proc].mem_cycles += cost;
+        cost
+    }
+
+    fn count_mem(&mut self, proc: usize, home: usize) {
+        if home == self.cfg.cluster_of(proc) {
+            self.stats.per_proc[proc].local_mem += 1;
+        } else {
+            self.stats.per_proc[proc].remote_mem += 1;
+        }
+    }
+
+    fn set_dir(&mut self, line: u64, sharers: u64, dirty: Option<usize>) {
+        let e = self.dir.entry(line).or_default();
+        e.sharers = sharers;
+        e.dirty = dirty.map(|p| p as u8);
+    }
+
+    /// Write to a Shared line: invalidate all other sharers and take
+    /// ownership. Returns the extra cycles.
+    fn upgrade(&mut self, proc: usize, line: u64) -> u64 {
+        self.stats.per_proc[proc].upgrades += 1;
+        let entry = self.dir.get(&line).copied().unwrap_or_default();
+        let others = entry.sharers & !(1u64 << proc);
+        let cost = self.invalidate_sharers(proc, line, others);
+        self.l1[proc].set_state(line, LineState::Modified);
+        self.l2[proc].set_state(line, LineState::Modified);
+        self.set_dir(line, 1u64 << proc, Some(proc));
+        cost
+    }
+
+    fn invalidate_sharers(&mut self, proc: usize, line: u64, sharers: u64) -> u64 {
+        let others = sharers & !(1u64 << proc);
+        if others == 0 {
+            return 0;
+        }
+        let mut n = 0;
+        for q in 0..self.cfg.nprocs {
+            if others & (1 << q) != 0 {
+                self.l1[q].invalidate(line);
+                self.l2[q].invalidate(line);
+                if let Some(cs) = &mut self.classifiers {
+                    cs[q].note_invalidation(line);
+                }
+                self.stats.per_proc[q].invalidations_received += 1;
+                n += 1;
+            }
+        }
+        // Invalidations overlap; charge a base plus a small per-sharer term.
+        self.cfg.lat_invalidate + 2 * n
+    }
+
+    /// Fill L1, maintaining directory bits on eviction (inclusion is kept
+    /// loose: an L1 eviction leaves the L2 copy in place).
+    fn fill_l1(&mut self, proc: usize, line: u64, state: LineState) {
+        if let Some((old, _)) = self.l1[proc].insert(line, state) {
+            // Old line may still live in L2: sharer bit stays unless gone
+            // from both.
+            if !self.l2[proc].contains(old) {
+                self.drop_sharer(proc, old);
+            }
+        }
+    }
+
+    /// Fill L2; enforce inclusion by invalidating L1 on L2 eviction.
+    fn fill_l2(&mut self, proc: usize, line: u64, state: LineState) {
+        if let Some((old, _old_state)) = self.l2[proc].insert(line, state) {
+            self.l1[proc].invalidate(old);
+            self.drop_sharer(proc, old);
+        }
+    }
+
+    fn drop_sharer(&mut self, proc: usize, line: u64) {
+        if let Some(e) = self.dir.get_mut(&line) {
+            e.sharers &= !(1u64 << proc);
+            if e.dirty == Some(proc as u8) {
+                e.dirty = None; // writeback
+            }
+        }
+    }
+
+    /// Cost of a barrier among `active` processors (the executor applies it
+    /// to the clocks).
+    pub fn barrier_cost(&self, active: usize) -> u64 {
+        self.cfg.barrier_cost(active)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(nprocs: usize) -> Machine {
+        Machine::new(MachineConfig::tiny(nprocs))
+    }
+
+    #[test]
+    fn cold_then_hot() {
+        let mut mach = m(2);
+        let c0 = mach.access(0, 0, false);
+        assert_eq!(c0, mach.cfg.lat_local, "cold miss goes to local memory (first touch)");
+        let c1 = mach.access(0, 0, false);
+        assert_eq!(c1, mach.cfg.lat_l1, "second access hits L1");
+        assert_eq!(mach.stats.per_proc[0].l1_hits, 1);
+    }
+
+    #[test]
+    fn first_touch_placement() {
+        let mut mach = m(4); // clusters of 2
+        // Proc 3 (cluster 1) touches page 0 first: home = cluster 1.
+        mach.access(3, 0, false);
+        // Proc 0 (cluster 0) then misses remotely.
+        let c = mach.access(0, 1, false);
+        assert_eq!(c, mach.cfg.lat_remote);
+        assert_eq!(mach.stats.per_proc[0].remote_mem, 1);
+    }
+
+    #[test]
+    fn true_sharing_invalidation() {
+        let mut mach = m(2);
+        mach.access(0, 0, false); // P0 caches the line Shared
+        mach.access(1, 0, false); // P1 too
+        mach.access(1, 0, true); // P1 writes: upgrade, invalidate P0
+        assert_eq!(mach.stats.per_proc[1].upgrades, 1);
+        assert_eq!(mach.stats.per_proc[0].invalidations_received, 1);
+        // P0's next read must fetch the dirty line from P1.
+        let c = mach.access(0, 0, false);
+        assert_eq!(c, mach.cfg.lat_remote_dirty);
+        assert_eq!(mach.stats.per_proc[0].remote_dirty, 1);
+    }
+
+    #[test]
+    fn false_sharing_same_line() {
+        let mut mach = m(2);
+        // P0 writes byte 0, P1 writes byte 8: same 16-byte line.
+        mach.access(0, 0, true);
+        let c = mach.access(1, 8, true);
+        // P1 must steal the dirty line from P0.
+        assert_eq!(c, mach.cfg.lat_remote_dirty);
+        assert_eq!(mach.stats.per_proc[0].invalidations_received, 1);
+        // Ping-pong: P0 writes again, stealing back.
+        let c = mach.access(0, 0, true);
+        assert_eq!(c, mach.cfg.lat_remote_dirty);
+    }
+
+    #[test]
+    fn distinct_lines_no_interference() {
+        let mut mach = m(2);
+        mach.access(0, 0, true);
+        mach.access(1, 16, true); // next line
+        assert_eq!(mach.stats.per_proc[0].invalidations_received, 0);
+        assert_eq!(mach.stats.per_proc[1].invalidations_received, 0);
+        assert_eq!(mach.access(0, 0, true), mach.cfg.lat_l1);
+        assert_eq!(mach.access(1, 16, true), mach.cfg.lat_l1);
+    }
+
+    #[test]
+    fn conflict_misses_direct_mapped() {
+        let mut mach = m(1);
+        // tiny: L1 256B/16B = 16 sets, L2 1024B/16B = 64 sets.
+        // Lines 0 and 64 collide in both L1 (64 % 16 == 0) and L2.
+        mach.access(0, 0, false);
+        mach.access(0, 64 * 16, false);
+        // Line 0 was evicted from both: next access misses to memory.
+        let c = mach.access(0, 0, false);
+        assert_eq!(c, mach.cfg.lat_local);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_conflict() {
+        let mut mach = m(1);
+        // Lines 0 and 16 collide in L1 (16 sets) but not L2 (64 sets).
+        mach.access(0, 0, false);
+        mach.access(0, 16 * 16, false);
+        let c = mach.access(0, 0, false);
+        assert_eq!(c, mach.cfg.lat_l2);
+        assert_eq!(mach.stats.per_proc[0].l2_hits, 1);
+    }
+
+    #[test]
+    fn write_read_same_proc_stays_cheap() {
+        let mut mach = m(2);
+        mach.access(0, 0, true);
+        assert_eq!(mach.access(0, 0, false), mach.cfg.lat_l1);
+        assert_eq!(mach.access(0, 0, true), mach.cfg.lat_l1);
+        assert_eq!(mach.stats.per_proc[0].upgrades, 0, "modified line needs no upgrade");
+    }
+
+    #[test]
+    fn read_after_remote_write_downgrades() {
+        let mut mach = m(2);
+        mach.access(1, 0, true);
+        mach.access(0, 0, false); // 3-hop, downgrades P1 to Shared
+        // P1 can still read its (now Shared) line at L1 cost.
+        assert_eq!(mach.access(1, 0, false), mach.cfg.lat_l1);
+        // But writing again requires an upgrade.
+        mach.access(1, 0, true);
+        assert_eq!(mach.stats.per_proc[1].upgrades, 1);
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let mut mach = m(2);
+        mach.access(0, 0, false);
+        mach.access(1, 64, true);
+        let t = mach.stats.total();
+        assert_eq!(t.accesses, 2);
+        assert!(mach.stats.memory_miss_rate() > 0.99);
+    }
+
+    #[test]
+    fn explicit_page_placement() {
+        let mut mach = m(4);
+        mach.place_page(0, 1);
+        // Proc 0 (cluster 0) touches it: remote despite first touch.
+        let c = mach.access(0, 0, false);
+        assert_eq!(c, mach.cfg.lat_remote);
+    }
+}

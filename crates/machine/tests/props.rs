@@ -1,0 +1,80 @@
+//! Property tests for the machine simulator: accounting invariants and
+//! coherence sanity over random access streams.
+
+#![allow(clippy::needless_range_loop)]
+
+use dct_machine::{Machine, MachineConfig};
+use proptest::prelude::*;
+
+/// A random access stream: (proc, small address, write).
+fn stream(nprocs: usize) -> impl Strategy<Value = Vec<(usize, u64, bool)>> {
+    proptest::collection::vec((0..nprocs, 0u64..2048, any::<bool>()), 1..300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Hits plus misses account for every access; costs are within the
+    /// configured latencies.
+    #[test]
+    fn accounting_invariants(accs in stream(4)) {
+        let cfg = MachineConfig::tiny(4);
+        let mut m = Machine::new(cfg.clone());
+        for &(p, a, w) in &accs {
+            let c = m.access(p, a, w);
+            prop_assert!(c >= cfg.lat_l1);
+            prop_assert!(c <= cfg.lat_remote_dirty + cfg.lat_invalidate + 2 * 4);
+        }
+        let t = m.stats.total();
+        prop_assert_eq!(t.accesses, accs.len() as u64);
+        let classified = t.l1_hits + t.l2_hits + t.local_mem + t.remote_mem + t.remote_dirty;
+        prop_assert_eq!(classified, t.accesses);
+        prop_assert!(m.stats.memory_miss_rate() <= 1.0);
+    }
+
+    /// Single-processor streams never see coherence traffic.
+    #[test]
+    fn uniprocessor_no_coherence(accs in stream(1)) {
+        let mut m = Machine::new(MachineConfig::tiny(1));
+        for &(_, a, w) in &accs {
+            m.access(0, a, w);
+        }
+        let t = m.stats.total();
+        prop_assert_eq!(t.invalidations_received, 0);
+        prop_assert_eq!(t.remote_dirty, 0);
+        prop_assert_eq!(t.remote_mem, 0, "single cluster: everything is local");
+    }
+
+    /// Immediately repeated accesses always hit L1, regardless of history.
+    #[test]
+    fn repeat_access_hits_l1(accs in stream(4), p in 0usize..4, a in 0u64..2048) {
+        let cfg = MachineConfig::tiny(4);
+        let mut m = Machine::new(cfg.clone());
+        for &(q, b, w) in &accs {
+            m.access(q, b, w);
+        }
+        m.access(p, a, true);
+        let c = m.access(p, a, false);
+        prop_assert_eq!(c, cfg.lat_l1);
+        let c = m.access(p, a, true);
+        prop_assert_eq!(c, cfg.lat_l1, "writer keeps ownership until someone intervenes");
+    }
+
+    /// Disjoint per-processor address regions never interfere: every
+    /// processor's stream behaves as if it ran alone.
+    #[test]
+    fn disjoint_regions_isolated(accs in proptest::collection::vec((0usize..4, 0u64..256, any::<bool>()), 1..200)) {
+        let cfg = MachineConfig::tiny(4);
+        let mut m = Machine::new(cfg.clone());
+        for &(p, a, w) in &accs {
+            // 1 MB apart per processor.
+            m.access(p, (p as u64) << 20 | a, w);
+        }
+        let t = m.stats.total();
+        prop_assert_eq!(t.invalidations_received, 0);
+        prop_assert_eq!(t.remote_dirty, 0);
+        // Note: upgrades may still occur (read-then-write by the sole
+        // sharer), but they must be free of invalidation traffic, which
+        // the two assertions above capture.
+    }
+}

@@ -1,0 +1,699 @@
+//! SPMD code generation: turn a program + decomposition into per-processor
+//! schedules, synchronization placement, layouts and address-cost
+//! annotations, all concretized for a given processor count and parameter
+//! binding.
+
+use crate::cost::CostModel;
+use dct_decomp::{grid_shape, CompRow, Decomposition, Folding};
+use dct_ir::{Aff, LoopNest, Program};
+use dct_layout::{synthesize_layouts, ArrayLayout};
+
+/// How one loop level is executed.
+#[derive(Clone, Debug)]
+pub enum LevelSched {
+    /// Every participating processor runs the full range.
+    Seq,
+    /// The level is spread across virtual processor dimension `proc_dim`:
+    /// a processor with grid coordinate `q` runs the iterations `v` with
+    /// `folding.owner(v + offset, extent, P) == q`.
+    Dist { proc_dim: usize, folding: Folding, extent: i64, offset: Aff },
+}
+
+/// A participation gate: only processors whose grid coordinate on
+/// `proc_dim` equals `folding.owner(aff, extent, P)` execute the nest (the
+/// owner may vary with the time step, e.g. LU's pivot-column owner).
+#[derive(Clone, Debug)]
+pub struct Gate {
+    pub proc_dim: usize,
+    pub folding: Folding,
+    pub extent: i64,
+    pub aff: Aff,
+}
+
+/// Doacross pipelining of a nest whose distributed level carries a
+/// dependence: the parallel `tile_level` is blocked into `tiles` chunks and
+/// processors proceed tile by tile behind their predecessor.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineSpec {
+    /// The distributed, dependence-carrying level.
+    pub seq_level: usize,
+    /// The level that is tiled to form the pipeline stages.
+    pub tile_level: usize,
+    /// Number of tiles (pipeline stages).
+    pub tiles: i64,
+}
+
+/// Synchronization required after a nest completes (each time step).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SyncKind {
+    /// Full barrier across all processors.
+    Barrier,
+    /// Consumers wait for the (localized) producer: max-clock join plus a
+    /// lock handoff, without the full barrier cost.
+    ProducerWait,
+    /// No synchronization needed (accesses stay owner-aligned).
+    None,
+}
+
+/// Precomputed per-statement cycle costs.
+#[derive(Clone, Debug)]
+pub struct StmtCost {
+    pub flop_cycles: u64,
+    /// Extra address-arithmetic cycles for the write access.
+    pub write_extra: u64,
+    /// Extra cycles per read access, in `Expr::collect_refs` order.
+    pub read_extras: Vec<u64>,
+}
+
+/// One compiled nest.
+#[derive(Clone, Debug)]
+pub struct SpmdNest {
+    pub source: LoopNest,
+    pub sched: Vec<LevelSched>,
+    pub gates: Vec<Gate>,
+    pub pipeline: Option<PipelineSpec>,
+    pub stmt_costs: Vec<StmtCost>,
+    pub sync_after: SyncKind,
+    /// The nest writes a replicated array: every processor executes all
+    /// iterations against its own copy.
+    pub replicated_write: bool,
+}
+
+/// The fully concretized SPMD program.
+pub struct SpmdProgram {
+    pub nprocs: usize,
+    /// Physical processors per virtual grid dimension (product == nprocs,
+    /// except when nprocs does not factor; see `grid_shape`).
+    pub grid: Vec<usize>,
+    pub layouts: Vec<ArrayLayout>,
+    /// Concrete array extents under the parameter binding.
+    pub extents: Vec<Vec<i64>>,
+    /// Byte base address of each array.
+    pub bases: Vec<u64>,
+    /// Per-processor copy stride in bytes (0 = shared, one copy).
+    pub repl_stride: Vec<u64>,
+    pub elem_bytes: Vec<u64>,
+    pub init: Vec<SpmdNest>,
+    pub nests: Vec<SpmdNest>,
+    /// Parameter binding (the time slot, if any, is rewritten per step).
+    pub params: Vec<i64>,
+    pub time_param: Option<usize>,
+    pub time_steps: i64,
+}
+
+impl SpmdProgram {
+    /// Grid coordinates of a linear processor id.
+    pub fn coords_of(&self, proc: usize) -> Vec<usize> {
+        let mut q = proc;
+        let mut out = Vec::with_capacity(self.grid.len());
+        for &g in &self.grid {
+            out.push(q % g);
+            q /= g;
+        }
+        out
+    }
+
+    /// Total element slots across all arrays (diagnostics).
+    pub fn total_elements(&self) -> i64 {
+        self.layouts.iter().map(|l| l.layout.size()).sum()
+    }
+}
+
+/// Options for code generation.
+#[derive(Clone, Debug)]
+pub struct SpmdOptions {
+    pub procs: usize,
+    pub params: Vec<i64>,
+    pub transform_data: bool,
+    pub barrier_elision: bool,
+    pub cost: CostModel,
+}
+
+/// Compile `prog` under decomposition `dec`.
+pub fn codegen(prog: &Program, dec: &Decomposition, opts: &SpmdOptions) -> SpmdProgram {
+    // A rank-0 decomposition (no parallelism found anywhere) still needs a
+    // grid so that exactly one processor executes each nest: promote it to
+    // rank 1 with every nest localized to coordinate 0.
+    let dec_storage;
+    let dec = if dec.grid_rank == 0 {
+        let mut d = dec.clone();
+        d.grid_rank = 1;
+        d.foldings = vec![Folding::Block];
+        for c in &mut d.comp {
+            c.rows = vec![CompRow::Localized(Aff::konst(0))];
+        }
+        dec_storage = d;
+        &dec_storage
+    } else {
+        dec
+    };
+    let rank = dec.grid_rank;
+    let grid = grid_shape(opts.procs, rank);
+    let params = {
+        let mut p = opts.params.clone();
+        if let Some(tl) = &prog.time {
+            p[tl.param] = 0;
+        }
+        p
+    };
+
+    let layouts = synthesize_layouts(prog, dec, &grid, &params, opts.transform_data);
+    let extents: Vec<Vec<i64>> = prog.arrays.iter().map(|a| a.extents(&params)).collect();
+
+    // Address space: page-aligned, replicated arrays get one copy per proc.
+    let page = 4096u64;
+    let mut bases = Vec::with_capacity(prog.arrays.len());
+    let mut repl_stride = Vec::with_capacity(prog.arrays.len());
+    let mut elem_bytes = Vec::with_capacity(prog.arrays.len());
+    let mut cursor = page; // leave page 0 unused
+    for (x, decl) in prog.arrays.iter().enumerate() {
+        let eb = decl.elem_bytes as u64;
+        let one = (layouts[x].layout.size() as u64 * eb).div_ceil(page) * page;
+        bases.push(cursor);
+        if dec.data[x].replicated {
+            repl_stride.push(one);
+            cursor += one * opts.procs as u64;
+        } else {
+            repl_stride.push(0);
+            cursor += one;
+        }
+        elem_bytes.push(eb);
+    }
+
+    let nests: Vec<SpmdNest> = prog
+        .nests
+        .iter()
+        .enumerate()
+        .map(|(j, nest)| compile_nest(prog, dec, &dec.comp[j].rows, nest, &extents, &layouts, &grid, opts, false))
+        .collect();
+
+    // Synchronization placement: pairwise aligned-access analysis between
+    // each nest and its successor in the (cyclic, if time-stepped) schedule.
+    let n = nests.len();
+    let mut nests = nests;
+    let cyclic = prog.time.is_some();
+    for j in 0..n {
+        let next = if j + 1 < n {
+            Some(j + 1)
+        } else if cyclic && n > 0 {
+            Some(0)
+        } else {
+            None
+        };
+        let sync = match next {
+            None => SyncKind::Barrier, // program end
+            Some(k) if !opts.barrier_elision => {
+                let _ = k;
+                SyncKind::Barrier
+            }
+            Some(k) => {
+                if needs_barrier(prog, dec, &nests, j, k) {
+                    if nests[j].gates.len() == dec.grid_rank && !nests[j].gates.is_empty() {
+                        // Fully localized producer: lock handoff suffices.
+                        SyncKind::ProducerWait
+                    } else {
+                        SyncKind::Barrier
+                    }
+                } else {
+                    SyncKind::None
+                }
+            }
+        };
+        nests[j].sync_after = sync;
+    }
+
+    // Initialization nests: owner-computes placement on the written array.
+    let init: Vec<SpmdNest> = prog
+        .init_nests
+        .iter()
+        .map(|nest| compile_init_nest(prog, dec, nest, &extents, &layouts, &grid, opts))
+        .collect();
+
+    let time_steps = prog.time_step_count(&opts.params);
+    SpmdProgram {
+        nprocs: opts.procs,
+        grid,
+        layouts,
+        extents,
+        bases,
+        repl_stride,
+        elem_bytes,
+        init,
+        nests,
+        params,
+        time_param: prog.time.as_ref().map(|t| t.param),
+        time_steps,
+    }
+}
+
+/// Build the schedule of one compute nest from its decomposition rows.
+#[allow(clippy::too_many_arguments)]
+fn compile_nest(
+    prog: &Program,
+    dec: &Decomposition,
+    rows: &[CompRow],
+    nest: &LoopNest,
+    extents: &[Vec<i64>],
+    layouts: &[ArrayLayout],
+    grid: &[usize],
+    opts: &SpmdOptions,
+    is_init: bool,
+) -> SpmdNest {
+    let mut sched = vec![]; // per level
+    for _ in 0..nest.depth {
+        sched.push(LevelSched::Seq);
+    }
+    let mut gates = Vec::new();
+
+    for (p, row) in rows.iter().enumerate() {
+        if grid.get(p).copied().unwrap_or(1) <= 1 && !matches!(row, CompRow::Level(_)) {
+            // Single processor along this dim: a gate would be trivially
+            // satisfied; skip it.
+        }
+        match row {
+            CompRow::Level(l) => {
+                let (extent, offset) = level_alignment(prog, dec, nest, *l, p, extents)
+                    .unwrap_or_else(|| fallback_extent(nest, *l, &opts.params));
+                sched[*l] = LevelSched::Dist {
+                    proc_dim: p,
+                    folding: dec.foldings[p],
+                    extent,
+                    offset,
+                };
+            }
+            CompRow::Localized(aff) => {
+                let extent = proc_dim_extent(prog, dec, p, extents);
+                gates.push(Gate { proc_dim: p, folding: dec.foldings[p], extent, aff: aff.clone() });
+            }
+            CompRow::Unconstrained => {
+                // Avoid redundant execution: only the 0-coordinate slice
+                // participates.
+                let extent = proc_dim_extent(prog, dec, p, extents);
+                gates.push(Gate {
+                    proc_dim: p,
+                    folding: dec.foldings[p],
+                    extent,
+                    aff: Aff::konst(0),
+                });
+            }
+        }
+    }
+
+    // Pipeline: a distributed level that is not doall.
+    let parallel = if is_init {
+        vec![true; nest.depth]
+    } else {
+        // dec.comp carries the doall flags; recover from rows via the
+        // caller (compute nests pass their own CompDecomp).
+        vec![true; nest.depth]
+    };
+    let _ = parallel;
+    let pipeline = pipeline_spec(prog, dec, rows, nest, &sched, opts);
+
+    let stmt_costs = stmt_costs(nest, layouts, &sched, &opts.cost);
+
+    SpmdNest {
+        source: nest.clone(),
+        sched,
+        gates,
+        pipeline,
+        stmt_costs,
+        sync_after: SyncKind::Barrier,
+        replicated_write: false,
+    }
+}
+
+/// Pipeline specification for a nest whose distributed level carries a
+/// dependence (detected by the decomposition).
+fn pipeline_spec(
+    prog: &Program,
+    dec: &Decomposition,
+    rows: &[CompRow],
+    nest: &LoopNest,
+    sched: &[LevelSched],
+    opts: &SpmdOptions,
+) -> Option<PipelineSpec> {
+    // Find this nest's CompDecomp to read the pipeline level.
+    let cd = dec
+        .comp
+        .iter()
+        .zip(&prog.nests)
+        .find(|(_, n)| std::ptr::eq(*n, nest))
+        .map(|(c, _)| c)?;
+    let seq_level = cd.pipeline_level?;
+    // Tile the outermost doall level that is not distributed.
+    let tile_level = (0..nest.depth).find(|&l| {
+        l != seq_level && cd.parallel_levels[l] && matches!(sched[l], LevelSched::Seq)
+    })?;
+    // Aim for ~4 tiles per processor along the pipeline dimension.
+    let procs_along = match sched[seq_level] {
+        LevelSched::Dist { proc_dim, .. } => opts.procs.min(prog_grid_dim(dec, opts, proc_dim)),
+        _ => opts.procs,
+    };
+    let tiles = (4 * procs_along as i64).max(1);
+    let _ = rows;
+    Some(PipelineSpec { seq_level, tile_level, tiles })
+}
+
+fn prog_grid_dim(dec: &Decomposition, opts: &SpmdOptions, p: usize) -> usize {
+    grid_shape(opts.procs, dec.grid_rank).get(p).copied().unwrap_or(1)
+}
+
+/// Extent/offset of the array dimension that level `l` (on proc dim `p`)
+/// aligns with: searched among the nest's references (write first).
+fn level_alignment(
+    prog: &Program,
+    dec: &Decomposition,
+    nest: &LoopNest,
+    l: usize,
+    p: usize,
+    extents: &[Vec<i64>],
+) -> Option<(i64, Aff)> {
+    let mut fallback = None;
+    for (is_write, r) in nest.all_refs() {
+        let x = r.array.0;
+        if dec.data[x].replicated {
+            continue;
+        }
+        for ad in &dec.data[x].dists {
+            if ad.proc_dim != p {
+                continue;
+            }
+            let s = r.access.dim_aff(ad.dim);
+            if s.var_coeff(l) == 1
+                && s.var_coeffs.iter().enumerate().all(|(k, &c)| k == l || c == 0)
+            {
+                let mut offset = s.clone();
+                for c in offset.var_coeffs.iter_mut() {
+                    *c = 0;
+                }
+                let res = (extents[x][ad.dim], offset);
+                if is_write {
+                    return Some(res);
+                }
+                fallback.get_or_insert(res);
+            }
+        }
+    }
+    let _ = prog;
+    fallback
+}
+
+/// Extent of the array dimension backing proc dim `p` (for gates).
+fn proc_dim_extent(prog: &Program, dec: &Decomposition, p: usize, extents: &[Vec<i64>]) -> i64 {
+    for x in 0..prog.arrays.len() {
+        for ad in &dec.data[x].dists {
+            if ad.proc_dim == p {
+                return extents[x][ad.dim];
+            }
+        }
+    }
+    // No array distributed on this dim: treat coordinates directly.
+    i64::MAX / 2
+}
+
+/// Fallback extent/offset from the loop bounds (bounds evaluated with outer
+/// variables at zero — exact for rectangular nests, which is the only case
+/// that reaches here).
+fn fallback_extent(nest: &LoopNest, l: usize, params: &[i64]) -> (i64, Aff) {
+    let zeros = vec![0i64; nest.depth];
+    let lo = nest.bounds[l].eval_lo(&zeros, params);
+    let hi = nest.bounds[l].eval_hi(&zeros, params);
+    ((hi - lo + 1).max(1), Aff::konst(-lo))
+}
+
+/// Per-statement cycle cost annotations (flops + address arithmetic).
+fn stmt_costs(
+    nest: &LoopNest,
+    layouts: &[ArrayLayout],
+    sched: &[LevelSched],
+    cost: &CostModel,
+) -> Vec<StmtCost> {
+    nest.body
+        .iter()
+        .map(|s| {
+            let write_extra = ref_addr_cost(&s.lhs, layouts, sched, cost);
+            let mut reads = Vec::new();
+            s.rhs.collect_refs(&mut reads);
+            let read_extras = reads.iter().map(|r| ref_addr_cost(r, layouts, sched, cost)).collect();
+            StmtCost { flop_cycles: cost.expr_cycles(&s.rhs), write_extra, read_extras }
+        })
+        .collect()
+}
+
+fn ref_addr_cost(
+    r: &dct_ir::ArrayRef,
+    layouts: &[ArrayLayout],
+    sched: &[LevelSched],
+    cost: &CostModel,
+) -> u64 {
+    let lay = &layouts[r.array.0];
+    let mut extra = 0;
+    for (orig_dim, _strip) in lay.layout.strip_mines_by_orig_dim() {
+        let s = r.access.dim_aff(orig_dim);
+        // Which level is distributed on the proc dim of this array dim?
+        let dist_level = lay
+            .dist_info
+            .iter()
+            .find(|di| di.orig_dim == orig_dim)
+            .and_then(|di| {
+                sched.iter().enumerate().find_map(|(l, ls)| match ls {
+                    LevelSched::Dist { proc_dim, .. } if *proc_dim == di.proc_dim => Some(l),
+                    _ => None,
+                })
+            });
+        extra += cost.strip_dim_cycles(&s, dist_level);
+    }
+    extra
+}
+
+/// Does the data flow between consecutive nests cross processors? True
+/// unless every reference to every shared (written) array is owner-aligned
+/// in both nests.
+fn needs_barrier(
+    prog: &Program,
+    dec: &Decomposition,
+    nests: &[SpmdNest],
+    a: usize,
+    b: usize,
+) -> bool {
+    let arrays_a: std::collections::HashSet<usize> =
+        nests[a].source.all_refs().iter().map(|(_, r)| r.array.0).collect();
+    for (wb, rb) in nests[b].source.all_refs() {
+        let x = rb.array.0;
+        if !arrays_a.contains(&x) {
+            continue;
+        }
+        let written_in_a = nests[a].source.body.iter().any(|s| s.lhs.array.0 == x);
+        if !written_in_a && !wb {
+            continue; // read-read sharing is fine
+        }
+        if dec.data[x].replicated {
+            continue; // replicated arrays are never written by compute nests
+        }
+        if dec.data[x].dists.is_empty() {
+            return true; // shared undistributed data with a write: sync
+        }
+        // Both nests' references to x must be self-aligned.
+        for j in [a, b] {
+            for (_, r) in nests[j].source.all_refs() {
+                if r.array.0 == x && !ref_aligned(&nests[j], r, dec, x) {
+                    return true;
+                }
+            }
+        }
+    }
+    let _ = prog;
+    false
+}
+
+/// Is a reference owner-aligned with its nest's schedule on every
+/// distributed dimension of the array?
+fn ref_aligned(nest: &SpmdNest, r: &dct_ir::ArrayRef, dec: &Decomposition, x: usize) -> bool {
+    for ad in &dec.data[x].dists {
+        let s = r.access.dim_aff(ad.dim);
+        let ok = nest
+            .sched
+            .iter()
+            .enumerate()
+            .any(|(l, ls)| match ls {
+                LevelSched::Dist { proc_dim, offset, .. } if *proc_dim == ad.proc_dim => {
+                    // s must be exactly var(l) + offset.
+                    let mut expect = offset.clone() + Aff::var(l);
+                    normalize(&mut expect);
+                    let mut got = s.clone();
+                    normalize(&mut got);
+                    expect == got
+                }
+                _ => false,
+            })
+            || nest.gates.iter().any(|g| {
+                g.proc_dim == ad.proc_dim && {
+                    let mut ga = g.aff.clone();
+                    normalize(&mut ga);
+                    let mut sa = s.clone();
+                    normalize(&mut sa);
+                    ga == sa
+                }
+            });
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// Trim trailing zero coefficients so structurally equal affs compare equal.
+fn normalize(a: &mut Aff) {
+    while a.var_coeffs.last() == Some(&0) {
+        a.var_coeffs.pop();
+    }
+    while a.param_coeffs.last() == Some(&0) {
+        a.param_coeffs.pop();
+    }
+}
+
+/// Compile an initialization nest: owner-computes on the written array.
+fn compile_init_nest(
+    prog: &Program,
+    dec: &Decomposition,
+    nest: &LoopNest,
+    extents: &[Vec<i64>],
+    layouts: &[ArrayLayout],
+    grid: &[usize],
+    opts: &SpmdOptions,
+) -> SpmdNest {
+    let lhs = &nest.body.first().expect("init nest needs a statement").lhs;
+    let x = lhs.array.0;
+
+    if dec.data[x].replicated {
+        let stmt_costs = stmt_costs(nest, layouts, &vec![LevelSched::Seq; nest.depth], &opts.cost);
+        return SpmdNest {
+            source: nest.clone(),
+            sched: vec![LevelSched::Seq; nest.depth],
+            gates: Vec::new(),
+            pipeline: None,
+            stmt_costs,
+            sync_after: SyncKind::Barrier,
+            replicated_write: true,
+        };
+    }
+
+    // Derive rows from the lhs subscripts of the distributed dims.
+    let mut rows = vec![CompRow::Unconstrained; dec.grid_rank.max(1)];
+    if dec.data[x].dists.is_empty() {
+        // Undistributed array (base compiler): block-distribute the
+        // outermost loop so pages land in first-touch blocks of the outer
+        // dimension, like a straightforwardly parallelized init loop.
+        rows[0] = CompRow::Level(0);
+    } else {
+        for ad in &dec.data[x].dists {
+            let s = lhs.access.dim_aff(ad.dim);
+            let nz: Vec<usize> = s
+                .var_coeffs
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c != 0)
+                .map(|(l, _)| l)
+                .collect();
+            rows[ad.proc_dim] = match nz.as_slice() {
+                [l] if s.var_coeff(*l) == 1 => CompRow::Level(*l),
+                _ => CompRow::Localized(s.clone()),
+            };
+        }
+    }
+    let mut out = compile_nest(prog, dec, &rows, nest, extents, layouts, grid, opts, true);
+    out.pipeline = None;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dct_dep::{analyze_nest, DepConfig};
+    use dct_ir::{Expr, NestBuilder, ProgramBuilder};
+
+    fn simple() -> (Program, Decomposition) {
+        let mut pb = ProgramBuilder::new("p");
+        let n = pb.param("N", 16);
+        let a = pb.array("A", &[Aff::param(n), Aff::param(n)], 8);
+        let mut nb = NestBuilder::new("init", 1);
+        let j = nb.loop_var(Aff::konst(0), Aff::param(n) - 1);
+        let i = nb.loop_var(Aff::konst(0), Aff::param(n) - 1);
+        nb.assign(a, &[Aff::var(i), Aff::var(j)], Expr::Index(i));
+        pb.init_nest(nb.build());
+        let mut nb = NestBuilder::new("sweep", 1);
+        let j = nb.loop_var(Aff::konst(1), Aff::param(n) - 2);
+        let i = nb.loop_var(Aff::konst(0), Aff::param(n) - 1);
+        let rhs = nb.read(a, &[Aff::var(i), Aff::var(j) - 1]) + nb.read(a, &[Aff::var(i), Aff::var(j) + 1]);
+        nb.assign(a, &[Aff::var(i), Aff::var(j)], rhs);
+        pb.nest(nb.build());
+        let prog = pb.build();
+        let cfg = DepConfig { nparams: prog.params.len(), param_min: 4 };
+        let deps: Vec<_> = prog.nests.iter().map(|x| analyze_nest(x, cfg)).collect();
+        let dec = dct_decomp::decompose(&prog, &deps);
+        (prog, dec)
+    }
+
+    fn opts(p: usize) -> SpmdOptions {
+        SpmdOptions {
+            procs: p,
+            params: vec![16, 0],
+            transform_data: true,
+            barrier_elision: true,
+            cost: CostModel::default(),
+        }
+    }
+
+    #[test]
+    fn codegen_basics() {
+        let (prog, dec) = simple();
+        let o = SpmdOptions { params: vec![16], ..opts(4) };
+        let sp = codegen(&prog, &dec, &o);
+        assert_eq!(sp.grid, vec![4]);
+        assert_eq!(sp.nests.len(), 1);
+        assert_eq!(sp.init.len(), 1);
+        // The sweep distributes level 1 (i), aligned to A's dim 0.
+        match &sp.nests[0].sched[1] {
+            LevelSched::Dist { proc_dim: 0, extent: 16, .. } => {}
+            other => panic!("unexpected sched {other:?}"),
+        }
+        // Bases are page-aligned and distinct.
+        assert_eq!(sp.bases[0] % 4096, 0);
+        assert_eq!(sp.repl_stride[0], 0);
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let (prog, dec) = simple();
+        let o = SpmdOptions { params: vec![16], ..opts(6) };
+        let sp = codegen(&prog, &dec, &o);
+        let mut seen = std::collections::HashSet::new();
+        for p in 0..6 {
+            let c = sp.coords_of(p);
+            assert_eq!(c.len(), sp.grid.len());
+            seen.insert(c);
+        }
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn init_owner_computes() {
+        let (prog, dec) = simple();
+        let o = SpmdOptions { params: vec![16], ..opts(4) };
+        let sp = codegen(&prog, &dec, &o);
+        // Init writes A(i,j) with A distributed on dim 0 -> init level 1
+        // (i) must be distributed.
+        assert!(matches!(sp.init[0].sched[1], LevelSched::Dist { .. }));
+        assert!(matches!(sp.init[0].sched[0], LevelSched::Seq));
+    }
+
+    #[test]
+    fn stencil_neighbors_force_barrier() {
+        let (prog, dec) = simple();
+        let o = SpmdOptions { params: vec![16], ..opts(4) };
+        let sp = codegen(&prog, &dec, &o);
+        // Single nest, no time loop: barrier at program end.
+        assert_eq!(sp.nests[0].sync_after, SyncKind::Barrier);
+    }
+}

@@ -1,0 +1,107 @@
+//! Instruction-cost model for the simulated processor (R3000-flavoured),
+//! including the address-calculation costs that the paper's Section 4.3
+//! optimizations attack.
+
+use dct_ir::{Aff, BinOp, Expr};
+
+/// Cycle costs of non-memory work.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    pub flop_add: u64,
+    pub flop_mul: u64,
+    pub flop_div: u64,
+    /// Per-iteration loop overhead (increment, compare, branch).
+    pub loop_iter: u64,
+    /// Cost of an integer divide + modulo pair in address arithmetic.
+    pub divmod: u64,
+    /// Apply the paper's address-calculation optimizations (in-partition
+    /// div/mod elimination, invariant hoisting, strength reduction).
+    pub addr_opt: bool,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel { flop_add: 1, flop_mul: 2, flop_div: 12, loop_iter: 2, divmod: 24, addr_opt: true }
+    }
+}
+
+impl CostModel {
+    /// Arithmetic cycles of an expression (memory costs are separate).
+    pub fn expr_cycles(&self, e: &Expr) -> u64 {
+        match e {
+            Expr::Const(_) | Expr::Index(_) | Expr::Ref(_) => 0,
+            Expr::Bin(op, a, b) => {
+                let c = match op {
+                    BinOp::Add | BinOp::Sub => self.flop_add,
+                    BinOp::Mul => self.flop_mul,
+                    BinOp::Div => self.flop_div,
+                };
+                c + self.expr_cycles(a) + self.expr_cycles(b)
+            }
+        }
+    }
+
+    /// Extra address-arithmetic cycles per access for one strip-mined
+    /// original dimension, given the subscript affine form of that
+    /// dimension and which loop level (if any) is the innermost of the
+    /// nest.
+    ///
+    /// * subscript invariant in all loops: computed once, hoisted — free.
+    /// * subscript follows the distributed loop under block scheduling:
+    ///   the whole inner range stays inside one partition, so the div is a
+    ///   constant and the mod a linear recurrence (Section 4.3's first
+    ///   optimization) — 1 cycle.
+    /// * otherwise with optimizations on: strength-reduced increment plus
+    ///   occasional correction — 3 cycles.
+    /// * optimizations off: a real div + mod per access.
+    pub fn strip_dim_cycles(&self, subscript: &Aff, distributed_level: Option<usize>) -> u64 {
+        if !self.addr_opt {
+            return self.divmod;
+        }
+        if subscript.is_loop_invariant() {
+            return 0;
+        }
+        let nz: Vec<usize> = subscript
+            .var_coeffs
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c != 0)
+            .map(|(l, _)| l)
+            .collect();
+        if let (Some(dl), [l]) = (distributed_level, nz.as_slice()) {
+            if *l == dl {
+                return 1;
+            }
+        }
+        3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_costs() {
+        let m = CostModel::default();
+        let e = Expr::Const(1.0) + Expr::Const(2.0) * Expr::Const(3.0);
+        assert_eq!(m.expr_cycles(&e), m.flop_add + m.flop_mul);
+        let d = Expr::Const(1.0) / Expr::Const(2.0);
+        assert_eq!(m.expr_cycles(&d), m.flop_div);
+    }
+
+    #[test]
+    fn addr_opt_levels() {
+        let m = CostModel::default();
+        // Invariant subscript: hoisted.
+        assert_eq!(m.strip_dim_cycles(&Aff::param(0), Some(0)), 0);
+        // Distributed-level subscript: in-partition optimization.
+        assert_eq!(m.strip_dim_cycles(&Aff::var(1), Some(1)), 1);
+        // Other loop variable: strength reduced.
+        assert_eq!(m.strip_dim_cycles(&Aff::var(0), Some(1)), 3);
+        // Optimizations off: full divmod everywhere.
+        let off = CostModel { addr_opt: false, ..CostModel::default() };
+        assert_eq!(off.strip_dim_cycles(&Aff::var(1), Some(1)), off.divmod);
+        assert_eq!(off.strip_dim_cycles(&Aff::param(0), None), off.divmod);
+    }
+}

@@ -1,0 +1,486 @@
+//! Deterministic SPMD execution over the machine simulator.
+//!
+//! Each processor has its own cycle clock. A nest is executed by running
+//! every participating processor's iteration subset against the shared
+//! cache/directory state and accumulating per-processor busy cycles;
+//! barriers join the clocks (plus barrier cost), pipelined nests advance
+//! tile-by-tile behind their predecessor processor. Program values are
+//! f64 arenas indexed by the transformed layouts, so numeric results are
+//! identical across strategies and processor counts — which the tests
+//! verify.
+
+use crate::codegen::{LevelSched, SpmdNest, SpmdProgram, SyncKind};
+use crate::cost::CostModel;
+use dct_ir::{BinOp, Expr};
+use dct_machine::{Machine, MachineConfig, MissClasses, Stats};
+
+/// Result of one simulated execution.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Wall-clock cycles (max over processors at program end).
+    pub cycles: u64,
+    /// Final per-processor clocks.
+    pub clocks: Vec<u64>,
+    /// Machine statistics (misses, invalidations, ...).
+    pub stats: Stats,
+    /// Sum of all array elements (cheap numeric fingerprint).
+    pub checksum: f64,
+    /// Barriers executed.
+    pub barriers: u64,
+    /// 4-C miss classification per processor, when the machine was
+    /// configured with `classify_misses`.
+    pub miss_classes: Option<Vec<MissClasses>>,
+    /// Total busy cycles per compute nest (summed over processors and time
+    /// steps) — which nest dominates the execution.
+    pub nest_cycles: Vec<u64>,
+    /// Total busy cycles of the initialization nests.
+    pub init_cycles: u64,
+}
+
+/// The interpreter.
+pub struct Executor<'a> {
+    sp: &'a SpmdProgram,
+    machine: Machine,
+    arenas: Vec<Vec<f64>>,
+    clocks: Vec<u64>,
+    cost: CostModel,
+    barriers: u64,
+    /// Per-processor grid coordinates, precomputed.
+    coords: Vec<Vec<usize>>,
+    /// Scratch buffers for allocation-free address computation.
+    scratch_idx: Vec<i64>,
+    scratch_lay: Vec<i64>,
+    /// Per-compute-nest busy-cycle accumulators.
+    nest_cycles: Vec<u64>,
+    init_cycles: u64,
+    /// Accumulator target for the nest currently executing.
+    current_acc: Option<usize>,
+}
+
+impl<'a> Executor<'a> {
+    pub fn new(sp: &'a SpmdProgram, machine_cfg: MachineConfig, cost: CostModel) -> Executor<'a> {
+        assert_eq!(machine_cfg.nprocs, sp.nprocs);
+        let arenas = sp.layouts.iter().map(|l| vec![0.0f64; l.layout.size() as usize]).collect();
+        let coords = (0..sp.nprocs).map(|p| sp.coords_of(p)).collect();
+        Executor {
+            sp,
+            machine: Machine::new(machine_cfg),
+            arenas,
+            clocks: vec![0; sp.nprocs],
+            cost,
+            barriers: 0,
+            coords,
+            scratch_idx: Vec::with_capacity(8),
+            scratch_lay: Vec::with_capacity(8),
+            nest_cycles: vec![0; sp.nests.len()],
+            init_cycles: 0,
+            current_acc: None,
+        }
+    }
+
+    /// Run the whole program: init nests, then the (possibly time-stepped)
+    /// compute schedule.
+    pub fn run(&mut self) -> RunResult {
+        let mut params = self.sp.params.clone();
+        if let Some(tp) = self.sp.time_param {
+            params[tp] = 0;
+        }
+        for k in 0..self.sp.init.len() {
+            self.exec_nest_idx(true, k, &params);
+            self.barrier();
+        }
+        for t in 0..self.sp.time_steps {
+            if let Some(tp) = self.sp.time_param {
+                params[tp] = t;
+            }
+            for j in 0..self.sp.nests.len() {
+                self.exec_nest_idx(false, j, &params);
+                // Skip the trailing sync of the very last nest execution;
+                // the final max() below plays that role.
+                let last = t == self.sp.time_steps - 1 && j == self.sp.nests.len() - 1;
+                if !last {
+                    match self.sp.nests[j].sync_after {
+                        SyncKind::Barrier => self.barrier(),
+                        SyncKind::ProducerWait => self.producer_wait(),
+                        SyncKind::None => {}
+                    }
+                }
+            }
+        }
+        let cycles = self.clocks.iter().copied().max().unwrap_or(0);
+        RunResult {
+            cycles,
+            clocks: self.clocks.clone(),
+            stats: self.machine.stats.clone(),
+            checksum: self.checksum(),
+            barriers: self.barriers,
+            miss_classes: self.machine.miss_classes(),
+            nest_cycles: self.nest_cycles.clone(),
+            init_cycles: self.init_cycles,
+        }
+    }
+
+    /// Read an array's values in original index order (for verification).
+    pub fn values(&self, x: usize) -> Vec<f64> {
+        let lay = &self.sp.layouts[x];
+        let dims = lay.layout.orig_dims().to_vec();
+        let mut out = Vec::with_capacity(dims.iter().product::<i64>() as usize);
+        let mut idx = vec![0i64; dims.len()];
+        loop {
+            out.push(self.arenas[x][lay.layout.address_of(&idx) as usize]);
+            // Odometer increment (first dim fastest = column-major order).
+            let mut d = 0;
+            loop {
+                if d == dims.len() {
+                    return out;
+                }
+                idx[d] += 1;
+                if idx[d] < dims[d] {
+                    break;
+                }
+                idx[d] = 0;
+                d += 1;
+            }
+        }
+    }
+
+    pub fn checksum(&self) -> f64 {
+        self.arenas.iter().flat_map(|a| a.iter()).sum()
+    }
+
+    fn barrier(&mut self) {
+        self.barriers += 1;
+        let m = self.clocks.iter().copied().max().unwrap_or(0);
+        let c = m + self.machine.barrier_cost(self.sp.nprocs);
+        for x in &mut self.clocks {
+            *x = c;
+        }
+    }
+
+    fn producer_wait(&mut self) {
+        let m = self.clocks.iter().copied().max().unwrap_or(0);
+        let c = m + self.machine.cfg.lock_cost;
+        for x in &mut self.clocks {
+            *x = c;
+        }
+    }
+
+    fn exec_nest_idx(&mut self, init: bool, idx: usize, params: &[i64]) {
+        let nest: &SpmdNest = if init { &self.sp.init[idx] } else { &self.sp.nests[idx] };
+        // Cloning the (small) scheduling metadata sidesteps the borrow of
+        // `self.sp` during execution.
+        let nest = nest.clone();
+        self.current_acc = if init { None } else { Some(idx) };
+        if nest.pipeline.is_some() {
+            self.exec_pipelined(&nest, params);
+        } else {
+            self.exec_doall(&nest, params);
+        }
+        self.current_acc = None;
+    }
+
+    /// Record busy cycles against the executing nest's accumulator.
+    fn account(&mut self, busy: u64) {
+        match self.current_acc {
+            Some(j) => self.nest_cycles[j] += busy,
+            None => self.init_cycles += busy,
+        }
+    }
+
+    /// Which processors participate, given the gates at this time step.
+    fn participants(&self, nest: &SpmdNest, params: &[i64]) -> Vec<usize> {
+        (0..self.sp.nprocs)
+            .filter(|&p| {
+                nest.gates.iter().all(|g| {
+                    let v = g.aff.eval(&[], params);
+                    let procs = self.sp.grid.get(g.proc_dim).copied().unwrap_or(1) as i64;
+                    let owner = if g.extent >= i64::MAX / 2 {
+                        v.rem_euclid(procs.max(1))
+                    } else {
+                        g.folding.owner(v, g.extent, procs.max(1))
+                    };
+                    self.coords[p].get(g.proc_dim).map_or(0, |&c| c as i64) == owner
+                })
+            })
+            .collect()
+    }
+
+    fn exec_doall(&mut self, nest: &SpmdNest, params: &[i64]) {
+        if nest.replicated_write {
+            // Every processor initializes its own replica.
+            for p in 0..self.sp.nprocs {
+                let mut ivec = vec![0i64; nest.source.depth];
+                let busy = self.walk(nest, p, 0, &mut ivec, params, None);
+                self.account(busy);
+                self.clocks[p] += busy;
+            }
+            return;
+        }
+        for p in self.participants(nest, params) {
+            let mut ivec = vec![0i64; nest.source.depth];
+            let busy = self.walk(nest, p, 0, &mut ivec, params, None);
+            self.account(busy);
+            self.clocks[p] += busy;
+        }
+    }
+
+    /// Doacross pipeline: processors along the pipeline grid dimension
+    /// proceed tile-by-tile behind their predecessor.
+    fn exec_pipelined(&mut self, nest: &SpmdNest, params: &[i64]) {
+        let spec = nest.pipeline.unwrap();
+        let parts = self.participants(nest, params);
+        let pipe_dim = match nest.sched[spec.seq_level] {
+            LevelSched::Dist { proc_dim, .. } => proc_dim,
+            _ => 0,
+        };
+        // Tile ranges along tile_level (bounds must be outer-invariant).
+        let zeros = vec![0i64; nest.source.depth];
+        let tlo = nest.source.bounds[spec.tile_level].eval_lo(&zeros, params);
+        let thi = nest.source.bounds[spec.tile_level].eval_hi(&zeros, params);
+        let span = (thi - tlo + 1).max(0);
+        if span == 0 {
+            return;
+        }
+        let ntiles = spec.tiles.min(span).max(1);
+        let tile = (span + ntiles - 1) / ntiles;
+
+        // Group participants into chains: same coords on every dim except
+        // the pipeline dim, ordered by pipeline coordinate.
+        let mut chains: std::collections::BTreeMap<Vec<usize>, Vec<usize>> = Default::default();
+        for &p in &parts {
+            let mut key = self.coords[p].clone();
+            if pipe_dim < key.len() {
+                key[pipe_dim] = 0;
+            }
+            chains.entry(key).or_default().push(p);
+        }
+        let lock = self.machine.cfg.lock_cost;
+        for (_, mut chain) in chains {
+            chain.sort_by_key(|&p| self.coords[p].get(pipe_dim).copied().unwrap_or(0));
+            let mut prev_done: Vec<u64> = vec![0; ntiles as usize];
+            for &p in &chain {
+                let mut clock = self.clocks[p];
+                let mut done = Vec::with_capacity(ntiles as usize);
+                for r in 0..ntiles {
+                    let rlo = tlo + r * tile;
+                    let rhi = (rlo + tile - 1).min(thi);
+                    let start = clock.max(prev_done[r as usize].saturating_add(lock));
+                    let mut ivec = vec![0i64; nest.source.depth];
+                    let busy =
+                        self.walk(nest, p, 0, &mut ivec, params, Some((spec.tile_level, rlo, rhi)));
+                    self.account(busy);
+                    clock = start + busy;
+                    done.push(clock);
+                }
+                self.clocks[p] = clock;
+                prev_done = done;
+            }
+        }
+    }
+
+    /// Recursive loop walk; returns busy cycles for this processor.
+    fn walk(
+        &mut self,
+        nest: &SpmdNest,
+        proc: usize,
+        level: usize,
+        ivec: &mut Vec<i64>,
+        params: &[i64],
+        tile: Option<(usize, i64, i64)>,
+    ) -> u64 {
+        if level == nest.source.depth {
+            return self.exec_body(nest, proc, ivec, params);
+        }
+        let mut lo = nest.source.bounds[level].eval_lo(ivec, params);
+        let mut hi = nest.source.bounds[level].eval_hi(ivec, params);
+        if let Some((tl, rlo, rhi)) = tile {
+            if tl == level {
+                lo = lo.max(rlo);
+                hi = hi.min(rhi);
+            }
+        }
+        let mut busy = 0u64;
+        match &nest.sched[level] {
+            LevelSched::Seq => {
+                for v in lo..=hi {
+                    ivec[level] = v;
+                    busy += self.cost.loop_iter + self.walk(nest, proc, level + 1, ivec, params, tile);
+                }
+            }
+            LevelSched::Dist { proc_dim, folding, extent, offset } => {
+                let q = self.coords[proc].get(*proc_dim).copied().unwrap_or(0) as i64;
+                let procs = self.sp.grid.get(*proc_dim).copied().unwrap_or(1) as i64;
+                let off = offset.eval(&[], params);
+                for v in owned_iter(lo, hi, off, *extent, procs, q, *folding) {
+                    ivec[level] = v;
+                    busy += self.cost.loop_iter + self.walk(nest, proc, level + 1, ivec, params, tile);
+                }
+            }
+        }
+        ivec[level] = 0;
+        busy
+    }
+
+    fn exec_body(&mut self, nest: &SpmdNest, proc: usize, ivec: &[i64], params: &[i64]) -> u64 {
+        let mut busy = 0u64;
+        for (s, sc) in nest.source.body.iter().zip(&nest.stmt_costs) {
+            let mut read_idx = 0;
+            let (val, c) = self.eval(proc, &s.rhs, ivec, params, &sc.read_extras, &mut read_idx);
+            busy += c + sc.flop_cycles;
+            // Write.
+            let x = s.lhs.array.0;
+            let (addr, slot) = self.addr_of_ref(proc, x, &s.lhs.access, ivec, params);
+            busy += self.machine.access(proc, addr, true) + sc.write_extra;
+            self.arenas[x][slot] = val;
+        }
+        busy
+    }
+
+    #[allow(clippy::only_used_in_recursion)]
+    fn eval(
+        &mut self,
+        proc: usize,
+        e: &Expr,
+        ivec: &[i64],
+        params: &[i64],
+        read_extras: &[u64],
+        read_idx: &mut usize,
+    ) -> (f64, u64) {
+        match e {
+            Expr::Const(c) => (*c, 0),
+            Expr::Index(l) => (ivec[*l] as f64, 0),
+            Expr::Ref(r) => {
+                let x = r.array.0;
+                let (addr, slot) = self.addr_of_ref(proc, x, &r.access, ivec, params);
+                let extra = read_extras.get(*read_idx).copied().unwrap_or(0);
+                *read_idx += 1;
+                let c = self.machine.access(proc, addr, false) + extra;
+                (self.arenas[x][slot], c)
+            }
+            Expr::Bin(op, a, b) => {
+                let (va, ca) = self.eval(proc, a, ivec, params, read_extras, read_idx);
+                let (vb, cb) = self.eval(proc, b, ivec, params, read_extras, read_idx);
+                let v = match op {
+                    BinOp::Add => va + vb,
+                    BinOp::Sub => va - vb,
+                    BinOp::Mul => va * vb,
+                    BinOp::Div => va / vb,
+                };
+                (v, ca + cb)
+            }
+        }
+    }
+
+    /// Byte address and arena slot of a reference at an iteration point,
+    /// applying the per-processor replica stride when the array is
+    /// replicated. Allocation-free (reuses executor scratch).
+    fn addr_of_ref(
+        &mut self,
+        proc: usize,
+        x: usize,
+        access: &dct_ir::AffineAccess,
+        ivec: &[i64],
+        params: &[i64],
+    ) -> (u64, usize) {
+        let mut idx = std::mem::take(&mut self.scratch_idx);
+        let mut lay_buf = std::mem::take(&mut self.scratch_lay);
+        access.eval_into(ivec, params, &mut idx);
+        let lay = &self.sp.layouts[x];
+        let elem = lay.layout.address_of_buf(&idx, &mut lay_buf);
+        debug_assert!(elem >= 0 && elem < lay.layout.size(), "array {x} index {idx:?} out of bounds");
+        self.scratch_idx = idx;
+        self.scratch_lay = lay_buf;
+        let byte = self.sp.bases[x]
+            + self.sp.repl_stride[x] * proc as u64
+            + elem as u64 * self.sp.elem_bytes[x];
+        (byte, elem as usize)
+    }
+}
+
+/// Iterate the values `v` in `[lo, hi]` owned by grid coordinate `q`.
+pub fn owned_iter(
+    lo: i64,
+    hi: i64,
+    off: i64,
+    extent: i64,
+    procs: i64,
+    q: i64,
+    folding: dct_decomp::Folding,
+) -> Box<dyn Iterator<Item = i64>> {
+    use dct_decomp::Folding;
+    if procs <= 1 {
+        return Box::new(lo..=hi);
+    }
+    match folding {
+        Folding::Block => {
+            let b = (extent + procs - 1) / procs;
+            let start = (q * b - off).max(lo);
+            let end = ((q + 1) * b - 1 - off).min(hi);
+            Box::new(start..=end)
+        }
+        Folding::Cyclic => {
+            // First v >= lo with (v + off) mod procs == q.
+            let r = (q - lo - off).rem_euclid(procs);
+            let start = lo + r;
+            Box::new((start..=hi).step_by(procs as usize))
+        }
+        Folding::BlockCyclic { .. } => {
+            Box::new((lo..=hi).filter(move |&v| folding.owner(v + off, extent, procs) == q))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dct_decomp::Folding;
+
+    #[test]
+    fn owned_iter_block() {
+        // extent 16, 4 procs: blocks of 4.
+        let v: Vec<i64> = owned_iter(0, 15, 0, 16, 4, 1, Folding::Block).collect();
+        assert_eq!(v, vec![4, 5, 6, 7]);
+        // Clamped by loop bounds.
+        let v: Vec<i64> = owned_iter(5, 9, 0, 16, 4, 1, Folding::Block).collect();
+        assert_eq!(v, vec![5, 6, 7]);
+        // Offset shifts ownership.
+        let v: Vec<i64> = owned_iter(0, 15, 4, 16, 4, 1, Folding::Block).collect();
+        assert_eq!(v, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn owned_iter_cyclic() {
+        let v: Vec<i64> = owned_iter(0, 10, 0, 16, 4, 1, Folding::Cyclic).collect();
+        assert_eq!(v, vec![1, 5, 9]);
+        let v: Vec<i64> = owned_iter(3, 10, 0, 16, 4, 1, Folding::Cyclic).collect();
+        assert_eq!(v, vec![5, 9]);
+    }
+
+    #[test]
+    fn owned_iter_block_cyclic() {
+        let f = Folding::BlockCyclic { block: 2 };
+        let v: Vec<i64> = owned_iter(0, 11, 0, 12, 3, 0, f).collect();
+        assert_eq!(v, vec![0, 1, 6, 7]);
+    }
+
+    #[test]
+    fn owned_iter_partition() {
+        // Every folding partitions [lo,hi] exactly across q values.
+        for folding in [Folding::Block, Folding::Cyclic, Folding::BlockCyclic { block: 3 }] {
+            for procs in [1i64, 2, 3, 5] {
+                let mut all: Vec<i64> = Vec::new();
+                for q in 0..procs {
+                    all.extend(owned_iter(2, 20, 1, 24, procs, q, folding));
+                }
+                all.sort();
+                assert_eq!(all, (2..=20).collect::<Vec<i64>>(), "{folding:?} procs={procs}");
+            }
+        }
+    }
+
+    #[test]
+    fn owned_iter_single_proc() {
+        let v: Vec<i64> = owned_iter(3, 7, 0, 100, 1, 0, Folding::Cyclic).collect();
+        assert_eq!(v, vec![3, 4, 5, 6, 7]);
+    }
+}

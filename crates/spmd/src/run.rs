@@ -1,0 +1,77 @@
+//! High-level simulation entry point: program + decomposition + options in,
+//! cycles and statistics out.
+
+use crate::codegen::{codegen, SpmdOptions};
+use crate::cost::CostModel;
+use crate::exec::{Executor, RunResult};
+use dct_decomp::Decomposition;
+use dct_ir::Program;
+use dct_machine::MachineConfig;
+
+/// Options of one simulated run.
+#[derive(Clone, Debug)]
+pub struct SimOptions {
+    pub procs: usize,
+    /// Binding for the program's real parameters (time slot may hold
+    /// anything; it is rewritten during execution).
+    pub params: Vec<i64>,
+    /// Apply the data transformations (Section 4)?
+    pub transform_data: bool,
+    /// Apply barrier elision / lock conversion?
+    pub barrier_elision: bool,
+    /// Apply the address-calculation optimizations (Section 4.3)?
+    pub addr_opt: bool,
+    /// Machine configuration; `None` = DASH preset for `procs`.
+    pub machine: Option<MachineConfig>,
+}
+
+impl SimOptions {
+    pub fn new(procs: usize, params: Vec<i64>) -> SimOptions {
+        SimOptions {
+            procs,
+            params,
+            transform_data: true,
+            barrier_elision: true,
+            addr_opt: true,
+            machine: None,
+        }
+    }
+}
+
+/// Compile and execute one configuration.
+pub fn simulate(prog: &Program, dec: &Decomposition, opts: &SimOptions) -> RunResult {
+    let cost = CostModel { addr_opt: opts.addr_opt, ..CostModel::default() };
+    let spmd_opts = SpmdOptions {
+        procs: opts.procs,
+        params: opts.params.clone(),
+        transform_data: opts.transform_data,
+        barrier_elision: opts.barrier_elision,
+        cost,
+    };
+    let sp = codegen(prog, dec, &spmd_opts);
+    let machine = opts.machine.clone().unwrap_or_else(|| MachineConfig::dash(opts.procs));
+    Executor::new(&sp, machine, cost).run()
+}
+
+/// Simulate and also return the final contents of every array (original
+/// index order) for correctness checks.
+pub fn simulate_with_values(
+    prog: &Program,
+    dec: &Decomposition,
+    opts: &SimOptions,
+) -> (RunResult, Vec<Vec<f64>>) {
+    let cost = CostModel { addr_opt: opts.addr_opt, ..CostModel::default() };
+    let spmd_opts = SpmdOptions {
+        procs: opts.procs,
+        params: opts.params.clone(),
+        transform_data: opts.transform_data,
+        barrier_elision: opts.barrier_elision,
+        cost,
+    };
+    let sp = codegen(prog, dec, &spmd_opts);
+    let machine = opts.machine.clone().unwrap_or_else(|| MachineConfig::dash(opts.procs));
+    let mut ex = Executor::new(&sp, machine, cost);
+    let res = ex.run();
+    let vals = (0..prog.arrays.len()).map(|x| ex.values(x)).collect();
+    (res, vals)
+}

@@ -1,0 +1,118 @@
+//! Property tests for SPMD scheduling and execution: iteration
+//! partitioning is exact, and randomized stencil programs compute
+//! identical values at every processor count under every strategy.
+
+#![allow(clippy::needless_range_loop)]
+
+use dct_decomp::{base_decomposition, decompose, Folding};
+use dct_dep::{analyze_nest, DepConfig};
+use dct_ir::{Aff, Expr, Program, ProgramBuilder};
+use dct_spmd::{owned_iter, simulate_with_values, SimOptions};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// owned_iter partitions any range exactly across grid coordinates.
+    #[test]
+    fn owned_iter_partitions(
+        lo in -10i64..10,
+        span in 0i64..30,
+        off in -5i64..5,
+        extent in 1i64..40,
+        procs in 1i64..7,
+        folding_sel in 0usize..3,
+    ) {
+        let hi = lo + span;
+        let folding = match folding_sel {
+            0 => Folding::Block,
+            1 => Folding::Cyclic,
+            _ => Folding::BlockCyclic { block: 3 },
+        };
+        // Values must stay within the folded extent after offsetting.
+        prop_assume!(lo + off >= 0 && hi + off < extent);
+        let mut all: Vec<i64> = Vec::new();
+        for q in 0..procs {
+            let mine: Vec<i64> = owned_iter(lo, hi, off, extent, procs, q, folding).collect();
+            // Every owned value really belongs to q.
+            for &v in &mine {
+                prop_assert_eq!(folding.owner(v + off, extent, procs), q);
+            }
+            all.extend(mine);
+        }
+        all.sort();
+        prop_assert_eq!(all, (lo..=hi).collect::<Vec<i64>>());
+    }
+}
+
+/// A randomized 2-array stencil program with arbitrary in-bounds offsets.
+fn arb_stencil() -> impl Strategy<Value = Program> {
+    (
+        8i64..=14,
+        proptest::collection::vec((-1i64..=1, -1i64..=1), 1..4),
+        1i64..=2,
+    )
+        .prop_map(|(n, offsets, steps)| {
+            let mut pb = ProgramBuilder::new("rand");
+            let np = pb.param("N", n);
+            let a = pb.array("A", &[Aff::param(np), Aff::param(np)], 4);
+            let b = pb.array("B", &[Aff::param(np), Aff::param(np)], 4);
+            let _t = pb.time_loop(Aff::konst(steps));
+
+            let mut nb = pb.nest_builder("init");
+            let j = nb.loop_var(Aff::konst(0), Aff::param(np) - 1);
+            let i = nb.loop_var(Aff::konst(0), Aff::param(np) - 1);
+            let v = Expr::Index(i) + Expr::Index(j) * Expr::Const(0.25) + Expr::Const(1.0);
+            nb.assign(b, &[Aff::var(i), Aff::var(j)], v);
+            pb.init_nest(nb.build());
+
+            let mut nb = pb.nest_builder("stencil");
+            let j = nb.loop_var(Aff::konst(1), Aff::param(np) - 2);
+            let i = nb.loop_var(Aff::konst(1), Aff::param(np) - 2);
+            let mut rhs = nb.read(b, &[Aff::var(i), Aff::var(j)]);
+            for (di, dj) in &offsets {
+                rhs = rhs + nb.read(b, &[Aff::var(i) + *di, Aff::var(j) + *dj]) * Expr::Const(0.5);
+            }
+            nb.assign(a, &[Aff::var(i), Aff::var(j)], rhs);
+            pb.nest(nb.build());
+
+            let mut nb = pb.nest_builder("copy");
+            let j = nb.loop_var(Aff::konst(1), Aff::param(np) - 2);
+            let i = nb.loop_var(Aff::konst(1), Aff::param(np) - 2);
+            let rhs = nb.read(a, &[Aff::var(i), Aff::var(j)]);
+            nb.assign(b, &[Aff::var(i), Aff::var(j)], rhs);
+            pb.nest(nb.build());
+            pb.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized stencils: identical values for every strategy and
+    /// processor count.
+    #[test]
+    fn random_stencils_deterministic(prog in arb_stencil(), procs in 2usize..=6) {
+        let cfg = DepConfig { nparams: prog.params.len(), param_min: 4 };
+        let deps: Vec<_> = prog.nests.iter().map(|n| analyze_nest(n, cfg)).collect();
+        let base = base_decomposition(&prog, &deps);
+        let full = decompose(&prog, &deps);
+        let params = prog.default_params();
+
+        let mut o1 = SimOptions::new(1, params.clone());
+        o1.transform_data = false;
+        o1.barrier_elision = false;
+        let (_, reference) = simulate_with_values(&prog, &base, &o1);
+
+        for (dec, transform) in [(&base, false), (&full, false), (&full, true)] {
+            let mut o = SimOptions::new(procs, params.clone());
+            o.transform_data = transform;
+            let (_, got) = simulate_with_values(&prog, dec, &o);
+            for (x, (va, vb)) in reference.iter().zip(&got).enumerate() {
+                for (k, (p, q)) in va.iter().zip(vb).enumerate() {
+                    prop_assert!(p == q, "array {x} elem {k}: {p} != {q} (P={procs})");
+                }
+            }
+        }
+    }
+}

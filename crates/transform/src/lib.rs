@@ -1,0 +1,16 @@
+//! # dct-transform
+//!
+//! The loop-transformation substrate: applying unimodular transformations
+//! to affine loop nests (with Fourier–Motzkin bound regeneration) and the
+//! parallelism-exposure preprocessing step of the paper (permutation and
+//! skew searches that move doall loops outermost).
+
+#![allow(clippy::needless_range_loop, clippy::manual_memcpy)]
+
+pub mod apply;
+pub mod locality;
+pub mod parallelize;
+
+pub use apply::{map_expr_accesses, permutation_matrix, transform_nest};
+pub use locality::{improve_inner_locality, innermost_score};
+pub use parallelize::{expose_parallelism, Exposed};

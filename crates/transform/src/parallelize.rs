@@ -1,0 +1,312 @@
+//! Exposing outermost parallel loops (the paper's preprocessing step).
+//!
+//! Section 3.2: "analyze each loop nest individually and restructure the
+//! loop via unimodular transformations to expose the largest number of
+//! outermost parallelizable loops". Two strategies are combined:
+//!
+//! * **Permutation search**: enumerate loop permutations, keep the legal
+//!   ones (all dependence vectors stay lexicographically positive), and
+//!   pick the one with the most leading dependence-free levels.
+//! * **Nullspace/skew search** (when all dependences have constant
+//!   distances): rows orthogonal to every distance vector span loops that
+//!   carry no dependence; an integer basis of that nullspace, completed to
+//!   a unimodular matrix, places them outermost even when no pure
+//!   permutation could.
+
+use crate::apply::{permutation_matrix, transform_nest};
+use dct_dep::{analyze_nest, DepConfig, Dir, NestDeps};
+use dct_ir::LoopNest;
+use dct_linalg::{int_inverse_unimodular, int_nullspace, unimodular_completion, IntMat};
+
+/// Result of parallelism exposure on one nest.
+#[derive(Clone, Debug)]
+pub struct Exposed {
+    /// The transformed nest (equal to the input when `t` is the identity).
+    pub nest: LoopNest,
+    /// The unimodular transformation applied (`i' = T·i`).
+    pub t: IntMat,
+    pub t_inv: IntMat,
+    /// Number of leading loops that are parallel (doall).
+    pub nparallel: usize,
+    /// Dependence summary of the *transformed* nest.
+    pub deps: NestDeps,
+}
+
+impl Exposed {
+    /// Per-level doall flags of the transformed nest.
+    pub fn parallel_levels(&self) -> Vec<bool> {
+        self.deps.parallel_levels(self.nest.depth)
+    }
+}
+
+/// Restructure `nest` to expose the largest number of outermost parallel
+/// loops found by the searches above.
+pub fn expose_parallelism(nest: &LoopNest, cfg: DepConfig) -> Exposed {
+    let deps = analyze_nest(nest, cfg);
+    let depth = nest.depth;
+    if deps.is_fully_parallel() || depth == 0 {
+        return Exposed {
+            nest: nest.clone(),
+            t: IntMat::identity(depth),
+            t_inv: IntMat::identity(depth),
+            nparallel: depth,
+            deps,
+        };
+    }
+
+    // --- Permutation search ---
+    let dirs: Vec<&Vec<Dir>> = deps.vectors.iter().map(|v| &v.dirs).collect();
+    let mut best_perm: Vec<usize> = (0..depth).collect();
+    let mut best_count = leading_parallel(&dirs, &best_perm);
+    for perm in permutations(depth) {
+        if !permutation_legal(&dirs, &perm) {
+            continue;
+        }
+        let count = leading_parallel(&dirs, &perm);
+        if count > best_count {
+            best_count = count;
+            best_perm = perm;
+        }
+    }
+
+    // --- Nullspace/skew search (constant distances only) ---
+    let skew_t = deps.all_distances().and_then(|dists| {
+        if dists.is_empty() {
+            return None;
+        }
+        let d = IntMat::from_rows(&dists);
+        let null = int_nullspace(&d);
+        let k = null.rows();
+        if k <= best_count {
+            return None; // permutation already as good
+        }
+        let t = unimodular_completion(&null)?;
+        orient_rows(t, &dists, k)
+    });
+
+    let (t, nparallel) = match skew_t {
+        Some((t, k)) => (t, k),
+        None => (permutation_matrix(&best_perm), best_count),
+    };
+
+    let new_nest = transform_nest(nest, &t, cfg.nparams);
+    let new_deps = analyze_nest(&new_nest, cfg);
+    // The searches guarantee at least `nparallel` leading doall loops; the
+    // re-analysis is authoritative (it may even find more).
+    let mut lead = 0;
+    for l in 0..depth {
+        if new_deps.is_parallel(l) && new_deps.vectors.iter().all(|v| v.carrier() != Some(l)) {
+            // Only count the *leading* band: stop at the first carried level.
+            if new_deps.vectors.iter().any(|v| v.carrier() == Some(l)) {
+                break;
+            }
+            lead += 1;
+        } else {
+            break;
+        }
+    }
+    debug_assert!(lead >= nparallel, "exposure lost parallelism: {lead} < {nparallel}");
+    let t_inv = int_inverse_unimodular(&t);
+    Exposed { nest: new_nest, t, t_inv, nparallel: lead.max(nparallel), deps: new_deps }
+}
+
+/// Number of leading levels (in permuted order) where every dependence is Eq.
+fn leading_parallel(dirs: &[&Vec<Dir>], perm: &[usize]) -> usize {
+    for (count, &p) in perm.iter().enumerate() {
+        if dirs.iter().any(|d| d[p] != Dir::Eq) {
+            return count;
+        }
+    }
+    perm.len()
+}
+
+/// A permutation is legal iff every dependence stays lexicographically
+/// positive: scanning permuted components, the first non-Eq must be Lt.
+fn permutation_legal(dirs: &[&Vec<Dir>], perm: &[usize]) -> bool {
+    dirs.iter().all(|d| {
+        for &p in perm {
+            match d[p] {
+                Dir::Eq => continue,
+                Dir::Lt => return true,
+                Dir::Gt => return false,
+            }
+        }
+        true // all Eq: loop-independent under any order
+    })
+}
+
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    assert!(n <= 6, "permutation search limited to depth 6");
+    let mut out = Vec::new();
+    let mut cur: Vec<usize> = Vec::new();
+    let mut used = vec![false; n];
+    fn rec(n: usize, cur: &mut Vec<usize>, used: &mut Vec<bool>, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == n {
+            out.push(cur.clone());
+            return;
+        }
+        for i in 0..n {
+            if !used[i] {
+                used[i] = true;
+                cur.push(i);
+                rec(n, cur, used, out);
+                cur.pop();
+                used[i] = false;
+            }
+        }
+    }
+    rec(n, &mut cur, &mut used, &mut out);
+    out
+}
+
+/// Given a completed matrix whose first `k` rows annihilate all distances,
+/// orient rows `k..` (by negation) so every transformed distance is
+/// lexicographically positive. Returns `None` when negation cannot fix a
+/// row (mixed signs among still-unordered dependences).
+fn orient_rows(t: IntMat, dists: &[Vec<i64>], k: usize) -> Option<(IntMat, usize)> {
+    let depth = t.cols();
+    let mut rows: Vec<Vec<i64>> = (0..depth).map(|r| t.row(r).to_vec()).collect();
+    let mut unordered: Vec<&Vec<i64>> = dists.iter().collect();
+    for r in k..depth {
+        if unordered.is_empty() {
+            break;
+        }
+        let dots: Vec<i64> = unordered
+            .iter()
+            .map(|d| rows[r].iter().zip(d.iter()).map(|(&a, &b)| a * b).sum())
+            .collect();
+        if dots.iter().any(|&x| x > 0) && dots.iter().any(|&x| x < 0) {
+            return None;
+        }
+        if dots.iter().any(|&x| x < 0) {
+            for x in &mut rows[r] {
+                *x = -*x;
+            }
+        }
+        let keep: Vec<&Vec<i64>> = unordered
+            .iter()
+            .zip(&dots)
+            .filter(|(_, &dot)| dot == 0)
+            .map(|(d, _)| *d)
+            .collect();
+        unordered = keep;
+    }
+    if !unordered.is_empty() {
+        // Rows exhausted with dependences still unordered (they were all
+        // zero against every remaining row — impossible for nonzero d with
+        // full basis, but guard anyway).
+        if unordered.iter().any(|d| d.iter().any(|&x| x != 0)) {
+            return None;
+        }
+    }
+    let m = IntMat::from_rows(&rows);
+    if !m.is_unimodular() {
+        return None;
+    }
+    Some((m, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dct_ir::{Aff, ArrayId, NestBuilder};
+
+    fn cfg() -> DepConfig {
+        DepConfig { nparams: 1, param_min: 8 }
+    }
+
+    /// Figure 1 second nest, original order (J outer carried, I inner
+    /// parallel): interchange moves I outermost.
+    #[test]
+    fn interchange_exposes_outer_parallelism() {
+        let a = ArrayId(0);
+        let mut nb = NestBuilder::new("smooth", 1);
+        let j = nb.loop_var(Aff::konst(1), Aff::param(0) - 2);
+        let i = nb.loop_var(Aff::konst(0), Aff::param(0) - 1);
+        let rhs = nb.read(a, &[Aff::var(i), Aff::var(j) - 1])
+            + nb.read(a, &[Aff::var(i), Aff::var(j) + 1]);
+        nb.assign(a, &[Aff::var(i), Aff::var(j)], rhs);
+        let nest = nb.build();
+        let exp = expose_parallelism(&nest, cfg());
+        assert_eq!(exp.nparallel, 1);
+        // The transformed outer loop must be the old inner one.
+        assert_eq!(exp.t, permutation_matrix(&[1, 0]));
+        assert!(exp.parallel_levels()[0]);
+    }
+
+    /// Fully parallel nest: identity transform, all levels parallel.
+    #[test]
+    fn fully_parallel_identity() {
+        let a = ArrayId(0);
+        let b = ArrayId(1);
+        let mut nb = NestBuilder::new("copy", 1);
+        let j = nb.loop_var(Aff::konst(0), Aff::param(0) - 1);
+        let i = nb.loop_var(Aff::konst(0), Aff::param(0) - 1);
+        let rhs = nb.read(b, &[Aff::var(i), Aff::var(j)]);
+        nb.assign(a, &[Aff::var(i), Aff::var(j)], rhs);
+        let nest = nb.build();
+        let exp = expose_parallelism(&nest, cfg());
+        assert_eq!(exp.nparallel, 2);
+        assert_eq!(exp.t, IntMat::identity(2));
+    }
+
+    /// SOR-like dependence (1,0) and (0,1): no doall possible by
+    /// permutation; nullspace is empty so nparallel = 0.
+    #[test]
+    fn wavefront_has_no_doall() {
+        let a = ArrayId(0);
+        let mut nb = NestBuilder::new("sor", 1);
+        let i = nb.loop_var(Aff::konst(1), Aff::param(0) - 1);
+        let j = nb.loop_var(Aff::konst(1), Aff::param(0) - 1);
+        let rhs = nb.read(a, &[Aff::var(i) - 1, Aff::var(j)])
+            + nb.read(a, &[Aff::var(i), Aff::var(j) - 1]);
+        nb.assign(a, &[Aff::var(i), Aff::var(j)], rhs);
+        let nest = nb.build();
+        let exp = expose_parallelism(&nest, cfg());
+        assert_eq!(exp.nparallel, 0);
+    }
+
+    /// Skewed dependence (1,-1) plus (1,1): outer loop carries everything;
+    /// nullspace approach cannot beat it, permutation keeps depth-1 inner.
+    #[test]
+    fn carried_outer_keeps_inner_parallel() {
+        let a = ArrayId(0);
+        let mut nb = NestBuilder::new("diag", 1);
+        let i = nb.loop_var(Aff::konst(1), Aff::param(0) - 2);
+        let j = nb.loop_var(Aff::konst(1), Aff::param(0) - 2);
+        let rhs = nb.read(a, &[Aff::var(i) - 1, Aff::var(j) + 1])
+            + nb.read(a, &[Aff::var(i) - 1, Aff::var(j) - 1]);
+        nb.assign(a, &[Aff::var(i), Aff::var(j)], rhs);
+        let nest = nb.build();
+        let exp = expose_parallelism(&nest, cfg());
+        assert_eq!(exp.nparallel, 0);
+        assert!(exp.parallel_levels()[1], "inner loop should be doall");
+    }
+
+    /// Dependence only along the diagonal (1,1): the skew/nullspace path
+    /// finds a transformed outer loop (i-j) that is parallel, which no
+    /// permutation can.
+    #[test]
+    fn nullspace_beats_permutation() {
+        let a = ArrayId(0);
+        let mut nb = NestBuilder::new("diagdep", 1);
+        let i = nb.loop_var(Aff::konst(1), Aff::param(0) - 1);
+        let j = nb.loop_var(Aff::konst(1), Aff::param(0) - 1);
+        let rhs = nb.read(a, &[Aff::var(i) - 1, Aff::var(j) - 1]);
+        nb.assign(a, &[Aff::var(i), Aff::var(j)], rhs);
+        let nest = nb.build();
+        let exp = expose_parallelism(&nest, cfg());
+        assert_eq!(exp.nparallel, 1, "skew should expose one outer doall loop");
+        // Iteration set must be preserved.
+        assert_eq!(exp.nest.iteration_count(&[9]), nest.iteration_count(&[9]));
+    }
+
+    #[test]
+    fn permutation_legality_logic() {
+        use Dir::*;
+        let d1 = vec![Lt, Gt];
+        let dirs = [&d1];
+        assert!(permutation_legal(&dirs, &[0, 1]));
+        assert!(!permutation_legal(&dirs, &[1, 0]));
+    }
+}

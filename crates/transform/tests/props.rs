@@ -1,0 +1,102 @@
+//! Property tests for loop transformations: any unimodular transform must
+//! preserve the multiset of executed statement instances, and parallelism
+//! exposure must never lose iterations or produce an illegal order.
+
+#![allow(clippy::needless_range_loop)]
+
+use dct_dep::{analyze_nest, DepConfig};
+use dct_ir::{Aff, ArrayId, LoopNest, NestBuilder};
+use dct_linalg::IntMat;
+use dct_transform::{expose_parallelism, permutation_matrix, transform_nest};
+use proptest::prelude::*;
+
+/// The multiset of (statement, write-index) pairs a nest touches.
+fn footprint(nest: &LoopNest, params: &[i64]) -> Vec<Vec<i64>> {
+    let mut out = Vec::new();
+    nest.for_each_iteration(params, |iv| {
+        for s in &nest.body {
+            out.push(s.lhs.access.eval(iv, params));
+        }
+    });
+    out.sort();
+    out
+}
+
+/// A rectangular or triangular 2-D nest with a shifted self-access.
+fn arb_nest() -> impl Strategy<Value = LoopNest> {
+    (2i64..=7, -2i64..=2, -2i64..=2, any::<bool>()).prop_map(|(n, di, dj, tri)| {
+        let a = ArrayId(0);
+        let mut nb = NestBuilder::new("t", 0);
+        let i = nb.loop_var(Aff::konst(0), Aff::konst(n));
+        let j = if tri {
+            nb.loop_var(Aff::var(i), Aff::konst(n))
+        } else {
+            nb.loop_var(Aff::konst(0), Aff::konst(n))
+        };
+        // Keep the read inside array bounds by shifting into a large array.
+        let rhs = nb.read(a, &[Aff::var(i) + di + 4, Aff::var(j) + dj + 4]);
+        nb.assign(a, &[Aff::var(i) + 4, Aff::var(j) + 4], rhs);
+        nb.build()
+    })
+}
+
+/// Small unimodular matrices: permutations, reversals and skews composed.
+fn arb_unimodular() -> impl Strategy<Value = IntMat> {
+    (any::<bool>(), -2i64..=2, any::<bool>(), any::<bool>()).prop_map(|(swap, skew, r0, r1)| {
+        let mut t = if swap { permutation_matrix(&[1, 0]) } else { IntMat::identity(2) };
+        // Skew: i' = i, j' = j + skew*i.
+        let s = IntMat::from_rows(&[vec![1, 0], vec![skew, 1]]);
+        t = s.mul(&t);
+        let d = IntMat::from_rows(&[
+            vec![if r0 { -1 } else { 1 }, 0],
+            vec![0, if r1 { -1 } else { 1 }],
+        ]);
+        d.mul(&t)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Transformed nests execute exactly the original instances.
+    #[test]
+    fn transform_preserves_footprint(nest in arb_nest(), t in arb_unimodular()) {
+        prop_assume!(t.is_unimodular());
+        let tn = transform_nest(&nest, &t, 0);
+        prop_assert_eq!(footprint(&nest, &[]), footprint(&tn, &[]));
+        prop_assert_eq!(nest.iteration_count(&[]), tn.iteration_count(&[]));
+    }
+
+    /// Parallelism exposure preserves the iteration footprint and reports
+    /// only levels that genuinely carry no dependence.
+    #[test]
+    fn exposure_sound(nest in arb_nest()) {
+        let cfg = DepConfig { nparams: 0, param_min: 2 };
+        let exp = expose_parallelism(&nest, cfg);
+        prop_assert_eq!(footprint(&nest, &[]), footprint(&exp.nest, &[]));
+        // The reported leading parallel levels are parallel per the
+        // (re-)analysis.
+        let deps = analyze_nest(&exp.nest, cfg);
+        for l in 0..exp.nparallel {
+            prop_assert!(deps.is_parallel(l),
+                "level {l} claimed parallel but carries {:?}", deps.vectors);
+        }
+        // The transform is unimodular and invertible.
+        prop_assert!(exp.t.is_unimodular());
+        prop_assert_eq!(exp.t.mul(&exp.t_inv), IntMat::identity(2));
+    }
+
+    /// Exposure never reduces the number of outermost doall loops below
+    /// what the identity order already had.
+    #[test]
+    fn exposure_never_hurts(nest in arb_nest()) {
+        let cfg = DepConfig { nparams: 0, param_min: 2 };
+        let deps0 = analyze_nest(&nest, cfg);
+        let identity_leading = (0..nest.depth)
+            .take_while(|&l| deps0.vectors.iter().all(|v| v.dirs[l] == dct_dep::Dir::Eq))
+            .count();
+        let exp = expose_parallelism(&nest, cfg);
+        prop_assert!(exp.nparallel >= identity_leading.min(nest.depth),
+            "exposure lost parallelism: {} < {}", exp.nparallel, identity_leading);
+    }
+}

@@ -1,0 +1,65 @@
+//! Layout explorer: the data-transformation primitives of Section 4 on
+//! concrete arrays — reproduces the index/address tables of Figures 2
+//! and 3 and lets you see how strip-mining and permutation compose.
+//!
+//! ```text
+//! cargo run --release --example layout_explorer
+//! ```
+
+use dct_core::decomp::{ArrayDist, DataDecomp, Folding};
+use dct_core::layout::{diagram, synthesize_array_layout, DataLayout};
+
+fn main() {
+    // --- Figure 2: 32-element array, strip 8, then transpose -------------
+    println!("Figure 2(b): strip-mining alone does not move data");
+    let mut l = DataLayout::identity(&[32]);
+    l.strip_mine(0, 8);
+    print!("{}", diagram::render_1d(&l));
+
+    println!("\nFigure 2(c): + transpose: every 8th element becomes contiguous");
+    let mut l = DataLayout::identity(&[32]);
+    l.strip_mine(0, 8);
+    l.permute(&[1, 0]);
+    print!("{}", diagram::render_1d(&l));
+
+    // --- Figure 3: one 8x4 array under the three distributions -----------
+    let dd = DataDecomp { dists: vec![ArrayDist { dim: 0, proc_dim: 0 }], replicated: false };
+    for (label, f) in [
+        ("(BLOCK, *)", Folding::Block),
+        ("(CYCLIC, *)", Folding::Cyclic),
+        ("(BLOCK-CYCLIC(2), *)", Folding::BlockCyclic { block: 2 }),
+    ] {
+        let al = synthesize_array_layout(&[8, 4], &dd, &[f], &[2], true);
+        println!("\nFigure 3, {label}: transformed dims {:?}", al.layout.final_dims());
+        println!("cell = (new index) new-linear-address; rows = original i, cols = original j");
+        print!("{}", diagram::render_2d(&al.layout));
+        // Show that each processor's share is a contiguous address range.
+        for q in 0..2i64 {
+            let mut addrs: Vec<i64> = (0..8)
+                .flat_map(|i| (0..4).map(move |j| (i, j)))
+                .filter(|&(i, j)| al.owner(&[i, j])[0].1 == q)
+                .map(|(i, j)| al.layout.address_of(&[i, j]))
+                .collect();
+            addrs.sort();
+            println!(
+                "processor {q}: addresses {}..={} ({} elements)",
+                addrs.first().unwrap(),
+                addrs.last().unwrap(),
+                addrs.len()
+            );
+        }
+    }
+
+    // --- A composed 2-D blocked layout ------------------------------------
+    println!("\n2-D blocks: 8x8 array on a 2x2 grid (BLOCK, BLOCK)");
+    let dd = DataDecomp {
+        dists: vec![
+            ArrayDist { dim: 0, proc_dim: 0 },
+            ArrayDist { dim: 1, proc_dim: 1 },
+        ],
+        replicated: false,
+    };
+    let al = synthesize_array_layout(&[8, 8], &dd, &[Folding::Block, Folding::Block], &[2, 2], true);
+    println!("transformed dims: {:?}", al.layout.final_dims());
+    print!("{}", diagram::render_2d(&al.layout));
+}

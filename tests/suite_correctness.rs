@@ -1,0 +1,65 @@
+//! Numeric correctness of the whole benchmark suite: every strategy and
+//! processor count computes bit-identical array contents, because the
+//! compiler only reorders provably independent iterations.
+
+use dct_bench::programs::{self, Benchmark};
+use dct_core::{Compiler, Strategy};
+use dct_core::spmd::{simulate_with_values, SimOptions};
+
+fn values_for(b: &Benchmark, strategy: Strategy, procs: usize) -> Vec<Vec<f64>> {
+    let c = Compiler::new(strategy);
+    let compiled = c.compile(&b.program);
+    let opts = c.sim_options(procs, b.program.default_params());
+    let mut o = SimOptions::new(procs, opts.params.clone());
+    o.transform_data = opts.transform_data;
+    o.barrier_elision = opts.barrier_elision;
+    simulate_with_values(&compiled.program, &compiled.decomposition, &o).1
+}
+
+fn assert_same(a: &[Vec<f64>], b: &[Vec<f64>], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: array count");
+    for (x, (va, vb)) in a.iter().zip(b).enumerate() {
+        assert_eq!(va.len(), vb.len(), "{what}: array {x} size");
+        for (k, (p, q)) in va.iter().zip(vb).enumerate() {
+            assert!(
+                p == q || (p.is_nan() && q.is_nan()),
+                "{what}: array {x} element {k}: {p} != {q}"
+            );
+        }
+    }
+}
+
+#[test]
+fn whole_suite_is_deterministic_across_strategies_and_procs() {
+    // Tiny scale: exhaustive value comparison.
+    for b in programs::suite(0.09) {
+        let reference = values_for(&b, Strategy::Base, 1);
+        for strategy in Strategy::ALL {
+            for procs in [1usize, 3, 8] {
+                let got = values_for(&b, strategy, procs);
+                assert_same(
+                    &reference,
+                    &got,
+                    &format!("{} {} P={procs}", b.name, strategy.label()),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn results_are_finite_and_nontrivial() {
+    for b in programs::suite(0.09) {
+        let vals = values_for(&b, Strategy::Full, 4);
+        let mut nonzero = 0usize;
+        for arr in &vals {
+            for &v in arr {
+                assert!(v.is_finite(), "{}: non-finite value", b.name);
+                if v != 0.0 {
+                    nonzero += 1;
+                }
+            }
+        }
+        assert!(nonzero > 0, "{}: all zeros — kernel did nothing", b.name);
+    }
+}
