@@ -1,0 +1,64 @@
+//! End-to-end simulator throughput: raw `Machine::access` streams shaped
+//! like the figure benchmarks (multi-array stencil bodies, not just
+//! single-line hits) and full `Executor::run` on the 512x512 stencil —
+//! the workload that dominates `repro table1` wall time.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dct_core::{Compiler, Strategy};
+use dct_machine::{Machine, MachineConfig};
+
+/// Interleaved accesses to five lines per iteration (a 5-point stencil
+/// body): exercises the per-set MRU fast path rather than the single
+/// last-line case.
+fn stencil_shaped_accesses(c: &mut Criterion) {
+    c.bench_function("access_stencil_body", |b| {
+        let mut m = Machine::new(MachineConfig::dash(1));
+        let mut j = 0u64;
+        b.iter(|| {
+            // a[i][j-1], a[i][j+1], a[i-1][j], a[i+1][j] reads + b[i][j] write,
+            // column stride 4 KiB.
+            let base = j * 8;
+            let mut cost = 0;
+            cost += m.access(0, base.wrapping_sub(8) & 0xffff_ffff, false);
+            cost += m.access(0, base + 8, false);
+            cost += m.access(0, base + 4096, false);
+            cost += m.access(0, base + 8192, false);
+            cost += m.access(0, (64 << 20) + base, true);
+            j = (j + 1) % (1 << 18);
+            black_box(cost)
+        })
+    });
+
+    c.bench_function("access_sequential_stream", |b| {
+        let mut m = Machine::new(MachineConfig::dash(1));
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = (addr + 8) % (64 << 20);
+            black_box(m.access(0, addr, false))
+        })
+    });
+}
+
+/// Full pipeline on the 512x512 stencil (fig8's workload), 32 processors.
+fn executor_run(c: &mut Criterion) {
+    let prog = dct_bench::programs::stencil(512, 1);
+    let params = prog.default_params();
+    for strategy in [Strategy::Base, Strategy::Full] {
+        let comp = Compiler::new(strategy);
+        let compiled = comp.compile(&prog);
+        let name = match strategy {
+            Strategy::Base => "executor_stencil512_base",
+            _ => "executor_stencil512_full",
+        };
+        c.bench_function(name, |b| {
+            b.iter(|| black_box(comp.simulate(&compiled, 32, &params).cycles))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = stencil_shaped_accesses, executor_run
+}
+criterion_main!(benches);

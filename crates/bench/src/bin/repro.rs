@@ -7,6 +7,7 @@
 //! repro table1              # the summary table
 //! repro fig8 --scale 0.5    # half the paper problem size
 //! repro fig6 --procs 1,8,32 # custom processor counts
+//! repro --profile           # simulator throughput -> BENCH_sim_throughput.json
 //! ```
 
 use dct_bench::harness::{self, ALL_FIGURES, PAPER_PROCS};
@@ -24,10 +25,12 @@ fn main() {
     let mut scale = 1.0f64;
     let mut procs: Vec<usize> = PAPER_PROCS.to_vec();
     let mut workers = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(4);
+    let mut profile = false;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--profile" => profile = true,
             "--scale" => {
                 scale = it
                     .next()
@@ -57,6 +60,23 @@ fn main() {
             other => targets.push(other.to_string()),
         }
     }
+    if profile {
+        // Throughput profiling: each figure benchmark once per strategy at
+        // the paper's 32 processors (figure targets restrict the sweep).
+        let figs: Vec<String> =
+            targets.iter().filter(|t| t.starts_with("fig") && t.as_str() != "fig2" && t.as_str() != "fig3").cloned().collect();
+        let t0 = Instant::now();
+        let profiles = dct_bench::profile::profile_all(&figs, 32, scale);
+        let total = t0.elapsed().as_secs_f64();
+        print!("{}", dct_bench::profile::render_text(&profiles));
+        let json = dct_bench::profile::render_json(&profiles, total);
+        let path = "BENCH_sim_throughput.json";
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!("[profile done in {total:.1}s -> {path}]"),
+            Err(e) => die(&format!("cannot write {path}: {e}")),
+        }
+        return;
+    }
     if targets.is_empty() {
         targets.push("all".to_string());
     }
@@ -74,7 +94,7 @@ fn main() {
             "fig2" => print_fig2(),
             "fig3" => print_fig3(),
             "table1" => {
-                let rows = harness::table1(32, scale);
+                let rows = harness::table1_parallel(32, scale, workers);
                 println!("{}", harness::render_table1(&rows, 32));
             }
             "ablations" => {

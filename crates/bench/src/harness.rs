@@ -125,7 +125,7 @@ pub fn run_figure(spec: &FigureSpec, procs_list: &[usize]) -> FigureResult {
 }
 
 /// Parallel variant of [`run_figure`]: simulation points are independent,
-/// so they are swept with a crossbeam-scoped worker pool.
+/// so they are swept with a scoped worker pool.
 pub fn run_figure_parallel(spec: &FigureSpec, procs_list: &[usize], workers: usize) -> FigureResult {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
@@ -141,9 +141,9 @@ pub fn run_figure_parallel(spec: &FigureSpec, procs_list: &[usize], workers: usi
     let results: Mutex<Vec<Vec<Option<SpeedupPoint>>>> =
         Mutex::new(vec![vec![None; procs_list.len()]; Strategy::ALL.len()]);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers.max(1) {
-            scope.spawn(|_| {
+            scope.spawn(|| {
                 // Each worker compiles lazily per strategy (compilation is
                 // cheap relative to simulation).
                 let mut compiled: Vec<Option<(Compiler, dct_core::Compiled)>> =
@@ -172,8 +172,7 @@ pub fn run_figure_parallel(spec: &FigureSpec, procs_list: &[usize], workers: usi
                 }
             });
         }
-    })
-    .expect("worker pool panicked");
+    });
 
     let results = results.into_inner().unwrap();
     let curves = Strategy::ALL
@@ -221,6 +220,80 @@ pub fn table1(procs: usize, scale: f64) -> Vec<Table1Row> {
             let base = run(Strategy::Base);
             let comp = run(Strategy::CompDecomp);
             let full = run(Strategy::Full);
+            let compiled = Compiler::new(Strategy::Full).compile(&b.program);
+            // A technique is "critical" when removing it costs >= 15%.
+            let comp_critical = comp > base * 1.15 || full > base * 1.15 && comp * 1.15 < full;
+            let data_critical = full > comp * 1.15;
+            let decos: Vec<String> = compiled
+                .decomposition
+                .hpf_all(&compiled.program)
+                .into_iter()
+                .filter(|d| !d.contains("(*") || d.contains("BLOCK") || d.contains("CYCLIC"))
+                .collect();
+            Table1Row {
+                program: b.name.to_string(),
+                base_speedup: base,
+                full_speedup: full,
+                comp_decomp_critical: comp_critical,
+                data_transform_critical: data_critical,
+                decompositions: decos,
+            }
+        })
+        .collect()
+}
+
+/// Parallel variant of [`table1`]: the 4 simulations per benchmark
+/// (sequential reference + three strategies) are independent, so all
+/// `suite.len() * 4` of them are swept with a scoped worker pool. Rows
+/// are assembled in suite order afterwards — the output is identical to
+/// the sequential version.
+pub fn table1_parallel(procs: usize, scale: f64, workers: usize) -> Vec<Table1Row> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    if workers <= 1 {
+        // Single-core host: the pool is pure overhead.
+        return table1(procs, scale);
+    }
+    let suite = programs::suite(scale);
+    // Task (b, k): benchmark b, run k = 0 sequential reference, else
+    // Strategy::ALL[k - 1] at `procs`.
+    let tasks: Vec<(usize, usize)> =
+        (0..suite.len()).flat_map(|b| (0..4).map(move |k| (b, k))).collect();
+    let next = AtomicUsize::new(0);
+    let cycles: Mutex<Vec<[u64; 4]>> = Mutex::new(vec![[0; 4]; suite.len()]);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers.max(1) {
+            scope.spawn(|| loop {
+                let t = next.fetch_add(1, Ordering::Relaxed);
+                if t >= tasks.len() {
+                    break;
+                }
+                let (b, k) = tasks[t];
+                let bench = &suite[b];
+                let params = bench.program.default_params();
+                let c = match k {
+                    0 => sequential_cycles(&bench.program, &params),
+                    _ => {
+                        let comp = Compiler::new(Strategy::ALL[k - 1]);
+                        let compiled = comp.compile(&bench.program);
+                        comp.simulate(&compiled, procs, &params).cycles
+                    }
+                };
+                cycles.lock().unwrap()[b][k] = c;
+            });
+        }
+    });
+
+    let cycles = cycles.into_inner().unwrap();
+    suite
+        .iter()
+        .zip(&cycles)
+        .map(|(b, cy)| {
+            let seq = cy[0];
+            let [base, comp, full] =
+                [cy[1], cy[2], cy[3]].map(|c| seq as f64 / c as f64);
             let compiled = Compiler::new(Strategy::Full).compile(&b.program);
             // A technique is "critical" when removing it costs >= 15%.
             let comp_critical = comp > base * 1.15 || full > base * 1.15 && comp * 1.15 < full;

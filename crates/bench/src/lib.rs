@@ -7,6 +7,7 @@
 
 pub mod ablate;
 pub mod harness;
+pub mod profile;
 pub mod programs;
 
 pub use ablate::{all_ablations, Ablation};

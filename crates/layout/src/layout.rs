@@ -189,6 +189,75 @@ impl DataLayout {
         addr
     }
 
+    /// Affine address probe for segment-strided execution. Given an
+    /// original index vector `idx` and a per-dimension slope `didx` (how
+    /// each original index changes per step of some loop), return
+    /// `(addr, slope, steps)` such that
+    ///
+    /// ```text
+    /// address_of(idx + t*didx) == addr + t*slope   for all 0 <= t < steps
+    /// ```
+    ///
+    /// `steps >= 1` always holds (`t = 0` is exact by construction);
+    /// `i64::MAX` means the affine form holds over the whole index space
+    /// and callers clamp to their trip count. The only non-affine
+    /// primitive is strip-mining: within a strip the `(mod, div)` pair
+    /// moves linearly, so `steps` is the distance to the nearest strip
+    /// boundary across all strip-mine stages. Permutation reorders the
+    /// `(value, slope)` pairs and skewing is itself affine, so neither
+    /// limits the segment. `buf` is scratch reused across calls.
+    pub fn affine_probe(&self, idx: &[i64], didx: &[i64], buf: &mut Vec<(i64, i64)>) -> (i64, i64, i64) {
+        debug_assert_eq!(idx.len(), self.orig_dims.len());
+        debug_assert_eq!(didx.len(), self.orig_dims.len());
+        buf.clear();
+        buf.extend(idx.iter().zip(didx).map(|(&v, &s)| (v, s)));
+        let mut steps = i64::MAX;
+        for t in &self.transforms {
+            match t {
+                DataTransform::StripMine { dim, strip } => {
+                    let (v, s) = buf[*dim];
+                    let rem = v.rem_euclid(*strip);
+                    let div = v.div_euclid(*strip);
+                    if s % *strip == 0 {
+                        // The remainder is constant and the quotient moves
+                        // by exactly s/strip per step: affine everywhere.
+                        // (Covers s == 0 and CYCLIC layouts, where the
+                        // per-iteration stride equals the strip size.)
+                        buf[*dim] = (rem, 0);
+                        buf.insert(*dim + 1, (div, s / *strip));
+                    } else {
+                        // The remainder moves by s until it leaves
+                        // [0, strip); the quotient is constant until then.
+                        let l = if s > 0 { (*strip - rem + s - 1) / s } else { rem / (-s) + 1 };
+                        steps = steps.min(l);
+                        buf[*dim] = (rem, s);
+                        buf.insert(*dim + 1, (div, 0));
+                    }
+                }
+                DataTransform::Permute { perm } => {
+                    debug_assert!(perm.len() <= 16, "rank beyond in-place permute scratch");
+                    let mut tmp = [(0i64, 0i64); 16];
+                    tmp[..buf.len()].copy_from_slice(buf);
+                    for (k, &p) in perm.iter().enumerate() {
+                        buf[k] = tmp[p];
+                    }
+                }
+                DataTransform::Skew { target, source, factor, offset } => {
+                    let (vs, ss) = buf[*source];
+                    let (vt, st) = buf[*target];
+                    buf[*target] = (vt + factor * vs + offset, st + factor * ss);
+                }
+            }
+        }
+        let mut addr = 0i64;
+        let mut slope = 0i64;
+        for k in (0..buf.len()).rev() {
+            addr = addr * self.final_dims[k] + buf[k].0;
+            slope = slope * self.final_dims[k] + buf[k].1;
+        }
+        (addr, slope, steps)
+    }
+
     /// Static allocation bound for a layout whose strip sizes are only
     /// known to be at most `bmax` (paper Section 4.3): strip-mining a
     /// `d`-element dimension with strip `b` needs `b * ceil(d/b) <= d +
@@ -342,5 +411,107 @@ mod tests {
     fn bad_permutation_rejected() {
         let mut l = DataLayout::identity(&[2, 2]);
         l.permute(&[0, 0]);
+    }
+
+    /// Exhaustively check `affine_probe`'s contract against the reference
+    /// walk: within the reported segment the address is exactly
+    /// `addr + t*slope`, and at least one step is always valid.
+    fn check_probe(l: &DataLayout, idx: &[i64], didx: &[i64], trip: i64) {
+        let mut buf = Vec::new();
+        let (addr, slope, steps) = l.affine_probe(idx, didx, &mut buf);
+        assert!(steps >= 1, "probe must cover the current iteration");
+        let n = steps.min(trip);
+        let mut cur: Vec<i64> = idx.to_vec();
+        for t in 0..n {
+            assert_eq!(
+                l.address_of(&cur),
+                addr + t * slope,
+                "idx={idx:?} didx={didx:?} t={t} (steps={steps})"
+            );
+            for (c, d) in cur.iter_mut().zip(didx) {
+                *c += d;
+            }
+        }
+    }
+
+    #[test]
+    fn probe_identity_and_permuted() {
+        let l = DataLayout::identity(&[8, 6]);
+        check_probe(&l, &[0, 0], &[1, 0], 8);
+        check_probe(&l, &[3, 2], &[0, 1], 4);
+        let mut t = DataLayout::identity(&[8, 6]);
+        t.permute(&[1, 0]);
+        check_probe(&t, &[0, 0], &[1, 0], 8);
+        check_probe(&t, &[5, 1], &[0, 1], 5);
+    }
+
+    #[test]
+    fn probe_strip_boundaries() {
+        // Blocked layout: strip 4, walk with unit stride; segments must end
+        // exactly at strip boundaries.
+        let mut l = DataLayout::identity(&[16]);
+        l.strip_mine(0, 4);
+        l.permute(&[1, 0]);
+        let mut buf = Vec::new();
+        let (_, _, steps) = l.affine_probe(&[1], &[1], &mut buf);
+        assert_eq!(steps, 3, "from i=1, three steps reach the strip edge");
+        for start in 0..16 {
+            check_probe(&l, &[start], &[1], 16 - start);
+        }
+        // Negative stride walks down to the strip floor.
+        let (_, _, steps) = l.affine_probe(&[6], &[-1], &mut buf);
+        assert_eq!(steps, 3);
+        check_probe(&l, &[6], &[-1], 7);
+    }
+
+    #[test]
+    fn probe_cyclic_stride_is_unbounded() {
+        // CYCLIC(p): stride == strip, the remainder never moves, so the
+        // whole walk is one affine segment.
+        let mut l = DataLayout::identity(&[32]);
+        l.strip_mine(0, 4);
+        l.permute(&[1, 0]);
+        let mut buf = Vec::new();
+        let (_, slope, steps) = l.affine_probe(&[2], &[4], &mut buf);
+        assert_eq!(steps, i64::MAX);
+        assert_eq!(slope, 1, "consecutive cyclic-owned elements are adjacent");
+        check_probe(&l, &[2], &[4], 8);
+    }
+
+    #[test]
+    fn probe_skewed_diagonal() {
+        // 45-degree rotation: skew then walk the diagonal; affine with no
+        // boundary because skew preserves linearity.
+        let mut l = DataLayout::identity(&[6, 6]);
+        l.skew(0, 1, 1);
+        check_probe(&l, &[0, 0], &[1, 1], 6);
+        let mut buf = Vec::new();
+        let (_, _, steps) = l.affine_probe(&[0, 0], &[1, 1], &mut buf);
+        assert_eq!(steps, i64::MAX);
+    }
+
+    #[test]
+    fn probe_block_cyclic_composition() {
+        // Block-cyclic: two strip-mines stacked; the probe must take the
+        // tighter of the two boundary distances.
+        let mut l = DataLayout::identity(&[24]);
+        l.strip_mine(0, 2); // (i mod 2, i div 2)
+        l.move_to_last(0);
+        l.strip_mine(0, 3); // quotient stripped again
+        for start in 0..24 {
+            check_probe(&l, &[start], &[1], 24 - start);
+        }
+    }
+
+    #[test]
+    fn probe_zero_slope_matches_address() {
+        let mut l = DataLayout::identity(&[9, 9]);
+        l.strip_mine(1, 3);
+        l.move_to_last(0);
+        let mut buf = Vec::new();
+        let (addr, slope, steps) = l.affine_probe(&[4, 7], &[0, 0], &mut buf);
+        assert_eq!(addr, l.address_of(&[4, 7]));
+        assert_eq!(slope, 0);
+        assert_eq!(steps, i64::MAX);
     }
 }

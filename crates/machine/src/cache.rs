@@ -1,6 +1,13 @@
 //! Set-associative cache model with LRU replacement and a two-state
 //! (Shared/Modified) line protocol driven by the directory in
 //! [`crate::system`].
+//!
+//! Direct-mapped caches (the DASH configuration, and the hot case for
+//! every probe the simulator performs) use a packed representation: one
+//! `u64` per set holding the tag with the coherence state in the top bit,
+//! `u64::MAX` meaning empty. A probe touches 8 bytes of host memory
+//! instead of a 32-byte `Option<CacheLine>` way, which matters because
+//! the simulated caches of 32 processors far exceed the host's own cache.
 
 /// Coherence state of a cached line.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -17,12 +24,38 @@ struct CacheLine {
     lru: u64,
 }
 
+/// Tag bit recording `LineState::Modified` in the packed representation.
+const MOD_BIT: u64 = 1 << 63;
+/// Empty-slot sentinel (no line number can reach it: addresses are divided
+/// by the line size, so bit 63 is never set in a real tag).
+const EMPTY: u64 = u64::MAX;
+
+enum Repr {
+    /// Direct-mapped: `slots[set]` = tag | state bit, or `EMPTY`.
+    Direct { slots: Vec<u64> },
+    /// General set-associative with LRU ticks.
+    Assoc { ways: Vec<Option<CacheLine>>, assoc: usize, tick: u64 },
+}
+
 /// One cache level of one processor.
-#[derive(Clone, Debug)]
 pub struct Cache {
-    sets: Vec<Vec<Option<CacheLine>>>,
-    nsets: u64,
-    tick: u64,
+    repr: Repr,
+    /// `nsets - 1`; set count is a power of two, so `line & set_mask`
+    /// replaces the modulo.
+    set_mask: u64,
+}
+
+#[inline]
+fn pack(line_addr: u64, state: LineState) -> u64 {
+    line_addr | if state == LineState::Modified { MOD_BIT } else { 0 }
+}
+
+#[inline]
+fn unpack(slot: u64) -> (u64, LineState) {
+    (
+        slot & !MOD_BIT,
+        if slot & MOD_BIT != 0 { LineState::Modified } else { LineState::Shared },
+    )
 }
 
 impl Cache {
@@ -30,39 +63,64 @@ impl Cache {
     pub fn new(size: usize, line: usize, assoc: usize) -> Cache {
         let nsets = size / line / assoc;
         assert!(nsets.is_power_of_two(), "set count must be a power of two");
-        Cache { sets: vec![vec![None; assoc]; nsets], nsets: nsets as u64, tick: 0 }
-    }
-
-    fn set_of(&self, line_addr: u64) -> usize {
-        (line_addr % self.nsets) as usize
+        let repr = if assoc == 1 {
+            Repr::Direct { slots: vec![EMPTY; nsets] }
+        } else {
+            Repr::Assoc { ways: vec![None; nsets * assoc], assoc, tick: 0 }
+        };
+        Cache { repr, set_mask: nsets as u64 - 1 }
     }
 
     /// Look up a line; returns its state if present (and touches LRU).
+    #[inline]
     pub fn probe(&mut self, line_addr: u64) -> Option<LineState> {
-        self.tick += 1;
-        let tick = self.tick;
-        let set = self.set_of(line_addr);
-        for way in self.sets[set].iter_mut().flatten() {
-            if way.tag == line_addr {
-                way.lru = tick;
-                return Some(way.state);
+        let set = (line_addr & self.set_mask) as usize;
+        match &mut self.repr {
+            Repr::Direct { slots } => {
+                let (tag, state) = unpack(slots[set]);
+                (tag == line_addr).then_some(state)
+            }
+            Repr::Assoc { ways, assoc, tick } => {
+                *tick += 1;
+                let t = *tick;
+                for way in ways[set * *assoc..(set + 1) * *assoc].iter_mut().flatten() {
+                    if way.tag == line_addr {
+                        way.lru = t;
+                        return Some(way.state);
+                    }
+                }
+                None
             }
         }
-        None
     }
 
     /// Presence check without LRU update.
     pub fn contains(&self, line_addr: u64) -> bool {
-        let set = self.set_of(line_addr);
-        self.sets[set].iter().flatten().any(|w| w.tag == line_addr)
+        let set = (line_addr & self.set_mask) as usize;
+        match &self.repr {
+            Repr::Direct { slots } => unpack(slots[set]).0 == line_addr,
+            Repr::Assoc { ways, assoc, .. } => ways[set * assoc..(set + 1) * assoc]
+                .iter()
+                .flatten()
+                .any(|w| w.tag == line_addr),
+        }
     }
 
     /// Upgrade a present line to Modified (no-op if absent).
     pub fn set_state(&mut self, line_addr: u64, state: LineState) {
-        let set = self.set_of(line_addr);
-        for way in self.sets[set].iter_mut().flatten() {
-            if way.tag == line_addr {
-                way.state = state;
+        let set = (line_addr & self.set_mask) as usize;
+        match &mut self.repr {
+            Repr::Direct { slots } => {
+                if unpack(slots[set]).0 == line_addr {
+                    slots[set] = pack(line_addr, state);
+                }
+            }
+            Repr::Assoc { ways, assoc, .. } => {
+                for way in ways[set * *assoc..(set + 1) * *assoc].iter_mut().flatten() {
+                    if way.tag == line_addr {
+                        way.state = state;
+                    }
+                }
             }
         }
     }
@@ -70,51 +128,73 @@ impl Cache {
     /// Insert a line, evicting LRU if needed. Returns the evicted line
     /// (address, state) if any.
     pub fn insert(&mut self, line_addr: u64, state: LineState) -> Option<(u64, LineState)> {
-        self.tick += 1;
-        let tick = self.tick;
-        let set = self.set_of(line_addr);
-        // Already present: update.
-        for way in self.sets[set].iter_mut().flatten() {
-            if way.tag == line_addr {
-                way.state = state;
-                way.lru = tick;
-                return None;
+        let set = (line_addr & self.set_mask) as usize;
+        match &mut self.repr {
+            Repr::Direct { slots } => {
+                let old = slots[set];
+                slots[set] = pack(line_addr, state);
+                if old == EMPTY {
+                    return None;
+                }
+                let (tag, old_state) = unpack(old);
+                (tag != line_addr).then_some((tag, old_state))
+            }
+            Repr::Assoc { ways, assoc, tick } => {
+                *tick += 1;
+                let t = *tick;
+                let range = set * *assoc..(set + 1) * *assoc;
+                // Already present: update.
+                for way in ways[range.clone()].iter_mut().flatten() {
+                    if way.tag == line_addr {
+                        way.state = state;
+                        way.lru = t;
+                        return None;
+                    }
+                }
+                // Free way?
+                if let Some(slot) = ways[range.clone()].iter_mut().find(|w| w.is_none()) {
+                    *slot = Some(CacheLine { tag: line_addr, state, lru: t });
+                    return None;
+                }
+                // Evict LRU.
+                let victim =
+                    ways[range].iter_mut().min_by_key(|w| w.as_ref().unwrap().lru).unwrap();
+                let old = victim.take().unwrap();
+                *victim = Some(CacheLine { tag: line_addr, state, lru: t });
+                Some((old.tag, old.state))
             }
         }
-        // Free way?
-        if let Some(slot) = self.sets[set].iter_mut().find(|w| w.is_none()) {
-            *slot = Some(CacheLine { tag: line_addr, state, lru: tick });
-            return None;
-        }
-        // Evict LRU.
-        let victim = self.sets[set]
-            .iter_mut()
-            .min_by_key(|w| w.as_ref().unwrap().lru)
-            .unwrap();
-        let old = victim.take().unwrap();
-        *victim = Some(CacheLine { tag: line_addr, state, lru: tick });
-        Some((old.tag, old.state))
     }
 
     /// Remove a line (directory-initiated invalidation). Returns true if it
     /// was present.
     pub fn invalidate(&mut self, line_addr: u64) -> bool {
-        let set = self.set_of(line_addr);
-        for way in self.sets[set].iter_mut() {
-            if way.is_some_and(|w| w.tag == line_addr) {
-                *way = None;
-                return true;
+        let set = (line_addr & self.set_mask) as usize;
+        match &mut self.repr {
+            Repr::Direct { slots } => {
+                if unpack(slots[set]).0 == line_addr {
+                    slots[set] = EMPTY;
+                    return true;
+                }
+                false
+            }
+            Repr::Assoc { ways, assoc, .. } => {
+                for way in ways[set * *assoc..(set + 1) * *assoc].iter_mut() {
+                    if way.is_some_and(|w| w.tag == line_addr) {
+                        *way = None;
+                        return true;
+                    }
+                }
+                false
             }
         }
-        false
     }
 
     /// Drop everything (used between independent simulations).
     pub fn clear(&mut self) {
-        for set in &mut self.sets {
-            for way in set.iter_mut() {
-                *way = None;
-            }
+        match &mut self.repr {
+            Repr::Direct { slots } => slots.fill(EMPTY),
+            Repr::Assoc { ways, .. } => ways.fill(None),
         }
     }
 }
@@ -176,5 +256,18 @@ mod tests {
         c.insert(3, LineState::Shared);
         assert_eq!(c.insert(3, LineState::Modified), None);
         assert_eq!(c.probe(3), Some(LineState::Modified));
+    }
+
+    #[test]
+    fn direct_mapped_reinsert_same_line_no_eviction() {
+        // Re-inserting the resident line with a new state must not report
+        // an eviction (packed-slot representation edge case).
+        let mut c = Cache::new(256, 16, 1);
+        c.insert(3, LineState::Shared);
+        assert_eq!(c.insert(3, LineState::Shared), None);
+        assert_eq!(c.insert(3, LineState::Modified), None);
+        assert_eq!(c.probe(3), Some(LineState::Modified));
+        c.clear();
+        assert_eq!(c.probe(3), None);
     }
 }

@@ -8,9 +8,29 @@
 //! is optional (off by default: it roughly doubles simulation cost).
 
 use std::collections::HashMap;
-use std::hash::BuildHasherDefault;
+use std::hash::{BuildHasherDefault, Hasher};
 
-type FastMap<V> = HashMap<u64, V, BuildHasherDefault<crate::system::FastHash>>;
+/// Multiply-shift hasher for u64 keys (line numbers). The default SipHash
+/// is needlessly slow for the millions of lookups classification performs.
+#[derive(Default)]
+pub struct FastHash(u64);
+
+impl Hasher for FastHash {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+    }
+    fn write_u64(&mut self, x: u64) {
+        let h = x.wrapping_mul(0x9E3779B97F4A7C15);
+        self.0 = h ^ (h >> 29);
+    }
+}
+
+type FastMap<V> = HashMap<u64, V, BuildHasherDefault<FastHash>>;
 
 /// Per-processor miss-class counters.
 #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]

@@ -10,31 +10,6 @@
 use crate::cache::{Cache, LineState};
 use crate::classify::{Classifier, MissClasses};
 use crate::config::MachineConfig;
-use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
-
-/// Multiply-shift hasher for u64 keys (line and page numbers). The default
-/// SipHash is needlessly slow for the hundreds of millions of lookups a
-/// simulation performs.
-#[derive(Default)]
-pub struct FastHash(u64);
-
-impl Hasher for FastHash {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100000001b3);
-        }
-    }
-    fn write_u64(&mut self, x: u64) {
-        let h = x.wrapping_mul(0x9E3779B97F4A7C15);
-        self.0 = h ^ (h >> 29);
-    }
-}
-
-type FastMap<V> = HashMap<u64, V, BuildHasherDefault<FastHash>>;
 
 /// Directory entry for one cache line.
 #[derive(Clone, Copy, Default, Debug)]
@@ -45,11 +20,111 @@ struct DirEntry {
     dirty: Option<u8>,
 }
 
+/// No-owner sentinel in [`DirTable::dirty`] (processor ids are < 64).
+const NO_OWNER: u8 = u8::MAX;
+
+/// Directory keyed by line number, stored as two flat growable arrays
+/// (sharer bitmask and dirty-owner byte). Line numbers are dense small
+/// integers — the program's address space is packed from page 1 upward —
+/// so flat indexing beats both the hash map and a paged table this
+/// replaces: one load per operation, contiguous memory that the host
+/// TLB and prefetchers handle well, and 9 bytes per line instead of 16.
+/// Lines beyond the grown region read as default (no sharers, clean),
+/// matching the old `get(..).unwrap_or_default()` semantics.
+struct DirTable {
+    sharers: Vec<u64>,
+    dirty: Vec<u8>,
+}
+
+impl DirTable {
+    fn new() -> DirTable {
+        DirTable { sharers: Vec::new(), dirty: Vec::new() }
+    }
+
+    #[inline]
+    fn get(&self, line: u64) -> DirEntry {
+        let l = line as usize;
+        match self.sharers.get(l) {
+            Some(&s) => {
+                let d = self.dirty[l];
+                DirEntry { sharers: s, dirty: (d != NO_OWNER).then_some(d) }
+            }
+            None => DirEntry::default(),
+        }
+    }
+
+    /// Amortised growth to cover `line` (doubles; floor 64K lines = 1 MB
+    /// of simulated address space).
+    #[cold]
+    fn grow(&mut self, l: usize) {
+        let n = (l + 1).next_power_of_two().max(1 << 16);
+        self.sharers.resize(n, 0);
+        self.dirty.resize(n, NO_OWNER);
+    }
+
+    #[inline]
+    fn set(&mut self, line: u64, sharers: u64, dirty: Option<usize>) {
+        let l = line as usize;
+        if l >= self.sharers.len() {
+            self.grow(l);
+        }
+        self.sharers[l] = sharers;
+        self.dirty[l] = dirty.map_or(NO_OWNER, |p| p as u8);
+    }
+
+    /// Clear `proc`'s sharer bit (and dirty ownership) for an evicted
+    /// line. Untouched lines (beyond the grown region) have no bits to
+    /// clear.
+    #[inline]
+    fn drop_sharer(&mut self, proc: usize, line: u64) {
+        let l = line as usize;
+        if let Some(s) = self.sharers.get_mut(l) {
+            *s &= !(1u64 << proc);
+            if self.dirty[l] == proc as u8 {
+                self.dirty[l] = NO_OWNER;
+            }
+        }
+    }
+
+}
+
+/// First-touch page homes as a growable flat array keyed by page number
+/// (`u32::MAX` = unassigned). Page numbers are small dense integers, so
+/// direct indexing beats hashing for the same reason as [`DirTable`].
+struct PageHomes {
+    homes: Vec<u32>,
+}
+
+const HOME_NONE: u32 = u32::MAX;
+
+impl PageHomes {
+    fn new() -> PageHomes {
+        PageHomes { homes: Vec::new() }
+    }
+
+    /// Home of `page`, assigning `cluster` on first touch.
+    #[inline]
+    fn get_or_assign(&mut self, page: u64, cluster: u32) -> u32 {
+        let p = page as usize;
+        if p >= self.homes.len() {
+            self.homes.resize(p + 1, HOME_NONE);
+        }
+        if self.homes[p] == HOME_NONE {
+            self.homes[p] = cluster;
+        }
+        self.homes[p]
+    }
+}
+
 /// Per-processor event counters.
-#[derive(Clone, Copy, Default, Debug)]
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
 pub struct ProcStats {
     pub accesses: u64,
     pub l1_hits: u64,
+    /// Subset of `l1_hits` resolved by the one-entry last-line cache
+    /// without a full L1 probe. Deterministic for a given access stream,
+    /// so it stays identical across executor modes.
+    pub l1_fast_hits: u64,
     pub l2_hits: u64,
     pub local_mem: u64,
     pub remote_mem: u64,
@@ -60,7 +135,7 @@ pub struct ProcStats {
 }
 
 /// Aggregated machine statistics.
-#[derive(Clone, Default, Debug)]
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
 pub struct Stats {
     pub per_proc: Vec<ProcStats>,
 }
@@ -71,6 +146,7 @@ impl Stats {
         for p in &self.per_proc {
             t.accesses += p.accesses;
             t.l1_hits += p.l1_hits;
+            t.l1_fast_hits += p.l1_fast_hits;
             t.l2_hits += p.l2_hits;
             t.local_mem += p.local_mem;
             t.remote_mem += p.remote_mem;
@@ -92,14 +168,45 @@ impl Stats {
     }
 }
 
+/// One-entry record of the line a processor touched last. When the next
+/// access lands on the same line, the full L1 probe (hash of the set, tag
+/// compare, LRU touch) can be skipped: the line is by construction the
+/// most-recently-used entry of its set, so re-touching it cannot change
+/// any later eviction decision and relative LRU order is preserved.
+#[derive(Clone, Copy)]
+struct LastLine {
+    /// `u64::MAX` = invalid (no line can reach that number: addresses are
+    /// divided by the line size).
+    line: u64,
+    state: LineState,
+}
+
+impl LastLine {
+    const NONE: LastLine = LastLine { line: u64::MAX, state: LineState::Shared };
+}
+
 /// The simulated machine.
 pub struct Machine {
     pub cfg: MachineConfig,
     l1: Vec<Cache>,
     l2: Vec<Cache>,
-    dir: FastMap<DirEntry>,
+    dir: DirTable,
     /// First-touch page homes (page number -> cluster).
-    page_home: FastMap<u32>,
+    page_home: PageHomes,
+    /// Per-processor last-touched-line record (see [`LastLine`]).
+    last_line: Vec<LastLine>,
+    /// Per-processor `(page, home)` memo for the page-home lookup. Safe
+    /// because first-touch homes are immutable once assigned.
+    last_page: Vec<(u64, u32)>,
+    /// `log2(line_bytes)`: the line number of every access is computed with
+    /// a shift instead of a 64-bit divide (the divide sat at the head of
+    /// the dependency chain of every simulated access).
+    line_shift: u32,
+    /// `log2(page_bytes)` when the page size is a power of two (both
+    /// presets); `None` falls back to division.
+    page_shift: Option<u32>,
+    /// Memoised `cfg.cluster_of(proc)` (a divide by `procs_per_cluster`).
+    cluster: Vec<u32>,
     pub stats: Stats,
     /// Optional 4-C miss classifiers (one per processor).
     classifiers: Option<Vec<Classifier>>,
@@ -121,12 +228,25 @@ impl Machine {
         });
         Machine {
             stats: Stats { per_proc: vec![ProcStats::default(); cfg.nprocs] },
+            last_line: vec![LastLine::NONE; cfg.nprocs],
+            last_page: vec![(u64::MAX, 0); cfg.nprocs],
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            page_shift: cfg.page_bytes.is_power_of_two().then(|| cfg.page_bytes.trailing_zeros()),
+            cluster: (0..cfg.nprocs).map(|p| cfg.cluster_of(p) as u32).collect(),
             cfg,
             l1,
             l2,
-            dir: FastMap::default(),
-            page_home: FastMap::default(),
+            dir: DirTable::new(),
+            page_home: PageHomes::new(),
             classifiers,
+        }
+    }
+
+    #[inline]
+    fn page_of(&self, byte_addr: u64) -> u64 {
+        match self.page_shift {
+            Some(s) => byte_addr >> s,
+            None => byte_addr / self.cfg.page_bytes as u64,
         }
     }
 
@@ -140,21 +260,49 @@ impl Machine {
     /// Pre-assign the home cluster of the page containing `byte_addr`
     /// (models explicit placement; normally first touch does this).
     pub fn place_page(&mut self, byte_addr: u64, cluster: usize) {
-        let page = byte_addr / self.cfg.page_bytes as u64;
-        self.page_home.entry(page).or_insert(cluster as u32);
+        let page = self.page_of(byte_addr);
+        self.page_home.get_or_assign(page, cluster as u32);
     }
 
     /// Home cluster of an address, assigning by first touch from `proc`.
+    /// A one-entry per-processor memo short-circuits the hash lookup on
+    /// the common same-page streak; first-touch homes never change once
+    /// assigned, so the memo cannot go stale.
     fn home_of(&mut self, byte_addr: u64, proc: usize) -> usize {
-        let page = byte_addr / self.cfg.page_bytes as u64;
-        let cluster = self.cfg.cluster_of(proc) as u32;
-        *self.page_home.entry(page).or_insert(cluster) as usize
+        let page = self.page_of(byte_addr);
+        let (cached_page, cached_home) = self.last_page[proc];
+        if cached_page == page {
+            return cached_home as usize;
+        }
+        let cluster = self.cluster[proc];
+        let home = self.page_home.get_or_assign(page, cluster);
+        self.last_page[proc] = (page, home);
+        home as usize
     }
 
     /// Perform one memory access; returns its latency in cycles.
     pub fn access(&mut self, proc: usize, byte_addr: u64, write: bool) -> u64 {
         debug_assert!(proc < self.cfg.nprocs);
-        let line = byte_addr / self.cfg.line_bytes as u64;
+        let line = byte_addr >> self.line_shift;
+
+        // Same-line fast path: a repeat touch of the processor's most
+        // recent line is a guaranteed L1 hit on an already-MRU entry, so
+        // the probe's LRU bookkeeping can be skipped without altering any
+        // later eviction. A write needs the line Modified — a write to a
+        // Shared line must take the upgrade path below.
+        let ll = self.last_line[proc];
+        if ll.line == line && (!write || ll.state == LineState::Modified) {
+            if let Some(cs) = &mut self.classifiers {
+                cs[proc].note_hit(line);
+            }
+            let st = &mut self.stats.per_proc[proc];
+            st.accesses += 1;
+            st.l1_hits += 1;
+            st.l1_fast_hits += 1;
+            st.mem_cycles += self.cfg.lat_l1;
+            return self.cfg.lat_l1;
+        }
+
         self.stats.per_proc[proc].accesses += 1;
 
         // L1.
@@ -167,6 +315,8 @@ impl Machine {
             if write && state == LineState::Shared {
                 cost += self.upgrade(proc, line);
             }
+            let new_state = if write { LineState::Modified } else { state };
+            self.last_line[proc] = LastLine { line, state: new_state };
             self.stats.per_proc[proc].mem_cycles += cost;
             return cost;
         }
@@ -184,6 +334,7 @@ impl Machine {
             // Fill L1 with the (possibly upgraded) state.
             let new_state = if write { LineState::Modified } else { state };
             self.fill_l1(proc, line, new_state);
+            self.last_line[proc] = LastLine { line, state: new_state };
             self.stats.per_proc[proc].mem_cycles += cost;
             return cost;
         }
@@ -193,7 +344,7 @@ impl Machine {
             cs[proc].classify_miss(line);
         }
         let mut cost;
-        let entry = self.dir.get(&line).copied().unwrap_or_default();
+        let entry = self.dir.get(line);
         if let Some(owner) = entry.dirty {
             let owner = owner as usize;
             if owner != proc {
@@ -204,6 +355,9 @@ impl Machine {
                     // Transfer ownership: invalidate the previous owner.
                     self.l1[owner].invalidate(line);
                     self.l2[owner].invalidate(line);
+                    if self.last_line[owner].line == line {
+                        self.last_line[owner] = LastLine::NONE;
+                    }
                     if let Some(cs) = &mut self.classifiers {
                         cs[owner].note_invalidation(line);
                     }
@@ -213,6 +367,9 @@ impl Machine {
                     // Downgrade the owner to Shared.
                     self.l1[owner].set_state(line, LineState::Shared);
                     self.l2[owner].set_state(line, LineState::Shared);
+                    if self.last_line[owner].line == line {
+                        self.last_line[owner].state = LineState::Shared;
+                    }
                     let sharers = entry.sharers | (1 << proc);
                     self.set_dir(line, sharers, None);
                 }
@@ -220,7 +377,7 @@ impl Machine {
                 // We are the dirty owner but the line fell out of our
                 // caches (silent eviction bookkeeping miss): local refill.
                 let home = self.home_of(byte_addr, proc);
-                cost = if home == self.cfg.cluster_of(proc) {
+                cost = if home == self.cluster[proc] as usize {
                     self.cfg.lat_local
                 } else {
                     self.cfg.lat_remote
@@ -229,7 +386,7 @@ impl Machine {
             }
         } else {
             let home = self.home_of(byte_addr, proc);
-            cost = if home == self.cfg.cluster_of(proc) {
+            cost = if home == self.cluster[proc] as usize {
                 self.cfg.lat_local
             } else {
                 self.cfg.lat_remote
@@ -243,22 +400,16 @@ impl Machine {
             }
         }
 
-        if write && entry.dirty != Some(proc as u8) {
-            // Ensure directory reflects new ownership on write-allocate.
-            if entry.dirty.is_none() {
-                self.set_dir(line, 1u64 << proc, Some(proc));
-            }
-        }
-
         let state = if write { LineState::Modified } else { LineState::Shared };
         self.fill_l2(proc, line, state);
         self.fill_l1(proc, line, state);
+        self.last_line[proc] = LastLine { line, state };
         self.stats.per_proc[proc].mem_cycles += cost;
         cost
     }
 
     fn count_mem(&mut self, proc: usize, home: usize) {
-        if home == self.cfg.cluster_of(proc) {
+        if home == self.cluster[proc] as usize {
             self.stats.per_proc[proc].local_mem += 1;
         } else {
             self.stats.per_proc[proc].remote_mem += 1;
@@ -266,20 +417,21 @@ impl Machine {
     }
 
     fn set_dir(&mut self, line: u64, sharers: u64, dirty: Option<usize>) {
-        let e = self.dir.entry(line).or_default();
-        e.sharers = sharers;
-        e.dirty = dirty.map(|p| p as u8);
+        self.dir.set(line, sharers, dirty);
     }
 
     /// Write to a Shared line: invalidate all other sharers and take
     /// ownership. Returns the extra cycles.
     fn upgrade(&mut self, proc: usize, line: u64) -> u64 {
         self.stats.per_proc[proc].upgrades += 1;
-        let entry = self.dir.get(&line).copied().unwrap_or_default();
+        let entry = self.dir.get(line);
         let others = entry.sharers & !(1u64 << proc);
         let cost = self.invalidate_sharers(proc, line, others);
         self.l1[proc].set_state(line, LineState::Modified);
         self.l2[proc].set_state(line, LineState::Modified);
+        if self.last_line[proc].line == line {
+            self.last_line[proc].state = LineState::Modified;
+        }
         self.set_dir(line, 1u64 << proc, Some(proc));
         cost
     }
@@ -294,6 +446,9 @@ impl Machine {
             if others & (1 << q) != 0 {
                 self.l1[q].invalidate(line);
                 self.l2[q].invalidate(line);
+                if self.last_line[q].line == line {
+                    self.last_line[q] = LastLine::NONE;
+                }
                 if let Some(cs) = &mut self.classifiers {
                     cs[q].note_invalidation(line);
                 }
@@ -309,6 +464,9 @@ impl Machine {
     /// loose: an L1 eviction leaves the L2 copy in place).
     fn fill_l1(&mut self, proc: usize, line: u64, state: LineState) {
         if let Some((old, _)) = self.l1[proc].insert(line, state) {
+            if self.last_line[proc].line == old {
+                self.last_line[proc] = LastLine::NONE;
+            }
             // Old line may still live in L2: sharer bit stays unless gone
             // from both.
             if !self.l2[proc].contains(old) {
@@ -321,17 +479,15 @@ impl Machine {
     fn fill_l2(&mut self, proc: usize, line: u64, state: LineState) {
         if let Some((old, _old_state)) = self.l2[proc].insert(line, state) {
             self.l1[proc].invalidate(old);
+            if self.last_line[proc].line == old {
+                self.last_line[proc] = LastLine::NONE;
+            }
             self.drop_sharer(proc, old);
         }
     }
 
     fn drop_sharer(&mut self, proc: usize, line: u64) {
-        if let Some(e) = self.dir.get_mut(&line) {
-            e.sharers &= !(1u64 << proc);
-            if e.dirty == Some(proc as u8) {
-                e.dirty = None; // writeback
-            }
-        }
+        self.dir.drop_sharer(proc, line);
     }
 
     /// Cost of a barrier among `active` processors (the executor applies it
@@ -470,5 +626,55 @@ mod tests {
         // Proc 0 (cluster 0) touches it: remote despite first touch.
         let c = mach.access(0, 0, false);
         assert_eq!(c, mach.cfg.lat_remote);
+    }
+
+    #[test]
+    fn write_after_silent_eviction_reestablishes_ownership() {
+        let mut mach = m(2);
+        // P0 takes line 0 Modified.
+        mach.access(0, 0, true);
+        // A conflicting line (same set in both levels under the tiny
+        // config) evicts line 0; the eviction writes back and clears the
+        // directory's dirty owner.
+        mach.access(0, 64 * 16, false);
+        // Rewriting refills from local memory (P0 first-touched the page).
+        let c = mach.access(0, 0, true);
+        assert_eq!(c, mach.cfg.lat_local);
+        assert_eq!(mach.stats.per_proc[0].local_mem, 3, "both lines plus the refill are local");
+        // The directory again records P0 as dirty owner: a remote read
+        // pays the 3-hop intervention.
+        let c = mach.access(1, 0, false);
+        assert_eq!(c, mach.cfg.lat_remote_dirty);
+        assert_eq!(mach.stats.per_proc[1].remote_dirty, 1);
+    }
+
+    #[test]
+    fn last_line_fast_path_counts_and_costs() {
+        let mut mach = m(2);
+        mach.access(0, 0, true); // line 0 Modified, becomes the last line
+        for _ in 0..5 {
+            assert_eq!(mach.access(0, 4, true), mach.cfg.lat_l1);
+            assert_eq!(mach.access(0, 8, false), mach.cfg.lat_l1);
+        }
+        assert_eq!(mach.stats.per_proc[0].l1_hits, 10);
+        assert_eq!(mach.stats.per_proc[0].l1_fast_hits, 10);
+        // A write to a Shared line must still take the upgrade path even
+        // when it is the processor's last-touched line.
+        mach.access(1, 0, false); // downgrades P0 to Shared
+        assert_eq!(mach.stats.per_proc[0].upgrades, 0);
+        mach.access(0, 0, true);
+        assert_eq!(mach.stats.per_proc[0].upgrades, 1);
+        assert_eq!(mach.stats.per_proc[1].invalidations_received, 1);
+    }
+
+    #[test]
+    fn fast_path_invalidation_coherence() {
+        let mut mach = m(2);
+        mach.access(0, 0, false); // P0 Shared, last line
+        mach.access(1, 0, true); // P1 writes: upgrade invalidates P0
+        // P0's repeat read must NOT fast-hit the stale record: the line is
+        // dirty at P1 now.
+        let c = mach.access(0, 0, false);
+        assert_eq!(c, mach.cfg.lat_remote_dirty);
     }
 }

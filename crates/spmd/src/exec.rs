@@ -8,11 +8,54 @@
 //! f64 arenas indexed by the transformed layouts, so numeric results are
 //! identical across strategies and processor counts — which the tests
 //! verify.
+//!
+//! ## Strided fast path
+//!
+//! The hot loop of the simulator is the innermost nest level: every
+//! iteration recomputes each reference's transformed address from scratch
+//! (affine access evaluation, strip-mine div/mod, permutation,
+//! linearization). But within a strip of a strip-mined layout the address
+//! moves by a *constant* delta per iteration, so the executor resolves
+//! each statement reference once per segment into a
+//! [`RefCursor`]`{byte, slot, dbyte, dslot}` via
+//! [`dct_layout::DataLayout::affine_probe`] and then iterates with
+//! integer adds, re-probing only at strip boundaries. The machine access
+//! stream — every `(proc, addr, is_write)` in order — is exactly the one
+//! the general walk produces, so cycles, statistics and checksums are
+//! bit-identical between the two modes (the differential property tests
+//! pin this). The fast path bails to the general walk for block-cyclic
+//! distributed innermost levels, whose owned iterations are not an
+//! arithmetic progression.
 
 use crate::codegen::{LevelSched, SpmdNest, SpmdProgram, SyncKind};
 use crate::cost::CostModel;
-use dct_ir::{BinOp, Expr};
+use dct_ir::{ArrayRef, BinOp, Expr};
 use dct_machine::{Machine, MachineConfig, MissClasses, Stats};
+
+/// Executor-level fast-path counters (observability only; never feeds
+/// back into cycles or statistics).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct FastPathStats {
+    /// Innermost iterations executed through segment cursors.
+    pub fast_iters: u64,
+    /// Innermost iterations executed through the general walk.
+    pub slow_iters: u64,
+    /// Segments entered (cursor re-probes, i.e. strip-boundary crossings
+    /// plus one per innermost loop entry).
+    pub segments: u64,
+}
+
+impl FastPathStats {
+    /// Fraction of innermost iterations that took the strided path.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.fast_iters + self.slow_iters;
+        if total == 0 {
+            0.0
+        } else {
+            self.fast_iters as f64 / total as f64
+        }
+    }
+}
 
 /// Result of one simulated execution.
 #[derive(Clone, Debug)]
@@ -35,6 +78,115 @@ pub struct RunResult {
     pub nest_cycles: Vec<u64>,
     /// Total busy cycles of the initialization nests.
     pub init_cycles: u64,
+    /// Strided fast-path counters.
+    pub fast: FastPathStats,
+}
+
+/// A resolved reference inside a strided segment: current byte address and
+/// arena slot plus their per-iteration deltas.
+#[derive(Clone, Copy, Default)]
+struct RefCursor {
+    byte: u64,
+    slot: usize,
+    dbyte: i64,
+    dslot: i64,
+}
+
+/// One postfix instruction of a flattened statement body (see
+/// [`WalkCtx`]). Postfix order is exactly [`Expr`]'s DFS evaluation
+/// order, so executing the ops performs the same machine accesses in the
+/// same order as the recursive `eval`.
+#[derive(Clone, Copy)]
+enum BodyOp {
+    /// Push a constant.
+    Const(f64),
+    /// Push loop index `ivec[l]`.
+    Index(usize),
+    /// Read the next cursor's element of array `x` and push it. `extra`
+    /// is the statement's per-read cost adjustment, baked in at flatten
+    /// time (postfix order equals the `read_extras` index order).
+    Read { x: usize, extra: u64 },
+    /// Pop two, push the combination.
+    Bin(BinOp),
+}
+
+/// Maximum operand-stack depth of a flattened body (compiler-generated
+/// expressions are shallow; checked when flattening).
+const MAX_EVAL_STACK: usize = 32;
+
+fn flatten_expr(e: &Expr, extras: &[u64], ri: &mut usize, out: &mut Vec<BodyOp>) {
+    match e {
+        Expr::Const(c) => out.push(BodyOp::Const(*c)),
+        Expr::Index(l) => out.push(BodyOp::Index(*l)),
+        Expr::Ref(r) => {
+            let extra = extras.get(*ri).copied().unwrap_or(0);
+            *ri += 1;
+            out.push(BodyOp::Read { x: r.array.0, extra });
+        }
+        Expr::Bin(op, a, b) => {
+            flatten_expr(a, extras, ri, out);
+            flatten_expr(b, extras, ri, out);
+            out.push(BodyOp::Bin(*op));
+        }
+    }
+}
+
+/// Stack depth needed to execute `ops`.
+fn stack_depth(ops: &[BodyOp]) -> usize {
+    let (mut depth, mut max) = (0usize, 0usize);
+    for op in ops {
+        match op {
+            BodyOp::Bin(_) => depth -= 1,
+            _ => {
+                depth += 1;
+                max = max.max(depth);
+            }
+        }
+    }
+    max
+}
+
+/// Per-nest walk context, built once per nest execution instead of per
+/// iteration: each statement's read references in evaluation (DFS) order,
+/// and its right-hand side flattened to postfix [`BodyOp`]s so the hot
+/// loop runs a linear instruction array instead of recursing through the
+/// boxed expression tree.
+struct WalkCtx<'n> {
+    nest: &'n SpmdNest,
+    /// `reads[s]` = read refs of statement `s` in `Expr::collect_refs`
+    /// order (which matches `eval`'s recursion order).
+    reads: Vec<Vec<&'n ArrayRef>>,
+    /// `ops[s]` = postfix code of statement `s`'s right-hand side.
+    ops: Vec<Vec<BodyOp>>,
+}
+
+impl<'n> WalkCtx<'n> {
+    fn new(nest: &'n SpmdNest) -> WalkCtx<'n> {
+        let reads = nest
+            .source
+            .body
+            .iter()
+            .map(|s| {
+                let mut v = Vec::new();
+                s.rhs.collect_refs(&mut v);
+                v
+            })
+            .collect();
+        let ops = nest
+            .source
+            .body
+            .iter()
+            .zip(&nest.stmt_costs)
+            .map(|(s, sc)| {
+                let mut v = Vec::new();
+                let mut ri = 0usize;
+                flatten_expr(&s.rhs, &sc.read_extras, &mut ri, &mut v);
+                assert!(stack_depth(&v) <= MAX_EVAL_STACK, "statement body too deep");
+                v
+            })
+            .collect();
+        WalkCtx { nest, reads, ops }
+    }
 }
 
 /// The interpreter.
@@ -45,11 +197,25 @@ pub struct Executor<'a> {
     clocks: Vec<u64>,
     cost: CostModel,
     barriers: u64,
+    /// Execute innermost levels through the strided segment engine
+    /// (default). Disable to force the general walk everywhere — used by
+    /// the differential tests that pin bit-exactness between both modes.
+    pub fast_path: bool,
     /// Per-processor grid coordinates, precomputed.
     coords: Vec<Vec<usize>>,
     /// Scratch buffers for allocation-free address computation.
     scratch_idx: Vec<i64>,
     scratch_lay: Vec<i64>,
+    /// Reusable iteration vector (hoisted out of the per-processor and
+    /// per-tile loops; the walk leaves it zeroed on exit).
+    scratch_ivec: Vec<i64>,
+    /// Segment cursors, one per statement reference of the current nest.
+    cursors: Vec<RefCursor>,
+    /// Scratch for `affine_probe` slope tracking.
+    scratch_probe: Vec<(i64, i64)>,
+    /// Scratch for per-dimension index slopes.
+    scratch_didx: Vec<i64>,
+    fast: FastPathStats,
     /// Per-compute-nest busy-cycle accumulators.
     nest_cycles: Vec<u64>,
     init_cycles: u64,
@@ -69,9 +235,15 @@ impl<'a> Executor<'a> {
             clocks: vec![0; sp.nprocs],
             cost,
             barriers: 0,
+            fast_path: true,
             coords,
             scratch_idx: Vec::with_capacity(8),
             scratch_lay: Vec::with_capacity(8),
+            scratch_ivec: Vec::with_capacity(8),
+            cursors: Vec::with_capacity(16),
+            scratch_probe: Vec::with_capacity(8),
+            scratch_didx: Vec::with_capacity(8),
+            fast: FastPathStats::default(),
             nest_cycles: vec![0; sp.nests.len()],
             init_cycles: 0,
             current_acc: None,
@@ -117,6 +289,7 @@ impl<'a> Executor<'a> {
             miss_classes: self.machine.miss_classes(),
             nest_cycles: self.nest_cycles.clone(),
             init_cycles: self.init_cycles,
+            fast: self.fast,
         }
     }
 
@@ -166,15 +339,16 @@ impl<'a> Executor<'a> {
     }
 
     fn exec_nest_idx(&mut self, init: bool, idx: usize, params: &[i64]) {
-        let nest: &SpmdNest = if init { &self.sp.init[idx] } else { &self.sp.nests[idx] };
-        // Cloning the (small) scheduling metadata sidesteps the borrow of
-        // `self.sp` during execution.
-        let nest = nest.clone();
+        // Reborrowing through the shared program reference detaches the
+        // nest's lifetime from `self`, so no clone of the scheduling
+        // metadata is needed during execution.
+        let sp = self.sp;
+        let nest: &'a SpmdNest = if init { &sp.init[idx] } else { &sp.nests[idx] };
         self.current_acc = if init { None } else { Some(idx) };
         if nest.pipeline.is_some() {
-            self.exec_pipelined(&nest, params);
+            self.exec_pipelined(nest, params);
         } else {
-            self.exec_doall(&nest, params);
+            self.exec_doall(nest, params);
         }
         self.current_acc = None;
     }
@@ -206,22 +380,25 @@ impl<'a> Executor<'a> {
     }
 
     fn exec_doall(&mut self, nest: &SpmdNest, params: &[i64]) {
+        let ctx = WalkCtx::new(nest);
+        let mut ivec = std::mem::take(&mut self.scratch_ivec);
+        ivec.clear();
+        ivec.resize(nest.source.depth, 0);
         if nest.replicated_write {
             // Every processor initializes its own replica.
             for p in 0..self.sp.nprocs {
-                let mut ivec = vec![0i64; nest.source.depth];
-                let busy = self.walk(nest, p, 0, &mut ivec, params, None);
+                let busy = self.walk(&ctx, p, 0, &mut ivec, params, None);
                 self.account(busy);
                 self.clocks[p] += busy;
             }
-            return;
+        } else {
+            for p in self.participants(nest, params) {
+                let busy = self.walk(&ctx, p, 0, &mut ivec, params, None);
+                self.account(busy);
+                self.clocks[p] += busy;
+            }
         }
-        for p in self.participants(nest, params) {
-            let mut ivec = vec![0i64; nest.source.depth];
-            let busy = self.walk(nest, p, 0, &mut ivec, params, None);
-            self.account(busy);
-            self.clocks[p] += busy;
-        }
+        self.scratch_ivec = ivec;
     }
 
     /// Doacross pipeline: processors along the pipeline grid dimension
@@ -254,6 +431,10 @@ impl<'a> Executor<'a> {
             }
             chains.entry(key).or_default().push(p);
         }
+        let ctx = WalkCtx::new(nest);
+        let mut ivec = std::mem::take(&mut self.scratch_ivec);
+        ivec.clear();
+        ivec.resize(nest.source.depth, 0);
         let lock = self.machine.cfg.lock_cost;
         for (_, mut chain) in chains {
             chain.sort_by_key(|&p| self.coords[p].get(pipe_dim).copied().unwrap_or(0));
@@ -265,9 +446,8 @@ impl<'a> Executor<'a> {
                     let rlo = tlo + r * tile;
                     let rhi = (rlo + tile - 1).min(thi);
                     let start = clock.max(prev_done[r as usize].saturating_add(lock));
-                    let mut ivec = vec![0i64; nest.source.depth];
                     let busy =
-                        self.walk(nest, p, 0, &mut ivec, params, Some((spec.tile_level, rlo, rhi)));
+                        self.walk(&ctx, p, 0, &mut ivec, params, Some((spec.tile_level, rlo, rhi)));
                     self.account(busy);
                     clock = start + busy;
                     done.push(clock);
@@ -276,18 +456,20 @@ impl<'a> Executor<'a> {
                 prev_done = done;
             }
         }
+        self.scratch_ivec = ivec;
     }
 
     /// Recursive loop walk; returns busy cycles for this processor.
     fn walk(
         &mut self,
-        nest: &SpmdNest,
+        ctx: &WalkCtx,
         proc: usize,
         level: usize,
         ivec: &mut Vec<i64>,
         params: &[i64],
         tile: Option<(usize, i64, i64)>,
     ) -> u64 {
+        let nest = ctx.nest;
         if level == nest.source.depth {
             return self.exec_body(nest, proc, ivec, params);
         }
@@ -299,21 +481,43 @@ impl<'a> Executor<'a> {
                 hi = hi.min(rhi);
             }
         }
+        let innermost = level + 1 == nest.source.depth;
         let mut busy = 0u64;
         match &nest.sched[level] {
             LevelSched::Seq => {
-                for v in lo..=hi {
-                    ivec[level] = v;
-                    busy += self.cost.loop_iter + self.walk(nest, proc, level + 1, ivec, params, tile);
+                if self.fast_path && innermost {
+                    let count = (hi - lo + 1).max(0);
+                    if count > 0 {
+                        busy += self.walk_innermost_strided(ctx, proc, level, ivec, params, lo, 1, count);
+                    }
+                } else {
+                    for v in lo..=hi {
+                        ivec[level] = v;
+                        busy += self.cost.loop_iter + self.walk(ctx, proc, level + 1, ivec, params, tile);
+                    }
                 }
             }
             LevelSched::Dist { proc_dim, folding, extent, offset } => {
                 let q = self.coords[proc].get(*proc_dim).copied().unwrap_or(0) as i64;
                 let procs = self.sp.grid.get(*proc_dim).copied().unwrap_or(1) as i64;
                 let off = offset.eval(&[], params);
-                for v in owned_iter(lo, hi, off, *extent, procs, q, *folding) {
-                    ivec[level] = v;
-                    busy += self.cost.loop_iter + self.walk(nest, proc, level + 1, ivec, params, tile);
+                let it = owned_iter(lo, hi, off, *extent, procs, q, *folding);
+                match it.progression() {
+                    // Owned iterations form an arithmetic progression
+                    // (block or cyclic folding): strided execution.
+                    Some((start, step, count)) if self.fast_path && innermost => {
+                        if count > 0 {
+                            busy += self
+                                .walk_innermost_strided(ctx, proc, level, ivec, params, start, step, count);
+                        }
+                    }
+                    _ => {
+                        for v in it {
+                            ivec[level] = v;
+                            busy +=
+                                self.cost.loop_iter + self.walk(ctx, proc, level + 1, ivec, params, tile);
+                        }
+                    }
                 }
             }
         }
@@ -321,7 +525,148 @@ impl<'a> Executor<'a> {
         busy
     }
 
+    /// Strided innermost execution: iterate `v = start + t*step` for
+    /// `count` iterations, re-resolving reference cursors only at layout
+    /// segment boundaries. Produces exactly the machine access stream of
+    /// the general walk.
+    fn walk_innermost_strided(
+        &mut self,
+        ctx: &WalkCtx,
+        proc: usize,
+        level: usize,
+        ivec: &mut Vec<i64>,
+        params: &[i64],
+        start: i64,
+        step: i64,
+        count: i64,
+    ) -> u64 {
+        let mut busy = 0u64;
+        let mut v = start;
+        let mut remaining = count;
+        while remaining > 0 {
+            ivec[level] = v;
+            let seg = self.setup_cursors(ctx, proc, ivec, params, level, step).min(remaining);
+            self.fast.segments += 1;
+            self.fast.fast_iters += seg as u64;
+            for _ in 0..seg {
+                ivec[level] = v;
+                busy += self.cost.loop_iter + self.exec_body_fast(ctx, proc, ivec);
+                self.advance_cursors();
+                v += step;
+            }
+            remaining -= seg;
+        }
+        ivec[level] = 0;
+        busy
+    }
+
+    /// Resolve every reference of the nest body at the current iteration
+    /// point into a [`RefCursor`], returning the number of iterations the
+    /// cursors stay exact (>= 1, the minimum segment length over all
+    /// references).
+    fn setup_cursors(
+        &mut self,
+        ctx: &WalkCtx,
+        proc: usize,
+        ivec: &[i64],
+        params: &[i64],
+        level: usize,
+        step: i64,
+    ) -> i64 {
+        let sp = self.sp;
+        let mut idx = std::mem::take(&mut self.scratch_idx);
+        let mut didx = std::mem::take(&mut self.scratch_didx);
+        let mut probe = std::mem::take(&mut self.scratch_probe);
+        let mut cursors = std::mem::take(&mut self.cursors);
+        cursors.clear();
+        let mut seg = i64::MAX;
+        for (s, reads) in ctx.nest.source.body.iter().zip(&ctx.reads) {
+            for r in std::iter::once(&s.lhs).chain(reads.iter().copied()) {
+                let x = r.array.0;
+                r.access.eval_into(ivec, params, &mut idx);
+                didx.clear();
+                for d in 0..idx.len() {
+                    didx.push(r.access.mat.row(d)[level] * step);
+                }
+                let lay = &sp.layouts[x].layout;
+                let (elem, slope, steps) = lay.affine_probe(&idx, &didx, &mut probe);
+                debug_assert!(elem >= 0 && elem < lay.size(), "array {x} index {idx:?} out of bounds");
+                seg = seg.min(steps);
+                cursors.push(RefCursor {
+                    byte: sp.bases[x] + sp.repl_stride[x] * proc as u64 + elem as u64 * sp.elem_bytes[x],
+                    slot: elem as usize,
+                    dbyte: slope * sp.elem_bytes[x] as i64,
+                    dslot: slope,
+                });
+            }
+        }
+        self.scratch_idx = idx;
+        self.scratch_didx = didx;
+        self.scratch_probe = probe;
+        self.cursors = cursors;
+        seg
+    }
+
+    fn advance_cursors(&mut self) {
+        for c in &mut self.cursors {
+            c.byte = (c.byte as i64 + c.dbyte) as u64;
+            c.slot = (c.slot as i64 + c.dslot) as usize;
+        }
+    }
+
+
+    /// Statement body through segment cursors and flattened postfix code;
+    /// mirrors [`Self::exec_body`] exactly (same access order, same cost
+    /// accounting).
+    fn exec_body_fast(&mut self, ctx: &WalkCtx, proc: usize, ivec: &[i64]) -> u64 {
+        let mut busy = 0u64;
+        let mut k = 0usize;
+        for ((s, sc), ops) in ctx.nest.source.body.iter().zip(&ctx.nest.stmt_costs).zip(&ctx.ops) {
+            let wcur = self.cursors[k];
+            let mut cur = k + 1;
+            let mut stack = [0f64; MAX_EVAL_STACK];
+            let mut top = 0usize;
+            for op in ops {
+                match *op {
+                    BodyOp::Const(c) => {
+                        stack[top] = c;
+                        top += 1;
+                    }
+                    BodyOp::Index(l) => {
+                        stack[top] = ivec[l] as f64;
+                        top += 1;
+                    }
+                    BodyOp::Read { x, extra } => {
+                        let c0 = self.cursors[cur];
+                        cur += 1;
+                        busy += self.machine.access(proc, c0.byte, false) + extra;
+                        stack[top] = self.arenas[x][c0.slot];
+                        top += 1;
+                    }
+                    BodyOp::Bin(op) => {
+                        top -= 1;
+                        let b = stack[top];
+                        let a = stack[top - 1];
+                        stack[top - 1] = match op {
+                            BinOp::Add => a + b,
+                            BinOp::Sub => a - b,
+                            BinOp::Mul => a * b,
+                            BinOp::Div => a / b,
+                        };
+                    }
+                }
+            }
+            let val = stack[top - 1];
+            busy += sc.flop_cycles;
+            busy += self.machine.access(proc, wcur.byte, true) + sc.write_extra;
+            self.arenas[s.lhs.array.0][wcur.slot] = val;
+            k = cur;
+        }
+        busy
+    }
+
     fn exec_body(&mut self, nest: &SpmdNest, proc: usize, ivec: &[i64], params: &[i64]) -> u64 {
+        self.fast.slow_iters += 1;
         let mut busy = 0u64;
         for (s, sc) in nest.source.body.iter().zip(&nest.stmt_costs) {
             let mut read_idx = 0;
@@ -397,6 +742,69 @@ impl<'a> Executor<'a> {
     }
 }
 
+/// Iteration subset of `[lo, hi]` owned by grid coordinate `q`: a concrete
+/// enum iterator (no per-loop-entry allocation). Block and cyclic foldings
+/// yield arithmetic progressions the strided executor can consume
+/// directly; block-cyclic owners are scattered and fall back to a filter.
+pub enum OwnedIter {
+    /// Contiguous `next..=hi`.
+    Range { next: i64, hi: i64 },
+    /// `next, next+step, ...` up to `hi`.
+    Stepped { next: i64, hi: i64, step: i64 },
+    /// Membership-filtered scan (block-cyclic folding).
+    Filtered { next: i64, hi: i64, off: i64, extent: i64, procs: i64, q: i64, folding: dct_decomp::Folding },
+}
+
+impl OwnedIter {
+    /// `(start, step, count)` when the owned set is an arithmetic
+    /// progression; `None` for block-cyclic foldings.
+    pub fn progression(&self) -> Option<(i64, i64, i64)> {
+        match *self {
+            OwnedIter::Range { next, hi } => Some((next, 1, (hi - next + 1).max(0))),
+            OwnedIter::Stepped { next, hi, step } => {
+                let count = if next > hi { 0 } else { (hi - next) / step + 1 };
+                Some((next, step, count))
+            }
+            OwnedIter::Filtered { .. } => None,
+        }
+    }
+}
+
+impl Iterator for OwnedIter {
+    type Item = i64;
+
+    fn next(&mut self) -> Option<i64> {
+        match self {
+            OwnedIter::Range { next, hi } => {
+                if *next > *hi {
+                    return None;
+                }
+                let v = *next;
+                *next += 1;
+                Some(v)
+            }
+            OwnedIter::Stepped { next, hi, step } => {
+                if *next > *hi {
+                    return None;
+                }
+                let v = *next;
+                *next += *step;
+                Some(v)
+            }
+            OwnedIter::Filtered { next, hi, off, extent, procs, q, folding } => {
+                while *next <= *hi {
+                    let v = *next;
+                    *next += 1;
+                    if folding.owner(v + *off, *extent, *procs) == *q {
+                        return Some(v);
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
 /// Iterate the values `v` in `[lo, hi]` owned by grid coordinate `q`.
 pub fn owned_iter(
     lo: i64,
@@ -406,26 +814,26 @@ pub fn owned_iter(
     procs: i64,
     q: i64,
     folding: dct_decomp::Folding,
-) -> Box<dyn Iterator<Item = i64>> {
+) -> OwnedIter {
     use dct_decomp::Folding;
     if procs <= 1 {
-        return Box::new(lo..=hi);
+        return OwnedIter::Range { next: lo, hi };
     }
     match folding {
         Folding::Block => {
             let b = (extent + procs - 1) / procs;
             let start = (q * b - off).max(lo);
             let end = ((q + 1) * b - 1 - off).min(hi);
-            Box::new(start..=end)
+            OwnedIter::Range { next: start, hi: end }
         }
         Folding::Cyclic => {
             // First v >= lo with (v + off) mod procs == q.
             let r = (q - lo - off).rem_euclid(procs);
             let start = lo + r;
-            Box::new((start..=hi).step_by(procs as usize))
+            OwnedIter::Stepped { next: start, hi, step: procs }
         }
         Folding::BlockCyclic { .. } => {
-            Box::new((lo..=hi).filter(move |&v| folding.owner(v + off, extent, procs) == q))
+            OwnedIter::Filtered { next: lo, hi, off, extent, procs, q, folding }
         }
     }
 }
@@ -482,5 +890,26 @@ mod tests {
     fn owned_iter_single_proc() {
         let v: Vec<i64> = owned_iter(3, 7, 0, 100, 1, 0, Folding::Cyclic).collect();
         assert_eq!(v, vec![3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn progression_matches_iteration() {
+        // For block and cyclic foldings, the progression must enumerate
+        // exactly the iterator's values.
+        for folding in [Folding::Block, Folding::Cyclic] {
+            for procs in [1i64, 2, 3, 5] {
+                for q in 0..procs {
+                    let vals: Vec<i64> = owned_iter(2, 20, 1, 24, procs, q, folding).collect();
+                    let (start, step, count) =
+                        owned_iter(2, 20, 1, 24, procs, q, folding).progression().unwrap();
+                    let gen: Vec<i64> = (0..count).map(|t| start + t * step).collect();
+                    assert_eq!(vals, gen, "{folding:?} procs={procs} q={q}");
+                }
+            }
+        }
+        // Block-cyclic has no progression.
+        assert!(owned_iter(0, 11, 0, 12, 3, 0, Folding::BlockCyclic { block: 2 })
+            .progression()
+            .is_none());
     }
 }

@@ -23,6 +23,10 @@ pub struct SimOptions {
     pub addr_opt: bool,
     /// Machine configuration; `None` = DASH preset for `procs`.
     pub machine: Option<MachineConfig>,
+    /// Execute innermost loops through the strided segment engine
+    /// (default). The general walk produces bit-identical results; the
+    /// differential tests flip this to prove it.
+    pub fast_path: bool,
 }
 
 impl SimOptions {
@@ -34,6 +38,7 @@ impl SimOptions {
             barrier_elision: true,
             addr_opt: true,
             machine: None,
+            fast_path: true,
         }
     }
 }
@@ -50,7 +55,9 @@ pub fn simulate(prog: &Program, dec: &Decomposition, opts: &SimOptions) -> RunRe
     };
     let sp = codegen(prog, dec, &spmd_opts);
     let machine = opts.machine.clone().unwrap_or_else(|| MachineConfig::dash(opts.procs));
-    Executor::new(&sp, machine, cost).run()
+    let mut ex = Executor::new(&sp, machine, cost);
+    ex.fast_path = opts.fast_path;
+    ex.run()
 }
 
 /// Simulate and also return the final contents of every array (original
@@ -71,6 +78,7 @@ pub fn simulate_with_values(
     let sp = codegen(prog, dec, &spmd_opts);
     let machine = opts.machine.clone().unwrap_or_else(|| MachineConfig::dash(opts.procs));
     let mut ex = Executor::new(&sp, machine, cost);
+    ex.fast_path = opts.fast_path;
     let res = ex.run();
     let vals = (0..prog.arrays.len()).map(|x| ex.values(x)).collect();
     (res, vals)

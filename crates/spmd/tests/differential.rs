@@ -1,0 +1,104 @@
+//! Differential property test for the strided fast-path execution engine:
+//! for randomized small nests, executing with `fast_path: true` must be
+//! *bit-identical* to the general reference walk — same cycles, same
+//! per-processor clocks, same machine statistics, same checksum — under
+//! every folding (BLOCK, CYCLIC, BLOCK-CYCLIC) and processor count. The
+//! fast path only changes how addresses are computed, never which machine
+//! accesses happen or in what order; this test is the executable form of
+//! that invariant.
+
+use dct_decomp::{decompose, Folding};
+use dct_dep::{analyze_nest, DepConfig};
+use dct_ir::{Aff, Expr, Program, ProgramBuilder};
+use dct_spmd::{simulate, SimOptions};
+use proptest::prelude::*;
+
+/// A randomized 2-array time-stepped program: an init nest, a gather
+/// nest with 1–4 random in-bounds offsets (some strided by 2 on the
+/// inner index to vary the access slope), and a copy-back nest.
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        8i64..=14,
+        proptest::collection::vec((-1i64..=1, -1i64..=1, 1i64..=2), 1..4),
+        1i64..=2,
+    )
+        .prop_map(|(n, offsets, steps)| {
+            let mut pb = ProgramBuilder::new("diff-rand");
+            let np = pb.param("N", n);
+            let a = pb.array("A", &[Aff::param(np), Aff::param(np)], 4);
+            let b = pb.array("B", &[Aff::param(np), Aff::param(np)], 4);
+            let _t = pb.time_loop(Aff::konst(steps));
+
+            let mut nb = pb.nest_builder("init");
+            let j = nb.loop_var(Aff::konst(0), Aff::param(np) - 1);
+            let i = nb.loop_var(Aff::konst(0), Aff::param(np) - 1);
+            let v = Expr::Index(i) * Expr::Const(0.5) + Expr::Index(j) + Expr::Const(1.0);
+            nb.assign(b, &[Aff::var(i), Aff::var(j)], v);
+            pb.init_nest(nb.build());
+
+            // Gather: bounds keep every scaled-and-offset access in range
+            // (indices in [1, (N-2)/2] so 2*idx+1 <= N-2).
+            let mut nb = pb.nest_builder("gather");
+            let j = nb.loop_var(Aff::konst(1), Aff::param(np) - 2);
+            let hi = (n - 2) / 2;
+            let i = nb.loop_var(Aff::konst(1), Aff::konst(hi));
+            let mut rhs = nb.read(b, &[Aff::var(i), Aff::var(j)]);
+            for (di, dj, scale) in &offsets {
+                let col = if *scale == 2 { Aff::var(j) } else { Aff::var(j) + *dj };
+                rhs = rhs + nb.read(b, &[Aff::var(i) * *scale + *di, col]) * Expr::Const(0.25);
+            }
+            nb.assign(a, &[Aff::var(i), Aff::var(j)], rhs);
+            pb.nest(nb.build());
+
+            let mut nb = pb.nest_builder("copy");
+            let j = nb.loop_var(Aff::konst(1), Aff::param(np) - 2);
+            let i = nb.loop_var(Aff::konst(1), Aff::konst(hi));
+            let rhs = nb.read(a, &[Aff::var(i), Aff::var(j)]);
+            nb.assign(b, &[Aff::var(i), Aff::var(j)], rhs);
+            pb.nest(nb.build());
+            pb.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Fast path vs reference walk: identical cycles, clocks, stats, and
+    /// checksum for every folding x processor count, with and without the
+    /// data transformations.
+    #[test]
+    fn fast_path_matches_reference(prog in arb_program(), transform in any::<bool>()) {
+        let cfg = DepConfig { nparams: prog.params.len(), param_min: 4 };
+        let deps: Vec<_> = prog.nests.iter().map(|n| analyze_nest(n, cfg)).collect();
+        let params = prog.default_params();
+
+        for folding in [Folding::Block, Folding::Cyclic, Folding::BlockCyclic { block: 2 }] {
+            let mut dec = decompose(&prog, &deps);
+            for f in dec.foldings.iter_mut() {
+                *f = folding;
+            }
+            for procs in [1usize, 2, 4, 8] {
+                let mut fast = SimOptions::new(procs, params.clone());
+                fast.transform_data = transform;
+                let mut slow = fast.clone();
+                slow.fast_path = false;
+
+                let rf = simulate(&prog, &dec, &fast);
+                let rs = simulate(&prog, &dec, &slow);
+
+                prop_assert!(rf.fast.fast_iters > 0 || matches!(folding, Folding::BlockCyclic { .. }),
+                    "fast path never engaged (P={procs}, {folding:?})");
+                prop_assert_eq!(rs.fast.fast_iters, 0, "reference walk took the fast path");
+
+                prop_assert_eq!(rf.cycles, rs.cycles, "cycles differ (P={}, {:?})", procs, folding);
+                prop_assert_eq!(&rf.clocks, &rs.clocks, "clocks differ (P={}, {:?})", procs, folding);
+                prop_assert_eq!(&rf.stats, &rs.stats, "stats differ (P={}, {:?})", procs, folding);
+                prop_assert_eq!(rf.barriers, rs.barriers);
+                prop_assert_eq!(&rf.nest_cycles, &rs.nest_cycles);
+                prop_assert_eq!(rf.init_cycles, rs.init_cycles);
+                prop_assert!(rf.checksum == rs.checksum,
+                    "checksum differs: {} != {} (P={procs}, {folding:?})", rf.checksum, rs.checksum);
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Tier-1 verification: release build, full test suite, and a scaled-down
+# `repro table1` smoke run that must stay inside a wall-time budget and
+# produce a well-formed table. Run from the repository root:
+#
+#   scripts/tier1.sh [smoke-budget-seconds]
+#
+# The smoke budget (default 120 s) is generous: at --scale 0.25 the sweep
+# takes ~2 s on one core with the strided engine; blowing the budget means
+# a serious performance regression, not noise.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUDGET="${1:-120}"
+
+echo "== tier1: cargo build --release"
+cargo build --release
+
+echo "== tier1: cargo test -q"
+cargo test -q
+
+echo "== tier1: repro table1 --scale 0.25 smoke (budget ${BUDGET}s)"
+start=$(date +%s)
+out=$(./target/release/repro table1 --scale 0.25 2>/dev/null)
+end=$(date +%s)
+elapsed=$((end - start))
+
+echo "$out"
+echo "[smoke took ${elapsed}s]"
+
+# The table must contain every benchmark row.
+for bench in vpenta lu stencil adi erlebacher swm256 tomcatv; do
+    if ! grep -q "$bench" <<<"$out"; then
+        echo "tier1 FAIL: '$bench' missing from table1 output" >&2
+        exit 1
+    fi
+done
+
+if [ "$elapsed" -gt "$BUDGET" ]; then
+    echo "tier1 FAIL: smoke run took ${elapsed}s > budget ${BUDGET}s" >&2
+    exit 1
+fi
+
+echo "tier1 OK"

@@ -1,0 +1,153 @@
+//! Minimal, dependency-free benchmarking shim exposing the subset of the
+//! `criterion` 0.5 API this workspace uses (`bench_function`, `iter`,
+//! `criterion_group!`, `criterion_main!`, `sample_size`,
+//! `measurement_time`, `black_box`). Vendored because the build
+//! environment has no access to the crates.io registry.
+//!
+//! Timing method: each sample runs a batch sized so one batch takes
+//! roughly `measurement_time / sample_size`; the reported estimate is the
+//! median of per-iteration times over all samples, with min/max spread.
+//! Under `cargo test` (test mode) each benchmark body runs once for a
+//! smoke check instead of being measured.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20, measurement_time: Duration::from_secs(2) }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { samples: Vec::new(), budget: self.measurement_time, target_samples: self.sample_size };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+pub struct Bencher {
+    /// Per-iteration nanoseconds, one entry per sample batch.
+    samples: Vec<f64>,
+    budget: Duration,
+    target_samples: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and estimate a single-iteration time.
+        let warm_start = Instant::now();
+        black_box(f());
+        let mut per_iter = warm_start.elapsed().as_nanos().max(1) as u64;
+        let warmup_budget = Duration::from_millis(200);
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < warmup_budget && per_iter < warmup_budget.as_nanos() as u64 {
+            let t = Instant::now();
+            black_box(f());
+            per_iter = (per_iter + t.elapsed().as_nanos().max(1) as u64) / 2;
+        }
+
+        let sample_budget = (self.budget.as_nanos() as u64 / self.target_samples as u64).max(1);
+        let batch = (sample_budget / per_iter).clamp(1, 1_000_000_000);
+        let deadline = Instant::now() + self.budget;
+        for _ in 0..self.target_samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<32} (no samples)");
+            return;
+        }
+        self.samples.sort_by(|a, b| a.total_cmp(b));
+        let median = self.samples[self.samples.len() / 2];
+        let lo = self.samples[0];
+        let hi = *self.samples.last().unwrap();
+        println!(
+            "{name:<32} time: [{} {} {}]",
+            fmt_ns(lo),
+            fmt_ns(median),
+            fmt_ns(hi)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// `criterion_group! { name = benches; config = ...; targets = a, b }` or
+/// `criterion_group!(benches, a, b)`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!{ name = $name; config = $crate::Criterion::default(); targets = $($target),+ }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Test mode (`cargo test --benches`) passes --test; run a
+            // single smoke pass without measurement in that case by
+            // shrinking the budget.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30));
+        let mut n = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| n = n.wrapping_add(1)));
+        assert!(n > 0);
+    }
+}
