@@ -22,14 +22,14 @@ fn phases(c: &mut Criterion) {
     c.bench_function("full_compile_tomcatv", |b| {
         let compiler = Compiler::new(Strategy::Full);
         b.iter(|| {
-            let compiled = compiler.compile(&prog);
+            let compiled = compiler.compile(&prog).unwrap();
             std::hint::black_box(compiled.decomposition.grid_rank)
         })
     });
 
     c.bench_function("codegen_tomcatv_p32", |b| {
         let compiler = Compiler::new(Strategy::Full);
-        let compiled = compiler.compile(&prog);
+        let compiled = compiler.compile(&prog).unwrap();
         b.iter(|| {
             let sp = codegen(&compiled.program, &compiled.decomposition, &SpmdOptions {
                 procs: 32,
@@ -37,7 +37,7 @@ fn phases(c: &mut Criterion) {
                 transform_data: true,
                 barrier_elision: true,
                 cost: CostModel::default(),
-            });
+            }).unwrap();
             std::hint::black_box(sp.total_elements())
         })
     });
@@ -47,7 +47,7 @@ fn phases(c: &mut Criterion) {
     let lu = programs::lu(256);
     c.bench_function("full_compile_lu", |b| {
         let compiler = Compiler::new(Strategy::Full);
-        b.iter(|| std::hint::black_box(compiler.compile(&lu).decomposition.grid_rank))
+        b.iter(|| std::hint::black_box(compiler.compile(&lu).unwrap().decomposition.grid_rank))
     });
 }
 

@@ -9,7 +9,7 @@ use dct_ir::Program;
 
 fn bench_figure(c: &mut Criterion, id: &str, prog: Program) {
     let compiler = Compiler::new(Strategy::Full);
-    let compiled = compiler.compile(&prog);
+    let compiled = compiler.compile(&prog).unwrap();
     let params = prog.default_params();
     c.bench_function(id, |b| {
         b.iter(|| {

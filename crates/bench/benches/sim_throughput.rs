@@ -45,7 +45,7 @@ fn executor_run(c: &mut Criterion) {
     let params = prog.default_params();
     for strategy in [Strategy::Base, Strategy::Full] {
         let comp = Compiler::new(strategy);
-        let compiled = comp.compile(&prog);
+        let compiled = comp.compile(&prog).unwrap();
         let name = match strategy {
             Strategy::Base => "executor_stencil512_base",
             _ => "executor_stencil512_full",

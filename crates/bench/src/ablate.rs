@@ -40,13 +40,13 @@ fn full_opts(procs: usize, params: Vec<i64>) -> SimOptions {
 pub fn ablate_addropt(procs: usize, scale: f64) -> Ablation {
     let s = |n: i64| ((n as f64 * scale).round() as i64).max(16);
     let prog = programs::vpenta(s(128), 3);
-    let compiled = Compiler::new(Strategy::Full).compile(&prog);
+    let compiled = Compiler::new(Strategy::Full).compile(&prog).unwrap();
     let params = prog.default_params();
     let mut variants = Vec::new();
     for (label, on) in [("address optimizations ON", true), ("address optimizations OFF", false)] {
         let mut o = full_opts(procs, params.clone());
         o.addr_opt = on;
-        let r = simulate(&compiled.program, &compiled.decomposition, &o);
+        let r = simulate(&compiled.program, &compiled.decomposition, &o).unwrap();
         variants.push((label.to_string(), r.cycles));
     }
     Ablation { name: "addropt (vpenta, Section 4.3)".into(), variants }
@@ -57,13 +57,13 @@ pub fn ablate_addropt(procs: usize, scale: f64) -> Ablation {
 pub fn ablate_barrier_elision(procs: usize, scale: f64) -> Ablation {
     let s = |n: i64| ((n as f64 * scale).round() as i64).max(16);
     let prog = programs::vpenta(s(128), 3);
-    let compiled = Compiler::new(Strategy::Full).compile(&prog);
+    let compiled = Compiler::new(Strategy::Full).compile(&prog).unwrap();
     let params = prog.default_params();
     let mut variants = Vec::new();
     for (label, on) in [("barrier elision ON", true), ("barrier elision OFF", false)] {
         let mut o = full_opts(procs, params.clone());
         o.barrier_elision = on;
-        let r = simulate(&compiled.program, &compiled.decomposition, &o);
+        let r = simulate(&compiled.program, &compiled.decomposition, &o).unwrap();
         variants.push((format!("{label} ({} barriers)", r.barriers), r.cycles));
     }
     Ablation { name: "barrier elision (vpenta)".into(), variants }
@@ -74,14 +74,14 @@ pub fn ablate_barrier_elision(procs: usize, scale: f64) -> Ablation {
 pub fn ablate_folding_lu(procs: usize, scale: f64) -> Ablation {
     let s = |n: i64| ((n as f64 * scale).round() as i64).max(16);
     let prog = programs::lu(s(256));
-    let compiled = Compiler::new(Strategy::Full).compile(&prog);
+    let compiled = Compiler::new(Strategy::Full).compile(&prog).unwrap();
     let params = prog.default_params();
     let mut variants = Vec::new();
     for folding in [dct_decomp::Folding::Cyclic, dct_decomp::Folding::Block] {
         let mut dec = compiled.decomposition.clone();
         dec.foldings = vec![folding];
         let o = full_opts(procs, params.clone());
-        let r = simulate(&compiled.program, &dec, &o);
+        let r = simulate(&compiled.program, &dec, &o).unwrap();
         variants.push((format!("{} columns", folding.hpf()), r.cycles));
     }
     Ablation { name: "folding for LU (load balance)".into(), variants }
@@ -92,12 +92,12 @@ pub fn ablate_folding_lu(procs: usize, scale: f64) -> Ablation {
 pub fn ablate_grid_stencil(procs: usize, scale: f64) -> Ablation {
     let s = |n: i64| ((n as f64 * scale).round() as i64).max(16);
     let prog = programs::stencil(s(512), 5);
-    let compiled = Compiler::new(Strategy::Full).compile(&prog);
+    let compiled = Compiler::new(Strategy::Full).compile(&prog).unwrap();
     let params = prog.default_params();
     let mut variants = Vec::new();
 
     let o = full_opts(procs, params.clone());
-    let r2 = simulate(&compiled.program, &compiled.decomposition, &o);
+    let r2 = simulate(&compiled.program, &compiled.decomposition, &o).unwrap();
     variants.push(("2-D blocks".to_string(), r2.cycles));
 
     // Truncate the decomposition to rank 1.
@@ -110,7 +110,7 @@ pub fn ablate_grid_stencil(procs: usize, scale: f64) -> Ablation {
     for d in &mut dec1.data {
         d.dists.retain(|ad| ad.proc_dim == 0);
     }
-    let r1 = simulate(&compiled.program, &dec1, &o);
+    let r1 = simulate(&compiled.program, &dec1, &o).unwrap();
     variants.push(("1-D blocks".to_string(), r1.cycles));
 
     Ablation { name: "grid rank for stencil (comm/comp ratio)".into(), variants }
@@ -122,7 +122,7 @@ pub fn ablate_grid_stencil(procs: usize, scale: f64) -> Ablation {
 pub fn ablate_linesize_stencil(procs: usize, scale: f64) -> Ablation {
     let s = |n: i64| ((n as f64 * scale).round() as i64).max(16);
     let prog = programs::stencil(s(512), 5);
-    let compiled = Compiler::new(Strategy::CompDecomp).compile(&prog);
+    let compiled = Compiler::new(Strategy::CompDecomp).compile(&prog).unwrap();
     let params = prog.default_params();
     let mut variants = Vec::new();
     for line in [16usize, 32, 64, 128] {
@@ -130,7 +130,7 @@ pub fn ablate_linesize_stencil(procs: usize, scale: f64) -> Ablation {
         mc.line_bytes = line;
         let mut o = Compiler::new(Strategy::CompDecomp).sim_options(procs, params.clone());
         o.machine = Some(mc);
-        let r = simulate(&compiled.program, &compiled.decomposition, &o);
+        let r = simulate(&compiled.program, &compiled.decomposition, &o).unwrap();
         variants.push((format!("{line}-byte lines"), r.cycles));
     }
     Ablation { name: "cache-line size vs false sharing (stencil, comp-decomp)".into(), variants }
@@ -171,7 +171,7 @@ mod tests {
         // invalidated must not shrink (event counts may, since one
         // invalidation now covers a wider line).
         let prog = programs::stencil(64, 2);
-        let compiled = Compiler::new(Strategy::CompDecomp).compile(&prog);
+        let compiled = Compiler::new(Strategy::CompDecomp).compile(&prog).unwrap();
         let params = prog.default_params();
         let mut measured = Vec::new();
         for line in [16usize, 64] {
@@ -179,7 +179,7 @@ mod tests {
             mc.line_bytes = line;
             let mut o = Compiler::new(Strategy::CompDecomp).sim_options(8, params.clone());
             o.machine = Some(mc);
-            let r = simulate(&compiled.program, &compiled.decomposition, &o);
+            let r = simulate(&compiled.program, &compiled.decomposition, &o).unwrap();
             let inv = r.stats.total().invalidations_received;
             assert!(inv > 0, "2-D blocks over FORTRAN layout must exhibit sharing");
             measured.push(inv * line as u64);

@@ -8,7 +8,16 @@
 //! repro fig8 --scale 0.5    # half the paper problem size
 //! repro fig6 --procs 1,8,32 # custom processor counts
 //! repro --profile           # simulator throughput -> BENCH_sim_throughput.json
+//! repro table1 --resume     # resumable sweep: skip checkpointed cells
+//! repro table1 --max-wall 30 --max-cycles 2000000000
+//!                           # bound each cell; over-budget cells -> timeout
+//! repro table1 --out results/run1   # checkpoint directory
 //! ```
+//!
+//! With `--resume`, `--max-cycles`, `--max-wall` or `--out`, `table1` runs
+//! through the crash-safe sweep harness: every cell is checkpointed
+//! atomically (temp file + rename) as it finishes, and a re-run with
+//! `--resume` only simulates the missing cells.
 
 use dct_bench::harness::{self, ALL_FIGURES, PAPER_PROCS};
 use dct_layout::{diagram, DataLayout};
@@ -26,6 +35,10 @@ fn main() {
     let mut procs: Vec<usize> = PAPER_PROCS.to_vec();
     let mut workers = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(4);
     let mut profile = false;
+    let mut resume = false;
+    let mut out_dir: Option<String> = None;
+    let mut max_cycles: Option<u64> = None;
+    let mut max_wall: Option<f64> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -50,6 +63,26 @@ fn main() {
                             .collect()
                     })
                     .unwrap_or_else(|| die("--procs needs a comma-separated list"))
+            }
+            "--resume" => resume = true,
+            "--out" => {
+                out_dir = Some(
+                    it.next().cloned().unwrap_or_else(|| die("--out needs a directory path")),
+                )
+            }
+            "--max-cycles" => {
+                max_cycles = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--max-cycles needs a cycle count")),
+                )
+            }
+            "--max-wall" => {
+                max_wall = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--max-wall needs seconds")),
+                )
             }
             "--threads" => {
                 workers = it
@@ -94,8 +127,28 @@ fn main() {
             "fig2" => print_fig2(),
             "fig3" => print_fig3(),
             "table1" => {
-                let rows = harness::table1_parallel(32, scale, workers);
-                println!("{}", harness::render_table1(&rows, 32));
+                let checkpointed =
+                    resume || out_dir.is_some() || max_cycles.is_some() || max_wall.is_some();
+                if checkpointed {
+                    // Crash-safe path: per-cell checkpoints + resume + budgets.
+                    let mut cfg = dct_bench::SweepConfig::new(
+                        32,
+                        scale,
+                        out_dir.clone().unwrap_or_else(|| "results".to_string()),
+                    );
+                    cfg.resume = resume;
+                    cfg.max_cycles = max_cycles;
+                    cfg.max_wall_secs = max_wall;
+                    match dct_bench::run_sweep(&cfg) {
+                        Ok(cells) => {
+                            println!("{}", dct_bench::sweep::render_sweep(&cells, 32, scale))
+                        }
+                        Err(e) => die(&format!("sweep failed: {e}")),
+                    }
+                } else {
+                    let rows = harness::table1_parallel(32, scale, workers);
+                    println!("{}", harness::render_table1(&rows, 32));
+                }
             }
             "ablations" => {
                 for a in dct_bench::all_ablations(32, scale) {
@@ -103,10 +156,10 @@ fn main() {
                 }
             }
             fig => match harness::figure(fig, scale) {
-                Some(spec) => {
-                    let r = harness::run_figure_parallel(&spec, &procs, workers);
-                    println!("{}", r.render());
-                }
+                Some(spec) => match harness::run_figure_parallel(&spec, &procs, workers) {
+                    Ok(r) => println!("{}", r.render()),
+                    Err(e) => eprintln!("{fig} failed: {e}"),
+                },
                 None => eprintln!("unknown target {fig}"),
             },
         }

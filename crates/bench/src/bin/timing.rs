@@ -17,12 +17,12 @@ fn main() {
     };
     let params = prog.default_params();
     let t0 = Instant::now();
-    let seq = sequential_cycles(&prog, &params);
+    let seq = sequential_cycles(&prog, &params).expect("sequential reference failed");
     println!("{which}: seq={seq} ({:?})", t0.elapsed());
     let procs = [2usize, 8, 16, 31, 32];
     for s in Strategy::ALL {
         let t0 = Instant::now();
-        let curve = speedup_curve(&prog, s, &procs, &params, seq);
+        let curve = speedup_curve(&prog, s, &procs, &params, seq).expect("speedup curve failed");
         let pts: Vec<String> = curve.iter().map(|p| format!("{}:{:.1}", p.procs, p.speedup)).collect();
         println!("  {:28} {}  ({:?})", s.label(), pts.join(" "), t0.elapsed());
     }

@@ -1,0 +1,325 @@
+//! Differential pipeline fuzzing: random affine programs pushed through
+//! the whole compiler (`frontend`-equivalent IR building → dependence
+//! analysis → transformation → decomposition → layout → SPMD simulation)
+//! under every strategy, processor count and folding, checking two
+//! invariants:
+//!
+//! 1. **No panics.** Every failure mode must surface as a structured
+//!    `DctError` (or a `CompileError` after the degradation ladder runs
+//!    out) — the fuzz harness wraps each stage in `catch_unwind` and
+//!    reports any escape as a finding.
+//! 2. **Bit-exact results.** The simulated interpreter is deterministic,
+//!    so the final contents of every array must be bit-identical across
+//!    strategies, processor counts, foldings and the fast-path/general
+//!    walk — the same oracle `spmd`'s layout-level differential tests use,
+//!    extended to the whole pipeline.
+//!
+//! Programs are generated so that every subscript is in bounds by
+//! construction (loop ranges `1..=N-2`, subscripts `var ± 1` or small
+//! constants) and division never appears (keeps the oracle away from
+//! rounding-mode and NaN edge cases; constants are small integers).
+
+use dct_core::{rung_sim_options, Compiler, Strategy};
+use dct_decomp::Folding;
+use dct_ir::{panic_message, Aff, Expr, Program, ProgramBuilder};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Deterministic 64-bit generator (splitmix64): reproducible cases from a
+/// seed, no external crates.
+pub struct Lcg(u64);
+
+impl Lcg {
+    pub fn new(seed: u64) -> Lcg {
+        Lcg(seed.wrapping_add(0x9E3779B97F4A7C15))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (n > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform in `lo..=hi`.
+    pub fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.below((hi - lo + 1) as u64) as i64
+    }
+
+    /// True with probability `pct`%.
+    pub fn chance(&mut self, pct: u64) -> bool {
+        self.below(100) < pct
+    }
+}
+
+/// Shape of one generated array (rank 1 or 2, every extent = N).
+struct GenArray {
+    id: dct_ir::ArrayId,
+    rank: usize,
+}
+
+/// An in-bounds affine subscript for one array dimension: `var(l) + c`
+/// with `c ∈ {-1, 0, 1}` (loops run `1..=N-2`), or a small constant.
+fn gen_subscript(rng: &mut Lcg, depth: usize) -> Aff {
+    if depth > 0 && rng.chance(85) {
+        let l = rng.below(depth as u64) as usize;
+        match rng.below(3) {
+            0 => Aff::var(l) - 1,
+            1 => Aff::var(l) + 1,
+            _ => Aff::var(l),
+        }
+    } else {
+        // Constant subscript: 0..=3 is in bounds for every N >= 6.
+        Aff::konst(rng.range(0, 3))
+    }
+}
+
+/// A random RHS expression over the declared arrays: reads, constants,
+/// loop indices, combined with + / - and the occasional *.
+fn gen_expr(
+    rng: &mut Lcg,
+    nb: &dct_ir::NestBuilder,
+    arrays: &[GenArray],
+    depth: usize,
+    fuel: usize,
+) -> Expr {
+    if fuel == 0 || rng.chance(40) {
+        return match rng.below(3) {
+            0 => {
+                let a = &arrays[rng.below(arrays.len() as u64) as usize];
+                let subs: Vec<Aff> = (0..a.rank).map(|_| gen_subscript(rng, depth)).collect();
+                nb.read(a.id, &subs)
+            }
+            1 => Expr::Const(rng.range(-3, 4) as f64),
+            _ if depth > 0 => Expr::Index(rng.below(depth as u64) as usize),
+            _ => Expr::Const(1.0),
+        };
+    }
+    let a = gen_expr(rng, nb, arrays, depth, fuel - 1);
+    let b = gen_expr(rng, nb, arrays, depth, fuel - 1);
+    if rng.chance(15) {
+        a * b
+    } else if rng.chance(50) {
+        a + b
+    } else {
+        a - b
+    }
+}
+
+/// Generate a random — but always valid — affine program: 1–2 arrays of
+/// rank 1–2 (each with an initialization nest producing distinct
+/// contents), 1–3 compute nests of depth 1–2 with in-bounds affine
+/// accesses, and sometimes an outer time loop.
+pub fn gen_program(rng: &mut Lcg) -> Program {
+    let mut pb = ProgramBuilder::new("fuzz");
+    let n = rng.range(6, 10);
+    let np = pb.param("N", n);
+
+    let narrays = rng.range(1, 2) as usize;
+    let arrays: Vec<GenArray> = (0..narrays)
+        .map(|x| {
+            let rank = rng.range(1, 2) as usize;
+            let dims: Vec<Aff> = (0..rank).map(|_| Aff::param(np)).collect();
+            let id = pb.array(["A", "B"][x], &dims, if rng.chance(50) { 8 } else { 4 });
+            GenArray { id, rank }
+        })
+        .collect();
+
+    if rng.chance(25) {
+        pb.time_loop(Aff::konst(rng.range(2, 3)));
+    }
+
+    // One init nest per array: full-extent loops, pure index arithmetic
+    // (the idiom every suite benchmark uses).
+    for (x, a) in arrays.iter().enumerate() {
+        let mut nb = pb.nest_builder(&format!("init{x}"));
+        let vars: Vec<usize> = (0..a.rank)
+            .map(|_| nb.loop_var(Aff::konst(0), Aff::param(np) - 1))
+            .collect();
+        let mut v = Expr::Const(1.0 + x as f64);
+        for (d, &l) in vars.iter().enumerate() {
+            v = v + Expr::Index(l) * Expr::Const(0.25 * (d + 1) as f64);
+        }
+        let subs: Vec<Aff> = vars.iter().map(|&l| Aff::var(l)).collect();
+        nb.assign(a.id, &subs, v);
+        pb.init_nest(nb.build());
+    }
+
+    let nnests = rng.range(1, 3) as usize;
+    for j in 0..nnests {
+        let depth = rng.range(1, 2) as usize;
+        let mut nb = pb.nest_builder(&format!("nest{j}"));
+        for _ in 0..depth {
+            nb.loop_var(Aff::konst(1), Aff::param(np) - 2);
+        }
+        nb.freq(1 + rng.below(3));
+        let w = &arrays[rng.below(arrays.len() as u64) as usize];
+        let subs: Vec<Aff> = (0..w.rank).map(|_| gen_subscript(rng, depth)).collect();
+        let rhs = gen_expr(rng, &nb, &arrays, depth, 2);
+        nb.assign(w.id, &subs, rhs);
+        pb.nest(nb.build());
+    }
+
+    pb.try_build().expect("generator produced an invalid program")
+}
+
+/// Bit pattern of every array's final contents: the comparison key for
+/// the differential oracle (exact, NaN-proof).
+fn value_bits(vals: &[Vec<f64>]) -> Vec<Vec<u64>> {
+    vals.iter().map(|a| a.iter().map(|v| v.to_bits()).collect()).collect()
+}
+
+/// Processor counts each configuration is simulated at.
+pub const FUZZ_PROCS: &[usize] = &[1, 3, 8, 32];
+
+/// Run one fuzz case. Returns the number of simulations performed, or a
+/// description of the first divergence / escaped panic.
+pub fn fuzz_case(seed: u64) -> Result<usize, String> {
+    let mut rng = Lcg::new(seed);
+    let prog = gen_program(&mut rng);
+    let params = prog.default_params();
+    let mut sims = 0usize;
+    let mut reference: Option<Vec<Vec<u64>>> = None;
+
+    let mut check = |label: String,
+                     prog: &Program,
+                     dec: &dct_decomp::Decomposition,
+                     opts: &dct_spmd::SimOptions,
+                     reference: &mut Option<Vec<Vec<u64>>>|
+     -> Result<(), String> {
+        let out = catch_unwind(AssertUnwindSafe(|| dct_spmd::simulate_with_values(prog, dec, opts)));
+        let (_, vals) = match out {
+            Ok(Ok(r)) => r,
+            Ok(Err(e)) => return Err(format!("seed {seed:#x}: {label}: {e}")),
+            Err(p) => {
+                return Err(format!(
+                    "seed {seed:#x}: {label}: escaped panic: {}",
+                    panic_message(p.as_ref())
+                ))
+            }
+        };
+        sims += 1;
+        let bits = value_bits(&vals);
+        match reference {
+            None => *reference = Some(bits),
+            Some(r) => {
+                if *r != bits {
+                    return Err(format!(
+                        "seed {seed:#x}: {label}: array contents diverge from reference"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    };
+
+    for strategy in Strategy::ALL {
+        let c = Compiler::new(strategy);
+        let compiled = match catch_unwind(AssertUnwindSafe(|| c.compile(&prog))) {
+            Ok(Ok(cc)) => cc,
+            Ok(Err(e)) => return Err(format!("seed {seed:#x}: compile {}: {e}", strategy.label())),
+            Err(p) => {
+                return Err(format!(
+                    "seed {seed:#x}: compile {}: escaped panic: {}",
+                    strategy.label(),
+                    panic_message(p.as_ref())
+                ))
+            }
+        };
+        for &procs in FUZZ_PROCS {
+            let opts = rung_sim_options(compiled.rung, procs, params.clone());
+            check(
+                format!("{} at {procs} procs", strategy.label()),
+                &compiled.program,
+                &compiled.decomposition,
+                &opts,
+                &mut reference,
+            )?;
+            if procs == 3 {
+                // The general walk must agree with the strided fast path.
+                let mut slow = opts.clone();
+                slow.fast_path = false;
+                check(
+                    format!("{} at {procs} procs (general walk)", strategy.label()),
+                    &compiled.program,
+                    &compiled.decomposition,
+                    &slow,
+                    &mut reference,
+                )?;
+            }
+        }
+        // Folding differential: the folding changes data placement, never
+        // values. Exercised on the fully-optimized decomposition.
+        if strategy == Strategy::Full && compiled.decomposition.grid_rank > 0 {
+            for f in [Folding::Cyclic, Folding::BlockCyclic { block: 2 }] {
+                let mut dec = compiled.decomposition.clone();
+                dec.foldings = vec![f; dec.grid_rank];
+                let opts = rung_sim_options(compiled.rung, 3, params.clone());
+                check(
+                    format!("full with {f:?} folding at 3 procs"),
+                    &compiled.program,
+                    &dec,
+                    &opts,
+                    &mut reference,
+                )?;
+            }
+        }
+    }
+    Ok(sims)
+}
+
+/// Summary of a fuzz run.
+pub struct FuzzReport {
+    pub cases: usize,
+    pub sims: usize,
+    pub failures: Vec<String>,
+}
+
+/// Run `cases` differential fuzz cases from `seed0`, collecting every
+/// failure (does not stop at the first: one report per broken seed).
+pub fn run_fuzz(seed0: u64, cases: usize) -> FuzzReport {
+    let mut report = FuzzReport { cases, sims: 0, failures: Vec::new() };
+    for k in 0..cases {
+        match fuzz_case(seed0.wrapping_add(k as u64)) {
+            Ok(s) => report.sims += s,
+            Err(e) => report.failures.push(e),
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = gen_program(&mut Lcg::new(7));
+        let b = gen_program(&mut Lcg::new(7));
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn generated_programs_validate() {
+        for seed in 0..50 {
+            let prog = gen_program(&mut Lcg::new(seed));
+            prog.try_validate().unwrap();
+            assert!(!prog.nests.is_empty());
+            assert!(!prog.init_nests.is_empty());
+        }
+    }
+
+    #[test]
+    fn single_case_runs_all_configs() {
+        let sims = fuzz_case(1).unwrap();
+        // 3 strategies x (4 proc counts + 1 general-walk rerun) plus any
+        // folding variants.
+        assert!(sims >= 15, "only {sims} simulations ran");
+    }
+}
+

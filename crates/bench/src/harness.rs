@@ -1,9 +1,14 @@
 //! Regenerating the paper's figures and tables: speedup curves per
 //! compiler strategy across processor counts, and the Table 1 summary.
+//!
+//! Sweeps are failure-tolerant: a cell whose compilation or simulation
+//! fails (or whose worker panics) becomes a reported failed cell instead
+//! of poisoning the whole sweep.
 
 use crate::programs;
 use dct_core::{sequential_cycles, speedup_curve, Compiler, SpeedupPoint, Strategy};
-use dct_ir::Program;
+use dct_ir::{panic_message, DctError, DctResult, Phase, Program};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Processor counts used in the paper's figures (1..32; 31 added because
 /// LU's conflict pathology makes 31 vs 32 a headline data point).
@@ -105,40 +110,47 @@ pub const ALL_FIGURES: &[&str] =
     &["fig4", "fig6", "fig6b", "fig8", "fig10", "fig10b", "fig11", "fig12", "fig13"];
 
 /// Run a figure: the three strategies across `procs_list`.
-pub fn run_figure(spec: &FigureSpec, procs_list: &[usize]) -> FigureResult {
+pub fn run_figure(spec: &FigureSpec, procs_list: &[usize]) -> DctResult<FigureResult> {
     let params = spec.program.default_params();
-    let seq = sequential_cycles(&spec.program, &params);
+    let seq = sequential_cycles(&spec.program, &params)?;
     let curves = Strategy::ALL
         .iter()
-        .map(|&strategy| StrategyCurve {
-            strategy,
-            points: speedup_curve(&spec.program, strategy, procs_list, &params, seq),
+        .map(|&strategy| {
+            Ok(StrategyCurve {
+                strategy,
+                points: speedup_curve(&spec.program, strategy, procs_list, &params, seq)?,
+            })
         })
-        .collect();
-    FigureResult {
+        .collect::<DctResult<Vec<_>>>()?;
+    Ok(FigureResult {
         spec_id: spec.id.to_string(),
         benchmark: spec.benchmark.to_string(),
         size_label: spec.size_label.clone(),
         seq_cycles: seq,
         curves,
-    }
+    })
 }
 
 /// Parallel variant of [`run_figure`]: simulation points are independent,
-/// so they are swept with a scoped worker pool.
-pub fn run_figure_parallel(spec: &FigureSpec, procs_list: &[usize], workers: usize) -> FigureResult {
+/// so they are swept with a scoped worker pool. A panicking worker is
+/// caught and surfaced as an error for its point, not a process abort.
+pub fn run_figure_parallel(
+    spec: &FigureSpec,
+    procs_list: &[usize],
+    workers: usize,
+) -> DctResult<FigureResult> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
 
     let params = spec.program.default_params();
-    let seq = sequential_cycles(&spec.program, &params);
+    let seq = sequential_cycles(&spec.program, &params)?;
 
     // Task list: (strategy index, procs index).
     let tasks: Vec<(usize, usize)> = (0..Strategy::ALL.len())
         .flat_map(|s| (0..procs_list.len()).map(move |k| (s, k)))
         .collect();
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Vec<Option<SpeedupPoint>>>> =
+    let results: Mutex<Vec<Vec<Option<Result<SpeedupPoint, String>>>>> =
         Mutex::new(vec![vec![None; procs_list.len()]; Strategy::ALL.len()]);
 
     std::thread::scope(|scope| {
@@ -146,7 +158,7 @@ pub fn run_figure_parallel(spec: &FigureSpec, procs_list: &[usize], workers: usi
             scope.spawn(|| {
                 // Each worker compiles lazily per strategy (compilation is
                 // cheap relative to simulation).
-                let mut compiled: Vec<Option<(Compiler, dct_core::Compiled)>> =
+                let mut compiled: Vec<Option<Result<(Compiler, dct_core::Compiled), String>>> =
                     (0..Strategy::ALL.len()).map(|_| None).collect();
                 loop {
                     let t = next.fetch_add(1, Ordering::Relaxed);
@@ -157,16 +169,28 @@ pub fn run_figure_parallel(spec: &FigureSpec, procs_list: &[usize], workers: usi
                     let strategy = Strategy::ALL[si];
                     if compiled[si].is_none() {
                         let c = Compiler::new(strategy);
-                        let cc = c.compile(&spec.program);
-                        compiled[si] = Some((c, cc));
+                        let cc = catch_unwind(AssertUnwindSafe(|| c.compile(&spec.program)));
+                        compiled[si] = Some(match cc {
+                            Ok(Ok(cc)) => Ok((c, cc)),
+                            Ok(Err(e)) => Err(e.to_string()),
+                            Err(p) => Err(panic_message(p.as_ref())),
+                        });
                     }
-                    let (c, cc) = compiled[si].as_ref().unwrap();
                     let procs = procs_list[ki];
-                    let r = c.simulate(cc, procs, &params);
-                    let point = SpeedupPoint {
-                        procs,
-                        cycles: r.cycles,
-                        speedup: seq as f64 / r.cycles as f64,
+                    let point = match compiled[si].as_ref().unwrap() {
+                        Err(e) => Err(e.clone()),
+                        Ok((c, cc)) => {
+                            match catch_unwind(AssertUnwindSafe(|| c.simulate(cc, procs, &params)))
+                            {
+                                Ok(Ok(r)) => Ok(SpeedupPoint {
+                                    procs,
+                                    cycles: r.cycles,
+                                    speedup: seq as f64 / r.cycles as f64,
+                                }),
+                                Ok(Err(e)) => Err(e.to_string()),
+                                Err(p) => Err(panic_message(p.as_ref())),
+                            }
+                        }
                     };
                     results.lock().unwrap()[si][ki] = Some(point);
                 }
@@ -175,32 +199,130 @@ pub fn run_figure_parallel(spec: &FigureSpec, procs_list: &[usize], workers: usi
     });
 
     let results = results.into_inner().unwrap();
-    let curves = Strategy::ALL
-        .iter()
-        .enumerate()
-        .map(|(si, &strategy)| StrategyCurve {
-            strategy,
-            points: results[si].iter().map(|p| p.expect("missing point")).collect(),
-        })
-        .collect();
-    FigureResult {
+    let mut curves = Vec::with_capacity(Strategy::ALL.len());
+    for (si, &strategy) in Strategy::ALL.iter().enumerate() {
+        let mut points = Vec::with_capacity(procs_list.len());
+        for (ki, slot) in results[si].iter().enumerate() {
+            match slot {
+                Some(Ok(p)) => points.push(*p),
+                Some(Err(e)) => {
+                    return Err(DctError::new(
+                        Phase::Sim,
+                        format!(
+                            "{} under {} at {} procs: {e}",
+                            spec.id,
+                            strategy.label(),
+                            procs_list[ki]
+                        ),
+                    ))
+                }
+                None => {
+                    return Err(DctError::internal(
+                        Phase::Sim,
+                        format!("{}: sweep point never ran", spec.id),
+                    ))
+                }
+            }
+        }
+        curves.push(StrategyCurve { strategy, points });
+    }
+    Ok(FigureResult {
         spec_id: spec.id.to_string(),
         benchmark: spec.benchmark.to_string(),
         size_label: spec.size_label.clone(),
         seq_cycles: seq,
         curves,
-    }
+    })
 }
 
-/// One row of Table 1.
+/// One row of Table 1. Speedups are `None` when that cell's compilation
+/// or simulation failed; `notes` carries the reasons.
 #[derive(Clone, Debug)]
 pub struct Table1Row {
     pub program: String,
-    pub base_speedup: f64,
-    pub full_speedup: f64,
+    pub base_speedup: Option<f64>,
+    pub full_speedup: Option<f64>,
     pub comp_decomp_critical: bool,
     pub data_transform_critical: bool,
     pub decompositions: Vec<String>,
+    pub notes: Vec<String>,
+}
+
+/// Outcome of one simulation cell: cycles, or why it failed.
+type CellResult = Result<u64, String>;
+
+/// Table 1 cell labels, in task order: sequential reference then the
+/// three strategies.
+const CELL_LABELS: [&str; 4] = ["sequential", "base", "comp-decomp", "full"];
+
+/// Run one Table 1 cell, catching panics so a bad benchmark cannot
+/// poison the sweep.
+fn run_cell(prog: &Program, params: &[i64], procs: usize, k: usize) -> CellResult {
+    let body = || -> Result<u64, String> {
+        match k {
+            0 => sequential_cycles(prog, params).map_err(|e| e.to_string()),
+            _ => {
+                let c = Compiler::new(Strategy::ALL[k - 1]);
+                let compiled = c.compile(prog).map_err(|e| e.to_string())?;
+                c.simulate(&compiled, procs, params).map(|r| r.cycles).map_err(|e| e.to_string())
+            }
+        }
+    };
+    match catch_unwind(AssertUnwindSafe(body)) {
+        Ok(r) => r,
+        Err(p) => Err(format!("worker panicked: {}", panic_message(p.as_ref()))),
+    }
+}
+
+/// Assemble one Table 1 row from its four cells.
+fn assemble_row(name: &str, prog: &Program, cy: &[CellResult; 4]) -> Table1Row {
+    let mut notes: Vec<String> = Vec::new();
+    for (k, c) in cy.iter().enumerate() {
+        if let Err(e) = c {
+            notes.push(format!("{}: {e}", CELL_LABELS[k]));
+        }
+    }
+    let speed = |k: usize| -> Option<f64> {
+        match (&cy[0], &cy[k]) {
+            (Ok(seq), Ok(c)) => Some(*seq as f64 / *c as f64),
+            _ => None,
+        }
+    };
+    let (base, comp, full) = (speed(1), speed(2), speed(3));
+    // A technique is "critical" when removing it costs >= 15%. Criticality
+    // is only decidable when all three strategies produced numbers.
+    let (comp_critical, data_critical) = match (base, comp, full) {
+        (Some(b), Some(c), Some(f)) => {
+            (c > b * 1.15 || f > b * 1.15 && c * 1.15 < f, f > c * 1.15)
+        }
+        _ => (false, false),
+    };
+    let decos: Vec<String> = match Compiler::new(Strategy::Full).compile(prog) {
+        Ok(compiled) => {
+            if !compiled.degradations.is_empty() {
+                notes.push(format!("full: degraded to {}", compiled.rung.label()));
+            }
+            compiled
+                .decomposition
+                .hpf_all(&compiled.program)
+                .into_iter()
+                .filter(|d| !d.contains("(*") || d.contains("BLOCK") || d.contains("CYCLIC"))
+                .collect()
+        }
+        Err(e) => {
+            notes.push(format!("decompositions unavailable: {e}"));
+            Vec::new()
+        }
+    };
+    Table1Row {
+        program: name.to_string(),
+        base_speedup: base,
+        full_speedup: full,
+        comp_decomp_critical: comp_critical,
+        data_transform_critical: data_critical,
+        decompositions: decos,
+        notes,
+    }
 }
 
 /// Regenerate Table 1 at `procs` processors and `scale` of the paper
@@ -211,33 +333,9 @@ pub fn table1(procs: usize, scale: f64) -> Vec<Table1Row> {
         .iter()
         .map(|b| {
             let params = b.program.default_params();
-            let seq = sequential_cycles(&b.program, &params);
-            let run = |strategy: Strategy| {
-                let c = Compiler::new(strategy);
-                let compiled = c.compile(&b.program);
-                seq as f64 / c.simulate(&compiled, procs, &params).cycles as f64
-            };
-            let base = run(Strategy::Base);
-            let comp = run(Strategy::CompDecomp);
-            let full = run(Strategy::Full);
-            let compiled = Compiler::new(Strategy::Full).compile(&b.program);
-            // A technique is "critical" when removing it costs >= 15%.
-            let comp_critical = comp > base * 1.15 || full > base * 1.15 && comp * 1.15 < full;
-            let data_critical = full > comp * 1.15;
-            let decos: Vec<String> = compiled
-                .decomposition
-                .hpf_all(&compiled.program)
-                .into_iter()
-                .filter(|d| !d.contains("(*") || d.contains("BLOCK") || d.contains("CYCLIC"))
-                .collect();
-            Table1Row {
-                program: b.name.to_string(),
-                base_speedup: base,
-                full_speedup: full,
-                comp_decomp_critical: comp_critical,
-                data_transform_critical: data_critical,
-                decompositions: decos,
-            }
+            let cy: [CellResult; 4] =
+                std::array::from_fn(|k| run_cell(&b.program, &params, procs, k));
+            assemble_row(b.name, &b.program, &cy)
         })
         .collect()
 }
@@ -246,12 +344,26 @@ pub fn table1(procs: usize, scale: f64) -> Vec<Table1Row> {
 /// (sequential reference + three strategies) are independent, so all
 /// `suite.len() * 4` of them are swept with a scoped worker pool. Rows
 /// are assembled in suite order afterwards — the output is identical to
-/// the sequential version.
+/// the sequential version. A failing or panicking cell becomes a failed
+/// cell in its row, never a poisoned sweep.
 pub fn table1_parallel(procs: usize, scale: f64, workers: usize) -> Vec<Table1Row> {
+    table1_parallel_with_hook(procs, scale, workers, None)
+}
+
+/// Testing back door for [`table1_parallel`]: `hook(bench, k)` runs inside
+/// the worker before cell `(bench, k)` and may panic to simulate a crashed
+/// cell.
+#[doc(hidden)]
+pub fn table1_parallel_with_hook(
+    procs: usize,
+    scale: f64,
+    workers: usize,
+    hook: Option<&(dyn Fn(&str, usize) + Sync)>,
+) -> Vec<Table1Row> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
 
-    if workers <= 1 {
+    if workers <= 1 && hook.is_none() {
         // Single-core host: the pool is pure overhead.
         return table1(procs, scale);
     }
@@ -261,7 +373,8 @@ pub fn table1_parallel(procs: usize, scale: f64, workers: usize) -> Vec<Table1Ro
     let tasks: Vec<(usize, usize)> =
         (0..suite.len()).flat_map(|b| (0..4).map(move |k| (b, k))).collect();
     let next = AtomicUsize::new(0);
-    let cycles: Mutex<Vec<[u64; 4]>> = Mutex::new(vec![[0; 4]; suite.len()]);
+    let cells: Mutex<Vec<[CellResult; 4]>> =
+        Mutex::new(vec![std::array::from_fn(|_| Err("never ran".to_string())); suite.len()]);
 
     std::thread::scope(|scope| {
         for _ in 0..workers.max(1) {
@@ -273,66 +386,49 @@ pub fn table1_parallel(procs: usize, scale: f64, workers: usize) -> Vec<Table1Ro
                 let (b, k) = tasks[t];
                 let bench = &suite[b];
                 let params = bench.program.default_params();
-                let c = match k {
-                    0 => sequential_cycles(&bench.program, &params),
-                    _ => {
-                        let comp = Compiler::new(Strategy::ALL[k - 1]);
-                        let compiled = comp.compile(&bench.program);
-                        comp.simulate(&compiled, procs, &params).cycles
+                let c = match catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(h) = hook {
+                        h(bench.name, k);
                     }
+                    run_cell(&bench.program, &params, procs, k)
+                })) {
+                    Ok(r) => r,
+                    Err(p) => Err(format!("worker panicked: {}", panic_message(p.as_ref()))),
                 };
-                cycles.lock().unwrap()[b][k] = c;
+                cells.lock().unwrap()[b][k] = c;
             });
         }
     });
 
-    let cycles = cycles.into_inner().unwrap();
-    suite
-        .iter()
-        .zip(&cycles)
-        .map(|(b, cy)| {
-            let seq = cy[0];
-            let [base, comp, full] =
-                [cy[1], cy[2], cy[3]].map(|c| seq as f64 / c as f64);
-            let compiled = Compiler::new(Strategy::Full).compile(&b.program);
-            // A technique is "critical" when removing it costs >= 15%.
-            let comp_critical = comp > base * 1.15 || full > base * 1.15 && comp * 1.15 < full;
-            let data_critical = full > comp * 1.15;
-            let decos: Vec<String> = compiled
-                .decomposition
-                .hpf_all(&compiled.program)
-                .into_iter()
-                .filter(|d| !d.contains("(*") || d.contains("BLOCK") || d.contains("CYCLIC"))
-                .collect();
-            Table1Row {
-                program: b.name.to_string(),
-                base_speedup: base,
-                full_speedup: full,
-                comp_decomp_critical: comp_critical,
-                data_transform_critical: data_critical,
-                decompositions: decos,
-            }
-        })
-        .collect()
+    let cells = cells.into_inner().unwrap();
+    suite.iter().zip(&cells).map(|(b, cy)| assemble_row(b.name, &b.program, cy)).collect()
 }
 
-/// Render Table 1.
+/// Render Table 1. Failed cells print `fail` and the row's notes follow
+/// indented beneath it.
 pub fn render_table1(rows: &[Table1Row], procs: usize) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "Table 1: summary at {procs} processors (speedups vs best sequential)\n"
     ));
     out.push_str("program      base   fully-opt  comp-critical  data-critical  decompositions\n");
+    let num = |v: Option<f64>, w: usize| match v {
+        Some(x) => format!("{x:>w$.1}"),
+        None => format!("{:>w$}", "fail"),
+    };
     for r in rows {
         out.push_str(&format!(
-            "{:<12} {:>5.1}  {:>8.1}   {:^13} {:^14}  {}\n",
+            "{:<12} {}  {}   {:^13} {:^14}  {}\n",
             r.program,
-            r.base_speedup,
-            r.full_speedup,
+            num(r.base_speedup, 5),
+            num(r.full_speedup, 8),
             if r.comp_decomp_critical { "yes" } else { "-" },
             if r.data_transform_critical { "yes" } else { "-" },
             r.decompositions.join("  ")
         ));
+        for n in &r.notes {
+            out.push_str(&format!("             ! {n}\n"));
+        }
     }
     out
 }

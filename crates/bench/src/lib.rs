@@ -6,9 +6,12 @@
 #![allow(clippy::needless_range_loop, clippy::manual_memcpy)]
 
 pub mod ablate;
+pub mod fuzz;
 pub mod harness;
 pub mod profile;
 pub mod programs;
+pub mod sweep;
 
 pub use ablate::{all_ablations, Ablation};
 pub use harness::{figure, run_figure, run_figure_parallel, table1, FigureResult, FigureSpec, StrategyCurve, Table1Row};
+pub use sweep::{run_sweep, Cell, CellOutcome, SweepConfig};

@@ -44,9 +44,9 @@ pub fn profile_figure(spec: &FigureSpec, procs: usize) -> FigureProfile {
         .iter()
         .map(|&strategy| {
             let c = Compiler::new(strategy);
-            let compiled = c.compile(&spec.program);
+            let compiled = c.compile(&spec.program).unwrap();
             let t0 = Instant::now();
-            let r = c.simulate(&compiled, procs, &params);
+            let r = c.simulate(&compiled, procs, &params).unwrap();
             let wall = t0.elapsed().as_secs_f64();
             let accesses = r.stats.total().accesses;
             let iters = r.fast.fast_iters + r.fast.slow_iters;

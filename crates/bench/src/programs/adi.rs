@@ -80,7 +80,7 @@ mod tests {
     #[test]
     fn decomposition_matches_table1() {
         let prog = adi(64, 2);
-        let c = Compiler::new(Strategy::Full).compile(&prog);
+        let c = Compiler::new(Strategy::Full).compile(&prog).unwrap();
         // Table 1: A(*, BLOCK) (block columns) on a rank-1 grid.
         assert_eq!(c.decomposition.grid_rank, 1);
         assert_eq!(c.decomposition.foldings, vec![Folding::Block]);
@@ -98,7 +98,7 @@ mod tests {
             transform_data: true,
             barrier_elision: true,
             cost: dct_spmd::CostModel::default(),
-        });
+        }).unwrap();
         assert!(sp.layouts.iter().all(|l| !l.transformed), "ADI needs no layout change");
     }
 }

@@ -107,7 +107,7 @@ mod tests {
     #[test]
     fn decomposition_matches_table1() {
         let prog = erlebacher(24);
-        let c = Compiler::new(Strategy::Full).compile(&prog);
+        let c = Compiler::new(Strategy::Full).compile(&prog).unwrap();
         assert_eq!(c.decomposition.grid_rank, 1);
         // Table 1: input replicated, DUX/DUY (*,*,BLOCK), DUZ (*,BLOCK,*).
         assert!(c.decomposition.data[0].replicated, "input array must be replicated");

@@ -58,7 +58,7 @@ mod tests {
     #[test]
     fn decomposition_matches_table1() {
         let prog = lu(64);
-        let c = Compiler::new(Strategy::Full).compile(&prog);
+        let c = Compiler::new(Strategy::Full).compile(&prog).unwrap();
         // Table 1: A(*, CYCLIC), rank-1 grid.
         assert_eq!(c.decomposition.grid_rank, 1);
         assert_eq!(c.decomposition.foldings, vec![Folding::Cyclic]);

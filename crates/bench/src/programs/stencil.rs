@@ -62,7 +62,7 @@ mod tests {
     #[test]
     fn decomposition_matches_table1() {
         let prog = stencil(64, 2);
-        let c = Compiler::new(Strategy::Full).compile(&prog);
+        let c = Compiler::new(Strategy::Full).compile(&prog).unwrap();
         // Table 1: A(BLOCK, BLOCK) on a 2-D grid.
         assert_eq!(c.decomposition.grid_rank, 2);
         assert_eq!(c.decomposition.hpf_of(&c.program, 0), "A(BLOCK, BLOCK)");

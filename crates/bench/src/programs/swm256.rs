@@ -106,7 +106,7 @@ mod tests {
     #[test]
     fn decomposition_matches_table1() {
         let prog = swm256(64, 2);
-        let c = Compiler::new(Strategy::Full).compile(&prog);
+        let c = Compiler::new(Strategy::Full).compile(&prog).unwrap();
         // Table 1: P(BLOCK, BLOCK) — two-dimensional blocks.
         assert_eq!(c.decomposition.grid_rank, 2);
         let p_hpf = c.decomposition.hpf_of(&c.program, 2);

@@ -103,7 +103,7 @@ mod tests {
     #[test]
     fn decomposition_matches_table1() {
         let prog = tomcatv(64, 2);
-        let c = Compiler::new(Strategy::Full).compile(&prog);
+        let c = Compiler::new(Strategy::Full).compile(&prog).unwrap();
         // Table 1: AA(BLOCK, *) — block rows, one grid dimension.
         assert_eq!(c.decomposition.grid_rank, 1);
         assert_eq!(c.decomposition.foldings, vec![Folding::Block]);

@@ -101,7 +101,7 @@ mod tests {
     #[test]
     fn decomposition_matches_table1() {
         let prog = vpenta(32, 3);
-        let c = Compiler::new(Strategy::Full).compile(&prog);
+        let c = Compiler::new(Strategy::Full).compile(&prog).unwrap();
         assert_eq!(c.decomposition.grid_rank, 1);
         // Table 1: A(*, BLOCK) for 2-D arrays, F(*, BLOCK, *) for the 3-D.
         assert_eq!(c.decomposition.hpf_of(&c.program, 0), "A(*, BLOCK)");
@@ -112,14 +112,14 @@ mod tests {
     #[test]
     fn data_transform_touches_only_f() {
         let prog = vpenta(32, 3);
-        let c = Compiler::new(Strategy::Full).compile(&prog);
+        let c = Compiler::new(Strategy::Full).compile(&prog).unwrap();
         let sp = dct_spmd::codegen(&c.program, &c.decomposition, &dct_spmd::SpmdOptions {
             procs: 8,
             params: prog.default_params(),
             transform_data: true,
             barrier_elision: true,
             cost: dct_spmd::CostModel::default(),
-        });
+        }).unwrap();
         // 2-D arrays: highest dim BLOCK -> untouched. F: transformed.
         for (x, lay) in sp.layouts.iter().enumerate() {
             let name = &c.program.arrays[x].name;

@@ -1,0 +1,381 @@
+//! Crash-safe, resumable benchmark sweeps.
+//!
+//! Every simulation cell — one `(benchmark, strategy-kind, procs, scale)`
+//! point — is checkpointed to its own JSON file under the results
+//! directory the moment it finishes, written atomically (temp file +
+//! rename) so a kill at any instant leaves either the previous state or a
+//! complete checkpoint, never a torn file. A `--resume` sweep reloads the
+//! checkpoints and only simulates the cells that are missing; runaway
+//! simulations are bounded by per-cell cycle / wall budgets and abort
+//! into structured [`CellOutcome::Timeout`] cells instead of hanging the
+//! sweep. Partial results always render: a table with holes beats no
+//! table.
+
+use crate::programs;
+use dct_core::{rung_sim_options, Compiler, Strategy};
+use dct_ir::panic_message;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+/// Cell kinds, in table order: the sequential reference then the three
+/// strategies at the sweep's processor count.
+pub const KINDS: [&str; 4] = ["seq", "base", "comp", "full"];
+
+/// What happened to one simulation cell.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CellOutcome {
+    /// Completed within budget.
+    Cycles(u64),
+    /// Aborted by the cycle / wall budget.
+    Timeout,
+    /// Compilation or simulation failed (message preserved).
+    Failed(String),
+}
+
+/// One checkpointed simulation cell.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    pub bench: String,
+    pub kind: String,
+    pub procs: usize,
+    pub scale: f64,
+    pub outcome: CellOutcome,
+}
+
+/// Scale as an integer key (milli-units) so float formatting can never
+/// split one logical sweep across two keys.
+fn scale_key(scale: f64) -> i64 {
+    (scale * 1000.0).round() as i64
+}
+
+impl Cell {
+    /// Identity of the cell within a sweep.
+    pub fn key(&self) -> (String, String, usize, i64) {
+        (self.bench.clone(), self.kind.clone(), self.procs, scale_key(self.scale))
+    }
+
+    /// Checkpoint file name, unique per cell identity.
+    pub fn filename(&self) -> String {
+        format!("{}-{}-p{}-s{}.json", self.bench, self.kind, self.procs, scale_key(self.scale))
+    }
+}
+
+// ---------------------------------------------------------------- JSON --
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialize a cell as one small JSON object.
+pub fn cell_to_json(c: &Cell) -> String {
+    let mut s = format!(
+        "{{\"bench\":\"{}\",\"kind\":\"{}\",\"procs\":{},\"scale_milli\":{}",
+        esc(&c.bench),
+        esc(&c.kind),
+        c.procs,
+        scale_key(c.scale)
+    );
+    match &c.outcome {
+        CellOutcome::Cycles(n) => s.push_str(&format!(",\"outcome\":\"cycles\",\"cycles\":{n}")),
+        CellOutcome::Timeout => s.push_str(",\"outcome\":\"timeout\""),
+        CellOutcome::Failed(e) => {
+            s.push_str(&format!(",\"outcome\":\"failed\",\"error\":\"{}\"", esc(e)))
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// Extract `"key":"..."` from a flat JSON object (handles escapes we emit).
+fn json_str(s: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = s.find(&pat)? + pat.len();
+    let rest = &s[start..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    out.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
+                }
+                c => out.push(c),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extract a numeric field from a flat JSON object.
+fn json_num(s: &str, key: &str) -> Option<i64> {
+    let pat = format!("\"{key}\":");
+    let start = s.find(&pat)? + pat.len();
+    let digits: String =
+        s[start..].chars().take_while(|c| c.is_ascii_digit() || *c == '-').collect();
+    digits.parse().ok()
+}
+
+/// Parse a checkpoint produced by [`cell_to_json`]. `None` on anything
+/// malformed — a truncated or foreign file is skipped, not fatal.
+pub fn cell_from_json(s: &str) -> Option<Cell> {
+    let bench = json_str(s, "bench")?;
+    let kind = json_str(s, "kind")?;
+    let procs = json_num(s, "procs")? as usize;
+    let scale = json_num(s, "scale_milli")? as f64 / 1000.0;
+    let outcome = match json_str(s, "outcome")?.as_str() {
+        "cycles" => CellOutcome::Cycles(json_num(s, "cycles")? as u64),
+        "timeout" => CellOutcome::Timeout,
+        "failed" => CellOutcome::Failed(json_str(s, "error").unwrap_or_default()),
+        _ => return None,
+    };
+    Some(Cell { bench, kind, procs, scale, outcome })
+}
+
+// --------------------------------------------------------- checkpoints --
+
+/// Atomically write one cell checkpoint: temp file in the same directory,
+/// then rename (rename is atomic on POSIX), so a crash mid-write can
+/// never leave a torn checkpoint behind.
+pub fn save_cell(dir: &Path, cell: &Cell) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let finals = dir.join(cell.filename());
+    let tmp = dir.join(format!(".{}.tmp", cell.filename()));
+    std::fs::write(&tmp, cell_to_json(cell))?;
+    std::fs::rename(&tmp, &finals)?;
+    Ok(())
+}
+
+/// Load every parseable checkpoint in `dir` (missing directory = empty).
+pub fn load_cells(dir: &Path) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else { return cells };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    for p in paths {
+        if let Ok(text) = std::fs::read_to_string(&p) {
+            if let Some(c) = cell_from_json(&text) {
+                cells.push(c);
+            }
+        }
+    }
+    cells
+}
+
+// --------------------------------------------------------------- sweep --
+
+/// Configuration of one resumable sweep.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Processor count of the parallel cells (the paper's Table 1 uses 32).
+    pub procs: usize,
+    /// Problem-size scale relative to the paper sizes.
+    pub scale: f64,
+    /// Checkpoint directory.
+    pub out_dir: PathBuf,
+    /// Reuse completed checkpoints instead of recomputing them. Failed
+    /// cells are retried (their failure may have been environmental);
+    /// completed and timed-out cells are skipped.
+    pub resume: bool,
+    /// Per-cell simulated-cycle budget.
+    pub max_cycles: Option<u64>,
+    /// Per-cell host wall-clock budget, seconds.
+    pub max_wall_secs: Option<f64>,
+    /// Restrict to these benchmarks (`None` = whole suite).
+    pub only: Option<Vec<String>>,
+}
+
+impl SweepConfig {
+    pub fn new(procs: usize, scale: f64, out_dir: impl Into<PathBuf>) -> SweepConfig {
+        SweepConfig {
+            procs,
+            scale,
+            out_dir: out_dir.into(),
+            resume: false,
+            max_cycles: None,
+            max_wall_secs: None,
+            only: None,
+        }
+    }
+}
+
+/// Simulate one cell under the budget, catching panics.
+fn compute_cell(
+    prog: &dct_ir::Program,
+    cfg: &SweepConfig,
+    kind: &str,
+    procs: usize,
+) -> CellOutcome {
+    let (strategy, procs) = match kind {
+        "seq" => (Strategy::Base, 1),
+        "base" => (Strategy::Base, procs),
+        "comp" => (Strategy::CompDecomp, procs),
+        _ => (Strategy::Full, procs),
+    };
+    let params = prog.default_params();
+    let body = || -> Result<CellOutcome, String> {
+        let c = Compiler::new(strategy);
+        let compiled = c.compile(prog).map_err(|e| e.to_string())?;
+        let mut opts = rung_sim_options(compiled.rung, procs, params.clone());
+        opts.max_cycles = cfg.max_cycles;
+        opts.max_wall_secs = cfg.max_wall_secs;
+        let r = dct_spmd::simulate(&compiled.program, &compiled.decomposition, &opts)
+            .map_err(|e| e.to_string())?;
+        Ok(if r.timed_out { CellOutcome::Timeout } else { CellOutcome::Cycles(r.cycles) })
+    };
+    match catch_unwind(AssertUnwindSafe(body)) {
+        Ok(Ok(o)) => o,
+        Ok(Err(e)) => CellOutcome::Failed(e),
+        Err(p) => CellOutcome::Failed(format!("panicked: {}", panic_message(p.as_ref()))),
+    }
+}
+
+/// Run (or resume) a sweep: every missing cell is simulated and
+/// checkpointed the moment it finishes. Returns all cells of the sweep in
+/// deterministic (suite, kind) order — including the ones reloaded from
+/// checkpoints.
+pub fn run_sweep(cfg: &SweepConfig) -> io::Result<Vec<Cell>> {
+    let suite = programs::suite(cfg.scale);
+    let done: Vec<Cell> = if cfg.resume { load_cells(&cfg.out_dir) } else { Vec::new() };
+    let mut out = Vec::new();
+    for b in &suite {
+        if let Some(only) = &cfg.only {
+            if !only.iter().any(|n| n == b.name) {
+                continue;
+            }
+        }
+        for kind in KINDS {
+            let procs = if kind == "seq" { 1 } else { cfg.procs };
+            let key = (b.name.to_string(), kind.to_string(), procs, scale_key(cfg.scale));
+            if let Some(prev) = done
+                .iter()
+                .find(|c| c.key() == key && !matches!(c.outcome, CellOutcome::Failed(_)))
+            {
+                out.push(prev.clone());
+                continue;
+            }
+            let cell = Cell {
+                bench: b.name.to_string(),
+                kind: kind.to_string(),
+                procs,
+                scale: cfg.scale,
+                outcome: compute_cell(&b.program, cfg, kind, procs),
+            };
+            save_cell(&cfg.out_dir, &cell)?;
+            out.push(cell);
+        }
+    }
+    Ok(out)
+}
+
+/// Render whatever cells exist as a (possibly partial) Table 1: holes
+/// print `-`, budget aborts print `timeout`, failures print `fail`.
+pub fn render_sweep(cells: &[Cell], procs: usize, scale: f64) -> String {
+    let mut benches: Vec<&str> = Vec::new();
+    for c in cells {
+        if scale_key(c.scale) == scale_key(scale) && !benches.contains(&c.bench.as_str()) {
+            benches.push(&c.bench);
+        }
+    }
+    let find = |bench: &str, kind: &str| -> Option<&Cell> {
+        let p = if kind == "seq" { 1 } else { procs };
+        cells.iter().find(|c| {
+            c.bench == bench && c.kind == kind && c.procs == p && scale_key(c.scale) == scale_key(scale)
+        })
+    };
+    let mut out = format!(
+        "Sweep at {procs} processors, scale {scale} (speedups vs sequential; partial cells allowed)\n"
+    );
+    out.push_str("program      seq-cycles      base      comp      full\n");
+    for bench in benches {
+        let seq = match find(bench, "seq").map(|c| &c.outcome) {
+            Some(CellOutcome::Cycles(n)) => Some(*n),
+            _ => None,
+        };
+        let col = |kind: &str| -> String {
+            match find(bench, kind).map(|c| &c.outcome) {
+                Some(CellOutcome::Cycles(n)) => match seq {
+                    Some(s) => format!("{:>9.1}", s as f64 / *n as f64),
+                    // No sequential reference to divide by: label the raw
+                    // cycle count so it cannot be misread as a speedup.
+                    None => format!("{:>9}", format!("{n}cy")),
+                },
+                Some(CellOutcome::Timeout) => format!("{:>9}", "timeout"),
+                Some(CellOutcome::Failed(_)) => format!("{:>9}", "fail"),
+                None => format!("{:>9}", "-"),
+            }
+        };
+        let seqcol = match find(bench, "seq").map(|c| &c.outcome) {
+            Some(CellOutcome::Cycles(n)) => format!("{n:>10}"),
+            Some(CellOutcome::Timeout) => format!("{:>10}", "timeout"),
+            Some(CellOutcome::Failed(_)) => format!("{:>10}", "fail"),
+            None => format!("{:>10}", "-"),
+        };
+        out.push_str(&format!(
+            "{:<12} {}{}{}{}\n",
+            bench,
+            seqcol,
+            col("base"),
+            col("comp"),
+            col("full")
+        ));
+        if let Some(CellOutcome::Failed(e)) = find(bench, "full").map(|c| &c.outcome) {
+            out.push_str(&format!("             ! full: {e}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        for outcome in [
+            CellOutcome::Cycles(1234567),
+            CellOutcome::Timeout,
+            CellOutcome::Failed("weird \"quote\"\nnewline".to_string()),
+        ] {
+            let c = Cell {
+                bench: "lu".into(),
+                kind: "full".into(),
+                procs: 32,
+                scale: 0.25,
+                outcome: outcome.clone(),
+            };
+            let back = cell_from_json(&cell_to_json(&c)).unwrap();
+            assert_eq!(back.bench, "lu");
+            assert_eq!(back.kind, "full");
+            assert_eq!(back.procs, 32);
+            assert_eq!(scale_key(back.scale), 250);
+            assert_eq!(back.outcome, outcome);
+        }
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_skipped_not_fatal() {
+        assert!(cell_from_json("{\"bench\":\"lu\",\"kind\":\"fu").is_none());
+        assert!(cell_from_json("").is_none());
+        assert!(cell_from_json("not json at all").is_none());
+    }
+}

@@ -13,7 +13,7 @@ fn load(name: &str) -> dct_core::ir::Program {
 }
 
 fn hpf_all(prog: &dct_core::ir::Program) -> Vec<String> {
-    let c = Compiler::new(Strategy::Full).compile(prog);
+    let c = Compiler::new(Strategy::Full).compile(prog).unwrap();
     c.decomposition.hpf_all(&c.program)
 }
 
@@ -32,7 +32,7 @@ fn stencil_f_matches_table1() {
 #[test]
 fn adi_f_matches_table1() {
     let prog = load("adi");
-    let c = Compiler::new(Strategy::Full).compile(&prog);
+    let c = Compiler::new(Strategy::Full).compile(&prog).unwrap();
     let all = c.decomposition.hpf_all(&c.program);
     assert!(all.contains(&"X(*, BLOCK)".to_string()), "{all:?}");
     assert!(c.decomposition.comp.iter().any(|cd| cd.pipeline_level.is_some()));
@@ -73,13 +73,13 @@ fn fortran_suite_deterministic() {
         let prog = load(name);
         let run = |strategy: Strategy, procs: usize| {
             let c = Compiler::new(strategy);
-            let compiled = c.compile(&prog);
+            let compiled = c.compile(&prog).unwrap();
             let opts = c.sim_options(procs, prog.default_params());
             dct_core::spmd::simulate_with_values(
                 &compiled.program,
                 &compiled.decomposition,
                 &opts,
-            )
+            ).unwrap()
             .1
         };
         let reference = run(Strategy::Base, 1);

@@ -1,0 +1,24 @@
+//! Bounded differential fuzz run, wired into tier-1 CI: random affine
+//! programs through the whole pipeline under every strategy, processor
+//! count and folding — no panics, bit-exact results.
+
+#[test]
+fn fuzz_smoke() {
+    let report = dct_bench::fuzz::run_fuzz(0xDC7_0001, 256);
+    println!("fuzz: {} cases, {} simulations", report.cases, report.sims);
+    assert_eq!(report.cases, 256);
+    // Every case simulates each strategy at several processor counts; if
+    // this collapses, the harness is silently skipping configurations.
+    assert!(
+        report.sims >= report.cases * 12,
+        "only {} simulations across {} cases",
+        report.sims,
+        report.cases
+    );
+    assert!(
+        report.failures.is_empty(),
+        "{} differential fuzz failures:\n{}",
+        report.failures.len(),
+        report.failures.join("\n")
+    );
+}

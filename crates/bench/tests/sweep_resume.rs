@@ -1,0 +1,151 @@
+//! Crash-safety of the checkpointed sweep: a killed sweep resumes without
+//! recomputing finished cells, budgets turn runaway cells into structured
+//! timeouts, and partial results always render.
+
+use dct_bench::sweep::{
+    load_cells, render_sweep, run_sweep, save_cell, Cell, CellOutcome, SweepConfig,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+/// A fresh scratch directory per test (cleaned up on drop).
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new() -> Scratch {
+        let d = std::env::temp_dir().join(format!(
+            "dct-sweep-test-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        Scratch(d)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn stencil_only(dir: &Scratch) -> SweepConfig {
+    let mut cfg = SweepConfig::new(4, 0.05, dir.0.clone());
+    cfg.only = Some(vec!["stencil".to_string()]);
+    cfg
+}
+
+/// The sentinel pre-seeded checkpoint: simulates a cell completed by a
+/// previous sweep that was killed mid-run.
+const SENTINEL: u64 = 123_456_789;
+
+#[test]
+fn resume_skips_completed_cells() {
+    let dir = Scratch::new();
+    let mut cfg = stencil_only(&dir);
+
+    // A previous (killed) sweep completed exactly one cell.
+    save_cell(
+        &dir.0,
+        &Cell {
+            bench: "stencil".into(),
+            kind: "base".into(),
+            procs: 4,
+            scale: cfg.scale,
+            outcome: CellOutcome::Cycles(SENTINEL),
+        },
+    )
+    .unwrap();
+
+    // Resume: the checkpointed cell is reused verbatim, the rest run.
+    cfg.resume = true;
+    let cells = run_sweep(&cfg).unwrap();
+    assert_eq!(cells.len(), 4, "seq + three strategies");
+    let base = cells.iter().find(|c| c.kind == "base").unwrap();
+    assert_eq!(
+        base.outcome,
+        CellOutcome::Cycles(SENTINEL),
+        "resume must skip the completed cell, not recompute it"
+    );
+    for c in cells.iter().filter(|c| c.kind != "base") {
+        assert!(matches!(c.outcome, CellOutcome::Cycles(_)), "{c:?}");
+    }
+
+    // All four cells are now checkpointed on disk, atomically (no temp
+    // files left behind).
+    assert_eq!(load_cells(&dir.0).len(), 4);
+    for e in std::fs::read_dir(&dir.0).unwrap() {
+        let name = e.unwrap().file_name().into_string().unwrap();
+        assert!(name.ends_with(".json"), "leftover temp file {name}");
+    }
+
+    // A second resume recomputes nothing: every outcome is identical,
+    // including the sentinel.
+    let again = run_sweep(&cfg).unwrap();
+    for (a, b) in cells.iter().zip(&again) {
+        assert_eq!(a.outcome, b.outcome, "{}/{}", a.bench, a.kind);
+    }
+
+    // Without --resume the sentinel cell is recomputed for real.
+    cfg.resume = false;
+    let fresh = run_sweep(&cfg).unwrap();
+    let base = fresh.iter().find(|c| c.kind == "base").unwrap();
+    assert_ne!(base.outcome, CellOutcome::Cycles(SENTINEL));
+}
+
+#[test]
+fn budget_aborts_into_timeout_cells() {
+    let dir = Scratch::new();
+    let mut cfg = stencil_only(&dir);
+    cfg.max_cycles = Some(1); // everything is over budget immediately
+    let cells = run_sweep(&cfg).unwrap();
+    assert_eq!(cells.len(), 4);
+    for c in &cells {
+        assert_eq!(c.outcome, CellOutcome::Timeout, "{c:?}");
+    }
+    // Timeout cells count as completed: resume does not retry them.
+    cfg.resume = true;
+    cfg.max_cycles = None;
+    let again = run_sweep(&cfg).unwrap();
+    for c in &again {
+        assert_eq!(c.outcome, CellOutcome::Timeout, "{c:?}");
+    }
+    // The partial table renders the holes instead of failing.
+    let table = render_sweep(&cells, 4, cfg.scale);
+    assert!(table.contains("timeout"), "{table}");
+}
+
+#[test]
+fn partial_sweep_renders_with_holes() {
+    let cells = vec![
+        Cell {
+            bench: "lu".into(),
+            kind: "seq".into(),
+            procs: 1,
+            scale: 1.0,
+            outcome: CellOutcome::Cycles(1000),
+        },
+        Cell {
+            bench: "lu".into(),
+            kind: "base".into(),
+            procs: 32,
+            scale: 1.0,
+            outcome: CellOutcome::Cycles(100),
+        },
+        Cell {
+            bench: "lu".into(),
+            kind: "full".into(),
+            procs: 32,
+            scale: 1.0,
+            outcome: CellOutcome::Failed("boom".into()),
+        },
+    ];
+    let table = render_sweep(&cells, 32, 1.0);
+    assert!(table.contains("lu"), "{table}");
+    assert!(table.contains("10.0"), "base speedup 1000/100: {table}");
+    assert!(table.contains("fail"), "{table}");
+    assert!(table.contains('-'), "missing comp cell renders as a hole: {table}");
+    assert!(table.contains("! full: boom"), "{table}");
+}

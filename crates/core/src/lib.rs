@@ -25,9 +25,9 @@
 //! let prog = pb.build();
 //!
 //! let compiler = Compiler::new(Strategy::Full);
-//! let compiled = compiler.compile(&prog);
+//! let compiled = compiler.compile(&prog).unwrap();
 //! assert_eq!(compiled.decomposition.hpf_of(&compiled.program, 0), "A(BLOCK, *)");
-//! let result = compiler.simulate(&compiled, 8, &prog.default_params());
+//! let result = compiler.simulate(&compiled, 8, &prog.default_params()).unwrap();
 //! assert!(result.cycles > 0);
 //! ```
 
@@ -36,7 +36,10 @@
 pub mod pipeline;
 pub mod report;
 
-pub use pipeline::{sequential_cycles, speedup_curve, Compiled, Compiler, SpeedupPoint, Strategy};
+pub use pipeline::{
+    rung_sim_options, sequential_cycles, speedup_curve, CompileError, Compiled, Compiler,
+    Degradation, Rung, SpeedupPoint, Strategy,
+};
 pub use report::{render_profile, render_report};
 
 // Re-export the sub-crates so downstream users need a single dependency.

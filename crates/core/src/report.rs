@@ -11,6 +11,12 @@ pub fn render_report(c: &Compiled) -> String {
     let prog = &c.program;
     let mut out = String::new();
     let _ = writeln!(out, "=== {} [{}] ===", prog.name, c.strategy.label());
+    if !c.degradations.is_empty() {
+        let _ = writeln!(out, "-- degraded to {} --", c.rung.label());
+        for d in &c.degradations {
+            let _ = writeln!(out, "  {} -> {}: {}", d.from.label(), d.to.label(), d.reason);
+        }
+    }
     let _ = writeln!(out, "virtual processor grid rank: {}", c.decomposition.grid_rank);
     for (p, f) in c.decomposition.foldings.iter().enumerate() {
         let _ = writeln!(out, "  proc dim {p}: {}", f.hpf());
@@ -124,8 +130,8 @@ mod tests {
         let prog = pb.build();
 
         let c = Compiler::new(Strategy::Full);
-        let compiled = c.compile(&prog);
-        let r = c.simulate(&compiled, 4, &prog.default_params());
+        let compiled = c.compile(&prog).unwrap();
+        let r = c.simulate(&compiled, 4, &prog.default_params()).unwrap();
         assert_eq!(r.nest_cycles.len(), 1);
         assert!(r.nest_cycles[0] > 0);
         assert!(r.init_cycles > 0);
@@ -149,7 +155,7 @@ mod tests {
         let prog = pb.build();
 
         let c = Compiler::new(Strategy::Full);
-        let compiled = c.compile(&prog);
+        let compiled = c.compile(&prog).unwrap();
         let rep = super::render_report(&compiled);
         assert!(rep.contains("DISTRIBUTE A(BLOCK, *)"), "report was:\n{rep}");
         assert!(rep.contains("nest sweep"));

@@ -15,7 +15,7 @@
 
 use crate::types::{ArrayDist, CompDecomp, CompRow, DataDecomp, Decomposition, Folding};
 use dct_dep::NestDeps;
-use dct_ir::{Aff, LoopNest, Program};
+use dct_ir::{Aff, DctError, DctResult, LoopNest, Phase, Program};
 
 /// Upper bound on the virtual processor grid rank (the paper's machine
 /// grids are at most two-dimensional).
@@ -77,8 +77,17 @@ fn read_only_arrays(prog: &Program) -> Vec<bool> {
 ///
 /// `deps` must be index-aligned with `prog.nests` (dependence summaries of
 /// the — already parallelism-exposed — nests).
-pub fn decompose(prog: &Program, deps: &[NestDeps]) -> Decomposition {
-    assert_eq!(deps.len(), prog.nests.len());
+pub fn decompose(prog: &Program, deps: &[NestDeps]) -> DctResult<Decomposition> {
+    if deps.len() != prog.nests.len() {
+        return Err(DctError::new(
+            Phase::Decomp,
+            format!(
+                "dependence summaries ({}) not aligned with nests ({})",
+                deps.len(),
+                prog.nests.len()
+            ),
+        ));
+    }
     let nnests = prog.nests.len();
     let narrays = prog.arrays.len();
     let time_param = prog.time.as_ref().map(|t| t.param);
@@ -170,6 +179,19 @@ pub fn decompose(prog: &Program, deps: &[NestDeps]) -> Decomposition {
                     }
                 }
                 match chosen {
+                    // A level threaded by a dependence carried further out
+                    // (e.g. a `(<, >)` vector) cannot be distributed at all —
+                    // not even as a pipeline — because the source and sink run
+                    // on different processors with no intra-nest sync.
+                    // Serialize the nest on this proc dim instead.
+                    RowVote::Level(l) if deps[j].has_crossing_dep(*l) => {
+                        rows[p] = CompRow::Localized(Aff::konst(0));
+                        notes.push(format!(
+                            "nest {}: level {l} crossed by an outer-carried dependence; \
+                             serialized on proc dim {p}",
+                            nest.name
+                        ));
+                    }
                     RowVote::Level(l) => {
                         rows[p] = CompRow::Level(*l);
                         used_levels.push(*l);
@@ -203,7 +225,7 @@ pub fn decompose(prog: &Program, deps: &[NestDeps]) -> Decomposition {
         let default_params = prog.default_params();
         let mut candidates: Vec<(usize, bool, usize, usize)> = Vec::new(); // (cost, tiny, neg_pref, level)
         for l in 0..nest.depth {
-            if !parallel[l] || used_levels.contains(&l) {
+            if !deps[j].is_distributable(l) || used_levels.contains(&l) {
                 continue;
             }
             let (cost, pref) = candidate_cost(prog, nest, l, &data);
@@ -262,8 +284,22 @@ pub fn decompose(prog: &Program, deps: &[NestDeps]) -> Decomposition {
         });
     }
 
-    // Pad every nest's rows to the final grid rank.
-    let mut comp: Vec<CompDecomp> = comp.into_iter().map(Option::unwrap).collect();
+    // Pad every nest's rows to the final grid rank. Every nest appears in
+    // `order`, so every slot must have been filled.
+    let mut filled = Vec::with_capacity(nnests);
+    for (j, c) in comp.into_iter().enumerate() {
+        match c {
+            Some(c) => filled.push(c),
+            None => {
+                return Err(DctError::internal(
+                    Phase::Decomp,
+                    "nest skipped by the greedy solver",
+                )
+                .with_nest(j, &prog.nests[j].name))
+            }
+        }
+    }
+    let mut comp = filled;
     for c in &mut comp {
         while c.rows.len() < grid_rank {
             c.rows.push(CompRow::Unconstrained);
@@ -284,7 +320,7 @@ pub fn decompose(prog: &Program, deps: &[NestDeps]) -> Decomposition {
         }
     }
 
-    Decomposition { grid_rank, foldings, comp, data, notes }
+    Ok(Decomposition { grid_rank, foldings, comp, data, notes })
 }
 
 /// Static trip-count estimate of level `l` under the default parameter
@@ -419,6 +455,11 @@ pub(crate) fn base_like_rows_for_hpf(
         let chosen = pick_vote(&votes);
         misaligned += votes.iter().filter(|(v, _)| *v != chosen).count();
         match chosen {
+            // Same safety rule as the automatic path: a level crossed by an
+            // outer-carried dependence must not be distributed.
+            RowVote::Level(l) if nd.has_crossing_dep(l) => {
+                *row = CompRow::Localized(Aff::konst(0));
+            }
             RowVote::Level(l) => *row = CompRow::Level(l),
             RowVote::Localized(a) => *row = CompRow::Localized(a),
             RowVote::Misaligned => misaligned += 1,
@@ -442,7 +483,7 @@ pub fn base_decomposition(prog: &Program, deps: &[NestDeps]) -> Decomposition {
         .zip(deps)
         .map(|(nest, nd)| {
             let parallel = nd.parallel_levels(nest.depth);
-            let outer_doall = parallel.iter().position(|&b| b);
+            let outer_doall = (0..nest.depth).find(|&l| nd.is_distributable(l));
             let rows = vec![match outer_doall {
                 Some(l) => CompRow::Level(l),
                 // Fully sequential nest: run on processor 0.
@@ -499,7 +540,7 @@ mod tests {
         pb.nest(nb.build());
         let prog = pb.build();
         let deps = analyze(&prog);
-        let dec = decompose(&prog, &deps);
+        let dec = decompose(&prog, &deps).unwrap();
 
         assert_eq!(dec.grid_rank, 1);
         assert_eq!(dec.foldings, vec![Folding::Block]);
@@ -539,7 +580,7 @@ mod tests {
         pb.nest(nb.build());
         let prog = pb.build();
         let deps = analyze(&prog);
-        let dec = decompose(&prog, &deps);
+        let dec = decompose(&prog, &deps).unwrap();
 
         assert_eq!(dec.grid_rank, 1, "LU must stay one-dimensional");
         assert_eq!(dec.hpf_of(&prog, a.0), "A(*, CYCLIC)");
@@ -577,7 +618,7 @@ mod tests {
         pb.nest(nb.build());
         let prog = pb.build();
         let deps = analyze(&prog);
-        let dec = decompose(&prog, &deps);
+        let dec = decompose(&prog, &deps).unwrap();
 
         assert_eq!(dec.grid_rank, 2);
         assert_eq!(dec.hpf_of(&prog, a.0), "A(BLOCK, BLOCK)");
@@ -610,7 +651,7 @@ mod tests {
         pb.nest(nb.build());
         let prog = pb.build();
         let deps = analyze(&prog);
-        let dec = decompose(&prog, &deps);
+        let dec = decompose(&prog, &deps).unwrap();
 
         assert_eq!(dec.grid_rank, 1);
         assert_eq!(dec.hpf_of(&prog, x.0), "X(*, BLOCK)");
@@ -669,7 +710,7 @@ mod tests {
         pb.nest(nb.build());
         let prog = pb.build();
         let deps = analyze(&prog);
-        let dec = decompose(&prog, &deps);
+        let dec = decompose(&prog, &deps).unwrap();
         assert!(dec.data[u.0].replicated, "conflicting read-only array must be replicated");
         assert!(dec.data[a.0].is_distributed());
         assert!(dec.data[b.0].is_distributed());
@@ -694,9 +735,47 @@ mod tests {
         pb.nest(nb.build());
         let prog = pb.build();
         let deps = analyze(&prog);
-        let dec = decompose(&prog, &deps);
+        let dec = decompose(&prog, &deps).unwrap();
         assert!(!dec.data[u.0].replicated);
         assert!(dec.data[u.0].is_distributed());
+    }
+
+    /// Fuzzer-found: a transposed self-copy `A(j,i-1) = A(i,j-1)` has the
+    /// dependence `(<, >)` — carried by the outer loop but connecting
+    /// *different* inner coordinates. The inner loop is "parallel" in the
+    /// classic sense yet must NOT be distributed: without an intra-nest
+    /// barrier the sink processor races ahead of the source. Both the base
+    /// and the global solver must serialize the nest.
+    #[test]
+    fn crossing_dependence_is_not_distributed() {
+        let mut pb = ProgramBuilder::new("transpose-copy");
+        let n = pb.param("N", 8);
+        let a = pb.array("A", &[Aff::param(n), Aff::param(n)], 4);
+        let mut nb = NestBuilder::new("swap", 2);
+        let i = nb.loop_var(Aff::konst(1), Aff::param(n) - 2);
+        let j = nb.loop_var(Aff::konst(1), Aff::param(n) - 2);
+        let rhs = nb.read(a, &[Aff::var(i), Aff::var(j) - 1]);
+        nb.assign(a, &[Aff::var(j), Aff::var(i) - 1], rhs);
+        pb.nest(nb.build());
+        let prog = pb.build();
+        let deps = analyze(&prog);
+        assert!(deps[0].parallel_levels(2)[1], "inner level looks parallel");
+        assert!(!deps[0].is_distributable(1), "but is not distributable");
+
+        let base = base_decomposition(&prog, &deps);
+        assert!(
+            matches!(base.comp[0].rows[0], CompRow::Localized(_)),
+            "base must serialize the nest, got {:?}",
+            base.comp[0].rows
+        );
+        let dec = decompose(&prog, &deps).unwrap();
+        for row in &dec.comp[0].rows {
+            assert!(
+                !matches!(row, CompRow::Level(_)),
+                "global solver must not distribute any level: {:?}",
+                dec.comp[0].rows
+            );
+        }
     }
 
     /// Expr::Const-only program (no arrays touched) decomposes trivially.
@@ -711,7 +790,7 @@ mod tests {
         pb.nest(nb.build());
         let prog = pb.build();
         let deps = analyze(&prog);
-        let dec = decompose(&prog, &deps);
+        let dec = decompose(&prog, &deps).unwrap();
         assert_eq!(dec.grid_rank, 1);
         assert_eq!(dec.comp[0].level_of(0), Some(0));
         assert!(dec.data[a.0].is_distributed());

@@ -1,7 +1,7 @@
 //! Decomposition types: how computation and data map onto the virtual
 //! processor space, and how virtual processors fold onto physical ones.
 
-use dct_ir::{Aff, Program};
+use dct_ir::{Aff, DctError, Phase, Program};
 
 /// Folding function from a virtual processor dimension onto physical
 /// processors (the paper's BLOCK / CYCLIC / BLOCK-CYCLIC).
@@ -157,11 +157,16 @@ impl Decomposition {
 
 /// Choose a physical grid shape for `p` processors and the given rank:
 /// rank 1 -> `[p]`; rank 2 -> the factorization p1 x p2 (p1 >= p2) with the
-/// smallest aspect ratio (32 -> 8x4, 16 -> 4x4).
-pub fn grid_shape(p: usize, rank: usize) -> Vec<usize> {
+/// smallest aspect ratio (32 -> 8x4, 16 -> 4x4). Ranks above 2 are outside
+/// the paper's machine model and are reported as a [`DctError`] (the driver
+/// degrades to a simpler strategy instead of dying).
+pub fn grid_shape(p: usize, rank: usize) -> Result<Vec<usize>, DctError> {
+    if p == 0 {
+        return Err(DctError::new(Phase::Decomp, "processor count must be positive"));
+    }
     match rank {
-        0 => vec![],
-        1 => vec![p],
+        0 => Ok(vec![]),
+        1 => Ok(vec![p]),
         2 => {
             let mut best = (p, 1);
             let mut q = 1;
@@ -171,9 +176,12 @@ pub fn grid_shape(p: usize, rank: usize) -> Vec<usize> {
                 }
                 q += 1;
             }
-            vec![best.0, best.1]
+            Ok(vec![best.0, best.1])
         }
-        _ => panic!("grid rank > 2 not supported"),
+        _ => Err(DctError::new(
+            Phase::Decomp,
+            format!("grid rank {rank} > 2 not supported"),
+        )),
     }
 }
 
@@ -225,13 +233,23 @@ mod tests {
 
     #[test]
     fn grid_shapes() {
-        assert_eq!(grid_shape(32, 1), vec![32]);
-        assert_eq!(grid_shape(32, 2), vec![8, 4]);
-        assert_eq!(grid_shape(16, 2), vec![4, 4]);
-        assert_eq!(grid_shape(12, 2), vec![4, 3]);
-        assert_eq!(grid_shape(7, 2), vec![7, 1]);
-        assert_eq!(grid_shape(1, 2), vec![1, 1]);
-        assert_eq!(grid_shape(5, 0), Vec::<usize>::new());
+        assert_eq!(grid_shape(32, 1).unwrap(), vec![32]);
+        assert_eq!(grid_shape(32, 2).unwrap(), vec![8, 4]);
+        assert_eq!(grid_shape(16, 2).unwrap(), vec![4, 4]);
+        assert_eq!(grid_shape(12, 2).unwrap(), vec![4, 3]);
+        assert_eq!(grid_shape(7, 2).unwrap(), vec![7, 1]);
+        assert_eq!(grid_shape(1, 2).unwrap(), vec![1, 1]);
+        assert_eq!(grid_shape(5, 0).unwrap(), Vec::<usize>::new());
+    }
+
+    /// Grid ranks beyond the paper's 2-D machine model yield a structured
+    /// error, not a panic (ISSUE 2 satellite).
+    #[test]
+    fn grid_rank_above_two_is_an_error() {
+        let err = grid_shape(32, 3).unwrap_err();
+        assert_eq!(err.phase, Phase::Decomp);
+        assert!(err.to_string().contains("grid rank 3 > 2 not supported"), "{err}");
+        assert!(grid_shape(0, 1).is_err(), "zero processors must be rejected");
     }
 
     #[test]

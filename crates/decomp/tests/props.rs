@@ -95,7 +95,7 @@ proptest! {
     fn decomposition_invariants(prog in arb_program()) {
         let cfg = DepConfig { nparams: prog.params.len(), param_min: 4 };
         let deps: Vec<_> = prog.nests.iter().map(|n| analyze_nest(n, cfg)).collect();
-        check_invariants(&prog, &decompose(&prog, &deps));
+        check_invariants(&prog, &decompose(&prog, &deps).unwrap());
         check_invariants(&prog, &base_decomposition(&prog, &deps));
     }
 
@@ -127,7 +127,7 @@ proptest! {
 
         let cfg = DepConfig { nparams: prog.params.len(), param_min: 4 };
         let deps: Vec<_> = prog.nests.iter().map(|x| analyze_nest(x, cfg)).collect();
-        let dec = decompose(&prog, &deps);
+        let dec = decompose(&prog, &deps).unwrap();
         let total: usize = dec.comp.iter().map(|c| c.misaligned_refs).sum();
         prop_assert_eq!(total, 0);
         prop_assert!(dec.data.iter().all(|d| d.is_distributed()));

@@ -93,6 +93,37 @@ impl NestDeps {
         (0..depth).map(|l| self.is_parallel(l)).collect()
     }
 
+    /// Is it safe to run `level` as a *distributed* doall under an SPMD
+    /// execution model that synchronizes only at nest boundaries (no
+    /// barrier between iterations of outer sequential loops)? Requires
+    /// `is_parallel(level)` plus: every dependence carried at an outer
+    /// level must stay on-processor at `level` (direction `=`). A
+    /// dependence like `(<, >)` is carried by the outer loop but connects
+    /// *different* values of the inner loop — distributing the inner loop
+    /// would let the sink processor race ahead of the source processor
+    /// with no intervening synchronization.
+    pub fn is_distributable(&self, level: usize) -> bool {
+        self.is_parallel(level) && !self.has_crossing_dep(level)
+    }
+
+    /// Does any dependence carried at a level *outside* `level` connect
+    /// different coordinates of `level`? Such a dependence makes `level`
+    /// unsafe to distribute (even as a doacross pipeline): the sink runs
+    /// on a different processor than the source and nothing inside the
+    /// nest synchronizes them.
+    pub fn has_crossing_dep(&self, level: usize) -> bool {
+        self.vectors
+            .iter()
+            .any(|v| matches!(v.carrier(), Some(c) if c < level) && v.dirs[level] != Dir::Eq)
+    }
+
+    /// Per-level distributed-doall safety flags (see [`is_distributable`]).
+    ///
+    /// [`is_distributable`]: NestDeps::is_distributable
+    pub fn distributable_levels(&self, depth: usize) -> Vec<bool> {
+        (0..depth).map(|l| self.is_distributable(l)).collect()
+    }
+
     /// All constant distance vectors (used for skewing decisions);
     /// `None` if any carried dependence lacks a constant distance.
     pub fn all_distances(&self) -> Option<Vec<Vec<i64>>> {
@@ -135,6 +166,21 @@ mod tests {
         let nd3 = NestDeps::default();
         assert!(nd3.is_fully_parallel());
         assert_eq!(nd3.parallel_levels(2), vec![true, true]);
+    }
+
+    #[test]
+    fn distributable_excludes_crossing_levels() {
+        // (<, >): inner level is "parallel" (not the carrier) but NOT
+        // distributable — the dependence crosses inner-level coordinates.
+        let nd = NestDeps { vectors: vec![v(vec![Dir::Lt, Dir::Gt])] };
+        assert_eq!(nd.parallel_levels(2), vec![false, true]);
+        assert_eq!(nd.distributable_levels(2), vec![false, false]);
+        // (<, =): classic stencil shape — inner level stays on-processor.
+        let nd2 = NestDeps { vectors: vec![v(vec![Dir::Lt, Dir::Eq])] };
+        assert_eq!(nd2.distributable_levels(2), vec![false, true]);
+        // (=, <): carried inside; the outer level is safe to distribute.
+        let nd3 = NestDeps { vectors: vec![v(vec![Dir::Eq, Dir::Lt])] };
+        assert_eq!(nd3.distributable_levels(2), vec![true, false]);
     }
 
     #[test]

@@ -16,6 +16,12 @@ pub mod parse;
 pub use lex::{Directive, FrontendError};
 pub use parse::{Ast, ExprAst, Item};
 
+impl From<FrontendError> for dct_ir::DctError {
+    fn from(e: FrontendError) -> dct_ir::DctError {
+        dct_ir::DctError::new(dct_ir::Phase::Frontend, e.message).with_line(e.lineno)
+    }
+}
+
 /// Parse and lower FORTRAN source into an affine [`dct_ir::Program`].
 pub fn parse_fortran(src: &str) -> Result<dct_ir::Program, FrontendError> {
     let lexed = lex::lex(src)?;

@@ -102,8 +102,10 @@ pub fn lower(ast: &Ast) -> Result<Program, FrontendError> {
         }
     }
 
-    let prog = pb.build();
-    Ok(prog)
+    // Validate without panicking: lowering bugs or unsupported shapes in
+    // untrusted source must come back as a FrontendError.
+    pb.try_build()
+        .map_err(|e| FrontendError { lineno: e.line.unwrap_or(0), message: e.message })
 }
 
 /// The time variable binding: `var = lo + t`.

@@ -1,0 +1,108 @@
+//! Frontend error-path tests (ISSUE 2 satellite): malformed FORTRAN must
+//! produce a `FrontendError` with the right source line — never a panic.
+
+use dct_frontend::parse_fortran;
+
+fn expect_err(src: &str) -> dct_frontend::FrontendError {
+    match parse_fortran(src) {
+        Ok(_) => panic!("expected a frontend error for:\n{src}"),
+        Err(e) => e,
+    }
+}
+
+#[test]
+fn unterminated_do_reports_its_line() {
+    let src = "\
+      PARAMETER (N = 8)
+      REAL A(N)
+      DO 10 I = 1, N
+      A(I) = 0.0
+";
+    let e = expect_err(src);
+    assert_eq!(e.lineno, 3, "{e}");
+    assert!(e.message.to_lowercase().contains("do"), "{e}");
+}
+
+#[test]
+fn non_affine_subscript_reports_its_line() {
+    let src = "\
+      PARAMETER (N = 8)
+      REAL A(N,N)
+      DO 10 J = 1, N
+      DO 10 I = 1, N
+      A(I*J,J) = 0.0
+ 10   CONTINUE
+";
+    let e = expect_err(src);
+    assert_eq!(e.lineno, 5, "{e}");
+    assert!(e.message.contains("non-affine"), "{e}");
+}
+
+#[test]
+fn undeclared_array_reports_its_line() {
+    let src = "\
+      PARAMETER (N = 8)
+      REAL A(N)
+      DO 10 I = 1, N
+      B(I) = 0.0
+ 10   CONTINUE
+";
+    let e = expect_err(src);
+    assert_eq!(e.lineno, 4, "{e}");
+    assert!(e.message.contains("undeclared") || e.message.contains("unknown"), "{e}");
+}
+
+#[test]
+fn undeclared_array_read_reports_its_line() {
+    let src = "\
+      PARAMETER (N = 8)
+      REAL A(N)
+      DO 10 I = 1, N
+      A(I) = C(I)
+ 10   CONTINUE
+";
+    let e = expect_err(src);
+    assert_eq!(e.lineno, 4, "{e}");
+    assert!(e.message.contains("undeclared") || e.message.contains("unknown"), "{e}");
+}
+
+#[test]
+fn division_in_subscript_is_rejected() {
+    let src = "\
+      PARAMETER (N = 8)
+      REAL A(N)
+      DO 10 I = 1, N
+      A(I/2) = 0.0
+ 10   CONTINUE
+";
+    let e = expect_err(src);
+    assert_eq!(e.lineno, 4, "{e}");
+    assert!(e.message.contains("division"), "{e}");
+}
+
+/// FrontendError converts into the pipeline-wide DctError with line intact.
+#[test]
+fn frontend_error_converts_to_dct_error() {
+    let e = expect_err("      DO 10 I = 1, N\n");
+    let d: dct_ir::DctError = e.into();
+    assert_eq!(d.phase, dct_ir::Phase::Frontend);
+    assert_eq!(d.line, Some(1));
+}
+
+/// Arbitrary garbage never panics the front end.
+#[test]
+fn garbage_never_panics() {
+    for src in [
+        "",
+        "      END",
+        "      DO 10",
+        "      A(",
+        "      REAL A(",
+        "   10 CONTINUE",
+        "      PARAMETER (",
+        "\x00\x01\x02",
+        "      DO 10 I = 1, N\n      DO 20 J = 1, N\n 10   CONTINUE\n",
+    ] {
+        let _ = parse_fortran(src);
+    }
+}

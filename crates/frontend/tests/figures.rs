@@ -89,7 +89,7 @@ fn figure5_lu_parses_and_decomposes() {
     assert_eq!(prog.nests.len(), 2, "div + update after loop distribution");
     assert_eq!(prog.init_nests.len(), 1);
 
-    let c = Compiler::new(Strategy::Full).compile(&prog);
+    let c = Compiler::new(Strategy::Full).compile(&prog).unwrap();
     assert_eq!(c.decomposition.hpf_of(&c.program, 0), "A(*, CYCLIC)");
 }
 
@@ -97,13 +97,13 @@ fn figure5_lu_parses_and_decomposes() {
 fn figure5_lu_computes_a_correct_factorization() {
     let prog = parse_fortran(FIGURE5).unwrap();
     let c = Compiler::new(Strategy::Full);
-    let compiled = c.compile(&prog);
+    let compiled = c.compile(&prog).unwrap();
     let opts = c.sim_options(4, prog.default_params());
     let (_, vals) = dct_core::spmd::simulate_with_values(
         &compiled.program,
         &compiled.decomposition,
         &opts,
-    );
+    ).unwrap();
     // Reconstruct L*U and compare with the initialized matrix
     // orig(i,j) = 1/(i+j+1) + 4 (0-based i,j).
     let n = 16usize;
@@ -131,7 +131,7 @@ fn figure7_stencil_parses_and_decomposes() {
     assert!(prog.time.is_some());
     assert_eq!(prog.nests.len(), 2);
     assert_eq!(prog.time_step_count(&prog.default_params()), 3);
-    let c = Compiler::new(Strategy::Full).compile(&prog);
+    let c = Compiler::new(Strategy::Full).compile(&prog).unwrap();
     assert_eq!(c.decomposition.grid_rank, 2, "stencil gets 2-D blocks");
     assert_eq!(c.decomposition.hpf_of(&c.program, 0), "A(BLOCK, BLOCK)");
 }
@@ -176,9 +176,9 @@ fn figure7_matches_handbuilt_values() {
 
     let run = |prog: &dct_core::ir::Program| {
         let c = Compiler::new(Strategy::Full);
-        let compiled = c.compile(prog);
+        let compiled = c.compile(prog).unwrap();
         let opts = c.sim_options(4, prog.default_params());
-        dct_core::spmd::simulate_with_values(&compiled.program, &compiled.decomposition, &opts).1
+        dct_core::spmd::simulate_with_values(&compiled.program, &compiled.decomposition, &opts).unwrap().1
     };
     let vf = run(&prog_f);
     let vb = run(&prog_b);
@@ -198,7 +198,7 @@ fn figure7_matches_handbuilt_values() {
 fn figure9_adi_pipeline_found() {
     let prog = parse_fortran(FIGURE9).expect("figure 9 must parse");
     assert_eq!(prog.nests.len(), 2);
-    let c = Compiler::new(Strategy::Full).compile(&prog);
+    let c = Compiler::new(Strategy::Full).compile(&prog).unwrap();
     assert_eq!(c.decomposition.hpf_of(&c.program, 0), "X(*, BLOCK)");
     // One of the sweeps runs as a pipeline.
     assert!(c.decomposition.comp.iter().any(|cd| cd.pipeline_level.is_some()));

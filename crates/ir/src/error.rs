@@ -1,0 +1,139 @@
+//! Structured pipeline errors: every phase of the compiler reports
+//! out-of-model inputs as a [`DctError`] instead of panicking, so the
+//! driver can degrade (retry under a simpler strategy, fall back to
+//! sequential execution) rather than dying. The error carries enough
+//! context — phase, nest, array, source line — for the optimization
+//! report and for repro-harness failure cells.
+
+/// Which compiler phase rejected the input.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// FORTRAN front end (lex/parse/lower).
+    Frontend,
+    /// Dependence analysis.
+    Dep,
+    /// Loop transformation (parallelism exposure / locality).
+    Transform,
+    /// Computation/data decomposition (Section 3 solver).
+    Decomp,
+    /// Data layout synthesis (Section 4).
+    Layout,
+    /// SPMD code generation.
+    Spmd,
+    /// Machine simulation.
+    Sim,
+}
+
+impl Phase {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Phase::Frontend => "frontend",
+            Phase::Dep => "dep",
+            Phase::Transform => "transform",
+            Phase::Decomp => "decomp",
+            Phase::Layout => "layout",
+            Phase::Spmd => "spmd",
+            Phase::Sim => "sim",
+        }
+    }
+}
+
+/// A structured, non-panicking pipeline error.
+#[derive(Clone, PartialEq, Debug)]
+pub struct DctError {
+    pub phase: Phase,
+    pub message: String,
+    /// Index of the offending nest in `program.nests`, when known.
+    pub nest: Option<usize>,
+    /// Name of the offending nest, when known.
+    pub nest_name: Option<String>,
+    /// Index of the offending array in `program.arrays`, when known.
+    pub array: Option<usize>,
+    /// Source line of the offending input (frontend input only).
+    pub line: Option<usize>,
+}
+
+impl DctError {
+    pub fn new(phase: Phase, message: impl Into<String>) -> DctError {
+        DctError { phase, message: message.into(), nest: None, nest_name: None, array: None, line: None }
+    }
+
+    /// A panic (or other internal invariant violation) converted into a
+    /// structured error by a `catch_unwind` safety net.
+    pub fn internal(phase: Phase, message: impl Into<String>) -> DctError {
+        DctError::new(phase, format!("internal: {}", message.into()))
+    }
+
+    pub fn with_nest(mut self, idx: usize, name: &str) -> DctError {
+        self.nest = Some(idx);
+        self.nest_name = Some(name.to_string());
+        self
+    }
+
+    pub fn with_array(mut self, idx: usize) -> DctError {
+        self.array = Some(idx);
+        self
+    }
+
+    pub fn with_line(mut self, line: usize) -> DctError {
+        self.line = Some(line);
+        self
+    }
+}
+
+impl std::fmt::Display for DctError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}]", self.phase.label())?;
+        if let Some(name) = &self.nest_name {
+            write!(f, " nest {name}")?;
+            if let Some(j) = self.nest {
+                write!(f, " (#{j})")?;
+            }
+        } else if let Some(j) = self.nest {
+            write!(f, " nest #{j}")?;
+        }
+        if let Some(x) = self.array {
+            write!(f, " array #{x}")?;
+        }
+        if let Some(l) = self.line {
+            write!(f, " line {l}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+impl std::error::Error for DctError {}
+
+/// Convenience alias used across the pipeline crates.
+pub type DctResult<T> = Result<T, DctError>;
+
+/// Extract a printable message from a `catch_unwind` payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = DctError::new(Phase::Spmd, "cannot realize schedule").with_nest(2, "rowsweep");
+        let s = e.to_string();
+        assert!(s.contains("[spmd]"), "{s}");
+        assert!(s.contains("nest rowsweep (#2)"), "{s}");
+        assert!(s.contains("cannot realize schedule"), "{s}");
+    }
+
+    #[test]
+    fn display_frontend_line() {
+        let e = DctError::new(Phase::Frontend, "unterminated DO").with_line(7);
+        assert_eq!(e.to_string(), "[frontend] line 7: unterminated DO");
+    }
+}

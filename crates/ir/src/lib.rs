@@ -8,11 +8,13 @@
 #![allow(clippy::needless_range_loop, clippy::manual_memcpy)]
 
 pub mod access;
+pub mod error;
 pub mod expr;
 pub mod pretty;
 pub mod program;
 
 pub use access::{AffineAccess, ArrayId, ArrayRef};
+pub use error::{panic_message, DctError, DctResult, Phase};
 pub use expr::{Aff, BinOp, Expr};
 pub use pretty::render_program;
 pub use program::{ArrayDecl, BoundForm, LoopBounds, LoopNest, NestBuilder, NestId, Param, Program, ProgramBuilder, Stmt, TimeLoop};

@@ -268,50 +268,79 @@ impl Program {
     /// Structural validation; panics with a description on the first error.
     /// Called by the builder; also usable on hand-constructed programs.
     pub fn validate(&self) {
-        for nest in self.init_nests.iter().chain(&self.nests) {
-            assert_eq!(nest.bounds.len(), nest.depth, "nest {}: bounds/depth mismatch", nest.name);
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// Non-panicking structural validation: the first defect is returned as
+    /// a [`DctError`] so arbitrary (frontend or fuzzer) input cannot crash
+    /// the pipeline.
+    pub fn try_validate(&self) -> Result<(), crate::DctError> {
+        use crate::{DctError, Phase};
+        let err = |nest: &LoopNest, idx: usize, msg: String| {
+            Err(DctError::new(Phase::Frontend, msg).with_nest(idx, &nest.name))
+        };
+        for (idx, nest) in self.init_nests.iter().chain(&self.nests).enumerate() {
+            if nest.bounds.len() != nest.depth {
+                return err(nest, idx, format!("nest {}: bounds/depth mismatch", nest.name));
+            }
             for (l, b) in nest.bounds.iter().enumerate() {
-                assert!(!b.los.is_empty() && !b.his.is_empty(), "nest {}: level {l} missing bounds", nest.name);
+                if b.los.is_empty() || b.his.is_empty() {
+                    return err(nest, idx, format!("nest {}: level {l} missing bounds", nest.name));
+                }
                 for form in b.los.iter().chain(&b.his) {
-                    assert!(form.div >= 1, "nest {}: non-positive bound divisor", nest.name);
+                    if form.div < 1 {
+                        return err(nest, idx, format!("nest {}: non-positive bound divisor", nest.name));
+                    }
                     let side = &form.aff;
                     if let Some(ml) = side.max_var_level() {
-                        assert!(
-                            ml < l,
-                            "nest {}: bound of level {l} uses non-outer var {ml}",
-                            nest.name
-                        );
+                        if ml >= l {
+                            return err(
+                                nest,
+                                idx,
+                                format!("nest {}: bound of level {l} uses non-outer var {ml}", nest.name),
+                            );
+                        }
                     }
                 }
             }
             for (_, r) in nest.all_refs() {
-                assert!(r.array.0 < self.arrays.len(), "nest {}: unknown array", nest.name);
+                if r.array.0 >= self.arrays.len() {
+                    return err(nest, idx, format!("nest {}: unknown array", nest.name));
+                }
                 let decl = &self.arrays[r.array.0];
-                assert_eq!(
-                    r.access.rank(),
-                    decl.rank(),
-                    "nest {}: access rank mismatch for {}",
-                    nest.name,
-                    decl.name
-                );
-                assert_eq!(
-                    r.access.depth(),
-                    nest.depth,
-                    "nest {}: access depth mismatch for {}",
-                    nest.name,
-                    decl.name
-                );
+                if r.access.rank() != decl.rank() {
+                    return err(
+                        nest,
+                        idx,
+                        format!("nest {}: access rank mismatch for {}", nest.name, decl.name),
+                    );
+                }
+                if r.access.depth() != nest.depth {
+                    return err(
+                        nest,
+                        idx,
+                        format!("nest {}: access depth mismatch for {}", nest.name, decl.name),
+                    );
+                }
             }
         }
         if let Some(tl) = &self.time {
-            assert!(tl.param < self.params.len(), "time param out of range");
-            assert!(tl.count.is_loop_invariant(), "time count must not use loop vars");
-            assert_eq!(
-                tl.count.param_coeff(tl.param),
-                0,
-                "time count cannot depend on the time variable itself"
-            );
+            if tl.param >= self.params.len() {
+                return Err(DctError::new(Phase::Frontend, "time param out of range"));
+            }
+            if !tl.count.is_loop_invariant() {
+                return Err(DctError::new(Phase::Frontend, "time count must not use loop vars"));
+            }
+            if tl.count.param_coeff(tl.param) != 0 {
+                return Err(DctError::new(
+                    Phase::Frontend,
+                    "time count cannot depend on the time variable itself",
+                ));
+            }
         }
+        Ok(())
     }
 
     /// Total bytes of all arrays under a parameter binding.
@@ -389,6 +418,14 @@ impl ProgramBuilder {
     pub fn build(self) -> Program {
         self.prog.validate();
         self.prog
+    }
+
+    /// Finish without panicking: validation defects come back as a
+    /// [`crate::DctError`] (the frontend path, where the program text is
+    /// untrusted input).
+    pub fn try_build(self) -> Result<Program, crate::DctError> {
+        self.prog.try_validate()?;
+        Ok(self.prog)
     }
 }
 

@@ -18,7 +18,7 @@
 
 use crate::layout::DataLayout;
 use dct_decomp::{DataDecomp, Decomposition, Folding};
-use dct_ir::Program;
+use dct_ir::{DctError, DctResult, Phase, Program};
 
 /// The synthesized layout of one array, with scheduling metadata.
 #[derive(Clone, Debug)]
@@ -179,22 +179,76 @@ fn adjust_after_move(pos: &mut [usize], from: usize) {
 }
 
 /// Synthesize all array layouts of a program under a decomposition.
+///
+/// Validates the decomposition against the program and machine grid before
+/// touching the (infallible) per-array synthesizer, so malformed inputs
+/// become a [`DctError`] instead of an index panic.
 pub fn synthesize_layouts(
     prog: &Program,
     dec: &Decomposition,
     grid: &[usize],
     params: &[i64],
     transform_data: bool,
-) -> Vec<ArrayLayout> {
-    assert_eq!(grid.len(), dec.grid_rank, "grid shape must match decomposition rank");
-    prog.arrays
-        .iter()
-        .enumerate()
-        .map(|(x, decl)| {
-            let extents = decl.extents(params);
-            synthesize_array_layout(&extents, &dec.data[x], &dec.foldings, grid, transform_data)
-        })
-        .collect()
+) -> DctResult<Vec<ArrayLayout>> {
+    if grid.len() != dec.grid_rank {
+        return Err(DctError::new(
+            Phase::Layout,
+            format!(
+                "grid shape rank {} does not match decomposition rank {}",
+                grid.len(),
+                dec.grid_rank
+            ),
+        ));
+    }
+    if dec.data.len() != prog.arrays.len() {
+        return Err(DctError::new(
+            Phase::Layout,
+            format!(
+                "data decompositions ({}) not aligned with arrays ({})",
+                dec.data.len(),
+                prog.arrays.len()
+            ),
+        ));
+    }
+    let mut out = Vec::with_capacity(prog.arrays.len());
+    for (x, decl) in prog.arrays.iter().enumerate() {
+        let dd = &dec.data[x];
+        let extents = decl.extents(params);
+        if let Some(d) = extents.iter().position(|&e| e < 1) {
+            return Err(DctError::new(
+                Phase::Layout,
+                format!("array {} dim {d} has non-positive extent {}", decl.name, extents[d]),
+            )
+            .with_array(x));
+        }
+        for ad in &dd.dists {
+            if ad.dim >= extents.len() {
+                return Err(DctError::new(
+                    Phase::Layout,
+                    format!("array {} distributes unknown dim {}", decl.name, ad.dim),
+                )
+                .with_array(x));
+            }
+            if ad.proc_dim >= dec.grid_rank {
+                return Err(DctError::new(
+                    Phase::Layout,
+                    format!("array {} distributed on unknown proc dim {}", decl.name, ad.proc_dim),
+                )
+                .with_array(x));
+            }
+            if let Folding::BlockCyclic { block } = dec.foldings[ad.proc_dim] {
+                if block < 1 {
+                    return Err(DctError::new(
+                        Phase::Layout,
+                        format!("non-positive BLOCK-CYCLIC block {block}"),
+                    )
+                    .with_array(x));
+                }
+            }
+        }
+        out.push(synthesize_array_layout(&extents, dd, &dec.foldings, grid, transform_data));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -4,8 +4,8 @@
 //! binding.
 
 use crate::cost::CostModel;
-use dct_decomp::{grid_shape, CompRow, Decomposition, Folding};
-use dct_ir::{Aff, LoopNest, Program};
+use dct_decomp::{grid_shape, CompDecomp, CompRow, Decomposition, Folding};
+use dct_ir::{Aff, DctError, DctResult, LoopNest, Phase, Program};
 use dct_layout::{synthesize_layouts, ArrayLayout};
 
 /// How one loop level is executed.
@@ -130,7 +130,27 @@ pub struct SpmdOptions {
 }
 
 /// Compile `prog` under decomposition `dec`.
-pub fn codegen(prog: &Program, dec: &Decomposition, opts: &SpmdOptions) -> SpmdProgram {
+pub fn codegen(prog: &Program, dec: &Decomposition, opts: &SpmdOptions) -> DctResult<SpmdProgram> {
+    if opts.params.len() < prog.params.len() {
+        return Err(DctError::new(
+            Phase::Spmd,
+            format!(
+                "parameter binding has {} values, program needs {}",
+                opts.params.len(),
+                prog.params.len()
+            ),
+        ));
+    }
+    if dec.comp.len() != prog.nests.len() {
+        return Err(DctError::new(
+            Phase::Spmd,
+            format!(
+                "decomposition covers {} nests, program has {}",
+                dec.comp.len(),
+                prog.nests.len()
+            ),
+        ));
+    }
     // A rank-0 decomposition (no parallelism found anywhere) still needs a
     // grid so that exactly one processor executes each nest: promote it to
     // rank 1 with every nest localized to coordinate 0.
@@ -147,8 +167,18 @@ pub fn codegen(prog: &Program, dec: &Decomposition, opts: &SpmdOptions) -> SpmdP
     } else {
         dec
     };
+    if dec.foldings.len() != dec.grid_rank {
+        return Err(DctError::new(
+            Phase::Spmd,
+            format!(
+                "decomposition has {} foldings for grid rank {}",
+                dec.foldings.len(),
+                dec.grid_rank
+            ),
+        ));
+    }
     let rank = dec.grid_rank;
-    let grid = grid_shape(opts.procs, rank);
+    let grid = grid_shape(opts.procs, rank)?;
     let params = {
         let mut p = opts.params.clone();
         if let Some(tl) = &prog.time {
@@ -157,7 +187,7 @@ pub fn codegen(prog: &Program, dec: &Decomposition, opts: &SpmdOptions) -> SpmdP
         p
     };
 
-    let layouts = synthesize_layouts(prog, dec, &grid, &params, opts.transform_data);
+    let layouts = synthesize_layouts(prog, dec, &grid, &params, opts.transform_data)?;
     let extents: Vec<Vec<i64>> = prog.arrays.iter().map(|a| a.extents(&params)).collect();
 
     // Address space: page-aligned, replicated arrays get one copy per proc.
@@ -184,8 +214,20 @@ pub fn codegen(prog: &Program, dec: &Decomposition, opts: &SpmdOptions) -> SpmdP
         .nests
         .iter()
         .enumerate()
-        .map(|(j, nest)| compile_nest(prog, dec, &dec.comp[j].rows, nest, &extents, &layouts, &grid, opts, false))
-        .collect();
+        .map(|(j, nest)| {
+            compile_nest(
+                prog,
+                dec,
+                &dec.comp[j].rows,
+                nest,
+                &extents,
+                &layouts,
+                &grid,
+                opts,
+                Some((j, &dec.comp[j])),
+            )
+        })
+        .collect::<DctResult<_>>()?;
 
     // Synchronization placement: pairwise aligned-access analysis between
     // each nest and its successor in the (cyclic, if time-stepped) schedule.
@@ -226,11 +268,12 @@ pub fn codegen(prog: &Program, dec: &Decomposition, opts: &SpmdOptions) -> SpmdP
     let init: Vec<SpmdNest> = prog
         .init_nests
         .iter()
-        .map(|nest| compile_init_nest(prog, dec, nest, &extents, &layouts, &grid, opts))
-        .collect();
+        .enumerate()
+        .map(|(j, nest)| compile_init_nest(prog, dec, j, nest, &extents, &layouts, &grid, opts))
+        .collect::<DctResult<_>>()?;
 
     let time_steps = prog.time_step_count(&opts.params);
-    SpmdProgram {
+    Ok(SpmdProgram {
         nprocs: opts.procs,
         grid,
         layouts,
@@ -243,10 +286,12 @@ pub fn codegen(prog: &Program, dec: &Decomposition, opts: &SpmdOptions) -> SpmdP
         params,
         time_param: prog.time.as_ref().map(|t| t.param),
         time_steps,
-    }
+    })
 }
 
 /// Build the schedule of one compute nest from its decomposition rows.
+/// `comp` is the nest's index and computation decomposition (None for
+/// synthetic init-nest rows, which are always doall).
 #[allow(clippy::too_many_arguments)]
 fn compile_nest(
     prog: &Program,
@@ -257,8 +302,12 @@ fn compile_nest(
     layouts: &[ArrayLayout],
     grid: &[usize],
     opts: &SpmdOptions,
-    is_init: bool,
-) -> SpmdNest {
+    comp: Option<(usize, &CompDecomp)>,
+) -> DctResult<SpmdNest> {
+    let nest_err = |msg: String| {
+        let idx = comp.map(|(j, _)| j).unwrap_or(0);
+        DctError::new(Phase::Spmd, msg).with_nest(idx, &nest.name)
+    };
     let mut sched = vec![]; // per level
     for _ in 0..nest.depth {
         sched.push(LevelSched::Seq);
@@ -270,8 +319,20 @@ fn compile_nest(
             // Single processor along this dim: a gate would be trivially
             // satisfied; skip it.
         }
+        if p >= dec.foldings.len() {
+            return Err(nest_err(format!(
+                "unexpected schedule: row targets proc dim {p} of a rank-{} grid",
+                dec.grid_rank
+            )));
+        }
         match row {
             CompRow::Level(l) => {
+                if *l >= nest.depth {
+                    return Err(nest_err(format!(
+                        "unexpected schedule: distributed level {l} of a depth-{} nest",
+                        nest.depth
+                    )));
+                }
                 let (extent, offset) = level_alignment(prog, dec, nest, *l, p, extents)
                     .unwrap_or_else(|| fallback_extent(nest, *l, &opts.params));
                 sched[*l] = LevelSched::Dist {
@@ -300,19 +361,16 @@ fn compile_nest(
     }
 
     // Pipeline: a distributed level that is not doall.
-    let parallel = if is_init {
-        vec![true; nest.depth]
-    } else {
-        // dec.comp carries the doall flags; recover from rows via the
-        // caller (compute nests pass their own CompDecomp).
-        vec![true; nest.depth]
-    };
-    let _ = parallel;
-    let pipeline = pipeline_spec(prog, dec, rows, nest, &sched, opts);
+    let pipeline = pipeline_spec(comp, nest, &sched, grid, opts)?;
 
+    for (s, stmt) in nest.body.iter().enumerate() {
+        if crate::exec::expr_stack_depth(&stmt.rhs) > crate::exec::MAX_EVAL_STACK {
+            return Err(nest_err(format!("statement {s} body too deep to evaluate")));
+        }
+    }
     let stmt_costs = stmt_costs(nest, layouts, &sched, &opts.cost);
 
-    SpmdNest {
+    Ok(SpmdNest {
         source: nest.clone(),
         sched,
         gates,
@@ -320,43 +378,54 @@ fn compile_nest(
         stmt_costs,
         sync_after: SyncKind::Barrier,
         replicated_write: false,
-    }
+    })
 }
 
 /// Pipeline specification for a nest whose distributed level carries a
-/// dependence (detected by the decomposition).
+/// dependence (detected by the decomposition). A carried *distributed*
+/// level that cannot be pipelined (no doall level left to tile) is a model
+/// violation: running it as a doall would compute wrong values, so it is
+/// reported as an error — the driver's degradation ladder then retries the
+/// nest under a simpler strategy.
 fn pipeline_spec(
-    prog: &Program,
-    dec: &Decomposition,
-    rows: &[CompRow],
+    comp: Option<(usize, &CompDecomp)>,
     nest: &LoopNest,
     sched: &[LevelSched],
+    grid: &[usize],
     opts: &SpmdOptions,
-) -> Option<PipelineSpec> {
-    // Find this nest's CompDecomp to read the pipeline level.
-    let cd = dec
-        .comp
-        .iter()
-        .zip(&prog.nests)
-        .find(|(_, n)| std::ptr::eq(*n, nest))
-        .map(|(c, _)| c)?;
-    let seq_level = cd.pipeline_level?;
+) -> DctResult<Option<PipelineSpec>> {
+    let Some((idx, cd)) = comp else { return Ok(None) };
+    let Some(seq_level) = cd.pipeline_level else { return Ok(None) };
+    if seq_level >= nest.depth || !matches!(sched.get(seq_level), Some(LevelSched::Dist { .. })) {
+        return Err(DctError::new(
+            Phase::Spmd,
+            format!("unexpected schedule: pipeline level {seq_level} is not distributed"),
+        )
+        .with_nest(idx, &nest.name));
+    }
     // Tile the outermost doall level that is not distributed.
     let tile_level = (0..nest.depth).find(|&l| {
         l != seq_level && cd.parallel_levels[l] && matches!(sched[l], LevelSched::Seq)
-    })?;
+    });
+    let Some(tile_level) = tile_level else {
+        return Err(DctError::new(
+            Phase::Spmd,
+            format!(
+                "cannot realize doacross pipeline: carried level {seq_level} is distributed \
+                 but no doall level is left to tile"
+            ),
+        )
+        .with_nest(idx, &nest.name));
+    };
     // Aim for ~4 tiles per processor along the pipeline dimension.
     let procs_along = match sched[seq_level] {
-        LevelSched::Dist { proc_dim, .. } => opts.procs.min(prog_grid_dim(dec, opts, proc_dim)),
+        LevelSched::Dist { proc_dim, .. } => {
+            opts.procs.min(grid.get(proc_dim).copied().unwrap_or(1))
+        }
         _ => opts.procs,
     };
     let tiles = (4 * procs_along as i64).max(1);
-    let _ = rows;
-    Some(PipelineSpec { seq_level, tile_level, tiles })
-}
-
-fn prog_grid_dim(dec: &Decomposition, opts: &SpmdOptions, p: usize) -> usize {
-    grid_shape(opts.procs, dec.grid_rank).get(p).copied().unwrap_or(1)
+    Ok(Some(PipelineSpec { seq_level, tile_level, tiles }))
 }
 
 /// Extent/offset of the array dimension that level `l` (on proc dim `p`)
@@ -554,21 +623,27 @@ fn normalize(a: &mut Aff) {
 }
 
 /// Compile an initialization nest: owner-computes on the written array.
+#[allow(clippy::too_many_arguments)]
 fn compile_init_nest(
     prog: &Program,
     dec: &Decomposition,
+    nest_idx: usize,
     nest: &LoopNest,
     extents: &[Vec<i64>],
     layouts: &[ArrayLayout],
     grid: &[usize],
     opts: &SpmdOptions,
-) -> SpmdNest {
-    let lhs = &nest.body.first().expect("init nest needs a statement").lhs;
+) -> DctResult<SpmdNest> {
+    let Some(first) = nest.body.first() else {
+        return Err(DctError::new(Phase::Spmd, "init nest needs a statement")
+            .with_nest(nest_idx, &nest.name));
+    };
+    let lhs = &first.lhs;
     let x = lhs.array.0;
 
     if dec.data[x].replicated {
         let stmt_costs = stmt_costs(nest, layouts, &vec![LevelSched::Seq; nest.depth], &opts.cost);
-        return SpmdNest {
+        return Ok(SpmdNest {
             source: nest.clone(),
             sched: vec![LevelSched::Seq; nest.depth],
             gates: Vec::new(),
@@ -576,7 +651,7 @@ fn compile_init_nest(
             stmt_costs,
             sync_after: SyncKind::Barrier,
             replicated_write: true,
-        };
+        });
     }
 
     // Derive rows from the lhs subscripts of the distributed dims.
@@ -602,9 +677,9 @@ fn compile_init_nest(
             };
         }
     }
-    let mut out = compile_nest(prog, dec, &rows, nest, extents, layouts, grid, opts, true);
+    let mut out = compile_nest(prog, dec, &rows, nest, extents, layouts, grid, opts, None)?;
     out.pipeline = None;
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -631,7 +706,7 @@ mod tests {
         let prog = pb.build();
         let cfg = DepConfig { nparams: prog.params.len(), param_min: 4 };
         let deps: Vec<_> = prog.nests.iter().map(|x| analyze_nest(x, cfg)).collect();
-        let dec = dct_decomp::decompose(&prog, &deps);
+        let dec = dct_decomp::decompose(&prog, &deps).unwrap();
         (prog, dec)
     }
 
@@ -649,7 +724,7 @@ mod tests {
     fn codegen_basics() {
         let (prog, dec) = simple();
         let o = SpmdOptions { params: vec![16], ..opts(4) };
-        let sp = codegen(&prog, &dec, &o);
+        let sp = codegen(&prog, &dec, &o).unwrap();
         assert_eq!(sp.grid, vec![4]);
         assert_eq!(sp.nests.len(), 1);
         assert_eq!(sp.init.len(), 1);
@@ -667,7 +742,7 @@ mod tests {
     fn coords_roundtrip() {
         let (prog, dec) = simple();
         let o = SpmdOptions { params: vec![16], ..opts(6) };
-        let sp = codegen(&prog, &dec, &o);
+        let sp = codegen(&prog, &dec, &o).unwrap();
         let mut seen = std::collections::HashSet::new();
         for p in 0..6 {
             let c = sp.coords_of(p);
@@ -681,7 +756,7 @@ mod tests {
     fn init_owner_computes() {
         let (prog, dec) = simple();
         let o = SpmdOptions { params: vec![16], ..opts(4) };
-        let sp = codegen(&prog, &dec, &o);
+        let sp = codegen(&prog, &dec, &o).unwrap();
         // Init writes A(i,j) with A distributed on dim 0 -> init level 1
         // (i) must be distributed.
         assert!(matches!(sp.init[0].sched[1], LevelSched::Dist { .. }));
@@ -692,8 +767,47 @@ mod tests {
     fn stencil_neighbors_force_barrier() {
         let (prog, dec) = simple();
         let o = SpmdOptions { params: vec![16], ..opts(4) };
-        let sp = codegen(&prog, &dec, &o);
+        let sp = codegen(&prog, &dec, &o).unwrap();
         // Single nest, no time loop: barrier at program end.
         assert_eq!(sp.nests[0].sync_after, SyncKind::Barrier);
+    }
+
+    /// An out-of-range distributed level ("unexpected sched") is a
+    /// structured error carrying the offending nest id, not a panic
+    /// (ISSUE 2 satellite).
+    #[test]
+    fn unexpected_schedule_is_an_error() {
+        let (prog, mut dec) = simple();
+        dec.comp[0].rows[0] = CompRow::Level(7); // depth is 2
+        let o = SpmdOptions { params: vec![16], ..opts(4) };
+        let err = match codegen(&prog, &dec, &o) {
+            Err(e) => e,
+            Ok(_) => panic!("expected a codegen error"),
+        };
+        assert_eq!(err.phase, Phase::Spmd);
+        assert_eq!(err.nest, Some(0));
+        assert_eq!(err.nest_name.as_deref(), Some("sweep"));
+        assert!(err.message.contains("unexpected schedule"), "{err}");
+    }
+
+    /// A carried distributed level with no doall level left to tile cannot
+    /// be pipelined; that must surface as an error, never as a silently
+    /// wrong doall execution.
+    #[test]
+    fn unrealizable_pipeline_is_an_error() {
+        let (prog, mut dec) = simple();
+        // Pretend level 0 (the carried j loop) is distributed and carried,
+        // and level 1 is not available for tiling.
+        dec.comp[0].rows[0] = CompRow::Level(0);
+        dec.comp[0].parallel_levels = vec![false, false];
+        dec.comp[0].pipeline_level = Some(0);
+        let o = SpmdOptions { params: vec![16], ..opts(4) };
+        let err = match codegen(&prog, &dec, &o) {
+            Err(e) => e,
+            Ok(_) => panic!("expected a codegen error"),
+        };
+        assert_eq!(err.phase, Phase::Spmd);
+        assert_eq!(err.nest, Some(0));
+        assert!(err.message.contains("cannot realize doacross pipeline"), "{err}");
     }
 }

@@ -488,14 +488,14 @@ mod tests {
     fn emit(prog: &Program, procs: usize) -> String {
         let cfg = DepConfig { nparams: prog.params.len(), param_min: 4 };
         let deps: Vec<_> = prog.nests.iter().map(|x| analyze_nest(x, cfg)).collect();
-        let dec = decompose(prog, &deps);
+        let dec = decompose(prog, &deps).unwrap();
         let sp = codegen(prog, &dec, &SpmdOptions {
             procs,
             params: prog.default_params(),
             transform_data: true,
             barrier_elision: true,
             cost: CostModel::default(),
-        });
+        }).unwrap();
         emit_c(prog, &sp)
     }
 

@@ -80,6 +80,9 @@ pub struct RunResult {
     pub init_cycles: u64,
     /// Strided fast-path counters.
     pub fast: FastPathStats,
+    /// The run hit its cycle or wall-clock budget and was aborted; the
+    /// result is partial (the repro harness records it as a Timeout cell).
+    pub timed_out: bool,
 }
 
 /// A resolved reference inside a strided segment: current byte address and
@@ -111,8 +114,18 @@ enum BodyOp {
 }
 
 /// Maximum operand-stack depth of a flattened body (compiler-generated
-/// expressions are shallow; checked when flattening).
-const MAX_EVAL_STACK: usize = 32;
+/// expressions are shallow; codegen rejects deeper bodies with a
+/// [`dct_ir::DctError`] before an executor is ever built).
+pub(crate) const MAX_EVAL_STACK: usize = 32;
+
+/// Operand-stack depth needed to evaluate `e` (postfix order): used by
+/// codegen to reject too-deep statement bodies up front.
+pub(crate) fn expr_stack_depth(e: &Expr) -> usize {
+    match e {
+        Expr::Const(_) | Expr::Index(_) | Expr::Ref(_) => 1,
+        Expr::Bin(_, a, b) => expr_stack_depth(a).max(1 + expr_stack_depth(b)),
+    }
+}
 
 fn flatten_expr(e: &Expr, extras: &[u64], ri: &mut usize, out: &mut Vec<BodyOp>) {
     match e {
@@ -201,6 +214,12 @@ pub struct Executor<'a> {
     /// (default). Disable to force the general walk everywhere — used by
     /// the differential tests that pin bit-exactness between both modes.
     pub fast_path: bool,
+    /// Abort the run once the slowest processor clock exceeds this many
+    /// simulated cycles (checked at nest boundaries).
+    pub max_cycles: Option<u64>,
+    /// Abort the run after this much host wall-clock time (checked at nest
+    /// boundaries).
+    pub max_wall: Option<std::time::Duration>,
     /// Per-processor grid coordinates, precomputed.
     coords: Vec<Vec<usize>>,
     /// Scratch buffers for allocation-free address computation.
@@ -236,6 +255,8 @@ impl<'a> Executor<'a> {
             cost,
             barriers: 0,
             fast_path: true,
+            max_cycles: None,
+            max_wall: None,
             coords,
             scratch_idx: Vec::with_capacity(8),
             scratch_lay: Vec::with_capacity(8),
@@ -251,30 +272,44 @@ impl<'a> Executor<'a> {
     }
 
     /// Run the whole program: init nests, then the (possibly time-stepped)
-    /// compute schedule.
+    /// compute schedule. A configured cycle or wall-clock budget is
+    /// checked at nest boundaries; a runaway simulation returns a partial
+    /// result flagged `timed_out` instead of hanging its sweep.
     pub fn run(&mut self) -> RunResult {
+        let started = std::time::Instant::now();
+        let mut timed_out = false;
         let mut params = self.sp.params.clone();
         if let Some(tp) = self.sp.time_param {
             params[tp] = 0;
         }
-        for k in 0..self.sp.init.len() {
-            self.exec_nest_idx(true, k, &params);
-            self.barrier();
-        }
-        for t in 0..self.sp.time_steps {
-            if let Some(tp) = self.sp.time_param {
-                params[tp] = t;
+        'run: {
+            for k in 0..self.sp.init.len() {
+                self.exec_nest_idx(true, k, &params);
+                self.barrier();
+                if self.over_budget(started) {
+                    timed_out = true;
+                    break 'run;
+                }
             }
-            for j in 0..self.sp.nests.len() {
-                self.exec_nest_idx(false, j, &params);
-                // Skip the trailing sync of the very last nest execution;
-                // the final max() below plays that role.
-                let last = t == self.sp.time_steps - 1 && j == self.sp.nests.len() - 1;
-                if !last {
-                    match self.sp.nests[j].sync_after {
-                        SyncKind::Barrier => self.barrier(),
-                        SyncKind::ProducerWait => self.producer_wait(),
-                        SyncKind::None => {}
+            for t in 0..self.sp.time_steps {
+                if let Some(tp) = self.sp.time_param {
+                    params[tp] = t;
+                }
+                for j in 0..self.sp.nests.len() {
+                    self.exec_nest_idx(false, j, &params);
+                    // Skip the trailing sync of the very last nest execution;
+                    // the final max() below plays that role.
+                    let last = t == self.sp.time_steps - 1 && j == self.sp.nests.len() - 1;
+                    if !last {
+                        match self.sp.nests[j].sync_after {
+                            SyncKind::Barrier => self.barrier(),
+                            SyncKind::ProducerWait => self.producer_wait(),
+                            SyncKind::None => {}
+                        }
+                    }
+                    if self.over_budget(started) {
+                        timed_out = true;
+                        break 'run;
                     }
                 }
             }
@@ -290,7 +325,22 @@ impl<'a> Executor<'a> {
             nest_cycles: self.nest_cycles.clone(),
             init_cycles: self.init_cycles,
             fast: self.fast,
+            timed_out,
         }
+    }
+
+    fn over_budget(&self, started: std::time::Instant) -> bool {
+        if let Some(mc) = self.max_cycles {
+            if self.clocks.iter().copied().max().unwrap_or(0) > mc {
+                return true;
+            }
+        }
+        if let Some(mw) = self.max_wall {
+            if started.elapsed() > mw {
+                return true;
+            }
+        }
+        false
     }
 
     /// Read an array's values in original index order (for verification).

@@ -5,7 +5,7 @@ use crate::codegen::{codegen, SpmdOptions};
 use crate::cost::CostModel;
 use crate::exec::{Executor, RunResult};
 use dct_decomp::Decomposition;
-use dct_ir::Program;
+use dct_ir::{DctResult, Program};
 use dct_machine::MachineConfig;
 
 /// Options of one simulated run.
@@ -27,6 +27,11 @@ pub struct SimOptions {
     /// (default). The general walk produces bit-identical results; the
     /// differential tests flip this to prove it.
     pub fast_path: bool,
+    /// Abort a runaway simulation once the slowest processor clock exceeds
+    /// this many simulated cycles; the result comes back `timed_out`.
+    pub max_cycles: Option<u64>,
+    /// Abort a runaway simulation after this many host wall-clock seconds.
+    pub max_wall_secs: Option<f64>,
 }
 
 impl SimOptions {
@@ -39,25 +44,43 @@ impl SimOptions {
             addr_opt: true,
             machine: None,
             fast_path: true,
+            max_cycles: None,
+            max_wall_secs: None,
         }
     }
 }
 
-/// Compile and execute one configuration.
-pub fn simulate(prog: &Program, dec: &Decomposition, opts: &SimOptions) -> RunResult {
-    let cost = CostModel { addr_opt: opts.addr_opt, ..CostModel::default() };
-    let spmd_opts = SpmdOptions {
+fn build_executor<'a>(
+    prog: &Program,
+    opts: &SimOptions,
+    sp: &'a crate::codegen::SpmdProgram,
+    cost: CostModel,
+) -> Executor<'a> {
+    let _ = prog;
+    let machine = opts.machine.clone().unwrap_or_else(|| MachineConfig::dash(opts.procs));
+    let mut ex = Executor::new(sp, machine, cost);
+    ex.fast_path = opts.fast_path;
+    ex.max_cycles = opts.max_cycles;
+    ex.max_wall = opts.max_wall_secs.map(std::time::Duration::from_secs_f64);
+    ex
+}
+
+fn spmd_options(opts: &SimOptions, cost: CostModel) -> SpmdOptions {
+    SpmdOptions {
         procs: opts.procs,
         params: opts.params.clone(),
         transform_data: opts.transform_data,
         barrier_elision: opts.barrier_elision,
         cost,
-    };
-    let sp = codegen(prog, dec, &spmd_opts);
-    let machine = opts.machine.clone().unwrap_or_else(|| MachineConfig::dash(opts.procs));
-    let mut ex = Executor::new(&sp, machine, cost);
-    ex.fast_path = opts.fast_path;
-    ex.run()
+    }
+}
+
+/// Compile and execute one configuration.
+pub fn simulate(prog: &Program, dec: &Decomposition, opts: &SimOptions) -> DctResult<RunResult> {
+    let cost = CostModel { addr_opt: opts.addr_opt, ..CostModel::default() };
+    let sp = codegen(prog, dec, &spmd_options(opts, cost))?;
+    let mut ex = build_executor(prog, opts, &sp, cost);
+    Ok(ex.run())
 }
 
 /// Simulate and also return the final contents of every array (original
@@ -66,20 +89,11 @@ pub fn simulate_with_values(
     prog: &Program,
     dec: &Decomposition,
     opts: &SimOptions,
-) -> (RunResult, Vec<Vec<f64>>) {
+) -> DctResult<(RunResult, Vec<Vec<f64>>)> {
     let cost = CostModel { addr_opt: opts.addr_opt, ..CostModel::default() };
-    let spmd_opts = SpmdOptions {
-        procs: opts.procs,
-        params: opts.params.clone(),
-        transform_data: opts.transform_data,
-        barrier_elision: opts.barrier_elision,
-        cost,
-    };
-    let sp = codegen(prog, dec, &spmd_opts);
-    let machine = opts.machine.clone().unwrap_or_else(|| MachineConfig::dash(opts.procs));
-    let mut ex = Executor::new(&sp, machine, cost);
-    ex.fast_path = opts.fast_path;
+    let sp = codegen(prog, dec, &spmd_options(opts, cost))?;
+    let mut ex = build_executor(prog, opts, &sp, cost);
     let res = ex.run();
     let vals = (0..prog.arrays.len()).map(|x| ex.values(x)).collect();
-    (res, vals)
+    Ok((res, vals))
 }

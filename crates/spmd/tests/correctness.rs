@@ -94,7 +94,7 @@ fn diag(_i: usize, _j: usize) -> Expr {
 fn run_all_strategies(prog: &Program, procs: usize) -> Vec<Vec<Vec<f64>>> {
     let deps = deps_of(prog);
     let base = base_decomposition(prog, &deps);
-    let full = decompose(prog, &deps);
+    let full = decompose(prog, &deps).unwrap();
     let params = prog.default_params();
 
     let mut results = Vec::new();
@@ -102,14 +102,14 @@ fn run_all_strategies(prog: &Program, procs: usize) -> Vec<Vec<Vec<f64>>> {
     let mut o = SimOptions::new(procs, params.clone());
     o.transform_data = false;
     o.barrier_elision = false;
-    results.push(simulate_with_values(prog, &base, &o).1);
+    results.push(simulate_with_values(prog, &base, &o).unwrap().1);
     // Comp decomp: alignment, no data transform.
     let mut o = SimOptions::new(procs, params.clone());
     o.transform_data = false;
-    results.push(simulate_with_values(prog, &full, &o).1);
+    results.push(simulate_with_values(prog, &full, &o).unwrap().1);
     // Full: data transform too.
     let o = SimOptions::new(procs, params);
-    results.push(simulate_with_values(prog, &full, &o).1);
+    results.push(simulate_with_values(prog, &full, &o).unwrap().1);
     results
 }
 
@@ -161,9 +161,9 @@ fn lu_result_is_actually_a_factorization() {
     let n = 8usize;
     let prog = lu_program(n as i64);
     let deps = deps_of(&prog);
-    let full = decompose(&prog, &deps);
+    let full = decompose(&prog, &deps).unwrap();
     let params = prog.default_params();
-    let (_, vals) = simulate_with_values(&prog, &full, &SimOptions::new(4, params.clone()));
+    let (_, vals) = simulate_with_values(&prog, &full, &SimOptions::new(4, params.clone())).unwrap();
     let lu = &vals[0];
     // Original matrix: 1/(i+j+1) + 3.
     let orig = |i: usize, j: usize| 1.0 / ((i + j) as f64 + 1.0) + 3.0;
@@ -192,21 +192,21 @@ fn speedup_exists_and_optimized_beats_base_on_stencil() {
     let prog = stencil_program(64, 4);
     let deps = deps_of(&prog);
     let base = base_decomposition(&prog, &deps);
-    let full = decompose(&prog, &deps);
+    let full = decompose(&prog, &deps).unwrap();
     let params = prog.default_params();
 
     let mut o1 = SimOptions::new(1, params.clone());
     o1.transform_data = false;
     o1.barrier_elision = false;
-    let seq = dct_spmd::simulate(&prog, &base, &o1);
+    let seq = dct_spmd::simulate(&prog, &base, &o1).unwrap();
 
     let mut ob = SimOptions::new(8, params.clone());
     ob.transform_data = false;
     ob.barrier_elision = false;
-    let b8 = dct_spmd::simulate(&prog, &base, &ob);
+    let b8 = dct_spmd::simulate(&prog, &base, &ob).unwrap();
 
     let of = SimOptions::new(8, params);
-    let f8 = dct_spmd::simulate(&prog, &full, &of);
+    let f8 = dct_spmd::simulate(&prog, &full, &of).unwrap();
 
     assert!(b8.cycles < seq.cycles, "base parallel must beat sequential");
     assert!(f8.cycles < seq.cycles, "optimized parallel must beat sequential");
@@ -253,14 +253,14 @@ fn pipeline_produces_correct_adi_rowsweep() {
     let prog = pb.build();
 
     let deps = deps_of(&prog);
-    let full = decompose(&prog, &deps);
+    let full = decompose(&prog, &deps).unwrap();
     // The row sweep must be recognized as a pipeline.
     assert_eq!(full.comp[1].pipeline_level, Some(0));
 
     let params = prog.default_params();
-    let (_, seq) = simulate_with_values(&prog, &full, &SimOptions::new(1, params.clone()));
+    let (_, seq) = simulate_with_values(&prog, &full, &SimOptions::new(1, params.clone())).unwrap();
     for procs in [2, 4, 8] {
-        let (_, par) = simulate_with_values(&prog, &full, &SimOptions::new(procs, params.clone()));
+        let (_, par) = simulate_with_values(&prog, &full, &SimOptions::new(procs, params.clone())).unwrap();
         assert_same(&seq, &par, &format!("ADI P={procs}"));
     }
 }

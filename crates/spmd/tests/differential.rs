@@ -73,7 +73,7 @@ proptest! {
         let params = prog.default_params();
 
         for folding in [Folding::Block, Folding::Cyclic, Folding::BlockCyclic { block: 2 }] {
-            let mut dec = decompose(&prog, &deps);
+            let mut dec = decompose(&prog, &deps).unwrap();
             for f in dec.foldings.iter_mut() {
                 *f = folding;
             }
@@ -83,8 +83,8 @@ proptest! {
                 let mut slow = fast.clone();
                 slow.fast_path = false;
 
-                let rf = simulate(&prog, &dec, &fast);
-                let rs = simulate(&prog, &dec, &slow);
+                let rf = simulate(&prog, &dec, &fast).unwrap();
+                let rs = simulate(&prog, &dec, &slow).unwrap();
 
                 prop_assert!(rf.fast.fast_iters > 0 || matches!(folding, Folding::BlockCyclic { .. }),
                     "fast path never engaged (P={procs}, {folding:?})");

@@ -96,18 +96,18 @@ proptest! {
         let cfg = DepConfig { nparams: prog.params.len(), param_min: 4 };
         let deps: Vec<_> = prog.nests.iter().map(|n| analyze_nest(n, cfg)).collect();
         let base = base_decomposition(&prog, &deps);
-        let full = decompose(&prog, &deps);
+        let full = decompose(&prog, &deps).unwrap();
         let params = prog.default_params();
 
         let mut o1 = SimOptions::new(1, params.clone());
         o1.transform_data = false;
         o1.barrier_elision = false;
-        let (_, reference) = simulate_with_values(&prog, &base, &o1);
+        let (_, reference) = simulate_with_values(&prog, &base, &o1).unwrap();
 
         for (dec, transform) in [(&base, false), (&full, false), (&full, true)] {
             let mut o = SimOptions::new(procs, params.clone());
             o.transform_data = transform;
-            let (_, got) = simulate_with_values(&prog, dec, &o);
+            let (_, got) = simulate_with_values(&prog, dec, &o).unwrap();
             for (x, (va, vb)) in reference.iter().zip(&got).enumerate() {
                 for (k, (p, q)) in va.iter().zip(vb).enumerate() {
                     prop_assert!(p == q, "array {x} elem {k}: {p} != {q} (P={procs})");

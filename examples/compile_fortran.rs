@@ -54,7 +54,7 @@ fn main() {
     println!("== parsed program ==\n{}", dct_core::ir::render_program(&prog));
 
     let compiler = Compiler::new(Strategy::Full);
-    let compiled = compiler.compile(&prog);
+    let compiled = compiler.compile(&prog).unwrap();
     println!("== optimization report ==\n{}", render_report(&compiled));
 
     let params = prog.default_params();
@@ -64,11 +64,11 @@ fn main() {
         transform_data: true,
         barrier_elision: true,
         cost: CostModel::default(),
-    });
+    }).unwrap();
     println!("== generated SPMD C ==\n{}", emit_c(&compiled.program, &sp));
 
-    let seq = sequential_cycles(&prog, &params);
-    let r = compiler.simulate(&compiled, procs, &params);
+    let seq = sequential_cycles(&prog, &params).unwrap();
+    let r = compiler.simulate(&compiled, procs, &params).unwrap();
     println!(
         "== simulation == {} cycles on {procs} processors ({:.2}x over sequential)",
         r.cycles,

@@ -21,14 +21,14 @@ fn main() {
         "vpenta" => programs::vpenta(64, 3),
         other => panic!("unknown benchmark {other}"),
     };
-    let compiled = Compiler::new(Strategy::Full).compile(&prog);
+    let compiled = Compiler::new(Strategy::Full).compile(&prog).unwrap();
     let sp = codegen(&compiled.program, &compiled.decomposition, &SpmdOptions {
         procs,
         params: prog.default_params(),
         transform_data: true,
         barrier_elision: true,
         cost: CostModel::default(),
-    });
+    }).unwrap();
     println!("{}", emit_runtime_header());
     println!("{}", emit_c(&compiled.program, &sp));
 }

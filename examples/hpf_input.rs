@@ -18,7 +18,7 @@ fn main() {
     let params = prog.default_params();
     let cfg = DepConfig { nparams: prog.params.len(), param_min: 4 };
     let deps: Vec<_> = prog.nests.iter().map(|n| analyze_nest(n, cfg)).collect();
-    let seq = sequential_cycles(&prog, &params);
+    let seq = sequential_cycles(&prog, &params).unwrap();
 
     println!("LU 128x128 at 16 processors — user HPF mappings vs the automatic one\n");
     let mappings = [
@@ -34,7 +34,7 @@ fn main() {
     for (src, label) in mappings {
         let directives = parse_hpf(src).expect("directives parse");
         let dec = decomposition_from_hpf(&prog, &deps, &directives).expect("valid mapping");
-        let r = simulate(&prog, &dec, &SimOptions::new(16, params.clone()));
+        let r = simulate(&prog, &dec, &SimOptions::new(16, params.clone())).unwrap();
         println!(
             "{:52} {:>6.2}x   {}",
             dec.hpf_of(&prog, 0),
@@ -43,8 +43,8 @@ fn main() {
         );
     }
 
-    let auto = Compiler::new(Strategy::Full).compile(&prog);
-    let r = Compiler::new(Strategy::Full).simulate(&auto, 16, &params);
+    let auto = Compiler::new(Strategy::Full).compile(&prog).unwrap();
+    let r = Compiler::new(Strategy::Full).simulate(&auto, 16, &params).unwrap();
     println!(
         "\nautomatic decomposition: {} -> {:.2}x",
         auto.decomposition.hpf_of(&auto.program, 0),

@@ -20,7 +20,7 @@ fn main() {
     let n = 256;
     let prog = programs::lu(n);
     let params = prog.default_params();
-    let seq = sequential_cycles(&prog, &params);
+    let seq = sequential_cycles(&prog, &params).unwrap();
     println!("LU {n}x{n}: sequential = {seq} cycles\n");
 
     println!("procs   comp-decomp(speedup, L1-miss%)   +data-transform(speedup, L1-miss%)");
@@ -28,8 +28,8 @@ fn main() {
         let mut row = format!("{procs:5}");
         for strategy in [Strategy::CompDecomp, Strategy::Full] {
             let c = Compiler::new(strategy);
-            let cc = c.compile(&prog);
-            let r = c.simulate(&cc, procs, &params);
+            let cc = c.compile(&prog).unwrap();
+            let r = c.simulate(&cc, procs, &params).unwrap();
             let t = r.stats.total();
             let miss = 100.0 * (1.0 - t.l1_hits as f64 / t.accesses as f64);
             row.push_str(&format!(
@@ -48,12 +48,12 @@ fn main() {
 4-C miss classification at 32 processors (memory-level misses):");
     for strategy in [Strategy::CompDecomp, Strategy::Full] {
         let c = Compiler::new(strategy);
-        let cc = c.compile(&prog);
+        let cc = c.compile(&prog).unwrap();
         let mut opts = c.sim_options(32, params.clone());
         let mut mc = MachineConfig::dash(32);
         mc.classify_misses = true;
         opts.machine = Some(mc);
-        let r = dct_core::spmd::simulate(&cc.program, &cc.decomposition, &opts);
+        let r = dct_core::spmd::simulate(&cc.program, &cc.decomposition, &opts).unwrap();
         let mut total = dct_core::machine::MissClasses::default();
         for m in r.miss_classes.as_ref().unwrap() {
             total.cold += m.cold;
@@ -73,6 +73,6 @@ fn main() {
 
     println!("\nThe report shows why: the compiler chose CYCLIC columns for load");
     println!("balance (work on column j only exists while j > pivot):\n");
-    let compiled = Compiler::new(Strategy::Full).compile(&prog);
+    let compiled = Compiler::new(Strategy::Full).compile(&prog).unwrap();
     println!("{}", dct_core::render_report(&compiled));
 }

@@ -59,19 +59,19 @@ fn main() {
     println!("== input program ==\n{}", render_program(&prog));
 
     let compiler = Compiler::new(Strategy::Full);
-    let compiled = compiler.compile(&prog);
+    let compiled = compiler.compile(&prog).unwrap();
     println!("== optimization report ==\n{}", render_report(&compiled));
 
     let params = prog.default_params();
-    let seq = sequential_cycles(&prog, &params);
+    let seq = sequential_cycles(&prog, &params).unwrap();
     println!("== simulated speedups on the DASH model ==");
     println!("procs   base  comp-decomp  +data-transform");
     for procs in [1usize, 2, 4, 8, 16, 32] {
         let mut row = format!("{procs:5}");
         for strategy in Strategy::ALL {
             let c = Compiler::new(strategy);
-            let cc = c.compile(&prog);
-            let r = c.simulate(&cc, procs, &params);
+            let cc = c.compile(&prog).unwrap();
+            let r = c.simulate(&cc, procs, &params).unwrap();
             row.push_str(&format!("  {:8.2}", seq as f64 / r.cycles as f64));
         }
         println!("{row}");

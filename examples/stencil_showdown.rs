@@ -16,7 +16,7 @@ fn main() {
     let steps = 4;
     let prog = programs::stencil(n, steps);
     let params = prog.default_params();
-    let seq = sequential_cycles(&prog, &params);
+    let seq = sequential_cycles(&prog, &params).unwrap();
     println!("stencil {n}x{n}, {steps} steps; sequential = {seq} cycles\n");
 
     let procs = 16usize;
@@ -24,8 +24,8 @@ fn main() {
     println!("strategy                      speedup  invalidations  remote-fetches  barriers");
     for strategy in Strategy::ALL {
         let c = Compiler::new(strategy);
-        let cc = c.compile(&prog);
-        let r = c.simulate(&cc, procs, &params);
+        let cc = c.compile(&prog).unwrap();
+        let r = c.simulate(&cc, procs, &params).unwrap();
         let t = r.stats.total();
         println!(
             "{:28} {:7.2}x {:14} {:15} {:9}",
@@ -38,7 +38,7 @@ fn main() {
     }
 
     println!();
-    let cc = Compiler::new(Strategy::Full).compile(&prog);
+    let cc = Compiler::new(Strategy::Full).compile(&prog).unwrap();
     println!("{}", dct_core::render_report(&cc));
     println!("The decomposition assigns 2-D blocks ({})", cc.decomposition.hpf_of(&cc.program, 0));
     println!("and the data transformation makes each processor's block contiguous.");

@@ -13,11 +13,31 @@ cd "$(dirname "$0")/.."
 
 BUDGET="${1:-120}"
 
-echo "== tier1: cargo build --release"
-cargo build --release
+echo "== tier1: cargo build --release --workspace"
+# --workspace so the repro binary itself is rebuilt (a bare root build
+# only rebuilds the dct-bench *library* the root package depends on).
+cargo build --release --workspace
 
 echo "== tier1: cargo test -q"
 cargo test -q
+
+echo "== tier1: differential fuzz smoke (256 cases)"
+cargo test -q -p dct-bench --test fuzz_smoke
+
+echo "== tier1: panic-site ratchet"
+# New panic!/unwrap() sites must not appear in the compiler crates above
+# the pinned baseline (scripts/panic_baseline.txt). Lowering a count is
+# fine — update the baseline downward when you remove panic sites.
+while read -r crate pinned; do
+    [ -z "$crate" ] && continue
+    count=$(grep -rhoE 'panic!|\.unwrap\(\)' "crates/$crate/src" --include='*.rs' | wc -l)
+    if [ "$count" -gt "$pinned" ]; then
+        echo "tier1 FAIL: crates/$crate/src has $count panic!/unwrap() sites (baseline $pinned)" >&2
+        echo "  use DctError/Result instead, or justify and bump scripts/panic_baseline.txt" >&2
+        exit 1
+    fi
+    echo "  $crate: $count/$pinned"
+done < scripts/panic_baseline.txt
 
 echo "== tier1: repro table1 --scale 0.25 smoke (budget ${BUDGET}s)"
 start=$(date +%s)

@@ -16,7 +16,7 @@ fn hpf_mapping_matches_automatic_lu() {
 
     let directives = parse_hpf("!HPF$ DISTRIBUTE A(*, CYCLIC)").unwrap();
     let hpf_dec = decomposition_from_hpf(&prog, &deps, &directives).unwrap();
-    let auto = Compiler::new(Strategy::Full).compile(&prog);
+    let auto = Compiler::new(Strategy::Full).compile(&prog).unwrap();
 
     // Same data decomposition.
     assert_eq!(hpf_dec.hpf_of(&prog, 0), auto.decomposition.hpf_of(&auto.program, 0));
@@ -24,9 +24,9 @@ fn hpf_mapping_matches_automatic_lu() {
     // Same computed values as the automatic compilation and the sequential
     // reference.
     let params = prog.default_params();
-    let (_, seq) = simulate_with_values(&prog, &hpf_dec, &SimOptions::new(1, params.clone()));
+    let (_, seq) = simulate_with_values(&prog, &hpf_dec, &SimOptions::new(1, params.clone())).unwrap();
     for procs in [2usize, 5, 8] {
-        let (_, hv) = simulate_with_values(&prog, &hpf_dec, &SimOptions::new(procs, params.clone()));
+        let (_, hv) = simulate_with_values(&prog, &hpf_dec, &SimOptions::new(procs, params.clone())).unwrap();
         for (x, (a, b)) in seq.iter().zip(&hv).enumerate() {
             for (k, (p, q)) in a.iter().zip(b).enumerate() {
                 assert!(p == q, "HPF P={procs}: array {x} elem {k}: {p} != {q}");
@@ -47,8 +47,8 @@ fn hpf_bad_mapping_still_correct_just_slower() {
     let dec = decomposition_from_hpf(&prog, &deps, &directives).unwrap();
 
     let params = prog.default_params();
-    let (_, seq) = simulate_with_values(&prog, &dec, &SimOptions::new(1, params.clone()));
-    let (_, par) = simulate_with_values(&prog, &dec, &SimOptions::new(6, params.clone()));
+    let (_, seq) = simulate_with_values(&prog, &dec, &SimOptions::new(1, params.clone())).unwrap();
+    let (_, par) = simulate_with_values(&prog, &dec, &SimOptions::new(6, params.clone())).unwrap();
     for (a, b) in seq.iter().zip(&par) {
         for (p, q) in a.iter().zip(b) {
             assert!(p == q);
@@ -69,8 +69,8 @@ fn hpf_block_cyclic_exercises_all_machinery() {
     assert_eq!(dec.hpf_of(&prog, 0), "A(CYCLIC(4), *)");
 
     let params = prog.default_params();
-    let (_, seq) = simulate_with_values(&prog, &dec, &SimOptions::new(1, params.clone()));
-    let (r, par) = simulate_with_values(&prog, &dec, &SimOptions::new(4, params.clone()));
+    let (_, seq) = simulate_with_values(&prog, &dec, &SimOptions::new(1, params.clone())).unwrap();
+    let (r, par) = simulate_with_values(&prog, &dec, &SimOptions::new(4, params.clone())).unwrap();
     assert!(r.cycles > 0);
     for (a, b) in seq.iter().zip(&par) {
         for (p, q) in a.iter().zip(b) {

@@ -13,8 +13,8 @@ fn speedups(
     procs: &[usize],
 ) -> Vec<f64> {
     let params = prog.default_params();
-    let seq = sequential_cycles(prog, &params);
-    speedup_curve(prog, strategy, procs, &params, seq)
+    let seq = sequential_cycles(prog, &params).unwrap();
+    speedup_curve(prog, strategy, procs, &params, seq).unwrap()
         .into_iter()
         .map(|p| p.speedup)
         .collect()

@@ -8,12 +8,12 @@ use dct_core::spmd::{simulate_with_values, SimOptions};
 
 fn values_for(b: &Benchmark, strategy: Strategy, procs: usize) -> Vec<Vec<f64>> {
     let c = Compiler::new(strategy);
-    let compiled = c.compile(&b.program);
+    let compiled = c.compile(&b.program).unwrap();
     let opts = c.sim_options(procs, b.program.default_params());
     let mut o = SimOptions::new(procs, opts.params.clone());
     o.transform_data = opts.transform_data;
     o.barrier_elision = opts.barrier_elision;
-    simulate_with_values(&compiled.program, &compiled.decomposition, &o).1
+    simulate_with_values(&compiled.program, &compiled.decomposition, &o).unwrap().1
 }
 
 fn assert_same(a: &[Vec<f64>], b: &[Vec<f64>], what: &str) {
