@@ -12,6 +12,7 @@
 //! repro table1 --max-wall 30 --max-cycles 2000000000
 //!                           # bound each cell; over-budget cells -> timeout
 //! repro table1 --out results/run1   # checkpoint directory
+//! repro --race-check        # certify every benchmark x strategy race-free
 //! ```
 //!
 //! With `--resume`, `--max-cycles`, `--max-wall` or `--out`, `table1` runs
@@ -35,6 +36,7 @@ fn main() {
     let mut procs: Vec<usize> = PAPER_PROCS.to_vec();
     let mut workers = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(4);
     let mut profile = false;
+    let mut race_check = false;
     let mut resume = false;
     let mut out_dir: Option<String> = None;
     let mut max_cycles: Option<u64> = None;
@@ -44,6 +46,7 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--profile" => profile = true,
+            "--race-check" => race_check = true,
             "--scale" => {
                 scale = it
                     .next()
@@ -110,6 +113,23 @@ fn main() {
         }
         return;
     }
+    if race_check && targets.is_empty() {
+        // Schedule soundness: run every benchmark x strategy with the
+        // happens-before race detector on. Exit non-zero on any race (or
+        // any cell that failed to run) — this is the CI gate proving the
+        // compiler's barrier elision and doacross pipelining sound. With
+        // an explicit `table1` target the flag instead threads detection
+        // through the table sweep below.
+        let procs = procs.iter().copied().max().unwrap_or(32);
+        let t0 = Instant::now();
+        let cells = harness::race_check(procs, scale, workers);
+        print!("{}", harness::render_race_check(&cells, procs));
+        eprintln!("[race-check done in {:?}]", t0.elapsed());
+        if cells.iter().any(|c| !c.is_clean()) {
+            std::process::exit(1);
+        }
+        return;
+    }
     if targets.is_empty() {
         targets.push("all".to_string());
     }
@@ -139,6 +159,7 @@ fn main() {
                     cfg.resume = resume;
                     cfg.max_cycles = max_cycles;
                     cfg.max_wall_secs = max_wall;
+                    cfg.race_check = race_check;
                     match dct_bench::run_sweep(&cfg) {
                         Ok(cells) => {
                             println!("{}", dct_bench::sweep::render_sweep(&cells, 32, scale))
@@ -148,6 +169,13 @@ fn main() {
                 } else {
                     let rows = harness::table1_parallel(32, scale, workers);
                     println!("{}", harness::render_table1(&rows, 32));
+                    if race_check {
+                        let cells = harness::race_check(32, scale, workers);
+                        print!("{}", harness::render_race_check(&cells, 32));
+                        if cells.iter().any(|c| !c.is_clean()) {
+                            std::process::exit(1);
+                        }
+                    }
                 }
             }
             "ablations" => {

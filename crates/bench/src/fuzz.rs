@@ -13,6 +13,11 @@
 //!    strategies, processor counts, foldings and the fast-path/general
 //!    walk — the same oracle `spmd`'s layout-level differential tests use,
 //!    extended to the whole pipeline.
+//! 3. **Race-free schedules.** Determinism makes oracle 2 blind to
+//!    synchronization bugs (sync only moves simulated time, never
+//!    values), so every simulation also runs the happens-before race
+//!    detector: an elided barrier or a missing pipeline handoff that the
+//!    schedule actually needed surfaces as a reported race.
 //!
 //! Programs are generated so that every subscript is in bounds by
 //! construction (loop ranges `1..=N-2`, subscripts `var ± 1` or small
@@ -192,8 +197,11 @@ pub fn fuzz_case(seed: u64) -> Result<usize, String> {
                      opts: &dct_spmd::SimOptions,
                      reference: &mut Option<Vec<Vec<u64>>>|
      -> Result<(), String> {
-        let out = catch_unwind(AssertUnwindSafe(|| dct_spmd::simulate_with_values(prog, dec, opts)));
-        let (_, vals) = match out {
+        let mut opts = opts.clone();
+        opts.race_detect = true;
+        let out =
+            catch_unwind(AssertUnwindSafe(|| dct_spmd::simulate_with_values(prog, dec, &opts)));
+        let (res, vals) = match out {
             Ok(Ok(r)) => r,
             Ok(Err(e)) => return Err(format!("seed {seed:#x}: {label}: {e}")),
             Err(p) => {
@@ -204,6 +212,11 @@ pub fn fuzz_case(seed: u64) -> Result<usize, String> {
             }
         };
         sims += 1;
+        if let Some(rep) = &res.race {
+            if !rep.is_race_free() {
+                return Err(format!("seed {seed:#x}: {label}: schedule races: {rep}"));
+            }
+        }
         let bits = value_bits(&vals);
         match reference {
             None => *reference = Some(bits),
@@ -254,8 +267,15 @@ pub fn fuzz_case(seed: u64) -> Result<usize, String> {
             }
         }
         // Folding differential: the folding changes data placement, never
-        // values. Exercised on the fully-optimized decomposition.
-        if strategy == Strategy::Full && compiled.decomposition.grid_rank > 0 {
+        // values. Exercised on the fully-optimized decomposition. That
+        // invariant holds only for doall schedules: a doacross pipeline
+        // preserves the sequential interleaving of its carried level only
+        // under BLOCK folding (ownership order = iteration order), so
+        // pipelined decompositions are skipped.
+        if strategy == Strategy::Full
+            && compiled.decomposition.grid_rank > 0
+            && compiled.decomposition.comp.iter().all(|c| c.pipeline_level.is_none())
+        {
             for f in [Folding::Cyclic, Folding::BlockCyclic { block: 2 }] {
                 let mut dec = compiled.decomposition.clone();
                 dec.foldings = vec![f; dec.grid_rank];

@@ -404,6 +404,123 @@ pub fn table1_parallel_with_hook(
     suite.iter().zip(&cells).map(|(b, cy)| assemble_row(b.name, &b.program, cy)).collect()
 }
 
+/// One benchmark × strategy cell of the race-check sweep: the detector's
+/// report, or why the cell could not run.
+#[derive(Clone, Debug)]
+pub struct RaceCheckCell {
+    pub program: String,
+    pub strategy: Strategy,
+    pub outcome: Result<dct_ir::RaceReport, String>,
+}
+
+impl RaceCheckCell {
+    /// True when the cell ran and the detector certified it race-free.
+    pub fn is_clean(&self) -> bool {
+        matches!(&self.outcome, Ok(rep) if rep.is_race_free())
+    }
+}
+
+/// Run one race-check cell: compile under `strategy`, simulate at `procs`
+/// with the happens-before detector enabled, and return its report.
+fn run_race_cell(
+    prog: &Program,
+    params: &[i64],
+    procs: usize,
+    strategy: Strategy,
+) -> Result<dct_ir::RaceReport, String> {
+    let body = || -> Result<dct_ir::RaceReport, String> {
+        let c = Compiler::new(strategy);
+        let compiled = c.compile(prog).map_err(|e| e.to_string())?;
+        let mut opts = dct_core::rung_sim_options(compiled.rung, procs, params.to_vec());
+        opts.race_detect = true;
+        let r = dct_spmd::simulate(&compiled.program, &compiled.decomposition, &opts)
+            .map_err(|e| e.to_string())?;
+        r.race.ok_or_else(|| "detector produced no report".to_string())
+    };
+    match catch_unwind(AssertUnwindSafe(body)) {
+        Ok(r) => r,
+        Err(p) => Err(format!("worker panicked: {}", panic_message(p.as_ref()))),
+    }
+}
+
+/// Certify every Table 1 benchmark under every strategy at `procs`
+/// processors with the happens-before race detector on. Cells are
+/// independent and swept with a scoped worker pool, like [`table1_parallel`].
+/// This is the schedule-soundness check behind `repro --race-check`: the
+/// detector is the only oracle that can see missing synchronization, since
+/// the deterministic simulator never produces "racy but lucky" values.
+pub fn race_check(procs: usize, scale: f64, workers: usize) -> Vec<RaceCheckCell> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let suite = programs::suite(scale);
+    let tasks: Vec<(usize, usize)> =
+        (0..suite.len()).flat_map(|b| (0..Strategy::ALL.len()).map(move |s| (b, s))).collect();
+    let next = AtomicUsize::new(0);
+    let cells: Mutex<Vec<Option<RaceCheckCell>>> = Mutex::new(vec![None; tasks.len()]);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers.max(1) {
+            scope.spawn(|| loop {
+                let t = next.fetch_add(1, Ordering::Relaxed);
+                if t >= tasks.len() {
+                    break;
+                }
+                let (b, s) = tasks[t];
+                let bench = &suite[b];
+                let strategy = Strategy::ALL[s];
+                let params = bench.program.default_params();
+                let outcome = run_race_cell(&bench.program, &params, procs, strategy);
+                cells.lock().unwrap()[t] =
+                    Some(RaceCheckCell { program: bench.name.to_string(), strategy, outcome });
+            });
+        }
+    });
+
+    cells
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|c| c.expect("race-check cell never ran"))
+        .collect()
+}
+
+/// Render the race-check sweep; one line per benchmark × strategy.
+pub fn render_race_check(cells: &[RaceCheckCell], procs: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Race check: every benchmark x strategy at {procs} processors (happens-before detector)\n"
+    ));
+    for c in cells {
+        match &c.outcome {
+            Ok(rep) if rep.is_race_free() => out.push_str(&format!(
+                "  {:<12} {:<28} clean ({} accesses checked, {} sync edges)\n",
+                c.program,
+                c.strategy.label(),
+                rep.checked,
+                rep.sync_edges
+            )),
+            Ok(rep) => out.push_str(&format!(
+                "  {:<12} {:<28} RACY: {rep}",
+                c.program,
+                c.strategy.label()
+            )),
+            Err(e) => out.push_str(&format!(
+                "  {:<12} {:<28} failed: {e}\n",
+                c.program,
+                c.strategy.label()
+            )),
+        }
+    }
+    let bad = cells.iter().filter(|c| !c.is_clean()).count();
+    if bad == 0 {
+        out.push_str("  all schedules certified race-free\n");
+    } else {
+        out.push_str(&format!("  {bad} cell(s) NOT certified\n"));
+    }
+    out
+}
+
 /// Render Table 1. Failed cells print `fail` and the row's notes follow
 /// indented beneath it.
 pub fn render_table1(rows: &[Table1Row], procs: usize) -> String {

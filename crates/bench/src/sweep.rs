@@ -202,6 +202,11 @@ pub struct SweepConfig {
     pub max_wall_secs: Option<f64>,
     /// Restrict to these benchmarks (`None` = whole suite).
     pub only: Option<Vec<String>>,
+    /// Run every cell with the happens-before race detector on; a cell
+    /// whose schedule races becomes a [`CellOutcome::Failed`] cell
+    /// carrying the race report (detection never changes cycles, so
+    /// checkpointed numbers stay comparable either way).
+    pub race_check: bool,
 }
 
 impl SweepConfig {
@@ -214,6 +219,7 @@ impl SweepConfig {
             max_cycles: None,
             max_wall_secs: None,
             only: None,
+            race_check: false,
         }
     }
 }
@@ -238,8 +244,14 @@ fn compute_cell(
         let mut opts = rung_sim_options(compiled.rung, procs, params.clone());
         opts.max_cycles = cfg.max_cycles;
         opts.max_wall_secs = cfg.max_wall_secs;
+        opts.race_detect = cfg.race_check;
         let r = dct_spmd::simulate(&compiled.program, &compiled.decomposition, &opts)
             .map_err(|e| e.to_string())?;
+        if let Some(rep) = &r.race {
+            if !rep.is_race_free() {
+                return Err(format!("schedule races: {rep}"));
+            }
+        }
         Ok(if r.timed_out { CellOutcome::Timeout } else { CellOutcome::Cycles(r.cycles) })
     };
     match catch_unwind(AssertUnwindSafe(body)) {

@@ -99,6 +99,23 @@ pub fn render_profile(c: &Compiled, r: &dct_spmd::RunResult) -> String {
         t.invalidations_received
     );
     let _ = writeln!(out, "  barriers: {}", r.barriers);
+    let s = &r.stats.sync;
+    let _ = writeln!(
+        out,
+        "  sync ops: {} barriers, {} lock handoffs, {} pipeline handoffs",
+        s.barriers, s.lock_handoffs, s.pipeline_handoffs
+    );
+    if let Some(rep) = &r.race {
+        if rep.is_race_free() {
+            let _ = writeln!(
+                out,
+                "  race check: clean ({} accesses checked, {} sync edges)",
+                rep.checked, rep.sync_edges
+            );
+        } else {
+            let _ = writeln!(out, "  race check: {rep}");
+        }
+    }
     out
 }
 
@@ -139,6 +156,13 @@ mod tests {
         assert!(profile.contains("sweep"));
         assert!(profile.contains("init"));
         assert!(profile.contains("barriers"));
+        assert!(!profile.contains("race check"), "no race line without detection");
+
+        let mut opts = crate::rung_sim_options(compiled.rung, 4, prog.default_params());
+        opts.race_detect = true;
+        let r = dct_spmd::simulate(&compiled.program, &compiled.decomposition, &opts).unwrap();
+        let profile = super::render_profile(&compiled, &r);
+        assert!(profile.contains("race check: clean"), "profile was:\n{profile}");
     }
 
     #[test]

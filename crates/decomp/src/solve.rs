@@ -192,6 +192,18 @@ pub fn decompose(prog: &Program, deps: &[NestDeps]) -> DctResult<Decomposition> 
                             nest.name
                         ));
                     }
+                    // A carried level whose dependence points backward in
+                    // another dimension (e.g. `(<, >)`) cannot run as a
+                    // tile-synchronous doacross: the forward handoffs never
+                    // order a source tile before a sink in an earlier tile.
+                    RowVote::Level(l) if !parallel[*l] && !deps[j].pipelineable(*l) => {
+                        rows[p] = CompRow::Localized(Aff::konst(0));
+                        notes.push(format!(
+                            "nest {}: carried level {l} has a backward inner dependence; \
+                             not pipelineable, serialized on proc dim {p}",
+                            nest.name
+                        ));
+                    }
                     RowVote::Level(l) => {
                         rows[p] = CompRow::Level(*l);
                         used_levels.push(*l);
@@ -312,7 +324,21 @@ pub fn decompose(prog: &Program, deps: &[NestDeps]) -> DctResult<Decomposition> 
         let cyclic = comp.iter().zip(&prog.nests).any(|(c, nest)| {
             matches!(c.rows.get(p), Some(CompRow::Level(l)) if varying_range(nest, *l, time_param))
         });
-        if cyclic {
+        // A doacross pipeline executes each processor's owned carried
+        // iterations as a block per tile, so it preserves the sequential
+        // interleaving only when ownership order equals iteration order —
+        // BLOCK folding. Cyclic folding would compute a different (still
+        // race-free, but wrong) interleaving.
+        let pipelined = comp.iter().any(|c| {
+            matches!((c.pipeline_level, c.rows.get(p)),
+                     (Some(pl), Some(CompRow::Level(l))) if pl == *l)
+        });
+        if cyclic && pipelined {
+            notes.push(format!(
+                "proc dim {p}: BLOCK folding kept despite varying ranges (a doacross \
+                 pipeline on this dim needs ownership order = iteration order)"
+            ));
+        } else if cyclic {
             foldings[p] = Folding::Cyclic;
             notes.push(format!(
                 "proc dim {p}: CYCLIC folding (iteration range varies across steps)"
@@ -455,9 +481,14 @@ pub(crate) fn base_like_rows_for_hpf(
         let chosen = pick_vote(&votes);
         misaligned += votes.iter().filter(|(v, _)| *v != chosen).count();
         match chosen {
-            // Same safety rule as the automatic path: a level crossed by an
-            // outer-carried dependence must not be distributed.
+            // Same safety rules as the automatic path: a level crossed by
+            // an outer-carried dependence must not be distributed, and a
+            // carried level with a backward inner dependence must not run
+            // as a doacross pipeline.
             RowVote::Level(l) if nd.has_crossing_dep(l) => {
+                *row = CompRow::Localized(Aff::konst(0));
+            }
+            RowVote::Level(l) if !parallel[l] && !nd.pipelineable(l) => {
                 *row = CompRow::Localized(Aff::konst(0));
             }
             RowVote::Level(l) => *row = CompRow::Level(l),

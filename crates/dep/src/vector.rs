@@ -124,6 +124,19 @@ impl NestDeps {
         (0..depth).map(|l| self.is_distributable(l)).collect()
     }
 
+    /// Can `level` be distributed as a tile-synchronous doacross
+    /// pipeline? The executor orders processor p's tile r after processor
+    /// p-1's tile r, which covers a dependence carried at `level` only if
+    /// it never points *backward* in another dimension: a vector like
+    /// `(<, >)` connects a source to a sink in an earlier tile on a
+    /// downstream processor, and no forward handoff orders that pair.
+    pub fn pipelineable(&self, level: usize) -> bool {
+        self.vectors.iter().all(|v| {
+            v.carrier() != Some(level)
+                || v.dirs.iter().enumerate().all(|(m, &d)| m == level || d != Dir::Gt)
+        })
+    }
+
     /// All constant distance vectors (used for skewing decisions);
     /// `None` if any carried dependence lacks a constant distance.
     pub fn all_distances(&self) -> Option<Vec<Vec<i64>>> {

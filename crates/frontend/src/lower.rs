@@ -185,6 +185,7 @@ impl Ctx {
     ) -> Result<dct_ir::LoopNest, FrontendError> {
         let mut scope: HashMap<String, usize> = HashMap::new();
         let mut nb: NestBuilder = pb.nest_builder(&format!("L{lineno}"));
+        nb.line(lineno);
         for (level, d) in chain.iter().enumerate() {
             if self.params.contains_key(&d.var)
                 || self.time.as_ref().is_some_and(|t| t.name == d.var)

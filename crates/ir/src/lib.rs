@@ -12,9 +12,11 @@ pub mod error;
 pub mod expr;
 pub mod pretty;
 pub mod program;
+pub mod race;
 
 pub use access::{AffineAccess, ArrayId, ArrayRef};
 pub use error::{panic_message, DctError, DctResult, Phase};
+pub use race::{Race, RaceAccess, RaceKind, RaceReport};
 pub use expr::{Aff, BinOp, Expr};
 pub use pretty::render_program;
 pub use program::{ArrayDecl, BoundForm, LoopBounds, LoopNest, NestBuilder, NestId, Param, Program, ProgramBuilder, Stmt, TimeLoop};

@@ -132,6 +132,9 @@ pub struct LoopNest {
     /// Relative execution-frequency weight used by the decomposition
     /// algorithm to order constraints (most frequent first).
     pub freq: u64,
+    /// Source line of the nest header in the frontend input, when the
+    /// program came from source text (diagnostics only).
+    pub line: Option<usize>,
 }
 
 impl LoopNest {
@@ -436,11 +439,25 @@ pub struct NestBuilder {
     body: Vec<Stmt>,
     freq: u64,
     nparams: usize,
+    line: Option<usize>,
 }
 
 impl NestBuilder {
     pub fn new(name: &str, nparams: usize) -> NestBuilder {
-        NestBuilder { name: name.to_string(), bounds: Vec::new(), body: Vec::new(), freq: 1, nparams }
+        NestBuilder {
+            name: name.to_string(),
+            bounds: Vec::new(),
+            body: Vec::new(),
+            freq: 1,
+            nparams,
+            line: None,
+        }
+    }
+
+    /// Record the source line of the nest header (frontend input only).
+    pub fn line(&mut self, l: usize) -> &mut Self {
+        self.line = Some(l);
+        self
     }
 
     /// Add a loop level with inclusive bounds; returns its level index.
@@ -484,6 +501,7 @@ impl NestBuilder {
             bounds: self.bounds,
             body: self.body,
             freq: self.freq,
+            line: self.line,
         }
     }
 }

@@ -1,0 +1,202 @@
+//! Report types for the SPMD simulator's happens-before race detector.
+//!
+//! The detector itself lives in `dct-spmd` (it is woven into the
+//! execution engine); the *report* lives here so that `dct-core`'s
+//! optimization report and the `dct-bench` harnesses can consume it
+//! without depending on the simulator, mirroring how [`DctError`]
+//! carries structured diagnostics across crate boundaries.
+
+use crate::error::{DctError, Phase};
+
+/// The kind of conflicting access pair, named in program order: a
+/// `ReadWrite` race is an earlier read racing with a later write.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RaceKind {
+    WriteWrite,
+    ReadWrite,
+    WriteRead,
+}
+
+impl RaceKind {
+    pub fn label(&self) -> &'static str {
+        match self {
+            RaceKind::WriteWrite => "write-write",
+            RaceKind::ReadWrite => "read-write",
+            RaceKind::WriteRead => "write-read",
+        }
+    }
+}
+
+/// One side of a racing pair: where in the program the access was
+/// issued, and by which simulated processor.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RaceAccess {
+    /// Simulated processor that issued the access.
+    pub proc: usize,
+    /// Index of the nest in `program.nests`; `None` for init nests.
+    pub nest: Option<usize>,
+    /// Name of the nest.
+    pub nest_name: String,
+    /// Source line of the nest header, when the program came from the
+    /// frontend.
+    pub line: Option<usize>,
+}
+
+impl std::fmt::Display for RaceAccess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "proc {} in nest {}", self.proc, self.nest_name)?;
+        if let Some(j) = self.nest {
+            write!(f, " (#{j})")?;
+        }
+        if let Some(l) = self.line {
+            write!(f, " line {l}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A pair of accesses to the same array element with no happens-before
+/// edge between them (and at least one a write).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Race {
+    pub kind: RaceKind,
+    /// Index of the array in `program.arrays`.
+    pub array: usize,
+    pub array_name: String,
+    /// Linear element index within the array's distributed layout.
+    pub element: usize,
+    /// The earlier access (in the simulator's deterministic issue order).
+    pub first: RaceAccess,
+    /// The later access, which detected the conflict.
+    pub second: RaceAccess,
+}
+
+impl Race {
+    /// Convert into the pipeline's structured error form, attributed to
+    /// the access that detected the race.
+    pub fn to_error(&self) -> DctError {
+        let mut e = DctError::new(
+            Phase::Sim,
+            format!(
+                "{} race on {}[{}]: {} vs {}",
+                self.kind.label(),
+                self.array_name,
+                self.element,
+                self.first,
+                self.second
+            ),
+        )
+        .with_array(self.array);
+        if let Some(j) = self.second.nest {
+            e = e.with_nest(j, &self.second.nest_name);
+        }
+        if let Some(l) = self.second.line {
+            e = e.with_line(l);
+        }
+        e
+    }
+}
+
+impl std::fmt::Display for Race {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} race on {}[{}]: {} vs {}",
+            self.kind.label(),
+            self.array_name,
+            self.element,
+            self.first,
+            self.second
+        )
+    }
+}
+
+/// Outcome of a race-checked simulation. `races` is deduplicated by
+/// (array, kind, racing nest pair) and capped at [`RaceReport::MAX_RACES`]
+/// distinct entries so the report stays readable on badly broken
+/// schedules; `race_count` keeps the raw number of dynamic conflicts.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct RaceReport {
+    /// Distinct races (deduplicated, capped).
+    pub races: Vec<Race>,
+    /// Total dynamic conflicting access pairs observed.
+    pub race_count: u64,
+    /// Number of access events checked (diagnostics; on the strided
+    /// fast path a whole segment counts per element it covers).
+    pub checked: u64,
+    /// Happens-before edges installed (barrier joins + lock handoffs).
+    pub sync_edges: u64,
+}
+
+impl RaceReport {
+    /// Cap on distinct races retained per run.
+    pub const MAX_RACES: usize = 16;
+
+    pub fn is_race_free(&self) -> bool {
+        self.race_count == 0
+    }
+}
+
+impl std::fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_race_free() {
+            write!(
+                f,
+                "race-free ({} accesses checked, {} sync edges)",
+                self.checked, self.sync_edges
+            )
+        } else {
+            writeln!(
+                f,
+                "{} dynamic race(s), {} distinct:",
+                self.race_count,
+                self.races.len()
+            )?;
+            for r in &self.races {
+                writeln!(f, "  {r}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Race {
+        Race {
+            kind: RaceKind::WriteRead,
+            array: 1,
+            array_name: "A".to_string(),
+            element: 42,
+            first: RaceAccess { proc: 0, nest: Some(2), nest_name: "L10".into(), line: Some(10) },
+            second: RaceAccess { proc: 3, nest: Some(3), nest_name: "L14".into(), line: Some(14) },
+        }
+    }
+
+    #[test]
+    fn to_error_carries_location() {
+        let e = sample().to_error();
+        assert_eq!(e.phase, Phase::Sim);
+        assert_eq!(e.array, Some(1));
+        assert_eq!(e.nest, Some(3));
+        assert_eq!(e.line, Some(14));
+        let s = e.to_string();
+        assert!(s.contains("write-read race on A[42]"), "{s}");
+        assert!(s.contains("proc 0"), "{s}");
+        assert!(s.contains("proc 3"), "{s}");
+    }
+
+    #[test]
+    fn report_display() {
+        let mut rep = RaceReport { checked: 100, sync_edges: 5, ..Default::default() };
+        assert!(rep.is_race_free());
+        assert!(rep.to_string().contains("race-free"));
+        rep.races.push(sample());
+        rep.race_count = 7;
+        assert!(!rep.is_race_free());
+        let s = rep.to_string();
+        assert!(s.contains("7 dynamic race(s), 1 distinct"), "{s}");
+    }
+}

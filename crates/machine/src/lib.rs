@@ -17,4 +17,4 @@ pub mod system;
 pub use cache::{Cache, LineState};
 pub use classify::{Classifier, MissClasses, ShadowLru};
 pub use config::MachineConfig;
-pub use system::{Machine, ProcStats, Stats};
+pub use system::{Machine, ProcStats, Stats, SyncOp, SyncStats};

@@ -134,10 +134,43 @@ pub struct ProcStats {
     pub mem_cycles: u64,
 }
 
+/// Synchronization events routed through [`Machine::sync`]. These count
+/// *schedule structure* (how many barriers and handoffs the generated
+/// code executed), so they are identical across executor modes for a
+/// given schedule, like the access stream itself.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct SyncStats {
+    /// Global barrier joins.
+    pub barriers: u64,
+    /// Whole-nest producer/consumer lock handoffs (`SyncKind::ProducerWait`).
+    pub lock_handoffs: u64,
+    /// Per-tile doacross pipeline handoffs (`PipelineSpec` chains).
+    pub pipeline_handoffs: u64,
+}
+
+impl SyncStats {
+    pub fn total(&self) -> u64 {
+        self.barriers + self.lock_handoffs + self.pipeline_handoffs
+    }
+}
+
+/// A synchronization event the executor reports to the machine model.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SyncOp {
+    /// Global barrier among `active` processors.
+    Barrier { active: usize },
+    /// Whole-nest lock handoff (producer signals, consumers wait).
+    LockHandoff,
+    /// One per-tile handoff along a doacross pipeline chain.
+    PipelineHandoff,
+}
+
 /// Aggregated machine statistics.
 #[derive(Clone, Default, Debug, PartialEq, Eq)]
 pub struct Stats {
     pub per_proc: Vec<ProcStats>,
+    /// Synchronization events (see [`SyncStats`]).
+    pub sync: SyncStats,
 }
 
 impl Stats {
@@ -227,7 +260,10 @@ impl Machine {
             (0..cfg.nprocs).map(|_| Classifier::new(lines)).collect()
         });
         Machine {
-            stats: Stats { per_proc: vec![ProcStats::default(); cfg.nprocs] },
+            stats: Stats {
+                per_proc: vec![ProcStats::default(); cfg.nprocs],
+                sync: SyncStats::default(),
+            },
             last_line: vec![LastLine::NONE; cfg.nprocs],
             last_page: vec![(u64::MAX, 0); cfg.nprocs],
             line_shift: cfg.line_bytes.trailing_zeros(),
@@ -494,6 +530,27 @@ impl Machine {
     /// to the clocks).
     pub fn barrier_cost(&self, active: usize) -> u64 {
         self.cfg.barrier_cost(active)
+    }
+
+    /// Record a synchronization event and return its cycle cost (the
+    /// executor applies the cost to the clocks). This is the hook the
+    /// race detector's happens-before edges are anchored to: every edge
+    /// the detector installs corresponds to exactly one `sync` event.
+    pub fn sync(&mut self, op: SyncOp) -> u64 {
+        match op {
+            SyncOp::Barrier { active } => {
+                self.stats.sync.barriers += 1;
+                self.cfg.barrier_cost(active)
+            }
+            SyncOp::LockHandoff => {
+                self.stats.sync.lock_handoffs += 1;
+                self.cfg.lock_cost
+            }
+            SyncOp::PipelineHandoff => {
+                self.stats.sync.pipeline_handoffs += 1;
+                self.cfg.lock_cost
+            }
+        }
     }
 }
 

@@ -86,6 +86,8 @@ pub struct SpmdProgram {
     /// except when nprocs does not factor; see `grid_shape`).
     pub grid: Vec<usize>,
     pub layouts: Vec<ArrayLayout>,
+    /// Array names, for diagnostics (race reports, profiles).
+    pub array_names: Vec<String>,
     /// Concrete array extents under the parameter binding.
     pub extents: Vec<Vec<i64>>,
     /// Byte base address of each array.
@@ -229,39 +231,87 @@ pub fn codegen(prog: &Program, dec: &Decomposition, opts: &SpmdOptions) -> DctRe
         })
         .collect::<DctResult<_>>()?;
 
-    // Synchronization placement: pairwise aligned-access analysis between
-    // each nest and its successor in the (cyclic, if time-stepped) schedule.
+    // Synchronization placement. A sync after nest j orders *everything*
+    // before it against everything after, so eliding one is sound only if
+    // the next nest conflicts with no nest anywhere in the resulting
+    // sync-free window — adjacency is not enough (a conflict between nest
+    // j and nest j+2 with a benign nest j+1 in between still needs a
+    // fence, and for time-stepped programs the window wraps across the
+    // step boundary). Greedy forward scan: carry the set of nests since
+    // the last sync; fence as soon as the next nest conflicts with any of
+    // them.
     let n = nests.len();
     let mut nests = nests;
     let cyclic = prog.time.is_some();
-    for j in 0..n {
-        let next = if j + 1 < n {
-            Some(j + 1)
-        } else if cyclic && n > 0 {
-            Some(0)
+    let kind_of = |nests: &[SpmdNest], j: usize| {
+        if nests[j].gates.len() == dec.grid_rank && !nests[j].gates.is_empty() {
+            // Fully localized producer: lock handoff suffices.
+            SyncKind::ProducerWait
         } else {
-            None
-        };
-        let sync = match next {
-            None => SyncKind::Barrier, // program end
-            Some(k) if !opts.barrier_elision => {
-                let _ = k;
-                SyncKind::Barrier
+            SyncKind::Barrier
+        }
+    };
+    if !opts.barrier_elision {
+        for nest in nests.iter_mut() {
+            nest.sync_after = SyncKind::Barrier;
+        }
+    } else if n > 0 {
+        // First lap: linear scan assuming a fence before nest 0 (true at
+        // step 0, where initialization ends with a barrier).
+        let mut sync = vec![SyncKind::None; n];
+        let mut window: Vec<usize> = vec![0];
+        let mut last_fence = None;
+        for j in 0..n - 1 {
+            if window.iter().any(|&a| needs_barrier(prog, dec, &nests, &grid, a, j + 1)) {
+                sync[j] = kind_of(&nests, j);
+                window.clear();
+                last_fence = Some(j);
             }
-            Some(k) => {
-                if needs_barrier(prog, dec, &nests, j, k) {
-                    if nests[j].gates.len() == dec.grid_rank && !nests[j].gates.is_empty() {
-                        // Fully localized producer: lock handoff suffices.
-                        SyncKind::ProducerWait
-                    } else {
-                        SyncKind::Barrier
+            window.push(j + 1);
+        }
+        if !cyclic {
+            sync[n - 1] = SyncKind::Barrier; // program end
+        } else {
+            match last_fence {
+                None => {
+                    // No conflicts within a step. A fence is still needed
+                    // if any nest conflicts with a cyclically earlier (or
+                    // the same) nest of the next step; one sync at the
+                    // step boundary orders every such pair.
+                    let wraps = (0..n)
+                        .any(|a| (0..=a).any(|b| needs_barrier(prog, dec, &nests, &grid, a, b)));
+                    if wraps {
+                        sync[n - 1] = kind_of(&nests, n - 1);
                     }
-                } else {
-                    SyncKind::None
+                }
+                Some(fence) => {
+                    // Continue the scan across the step boundary,
+                    // re-deciding the wrap edge and the pre-fence edges
+                    // with the window carried over from the previous
+                    // step's tail. (Step 0's true window is smaller, so
+                    // this only ever adds syncs — conservative, never
+                    // unsound.)
+                    let mut j = n - 1;
+                    loop {
+                        let next = (j + 1) % n;
+                        if window.iter().any(|&a| needs_barrier(prog, dec, &nests, &grid, a, next)) {
+                            sync[j] = kind_of(&nests, j);
+                            window.clear();
+                        } else {
+                            sync[j] = SyncKind::None;
+                        }
+                        window.push(next);
+                        if next == fence {
+                            break;
+                        }
+                        j = next;
+                    }
                 }
             }
-        };
-        nests[j].sync_after = sync;
+        }
+        for (nest, s) in nests.iter_mut().zip(sync) {
+            nest.sync_after = s;
+        }
     }
 
     // Initialization nests: owner-computes placement on the written array.
@@ -277,6 +327,7 @@ pub fn codegen(prog: &Program, dec: &Decomposition, opts: &SpmdOptions) -> DctRe
         nprocs: opts.procs,
         grid,
         layouts,
+        array_names: prog.arrays.iter().map(|a| a.name.clone()).collect(),
         extents,
         bases,
         repl_stride,
@@ -332,6 +383,28 @@ fn compile_nest(
                         "unexpected schedule: distributed level {l} of a depth-{} nest",
                         nest.depth
                     )));
+                }
+                if matches!(sched[*l], LevelSched::Dist { .. }) {
+                    // Two distributed array dimensions driven by the same
+                    // loop variable (a diagonal access like A[l+1, l]).
+                    // Distributing the level twice would overwrite the
+                    // first constraint and run every iteration redundantly
+                    // on all coordinates of this proc dim — each element
+                    // then written by several processors at once. True
+                    // owner-computes here needs per-iteration gating the
+                    // executor does not have, so keep the first
+                    // distribution and confine this proc dim to its
+                    // 0-coordinate slice: every iteration still executes
+                    // exactly once (its writes are merely non-local along
+                    // this dim).
+                    let extent = proc_dim_extent(prog, dec, p, extents);
+                    gates.push(Gate {
+                        proc_dim: p,
+                        folding: dec.foldings[p],
+                        extent,
+                        aff: Aff::konst(0),
+                    });
+                    continue;
                 }
                 let (extent, offset) = level_alignment(prog, dec, nest, *l, p, extents)
                     .unwrap_or_else(|| fallback_extent(nest, *l, &opts.params));
@@ -543,6 +616,7 @@ fn needs_barrier(
     prog: &Program,
     dec: &Decomposition,
     nests: &[SpmdNest],
+    grid: &[usize],
     a: usize,
     b: usize,
 ) -> bool {
@@ -571,9 +645,47 @@ fn needs_barrier(
                 }
             }
         }
+        // Alignment pins an access only along the proc dims x is
+        // distributed over. Along any other (free) grid dim, ownership
+        // says nothing about where the access runs — e.g. a writer gated
+        // to coordinate 0 feeding a reader distributed across that dim —
+        // so data still crosses processors unless both nests confine the
+        // dim to the same single coordinate.
+        if !free_dims_match(&nests[a], &nests[b], dec, grid, x) {
+            return true;
+        }
     }
     let _ = prog;
     false
+}
+
+/// Do `a` and `b` confine every multi-processor grid dim that `x`'s
+/// distribution leaves unconstrained to the same single coordinate (gates
+/// with identical owner expressions)?
+fn free_dims_match(
+    a: &SpmdNest,
+    b: &SpmdNest,
+    dec: &Decomposition,
+    grid: &[usize],
+    x: usize,
+) -> bool {
+    let gate_aff = |n: &SpmdNest, p: usize| {
+        n.gates.iter().find(|g| g.proc_dim == p).map(|g| {
+            let mut aff = g.aff.clone();
+            normalize(&mut aff);
+            aff
+        })
+    };
+    for (p, &extent) in grid.iter().enumerate() {
+        if extent <= 1 || dec.data[x].dists.iter().any(|ad| ad.proc_dim == p) {
+            continue;
+        }
+        match (gate_aff(a, p), gate_aff(b, p)) {
+            (Some(ga), Some(gb)) if ga == gb => {}
+            _ => return false,
+        }
+    }
+    true
 }
 
 /// Is a reference owner-aligned with its nest's schedule on every

@@ -29,8 +29,9 @@
 
 use crate::codegen::{LevelSched, SpmdNest, SpmdProgram, SyncKind};
 use crate::cost::CostModel;
-use dct_ir::{ArrayRef, BinOp, Expr};
-use dct_machine::{Machine, MachineConfig, MissClasses, Stats};
+use crate::race::Detector;
+use dct_ir::{ArrayRef, BinOp, Expr, RaceReport};
+use dct_machine::{Machine, MachineConfig, MissClasses, Stats, SyncOp};
 
 /// Executor-level fast-path counters (observability only; never feeds
 /// back into cycles or statistics).
@@ -83,6 +84,9 @@ pub struct RunResult {
     /// The run hit its cycle or wall-clock budget and was aborted; the
     /// result is partial (the repro harness records it as a Timeout cell).
     pub timed_out: bool,
+    /// Happens-before race report, when the run was executed with
+    /// `race_detect` enabled (`None` = detection was off).
+    pub race: Option<RaceReport>,
 }
 
 /// A resolved reference inside a strided segment: current byte address and
@@ -171,11 +175,15 @@ struct WalkCtx<'n> {
     reads: Vec<Vec<&'n ArrayRef>>,
     /// `ops[s]` = postfix code of statement `s`'s right-hand side.
     ops: Vec<Vec<BodyOp>>,
+    /// `(array, is_write)` of every segment cursor in `setup_cursors`
+    /// order (per statement: the write first, then its reads) — the race
+    /// detector's view of the cursor table.
+    ref_info: Vec<(usize, bool)>,
 }
 
 impl<'n> WalkCtx<'n> {
     fn new(nest: &'n SpmdNest) -> WalkCtx<'n> {
-        let reads = nest
+        let reads: Vec<Vec<&'n ArrayRef>> = nest
             .source
             .body
             .iter()
@@ -185,6 +193,13 @@ impl<'n> WalkCtx<'n> {
                 v
             })
             .collect();
+        let mut ref_info = Vec::new();
+        for (s, rds) in nest.source.body.iter().zip(&reads) {
+            ref_info.push((s.lhs.array.0, true));
+            for r in rds.iter() {
+                ref_info.push((r.array.0, false));
+            }
+        }
         let ops = nest
             .source
             .body
@@ -198,7 +213,7 @@ impl<'n> WalkCtx<'n> {
                 v
             })
             .collect();
-        WalkCtx { nest, reads, ops }
+        WalkCtx { nest, reads, ops, ref_info }
     }
 }
 
@@ -214,6 +229,10 @@ pub struct Executor<'a> {
     /// (default). Disable to force the general walk everywhere — used by
     /// the differential tests that pin bit-exactness between both modes.
     pub fast_path: bool,
+    /// Run the happens-before race detector alongside execution. A pure
+    /// observer: cycles, statistics and results are unchanged; the run
+    /// result gains a [`RaceReport`].
+    pub race_detect: bool,
     /// Abort the run once the slowest processor clock exceeds this many
     /// simulated cycles (checked at nest boundaries).
     pub max_cycles: Option<u64>,
@@ -240,6 +259,9 @@ pub struct Executor<'a> {
     init_cycles: u64,
     /// Accumulator target for the nest currently executing.
     current_acc: Option<usize>,
+    /// The happens-before detector, created at `run()` when
+    /// `race_detect` is set (boxed: the executor hot state stays small).
+    race: Option<Box<Detector>>,
 }
 
 impl<'a> Executor<'a> {
@@ -255,6 +277,7 @@ impl<'a> Executor<'a> {
             cost,
             barriers: 0,
             fast_path: true,
+            race_detect: false,
             max_cycles: None,
             max_wall: None,
             coords,
@@ -268,6 +291,7 @@ impl<'a> Executor<'a> {
             nest_cycles: vec![0; sp.nests.len()],
             init_cycles: 0,
             current_acc: None,
+            race: None,
         }
     }
 
@@ -276,6 +300,9 @@ impl<'a> Executor<'a> {
     /// checked at nest boundaries; a runaway simulation returns a partial
     /// result flagged `timed_out` instead of hanging its sweep.
     pub fn run(&mut self) -> RunResult {
+        if self.race_detect && self.race.is_none() {
+            self.race = Some(Box::new(Detector::new(self.sp)));
+        }
         let started = std::time::Instant::now();
         let mut timed_out = false;
         let mut params = self.sp.params.clone();
@@ -326,6 +353,7 @@ impl<'a> Executor<'a> {
             init_cycles: self.init_cycles,
             fast: self.fast,
             timed_out,
+            race: self.race.as_ref().map(|d| d.report_snapshot()),
         }
     }
 
@@ -374,17 +402,25 @@ impl<'a> Executor<'a> {
     fn barrier(&mut self) {
         self.barriers += 1;
         let m = self.clocks.iter().copied().max().unwrap_or(0);
-        let c = m + self.machine.barrier_cost(self.sp.nprocs);
+        let c = m + self.machine.sync(SyncOp::Barrier { active: self.sp.nprocs });
         for x in &mut self.clocks {
             *x = c;
+        }
+        if let Some(d) = self.race.as_deref_mut() {
+            d.global_sync();
         }
     }
 
     fn producer_wait(&mut self) {
         let m = self.clocks.iter().copied().max().unwrap_or(0);
-        let c = m + self.machine.cfg.lock_cost;
+        let c = m + self.machine.sync(SyncOp::LockHandoff);
         for x in &mut self.clocks {
             *x = c;
+        }
+        // The executor's producer-wait joins every cycle clock, so the
+        // matching happens-before edge is barrier-strength too.
+        if let Some(d) = self.race.as_deref_mut() {
+            d.global_sync();
         }
     }
 
@@ -395,6 +431,9 @@ impl<'a> Executor<'a> {
         let sp = self.sp;
         let nest: &'a SpmdNest = if init { &sp.init[idx] } else { &sp.nests[idx] };
         self.current_acc = if init { None } else { Some(idx) };
+        if let Some(d) = self.race.as_deref_mut() {
+            d.set_site(init, idx, sp.init.len());
+        }
         if nest.pipeline.is_some() {
             self.exec_pipelined(nest, params);
         } else {
@@ -489,21 +528,47 @@ impl<'a> Executor<'a> {
         for (_, mut chain) in chains {
             chain.sort_by_key(|&p| self.coords[p].get(pipe_dim).copied().unwrap_or(0));
             let mut prev_done: Vec<u64> = vec![0; ntiles as usize];
+            // Predecessor's released detector clocks, one per tile (empty
+            // when detection is off or for the chain head).
+            let mut prev_rel: Vec<Vec<u64>> = Vec::new();
+            let mut head = true;
             for &p in &chain {
                 let mut clock = self.clocks[p];
                 let mut done = Vec::with_capacity(ntiles as usize);
+                let mut rel: Vec<Vec<u64>> = Vec::new();
                 for r in 0..ntiles {
                     let rlo = tlo + r * tile;
                     let rhi = (rlo + tile - 1).min(thi);
-                    let start = clock.max(prev_done[r as usize].saturating_add(lock));
+                    // Chain members behind a predecessor acquire its
+                    // per-tile handoff (same lock cost the clock model
+                    // already charges).
+                    let lk = if head {
+                        lock
+                    } else {
+                        let c = self.machine.sync(SyncOp::PipelineHandoff);
+                        if let (Some(d), Some(snap)) =
+                            (self.race.as_deref_mut(), prev_rel.get(r as usize))
+                        {
+                            d.acquire(p, snap);
+                        }
+                        c
+                    };
+                    let start = clock.max(prev_done[r as usize].saturating_add(lk));
                     let busy =
                         self.walk(&ctx, p, 0, &mut ivec, params, Some((spec.tile_level, rlo, rhi)));
                     self.account(busy);
                     clock = start + busy;
                     done.push(clock);
+                    if let Some(d) = self.race.as_deref_mut() {
+                        // Release after each tile: later tiles open a new
+                        // epoch the successor's acquire does not cover.
+                        rel.push(d.release(p));
+                    }
                 }
                 self.clocks[p] = clock;
                 prev_done = done;
+                prev_rel = rel;
+                head = false;
             }
         }
         self.scratch_ivec = ivec;
@@ -598,6 +663,9 @@ impl<'a> Executor<'a> {
             let seg = self.setup_cursors(ctx, proc, ivec, params, level, step).min(remaining);
             self.fast.segments += 1;
             self.fast.fast_iters += seg as u64;
+            if self.race.is_some() {
+                self.race_segment(ctx, proc, seg);
+            }
             for _ in 0..seg {
                 ivec[level] = v;
                 busy += self.cost.loop_iter + self.exec_body_fast(ctx, proc, ivec);
@@ -664,6 +732,19 @@ impl<'a> Executor<'a> {
         }
     }
 
+    /// Report a whole strided segment to the race detector: one interval
+    /// per reference cursor. Exact, not an approximation — no sync can
+    /// occur inside a segment and the simulator runs one processor at a
+    /// time, so every element access in the segment carries the same
+    /// `proc:epoch` and per-reference batching observes the same
+    /// happens-before facts as the per-iteration general walk.
+    fn race_segment(&mut self, ctx: &WalkCtx, proc: usize, seg: i64) {
+        let Some(d) = self.race.as_deref_mut() else { return };
+        for (c, &(x, is_write)) in self.cursors.iter().zip(&ctx.ref_info) {
+            d.range_access(proc, x, c.slot, c.dslot, seg, is_write);
+        }
+    }
+
 
     /// Statement body through segment cursors and flattened postfix code;
     /// mirrors [`Self::exec_body`] exactly (same access order, same cost
@@ -725,6 +806,9 @@ impl<'a> Executor<'a> {
             // Write.
             let x = s.lhs.array.0;
             let (addr, slot) = self.addr_of_ref(proc, x, &s.lhs.access, ivec, params);
+            if let Some(d) = self.race.as_deref_mut() {
+                d.access(proc, x, slot, true);
+            }
             busy += self.machine.access(proc, addr, true) + sc.write_extra;
             self.arenas[x][slot] = val;
         }
@@ -747,6 +831,9 @@ impl<'a> Executor<'a> {
             Expr::Ref(r) => {
                 let x = r.array.0;
                 let (addr, slot) = self.addr_of_ref(proc, x, &r.access, ivec, params);
+                if let Some(d) = self.race.as_deref_mut() {
+                    d.access(proc, x, slot, false);
+                }
                 let extra = read_extras.get(*read_idx).copied().unwrap_or(0);
                 *read_idx += 1;
                 let c = self.machine.access(proc, addr, false) + extra;

@@ -12,10 +12,13 @@ pub mod codegen;
 pub mod cost;
 pub mod emit_c;
 pub mod exec;
+pub mod race;
 pub mod run;
 
 pub use codegen::{codegen, Gate, LevelSched, PipelineSpec, SpmdNest, SpmdOptions, SpmdProgram, StmtCost, SyncKind};
 pub use cost::CostModel;
+pub use dct_ir::{Race, RaceAccess, RaceKind, RaceReport};
 pub use emit_c::{emit_c, emit_runtime_header};
 pub use exec::{owned_iter, Executor, RunResult};
+pub use race::Detector;
 pub use run::{simulate, simulate_with_values, SimOptions};

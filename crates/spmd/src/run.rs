@@ -27,6 +27,10 @@ pub struct SimOptions {
     /// (default). The general walk produces bit-identical results; the
     /// differential tests flip this to prove it.
     pub fast_path: bool,
+    /// Run the happens-before race detector alongside execution (pure
+    /// observer: cycles and results are unchanged; the run result gains
+    /// a `RaceReport`).
+    pub race_detect: bool,
     /// Abort a runaway simulation once the slowest processor clock exceeds
     /// this many simulated cycles; the result comes back `timed_out`.
     pub max_cycles: Option<u64>,
@@ -44,6 +48,7 @@ impl SimOptions {
             addr_opt: true,
             machine: None,
             fast_path: true,
+            race_detect: false,
             max_cycles: None,
             max_wall_secs: None,
         }
@@ -60,6 +65,7 @@ fn build_executor<'a>(
     let machine = opts.machine.clone().unwrap_or_else(|| MachineConfig::dash(opts.procs));
     let mut ex = Executor::new(sp, machine, cost);
     ex.fast_path = opts.fast_path;
+    ex.race_detect = opts.race_detect;
     ex.max_cycles = opts.max_cycles;
     ex.max_wall = opts.max_wall_secs.map(std::time::Duration::from_secs_f64);
     ex

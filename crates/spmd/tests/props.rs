@@ -89,6 +89,42 @@ fn arb_stencil() -> impl Strategy<Value = Program> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
+    /// Barrier elision is semantics- and race-preserving on randomized
+    /// stencils: the elided schedule computes the same arrays as the
+    /// fully-barriered one, and the happens-before detector certifies it
+    /// race-free on both walk modes. The detector is the only oracle that
+    /// can certify the second half — the simulator is deterministic, so
+    /// sync bugs move simulated time but never values.
+    #[test]
+    fn elision_is_sound(prog in arb_stencil(), procs in 2usize..=6) {
+        let cfg = DepConfig { nparams: prog.params.len(), param_min: 4 };
+        let deps: Vec<_> = prog.nests.iter().map(|n| analyze_nest(n, cfg)).collect();
+        let full = decompose(&prog, &deps).unwrap();
+        let params = prog.default_params();
+
+        let mut all_sync = SimOptions::new(procs, params.clone());
+        all_sync.barrier_elision = false;
+        let (_, reference) = simulate_with_values(&prog, &full, &all_sync).unwrap();
+
+        for fast in [true, false] {
+            let mut o = SimOptions::new(procs, params.clone());
+            o.fast_path = fast;
+            o.race_detect = true;
+            let (res, got) = simulate_with_values(&prog, &full, &o).unwrap();
+            let rep = res.race.expect("race report present");
+            prop_assert!(rep.is_race_free(), "elided schedule races (fast={fast}): {rep}");
+            prop_assert!(rep.checked > 0, "detector saw no accesses");
+            for (x, (va, vb)) in reference.iter().zip(&got).enumerate() {
+                for (k, (p, q)) in va.iter().zip(vb).enumerate() {
+                    prop_assert!(
+                        p == q,
+                        "array {x} elem {k}: {p} != {q} (P={procs}, fast={fast})"
+                    );
+                }
+            }
+        }
+    }
+
     /// Randomized stencils: identical values for every strategy and
     /// processor count.
     #[test]

@@ -1,0 +1,199 @@
+//! Mutation testing of the compiler's synchronization decisions.
+//!
+//! The simulator is deterministic, so deleting synchronization never
+//! changes numeric results — bit-exact output comparison is blind to
+//! sync bugs. The happens-before detector is the oracle that isn't:
+//! these tests take every paper benchmark, systematically downgrade each
+//! emitted `SyncKind::Barrier`/`SyncKind::ProducerWait` to `None` and
+//! each doacross `PipelineSpec` to a plain doall (no lock handoffs), and
+//! assert that
+//!
+//! 1. the *unmutated* schedule is race-free under the detector (zero
+//!    false positives, on both the strided fast path and the general
+//!    walk, across every strategy rung), and
+//! 2. every mutant whose deleted sync the schedule claims is required is
+//!    flagged as racy (the detector catches 100% of the injected bugs).
+
+use dct_bench::programs::suite;
+use dct_core::{rung_sim_options, Compiler, Rung, Strategy};
+use dct_decomp::Decomposition;
+use dct_ir::Program;
+use dct_machine::MachineConfig;
+use dct_spmd::{codegen, CostModel, Executor, RunResult, SimOptions, SpmdOptions, SpmdProgram, SyncKind};
+
+const PROCS: usize = 8;
+const SCALE: f64 = 0.1;
+
+fn build_spmd(prog: &Program, dec: &Decomposition, opts: &SimOptions) -> SpmdProgram {
+    let cost = CostModel { addr_opt: opts.addr_opt, ..CostModel::default() };
+    let sopts = SpmdOptions {
+        procs: opts.procs,
+        params: opts.params.clone(),
+        transform_data: opts.transform_data,
+        barrier_elision: opts.barrier_elision,
+        cost,
+    };
+    codegen(prog, dec, &sopts).expect("codegen")
+}
+
+fn run_detected(sp: &SpmdProgram, fast: bool) -> RunResult {
+    let mut ex = Executor::new(sp, MachineConfig::dash(PROCS), CostModel::default());
+    ex.fast_path = fast;
+    ex.race_detect = true;
+    ex.run()
+}
+
+/// Does the sync after nest `j` ever execute? The executor skips the
+/// trailing sync of the very last nest execution.
+fn sync_executes(sp: &SpmdProgram, j: usize) -> bool {
+    !(sp.time_steps == 1 && j + 1 == sp.nests.len())
+}
+
+#[test]
+fn unmutated_schedules_are_race_free() {
+    for b in suite(SCALE) {
+        for strategy in Strategy::ALL {
+            let c = Compiler::new(strategy);
+            let compiled = c.compile(&b.program).expect("compile");
+            let opts = rung_sim_options(compiled.rung, PROCS, b.program.default_params());
+            let sp = build_spmd(&compiled.program, &compiled.decomposition, &opts);
+            for fast in [true, false] {
+                let res = run_detected(&sp, fast);
+                let rep = res.race.expect("race report present");
+                assert!(
+                    rep.is_race_free(),
+                    "{} [{}] fast={fast}: unmutated schedule reports races:\n{rep}",
+                    b.name,
+                    strategy.label(),
+                );
+                assert!(rep.checked > 0, "{}: detector saw no accesses", b.name);
+            }
+        }
+    }
+}
+
+/// Syncs the pairwise alignment analysis emits but whose deletion provably
+/// creates no race, verified by hand. The detector (correctly) does not
+/// flag their deletion; this list keeps the test honest about exactly
+/// which emitted syncs are conservative, and rots loudly if placement
+/// changes.
+///
+/// - `("lu", "update")`: `update` at pivot step t writes columns t+1..N-1
+///   on each column's owner; the only consumer before the next barrier is
+///   `div` at step t+1, which touches column t+1 *only* — and runs
+///   entirely on the owner of column t+1, the same processor that wrote
+///   it. Program order on that processor already orders the accesses; the
+///   pairwise analysis cannot prove this symbolically (the write column
+///   `I3` and the read column `t+1` do not align as expressions).
+/// - `("adi", "colsweep")`: `rowsweep` reads other processors' data only
+///   at block boundaries (column `I1-1` of the neighbouring block), and it
+///   runs as a doacross pipeline whose per-tile acquire from the previous
+///   owner already happens-after that owner's program-order-earlier
+///   colsweep writes — the lock handoffs subsume the barrier. The
+///   placement analysis does not model handoff-carried ordering.
+const CONSERVATIVE_SYNCS: &[(&str, &str)] = &[("lu", "update"), ("adi", "colsweep")];
+
+#[test]
+fn every_deleted_sync_is_flagged() {
+    let mut flagged = 0usize;
+    let mut undetected: Vec<(String, String)> = Vec::new();
+    for b in suite(SCALE) {
+        let c = Compiler::new(Strategy::Full);
+        let compiled = c.compile(&b.program).expect("compile");
+        assert_eq!(
+            compiled.rung,
+            Rung::Full,
+            "{}: expected the full strategy to realize (mutation coverage depends on it)",
+            b.name
+        );
+        let opts = rung_sim_options(compiled.rung, PROCS, b.program.default_params());
+        let base = build_spmd(&compiled.program, &compiled.decomposition, &opts);
+
+        for j in 0..base.nests.len() {
+            // Barrier / producer-wait deletion.
+            if base.nests[j].sync_after != SyncKind::None && sync_executes(&base, j) {
+                let mut sp = build_spmd(&compiled.program, &compiled.decomposition, &opts);
+                sp.nests[j].sync_after = SyncKind::None;
+                let racy: Vec<bool> = [true, false]
+                    .iter()
+                    .map(|&fast| {
+                        let res = run_detected(&sp, fast);
+                        !res.race.expect("race report present").is_race_free()
+                    })
+                    .collect();
+                assert_eq!(
+                    racy[0], racy[1],
+                    "{}: walk modes disagree on deleting {:?} after nest {j} ({})",
+                    b.name, base.nests[j].sync_after, base.nests[j].source.name,
+                );
+                if racy[0] {
+                    flagged += 1;
+                } else {
+                    undetected.push((b.name.to_string(), base.nests[j].source.name.clone()));
+                }
+            }
+            // Lock-handoff no-op: the pipelined nest becomes a doall with
+            // the same accesses but no release/acquire edges. Handoffs are
+            // never conservative — doacross exists only where a carried
+            // dependence crosses processors — so these must always flag.
+            if base.nests[j].pipeline.is_some() {
+                let mut sp = build_spmd(&compiled.program, &compiled.decomposition, &opts);
+                sp.nests[j].pipeline = None;
+                for fast in [true, false] {
+                    let res = run_detected(&sp, fast);
+                    let rep = res.race.expect("race report present");
+                    assert!(
+                        !rep.is_race_free(),
+                        "{}: removing the pipeline handoffs of nest {j} ({}) went undetected (fast={fast})",
+                        b.name,
+                        base.nests[j].source.name,
+                    );
+                }
+                flagged += 1;
+            }
+        }
+    }
+    // Every undetected deletion must be a sync we have proven conservative
+    // by hand, and every allowlisted entry must actually occur.
+    for (bench, nest) in &undetected {
+        assert!(
+            CONSERVATIVE_SYNCS.iter().any(|(b, n)| b == bench && n == nest),
+            "{bench}: deleting the sync after nest {nest} went undetected and is not \
+             a known-conservative sync",
+        );
+    }
+    for (bench, nest) in CONSERVATIVE_SYNCS {
+        assert!(
+            undetected.iter().any(|(b, n)| b == bench && n == nest),
+            "allowlist entry ({bench}, {nest}) no longer occurs; placement changed — \
+             re-verify and update CONSERVATIVE_SYNCS",
+        );
+    }
+    assert!(flagged >= 7, "only {flagged} sync mutants were flagged across the suite");
+}
+
+/// The race report carries enough location to debug: racing nest ids and
+/// the arrays involved resolve through the `DctError` plumbing.
+#[test]
+fn race_reports_carry_locations() {
+    let b = &suite(SCALE)[2]; // stencil: time loop, multiple nests
+    let c = Compiler::new(Strategy::Full);
+    let compiled = c.compile(&b.program).expect("compile");
+    let opts = rung_sim_options(compiled.rung, PROCS, b.program.default_params());
+    let mut sp = build_spmd(&compiled.program, &compiled.decomposition, &opts);
+    // Delete the first executing sync that the schedule claims is needed.
+    let j = (0..sp.nests.len())
+        .find(|&j| sp.nests[j].sync_after != SyncKind::None && sync_executes(&sp, j))
+        .expect("stencil has at least one required sync");
+    sp.nests[j].sync_after = SyncKind::None;
+    let res = run_detected(&sp, true);
+    let rep = res.race.expect("race report present");
+    assert!(!rep.is_race_free());
+    let race = &rep.races[0];
+    assert!(race.second.nest.is_some(), "race should name a compute nest");
+    let err = race.to_error();
+    assert_eq!(err.phase, dct_ir::Phase::Sim);
+    assert!(err.array.is_some());
+    let msg = err.to_string();
+    assert!(msg.contains("race on"), "{msg}");
+}

@@ -74,7 +74,7 @@ pub fn transform_nest(nest: &LoopNest, t: &IntMat, nparams: usize) -> LoopNest {
         })
         .collect();
 
-    LoopNest { name: nest.name.clone(), depth, bounds, body, freq: nest.freq }
+    LoopNest { name: nest.name.clone(), depth, bounds, body, freq: nest.freq, line: nest.line }
 }
 
 /// Rewrite every array access in an expression by `F -> F·T^-1`.

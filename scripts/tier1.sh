@@ -39,6 +39,22 @@ while read -r crate pinned; do
     echo "  $crate: $count/$pinned"
 done < scripts/panic_baseline.txt
 
+echo "== tier1: race detector is panic-free"
+# The happens-before detector runs inside the simulator on every
+# race-checked cell; it must never be able to take the process down.
+race_panics=$(grep -choE 'panic!|\.unwrap\(\)' crates/spmd/src/race.rs || true)
+if [ "${race_panics:-0}" -ne 0 ]; then
+    echo "tier1 FAIL: crates/spmd/src/race.rs has $race_panics panic!/unwrap() sites (must be 0)" >&2
+    exit 1
+fi
+echo "  spmd/src/race.rs: 0 panic sites"
+
+echo "== tier1: repro --race-check smoke (schedule soundness)"
+# Every benchmark x strategy must be certified race-free by the
+# happens-before detector — the only oracle that can see missing
+# synchronization in a deterministic simulator.
+./target/release/repro --race-check --scale 0.1 --procs 8
+
 echo "== tier1: repro table1 --scale 0.25 smoke (budget ${BUDGET}s)"
 start=$(date +%s)
 out=$(./target/release/repro table1 --scale 0.25 2>/dev/null)
