@@ -13,7 +13,7 @@ fn bench_figure(c: &mut Criterion, id: &str, prog: Program) {
     let params = prog.default_params();
     c.bench_function(id, |b| {
         b.iter(|| {
-            let r = compiler.simulate(&compiled, 8, &params);
+            let r = compiler.simulate(&compiled, 8, &params).expect("simulate");
             std::hint::black_box(r.cycles)
         })
     });

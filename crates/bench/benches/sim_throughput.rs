@@ -51,9 +51,22 @@ fn executor_run(c: &mut Criterion) {
             _ => "executor_stencil512_full",
         };
         c.bench_function(name, |b| {
-            b.iter(|| black_box(comp.simulate(&compiled, 32, &params).cycles))
+            b.iter(|| black_box(comp.simulate(&compiled, 32, &params).expect("simulate").cycles))
         });
     }
+    // Same workload with the memory profiler attached: tracks the
+    // observation overhead (target <= 2x wall; cycles are unchanged).
+    let comp = Compiler::new(Strategy::Full);
+    let compiled = comp.compile(&prog).unwrap();
+    let mut opts = comp.sim_options(32, params.clone());
+    opts.profile = true;
+    c.bench_function("executor_stencil512_full_profiled", |b| {
+        b.iter(|| {
+            let r = dct_spmd::simulate(&compiled.program, &compiled.decomposition, &opts)
+                .expect("simulate");
+            black_box(r.cycles)
+        })
+    });
 }
 
 criterion_group! {

@@ -13,6 +13,8 @@
 //!                           # bound each cell; over-budget cells -> timeout
 //! repro table1 --out results/run1   # checkpoint directory
 //! repro --race-check        # certify every benchmark x strategy race-free
+//! repro explain stencil     # why is it slow? ranked miss/sharing tables
+//!                           # (text here, JSON -> results/explain_stencil.json)
 //! ```
 //!
 //! With `--resume`, `--max-cycles`, `--max-wall` or `--out`, `table1` runs
@@ -139,6 +141,35 @@ fn main() {
         targets.insert(1, "fig3".into());
         targets.push("table1".into());
         targets.push("ablations".into());
+    }
+
+    // `explain <bench>`: consume the benchmark name that follows.
+    if let Some(k) = targets.iter().position(|t| t == "explain") {
+        targets.remove(k);
+        let bench = if k < targets.len() {
+            targets.remove(k)
+        } else {
+            die("explain needs a benchmark name (e.g. `repro explain stencil`)")
+        };
+        let procs = procs.iter().copied().max().unwrap_or(32);
+        let t0 = Instant::now();
+        match dct_bench::explain(&bench, scale, procs) {
+            Some(r) => {
+                print!("{}", dct_bench::render_explain(&r));
+                let dir = out_dir.clone().unwrap_or_else(|| "results".to_string());
+                let path = format!("{dir}/explain_{bench}.json");
+                let write = std::fs::create_dir_all(&dir)
+                    .and_then(|_| std::fs::write(&path, dct_bench::explain_json(&r)));
+                match write {
+                    Ok(()) => eprintln!("[explain {bench} done in {:?} -> {path}]", t0.elapsed()),
+                    Err(e) => die(&format!("cannot write {path}: {e}")),
+                }
+            }
+            None => die(&format!("unknown benchmark '{bench}' (suite: vpenta lu stencil adi erlebacher swm256 tomcatv)")),
+        }
+        if targets.is_empty() {
+            return;
+        }
     }
 
     for t in &targets {

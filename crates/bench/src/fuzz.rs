@@ -18,6 +18,12 @@
 //!    values), so every simulation also runs the happens-before race
 //!    detector: an elided barrier or a missing pipeline handoff that the
 //!    schedule actually needed surfaces as a reported race.
+//! 4. **Conserved profiles.** Every simulation runs with the memory
+//!    profiler attached, which must stay a pure observer (oracle 2 would
+//!    catch value drift, the cycle counts feed oracle 2's reference) and
+//!    must classify every miss exactly once:
+//!    `cold + capacity + conflict + coherence == misses`, with the
+//!    aggregate view agreeing with the machine's own counters.
 //!
 //! Programs are generated so that every subscript is in bounds by
 //! construction (loop ranges `1..=N-2`, subscripts `var ± 1` or small
@@ -199,6 +205,7 @@ pub fn fuzz_case(seed: u64) -> Result<usize, String> {
      -> Result<(), String> {
         let mut opts = opts.clone();
         opts.race_detect = true;
+        opts.profile = true;
         let out =
             catch_unwind(AssertUnwindSafe(|| dct_spmd::simulate_with_values(prog, dec, &opts)));
         let (res, vals) = match out {
@@ -216,6 +223,28 @@ pub fn fuzz_case(seed: u64) -> Result<usize, String> {
             if !rep.is_race_free() {
                 return Err(format!("seed {seed:#x}: {label}: schedule races: {rep}"));
             }
+        }
+        match &res.mem_profile {
+            Some(mp) => {
+                let t = mp.total();
+                if t.classified() != t.misses() {
+                    return Err(format!(
+                        "seed {seed:#x}: {label}: classification leak: {} classified vs {} misses",
+                        t.classified(),
+                        t.misses()
+                    ));
+                }
+                let s = res.stats.total();
+                if t.accesses != s.accesses
+                    || t.mem_cycles != s.mem_cycles
+                    || t.invalidations != s.invalidations_received
+                {
+                    return Err(format!(
+                        "seed {seed:#x}: {label}: profile disagrees with machine stats"
+                    ));
+                }
+            }
+            None => return Err(format!("seed {seed:#x}: {label}: profiler attached no profile")),
         }
         let bits = value_bits(&vals);
         match reference {

@@ -6,6 +6,7 @@
 #![allow(clippy::needless_range_loop, clippy::manual_memcpy)]
 
 pub mod ablate;
+pub mod explain;
 pub mod fuzz;
 pub mod harness;
 pub mod profile;
@@ -13,5 +14,6 @@ pub mod programs;
 pub mod sweep;
 
 pub use ablate::{all_ablations, Ablation};
+pub use explain::{explain, explain_json, explain_strategies, render_explain, ExplainResult, ExplainRun, StrategyExplain};
 pub use harness::{figure, run_figure, run_figure_parallel, table1, FigureResult, FigureSpec, StrategyCurve, Table1Row};
 pub use sweep::{run_sweep, Cell, CellOutcome, SweepConfig};

@@ -25,6 +25,13 @@ pub struct StrategyProfile {
     /// Fraction of accesses absorbed by the machine's one-entry
     /// last-line cache (subset of L1 hits).
     pub l1_fast_hit_ratio: f64,
+    /// Wall time of the same simulation with the memory profiler
+    /// attached (`SimOptions::profile`).
+    pub profiled_wall_secs: f64,
+    /// Profiler overhead: profiled wall time over plain wall time. The
+    /// profiler is a pure observer, so simulated cycles are identical —
+    /// only host time grows.
+    pub profile_overhead: f64,
 }
 
 /// All strategies of one figure at one processor count.
@@ -48,6 +55,15 @@ pub fn profile_figure(spec: &FigureSpec, procs: usize) -> FigureProfile {
             let t0 = Instant::now();
             let r = c.simulate(&compiled, procs, &params).unwrap();
             let wall = t0.elapsed().as_secs_f64();
+            // Same cell with the profiler attached: overhead is the wall
+            // ratio (cycles are identical by construction; the golden
+            // tests pin that, here we only measure host cost).
+            let mut opts = dct_core::rung_sim_options(compiled.rung, procs, params.clone());
+            opts.profile = true;
+            let t1 = Instant::now();
+            let rp = dct_spmd::simulate(&compiled.program, &compiled.decomposition, &opts).unwrap();
+            let profiled_wall = t1.elapsed().as_secs_f64();
+            assert_eq!(r.cycles, rp.cycles, "profiler must not perturb cycles");
             let accesses = r.stats.total().accesses;
             let iters = r.fast.fast_iters + r.fast.slow_iters;
             StrategyProfile {
@@ -66,6 +82,8 @@ pub fn profile_figure(spec: &FigureSpec, procs: usize) -> FigureProfile {
                 } else {
                     0.0
                 },
+                profiled_wall_secs: profiled_wall,
+                profile_overhead: if wall > 0.0 { profiled_wall / wall } else { 0.0 },
             }
         })
         .collect();
@@ -125,7 +143,9 @@ pub fn render_json(profiles: &[FigureProfile], total_wall_secs: f64) -> String {
             out.push_str(&format!("          \"accesses_per_sec\": {:.0},\n", s.accesses_per_sec));
             out.push_str(&format!("          \"exec_fast_ratio\": {:.4},\n", s.exec_fast_ratio));
             out.push_str(&format!("          \"avg_segment_len\": {:.1},\n", s.avg_segment_len));
-            out.push_str(&format!("          \"l1_fast_hit_ratio\": {:.4}\n", s.l1_fast_hit_ratio));
+            out.push_str(&format!("          \"l1_fast_hit_ratio\": {:.4},\n", s.l1_fast_hit_ratio));
+            out.push_str(&format!("          \"profiled_wall_secs\": {:.4},\n", s.profiled_wall_secs));
+            out.push_str(&format!("          \"profile_overhead\": {:.3}\n", s.profile_overhead));
             out.push_str(if j + 1 == p.strategies.len() { "        }\n" } else { "        },\n" });
         }
         out.push_str("      ]\n");
@@ -138,11 +158,11 @@ pub fn render_json(profiles: &[FigureProfile], total_wall_secs: f64) -> String {
 /// Human-readable summary table of the same data.
 pub fn render_text(profiles: &[FigureProfile]) -> String {
     let mut out = String::new();
-    out.push_str("figure      strategy                     wall(s)   Macc/s  fast-iter  seg-len  l1-fast\n");
+    out.push_str("figure      strategy                     wall(s)   Macc/s  fast-iter  seg-len  l1-fast  prof-ovh\n");
     for p in profiles {
         for s in &p.strategies {
             out.push_str(&format!(
-                "{:<11} {:<28} {:>7.3} {:>8.1} {:>9.1}% {:>8.1} {:>7.1}%\n",
+                "{:<11} {:<28} {:>7.3} {:>8.1} {:>9.1}% {:>8.1} {:>7.1}% {:>8.2}x\n",
                 p.id,
                 s.strategy,
                 s.wall_secs,
@@ -150,6 +170,7 @@ pub fn render_text(profiles: &[FigureProfile]) -> String {
                 s.exec_fast_ratio * 100.0,
                 s.avg_segment_len,
                 s.l1_fast_hit_ratio * 100.0,
+                s.profile_overhead,
             ));
         }
     }
@@ -169,9 +190,14 @@ mod tests {
             assert!(s.accesses > 0);
             assert!(s.exec_fast_ratio > 0.5, "fast path should dominate: {s:?}");
         }
+        for s in &profiles[0].strategies {
+            assert!(s.profiled_wall_secs > 0.0);
+            assert!(s.profile_overhead > 0.0);
+        }
         let j = render_json(&profiles, 1.0);
         assert!(j.contains("\"fig8\""));
         assert!(j.contains("accesses_per_sec"));
+        assert!(j.contains("profile_overhead"));
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());

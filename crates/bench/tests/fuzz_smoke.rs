@@ -1,6 +1,8 @@
 //! Bounded differential fuzz run, wired into tier-1 CI: random affine
 //! programs through the whole pipeline under every strategy, processor
-//! count and folding — no panics, bit-exact results.
+//! count and folding — no panics, bit-exact results, race-free schedules,
+//! and (with the memory profiler attached to every simulation) exactly
+//! conserved miss classifications.
 
 #[test]
 fn fuzz_smoke() {

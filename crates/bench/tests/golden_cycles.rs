@@ -1,0 +1,99 @@
+//! Golden cycle counts for the whole paper suite, captured before the
+//! memory profiler existed: with `SimOptions::profile` off (the default),
+//! every benchmark must simulate to bit-identical cycles — the probe
+//! plumbing through `Machine::access` must be invisible. With the
+//! profiler on, cycles must *still* be identical (it is a pure observer)
+//! and the profile must obey the conservation law
+//! `cold + capacity + conflict + coherence == misses` while agreeing with
+//! the machine's own aggregate statistics.
+
+use dct_core::{Compiler, Strategy};
+
+/// `(benchmark, strategy, cycles)` at scale 0.25 on 8 processors,
+/// captured at commit 3ba7419 (pre-profiler).
+const GOLDEN: &[(&str, Strategy, u64)] = &[
+    ("vpenta", Strategy::Base, 125222),
+    ("vpenta", Strategy::CompDecomp, 47142),
+    ("vpenta", Strategy::Full, 49410),
+    ("lu", Strategy::Base, 1011609),
+    ("lu", Strategy::CompDecomp, 326881),
+    ("lu", Strategy::Full, 339608),
+    ("stencil", Strategy::Base, 662094),
+    ("stencil", Strategy::CompDecomp, 730068),
+    ("stencil", Strategy::Full, 827860),
+    ("adi", Strategy::Base, 571072),
+    ("adi", Strategy::CompDecomp, 301544),
+    ("adi", Strategy::Full, 301544),
+    ("erlebacher", Strategy::Base, 188372),
+    ("erlebacher", Strategy::CompDecomp, 333076),
+    ("erlebacher", Strategy::Full, 286972),
+    ("swm256", Strategy::Base, 796628),
+    ("swm256", Strategy::CompDecomp, 874038),
+    ("swm256", Strategy::Full, 1089526),
+    ("tomcatv", Strategy::Base, 1131892),
+    ("tomcatv", Strategy::CompDecomp, 716396),
+    ("tomcatv", Strategy::Full, 752508),
+];
+
+#[test]
+fn suite_cycles_bit_identical_to_pre_profiler_golden() {
+    for b in dct_bench::programs::suite(0.25) {
+        let params = b.program.default_params();
+        for strategy in Strategy::ALL {
+            let c = Compiler::new(strategy);
+            let compiled = c.compile(&b.program).unwrap();
+            let r = c.simulate(&compiled, 8, &params).unwrap();
+            let golden = GOLDEN
+                .iter()
+                .find(|(n, s, _)| *n == b.name && *s == strategy)
+                .unwrap_or_else(|| panic!("no golden entry for {} {strategy:?}", b.name));
+            assert_eq!(
+                r.cycles, golden.2,
+                "{} {strategy:?}: cycles drifted from pre-profiler golden",
+                b.name
+            );
+            assert!(r.mem_profile.is_none(), "profile off must not attach a MemProfile");
+        }
+    }
+}
+
+#[test]
+fn profiled_runs_are_cycle_identical_and_conserve_misses() {
+    for b in dct_bench::programs::suite(0.25) {
+        let params = b.program.default_params();
+        for strategy in Strategy::ALL {
+            let c = Compiler::new(strategy);
+            let compiled = c.compile(&b.program).unwrap();
+            let plain = c.simulate(&compiled, 8, &params).unwrap();
+            let mut opts = c.sim_options(8, params.clone());
+            opts.profile = true;
+            let profiled =
+                dct_spmd::simulate(&compiled.program, &compiled.decomposition, &opts).unwrap();
+            assert_eq!(
+                plain.cycles, profiled.cycles,
+                "{} {strategy:?}: profiler perturbed cycles",
+                b.name
+            );
+            assert_eq!(plain.checksum, profiled.checksum, "{} {strategy:?}", b.name);
+            let prof = profiled.mem_profile.expect("profile on must attach a MemProfile");
+            let t = prof.total();
+            assert_eq!(
+                t.classified(),
+                t.misses(),
+                "{} {strategy:?}: classification must partition misses",
+                b.name
+            );
+            // The profile's aggregate view must agree with the machine's
+            // own statistics exactly.
+            let s = profiled.stats.total();
+            assert_eq!(t.accesses, s.accesses, "{} {strategy:?}", b.name);
+            assert_eq!(t.l1_hits, s.l1_hits, "{} {strategy:?}", b.name);
+            assert_eq!(t.l2_hits, s.l2_hits, "{} {strategy:?}", b.name);
+            assert_eq!(t.local_mem, s.local_mem, "{} {strategy:?}", b.name);
+            assert_eq!(t.remote_mem, s.remote_mem, "{} {strategy:?}", b.name);
+            assert_eq!(t.remote_dirty, s.remote_dirty, "{} {strategy:?}", b.name);
+            assert_eq!(t.invalidations, s.invalidations_received, "{} {strategy:?}", b.name);
+            assert_eq!(t.mem_cycles, s.mem_cycles, "{} {strategy:?}", b.name);
+        }
+    }
+}

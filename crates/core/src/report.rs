@@ -88,14 +88,25 @@ pub fn render_profile(c: &Compiled, r: &dct_spmd::RunResult) -> String {
         );
     }
     let t = r.stats.total();
+    // Per-level hit rates: L1 over all accesses, L2 over the accesses
+    // that actually reached it (L1 misses) — an L2 rate quoted against
+    // total accesses looks tiny whenever L1 absorbs most of the stream.
+    let l1_misses = t.accesses - t.l1_hits;
+    let fills = t.local_mem + t.remote_mem + t.remote_dirty;
     let _ = writeln!(
         out,
-        "  memory: {:.1}% L1, {:.1}% L2, {} local, {} remote, {} dirty-remote, {} invalidations",
+        "  memory: L1 {:.1}% hit, L2 {:.1}% of L1 misses, {} fills ({} local, {} remote, {} dirty-remote)",
         100.0 * t.l1_hits as f64 / t.accesses.max(1) as f64,
-        100.0 * t.l2_hits as f64 / t.accesses.max(1) as f64,
+        100.0 * t.l2_hits as f64 / l1_misses.max(1) as f64,
+        fills,
         t.local_mem,
         t.remote_mem,
         t.remote_dirty,
+    );
+    let _ = writeln!(
+        out,
+        "  remote fraction: {:.1}% of fills crossed the cluster boundary; {} invalidations",
+        100.0 * (t.remote_mem + t.remote_dirty) as f64 / fills.max(1) as f64,
         t.invalidations_received
     );
     let _ = writeln!(out, "  barriers: {}", r.barriers);
@@ -114,6 +125,24 @@ pub fn render_profile(c: &Compiled, r: &dct_spmd::RunResult) -> String {
             );
         } else {
             let _ = writeln!(out, "  race check: {rep}");
+        }
+    }
+    if let Some(mp) = &r.mem_profile {
+        let _ = writeln!(out, "-- memory profile (top nest/array cells by stall cycles) --");
+        for line in mp.render_ranked(12).lines() {
+            let _ = writeln!(out, "  {line}");
+        }
+        let pt = mp.total();
+        let coh = pt.coherence();
+        if coh > 0 {
+            let _ = writeln!(
+                out,
+                "  sharing: {} coherence misses ({} true, {} false = {:.1}% false sharing)",
+                coh,
+                pt.coh_true,
+                pt.coh_false,
+                100.0 * pt.coh_false as f64 / coh as f64
+            );
         }
     }
     out
@@ -156,13 +185,21 @@ mod tests {
         assert!(profile.contains("sweep"));
         assert!(profile.contains("init"));
         assert!(profile.contains("barriers"));
+        assert!(profile.contains("L1"), "per-level hit rates rendered");
+        assert!(profile.contains("of L1 misses"), "L2 rate is of L1 misses");
+        assert!(profile.contains("remote fraction"), "remote fraction rendered");
         assert!(!profile.contains("race check"), "no race line without detection");
+        assert!(!profile.contains("memory profile"), "no profile section without profiling");
 
         let mut opts = crate::rung_sim_options(compiled.rung, 4, prog.default_params());
         opts.race_detect = true;
-        let r = dct_spmd::simulate(&compiled.program, &compiled.decomposition, &opts).unwrap();
+        opts.profile = true;
+        let r = dct_spmd::simulate(&compiled.program, &compiled.decomposition, &opts)
+            .expect("profiled simulation");
         let profile = super::render_profile(&compiled, &r);
         assert!(profile.contains("race check: clean"), "profile was:\n{profile}");
+        assert!(profile.contains("memory profile"), "profile was:\n{profile}");
+        assert!(profile.contains("false-sh"), "ranked table rendered:\n{profile}");
     }
 
     #[test]

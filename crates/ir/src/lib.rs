@@ -10,12 +10,14 @@
 pub mod access;
 pub mod error;
 pub mod expr;
+pub mod mem;
 pub mod pretty;
 pub mod program;
 pub mod race;
 
 pub use access::{AffineAccess, ArrayId, ArrayRef};
 pub use error::{panic_message, DctError, DctResult, Phase};
+pub use mem::{MemProfile, MemRow};
 pub use race::{Race, RaceAccess, RaceKind, RaceReport};
 pub use expr::{Aff, BinOp, Expr};
 pub use pretty::render_program;

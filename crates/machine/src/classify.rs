@@ -48,41 +48,99 @@ impl MissClasses {
 }
 
 /// A fully-associative LRU shadow cache with a fixed line capacity.
+///
+/// O(1) per touch: an intrusive doubly-linked recency list threaded
+/// through a slab of nodes, plus a line -> slot index. The profiler
+/// touches the shadow on every classified access, so this is the hottest
+/// structure in a profiled run — the earlier `BTreeMap` eviction queue
+/// cost three tree rebalances per touch and dominated profiling overhead.
 pub struct ShadowLru {
     cap: usize,
-    stamp: u64,
-    /// line -> stamp of last use.
-    lines: FastMap<u64>,
-    /// stamp -> line (ordered eviction queue; stale entries skipped).
-    queue: std::collections::BTreeMap<u64, u64>,
+    /// line -> slot in `nodes`.
+    index: FastMap<u32>,
+    nodes: Vec<Node>,
+    /// Most recently used slot (`NIL` when empty).
+    head: u32,
+    /// Least recently used slot — the eviction victim.
+    tail: u32,
 }
+
+struct Node {
+    line: u64,
+    prev: u32,
+    next: u32,
+}
+
+const NIL: u32 = u32::MAX;
 
 impl ShadowLru {
     pub fn new(cap: usize) -> ShadowLru {
-        assert!(cap > 0);
-        ShadowLru { cap, stamp: 0, lines: FastMap::default(), queue: Default::default() }
+        assert!(cap > 0 && cap < NIL as usize);
+        ShadowLru {
+            cap,
+            index: FastMap::default(),
+            nodes: Vec::with_capacity(cap.min(1 << 16)),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    fn unlink(&mut self, slot: u32) {
+        let Node { prev, next, .. } = self.nodes[slot as usize];
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, slot: u32) {
+        let old_head = self.head;
+        let n = &mut self.nodes[slot as usize];
+        n.prev = NIL;
+        n.next = old_head;
+        if old_head != NIL {
+            self.nodes[old_head as usize].prev = slot;
+        } else {
+            self.tail = slot;
+        }
+        self.head = slot;
     }
 
     /// Touch a line; returns whether it was present.
     pub fn touch(&mut self, line: u64) -> bool {
-        self.stamp += 1;
-        let present = if let Some(old) = self.lines.insert(line, self.stamp) {
-            self.queue.remove(&old);
-            true
-        } else {
-            false
-        };
-        self.queue.insert(self.stamp, line);
-        while self.lines.len() > self.cap {
-            let (&s, &victim) = self.queue.iter().next().expect("queue tracks lines");
-            self.queue.remove(&s);
-            self.lines.remove(&victim);
+        if let Some(&slot) = self.index.get(&line) {
+            if self.head != slot {
+                self.unlink(slot);
+                self.push_front(slot);
+            }
+            return true;
         }
-        present
+        let slot = if self.nodes.len() < self.cap {
+            let slot = self.nodes.len() as u32;
+            self.nodes.push(Node { line, prev: NIL, next: NIL });
+            slot
+        } else {
+            // Full: evict the LRU tail and reuse its slot.
+            let slot = self.tail;
+            let victim = self.nodes[slot as usize].line;
+            self.index.remove(&victim);
+            self.unlink(slot);
+            self.nodes[slot as usize].line = line;
+            slot
+        };
+        self.push_front(slot);
+        self.index.insert(line, slot);
+        false
     }
 
     pub fn contains(&self, line: u64) -> bool {
-        self.lines.contains_key(&line)
+        self.index.contains_key(&line)
     }
 }
 

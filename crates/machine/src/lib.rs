@@ -12,9 +12,11 @@
 pub mod cache;
 pub mod classify;
 pub mod config;
+pub mod probe;
 pub mod system;
 
 pub use cache::{Cache, LineState};
-pub use classify::{Classifier, MissClasses, ShadowLru};
+pub use classify::{Classifier, FastHash, MissClasses, ShadowLru};
 pub use config::MachineConfig;
+pub use probe::{AccessLevel, MemProbe};
 pub use system::{Machine, ProcStats, Stats, SyncOp, SyncStats};

@@ -10,6 +10,7 @@
 use crate::cache::{Cache, LineState};
 use crate::classify::{Classifier, MissClasses};
 use crate::config::MachineConfig;
+use crate::probe::{AccessLevel, MemProbe};
 
 /// Directory entry for one cache line.
 #[derive(Clone, Copy, Default, Debug)]
@@ -317,9 +318,27 @@ impl Machine {
     }
 
     /// Perform one memory access; returns its latency in cycles.
+    #[inline]
     pub fn access(&mut self, proc: usize, byte_addr: u64, write: bool) -> u64 {
+        self.access_probed(proc, byte_addr, write, None)
+    }
+
+    /// [`Machine::access`] with an optional [`MemProbe`] observing the
+    /// outcome. The probe sees which level resolved the access, the exact
+    /// cost charged, and every invalidation the access caused; it can
+    /// never alter timing, so probed and unprobed runs are cycle-identical.
+    pub fn access_probed(
+        &mut self,
+        proc: usize,
+        byte_addr: u64,
+        write: bool,
+        mut probe: Option<&mut dyn MemProbe>,
+    ) -> u64 {
         debug_assert!(proc < self.cfg.nprocs);
         let line = byte_addr >> self.line_shift;
+        // Byte offset within the line: the word identity that separates
+        // true from false sharing. Only computed into probe calls.
+        let word = (byte_addr & (self.cfg.line_bytes as u64 - 1)) as u32;
 
         // Same-line fast path: a repeat touch of the processor's most
         // recent line is a guaranteed L1 hit on an already-MRU entry, so
@@ -330,6 +349,9 @@ impl Machine {
         if ll.line == line && (!write || ll.state == LineState::Modified) {
             if let Some(cs) = &mut self.classifiers {
                 cs[proc].note_hit(line);
+            }
+            if let Some(p) = probe.as_deref_mut() {
+                p.access(proc, line, word, write, AccessLevel::L1, self.cfg.lat_l1);
             }
             let st = &mut self.stats.per_proc[proc];
             st.accesses += 1;
@@ -349,11 +371,14 @@ impl Machine {
             self.stats.per_proc[proc].l1_hits += 1;
             let mut cost = self.cfg.lat_l1;
             if write && state == LineState::Shared {
-                cost += self.upgrade(proc, line);
+                cost += self.upgrade(proc, line, word, &mut probe);
             }
             let new_state = if write { LineState::Modified } else { state };
             self.last_line[proc] = LastLine { line, state: new_state };
             self.stats.per_proc[proc].mem_cycles += cost;
+            if let Some(p) = probe {
+                p.access(proc, line, word, write, AccessLevel::L1, cost);
+            }
             return cost;
         }
 
@@ -365,13 +390,16 @@ impl Machine {
             self.stats.per_proc[proc].l2_hits += 1;
             let mut cost = self.cfg.lat_l2;
             if write && state == LineState::Shared {
-                cost += self.upgrade(proc, line);
+                cost += self.upgrade(proc, line, word, &mut probe);
             }
             // Fill L1 with the (possibly upgraded) state.
             let new_state = if write { LineState::Modified } else { state };
             self.fill_l1(proc, line, new_state);
             self.last_line[proc] = LastLine { line, state: new_state };
             self.stats.per_proc[proc].mem_cycles += cost;
+            if let Some(p) = probe {
+                p.access(proc, line, word, write, AccessLevel::L2, cost);
+            }
             return cost;
         }
 
@@ -380,12 +408,14 @@ impl Machine {
             cs[proc].classify_miss(line);
         }
         let mut cost;
+        let level;
         let entry = self.dir.get(line);
         if let Some(owner) = entry.dirty {
             let owner = owner as usize;
             if owner != proc {
                 // Dirty in another cache: 3-hop intervention.
                 cost = self.cfg.lat_remote_dirty;
+                level = AccessLevel::RemoteDirty;
                 self.stats.per_proc[proc].remote_dirty += 1;
                 if write {
                     // Transfer ownership: invalidate the previous owner.
@@ -396,6 +426,9 @@ impl Machine {
                     }
                     if let Some(cs) = &mut self.classifiers {
                         cs[owner].note_invalidation(line);
+                    }
+                    if let Some(p) = probe.as_deref_mut() {
+                        p.invalidated(owner, line, proc, word);
                     }
                     self.stats.per_proc[owner].invalidations_received += 1;
                     self.set_dir(line, 1u64 << proc, Some(proc));
@@ -413,23 +446,27 @@ impl Machine {
                 // We are the dirty owner but the line fell out of our
                 // caches (silent eviction bookkeeping miss): local refill.
                 let home = self.home_of(byte_addr, proc);
-                cost = if home == self.cluster[proc] as usize {
-                    self.cfg.lat_local
+                if home == self.cluster[proc] as usize {
+                    cost = self.cfg.lat_local;
+                    level = AccessLevel::LocalMem;
                 } else {
-                    self.cfg.lat_remote
-                };
+                    cost = self.cfg.lat_remote;
+                    level = AccessLevel::RemoteMem;
+                }
                 self.count_mem(proc, home);
             }
         } else {
             let home = self.home_of(byte_addr, proc);
-            cost = if home == self.cluster[proc] as usize {
-                self.cfg.lat_local
+            if home == self.cluster[proc] as usize {
+                cost = self.cfg.lat_local;
+                level = AccessLevel::LocalMem;
             } else {
-                self.cfg.lat_remote
-            };
+                cost = self.cfg.lat_remote;
+                level = AccessLevel::RemoteMem;
+            }
             self.count_mem(proc, home);
             if write {
-                cost += self.invalidate_sharers(proc, line, entry.sharers);
+                cost += self.invalidate_sharers(proc, line, entry.sharers, word, &mut probe);
                 self.set_dir(line, 1u64 << proc, Some(proc));
             } else {
                 self.set_dir(line, entry.sharers | (1 << proc), entry.dirty.map(|p| p as usize));
@@ -441,6 +478,9 @@ impl Machine {
         self.fill_l1(proc, line, state);
         self.last_line[proc] = LastLine { line, state };
         self.stats.per_proc[proc].mem_cycles += cost;
+        if let Some(p) = probe {
+            p.access(proc, line, word, write, level, cost);
+        }
         cost
     }
 
@@ -458,11 +498,17 @@ impl Machine {
 
     /// Write to a Shared line: invalidate all other sharers and take
     /// ownership. Returns the extra cycles.
-    fn upgrade(&mut self, proc: usize, line: u64) -> u64 {
+    fn upgrade(
+        &mut self,
+        proc: usize,
+        line: u64,
+        word: u32,
+        probe: &mut Option<&mut dyn MemProbe>,
+    ) -> u64 {
         self.stats.per_proc[proc].upgrades += 1;
         let entry = self.dir.get(line);
         let others = entry.sharers & !(1u64 << proc);
-        let cost = self.invalidate_sharers(proc, line, others);
+        let cost = self.invalidate_sharers(proc, line, others, word, probe);
         self.l1[proc].set_state(line, LineState::Modified);
         self.l2[proc].set_state(line, LineState::Modified);
         if self.last_line[proc].line == line {
@@ -472,7 +518,14 @@ impl Machine {
         cost
     }
 
-    fn invalidate_sharers(&mut self, proc: usize, line: u64, sharers: u64) -> u64 {
+    fn invalidate_sharers(
+        &mut self,
+        proc: usize,
+        line: u64,
+        sharers: u64,
+        word: u32,
+        probe: &mut Option<&mut dyn MemProbe>,
+    ) -> u64 {
         let others = sharers & !(1u64 << proc);
         if others == 0 {
             return 0;
@@ -487,6 +540,9 @@ impl Machine {
                 }
                 if let Some(cs) = &mut self.classifiers {
                     cs[q].note_invalidation(line);
+                }
+                if let Some(p) = probe.as_deref_mut() {
+                    p.invalidated(q, line, proc, word);
                 }
                 self.stats.per_proc[q].invalidations_received += 1;
                 n += 1;

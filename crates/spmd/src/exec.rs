@@ -30,8 +30,9 @@
 use crate::codegen::{LevelSched, SpmdNest, SpmdProgram, SyncKind};
 use crate::cost::CostModel;
 use crate::race::Detector;
-use dct_ir::{ArrayRef, BinOp, Expr, RaceReport};
-use dct_machine::{Machine, MachineConfig, MissClasses, Stats, SyncOp};
+use dct_ir::{ArrayRef, BinOp, Expr, MemProfile, RaceReport};
+use dct_machine::{Machine, MachineConfig, MemProbe, MissClasses, Stats, SyncOp};
+use dct_profile::{LineRange, Profiler};
 
 /// Executor-level fast-path counters (observability only; never feeds
 /// back into cycles or statistics).
@@ -87,6 +88,11 @@ pub struct RunResult {
     /// Happens-before race report, when the run was executed with
     /// `race_detect` enabled (`None` = detection was off).
     pub race: Option<RaceReport>,
+    /// Memory-behavior profile — per-(nest, array, processor) attribution
+    /// with 4-C miss classification and the true/false sharing split —
+    /// when the run was executed with `profile` enabled (`None` =
+    /// profiling was off).
+    pub mem_profile: Option<MemProfile>,
 }
 
 /// A resolved reference inside a strided segment: current byte address and
@@ -233,6 +239,11 @@ pub struct Executor<'a> {
     /// observer: cycles, statistics and results are unchanged; the run
     /// result gains a [`RaceReport`].
     pub race_detect: bool,
+    /// Run the memory-behavior profiler alongside execution. Like the
+    /// race detector a pure observer: it receives each access's
+    /// already-decided outcome and cost, so cycles, statistics and
+    /// results are unchanged; the run result gains a [`MemProfile`].
+    pub profile: bool,
     /// Abort the run once the slowest processor clock exceeds this many
     /// simulated cycles (checked at nest boundaries).
     pub max_cycles: Option<u64>,
@@ -262,6 +273,8 @@ pub struct Executor<'a> {
     /// The happens-before detector, created at `run()` when
     /// `race_detect` is set (boxed: the executor hot state stays small).
     race: Option<Box<Detector>>,
+    /// The memory profiler, created at `run()` when `profile` is set.
+    profiler: Option<Box<Profiler>>,
 }
 
 impl<'a> Executor<'a> {
@@ -278,6 +291,7 @@ impl<'a> Executor<'a> {
             barriers: 0,
             fast_path: true,
             race_detect: false,
+            profile: false,
             max_cycles: None,
             max_wall: None,
             coords,
@@ -292,7 +306,35 @@ impl<'a> Executor<'a> {
             init_cycles: 0,
             current_acc: None,
             race: None,
+            profiler: None,
         }
+    }
+
+    /// Construct the memory profiler for this program: attribution sites
+    /// are init nests followed by compute nests; array identity is
+    /// recovered from line numbers via the allocation ranges (a
+    /// replicated array's range spans all per-processor replicas).
+    fn build_profiler(&self) -> Profiler {
+        let sp = self.sp;
+        let cfg = &self.machine.cfg;
+        let line = cfg.line_bytes.max(1) as u64;
+        let l1_lines = cfg.l1_bytes / cfg.line_bytes.max(1);
+        let ranges = (0..sp.layouts.len())
+            .map(|x| {
+                let bytes = if sp.repl_stride[x] > 0 {
+                    sp.repl_stride[x] * sp.nprocs as u64
+                } else {
+                    sp.layouts[x].layout.size() as u64 * sp.elem_bytes[x]
+                };
+                LineRange {
+                    start: sp.bases[x] / line,
+                    end: (sp.bases[x] + bytes).div_ceil(line),
+                    array: x,
+                }
+            })
+            .collect();
+        let nsites = sp.init.len() + sp.nests.len();
+        Profiler::new(sp.nprocs, nsites, sp.layouts.len(), l1_lines, ranges)
     }
 
     /// Run the whole program: init nests, then the (possibly time-stepped)
@@ -302,6 +344,9 @@ impl<'a> Executor<'a> {
     pub fn run(&mut self) -> RunResult {
         if self.race_detect && self.race.is_none() {
             self.race = Some(Box::new(Detector::new(self.sp)));
+        }
+        if self.profile && self.profiler.is_none() {
+            self.profiler = Some(Box::new(self.build_profiler()));
         }
         let started = std::time::Instant::now();
         let mut timed_out = false;
@@ -354,6 +399,16 @@ impl<'a> Executor<'a> {
             fast: self.fast,
             timed_out,
             race: self.race.as_ref().map(|d| d.report_snapshot()),
+            mem_profile: self.profiler.as_ref().map(|p| {
+                let sites = self
+                    .sp
+                    .init
+                    .iter()
+                    .chain(self.sp.nests.iter())
+                    .map(|n| n.source.name.clone())
+                    .collect();
+                p.snapshot(sites, self.sp.init.len(), self.sp.array_names.clone())
+            }),
         }
     }
 
@@ -433,6 +488,9 @@ impl<'a> Executor<'a> {
         self.current_acc = if init { None } else { Some(idx) };
         if let Some(d) = self.race.as_deref_mut() {
             d.set_site(init, idx, sp.init.len());
+        }
+        if let Some(pf) = self.profiler.as_deref_mut() {
+            pf.set_site(if init { idx } else { sp.init.len() + idx });
         }
         if nest.pipeline.is_some() {
             self.exec_pipelined(nest, params);
@@ -746,6 +804,16 @@ impl<'a> Executor<'a> {
     }
 
 
+    /// Machine access routed through the profiler when one is attached
+    /// (the probe observes the outcome; the returned cost is identical).
+    #[inline]
+    fn mem_access(&mut self, proc: usize, addr: u64, write: bool) -> u64 {
+        match self.profiler.as_deref_mut() {
+            Some(p) => self.machine.access_probed(proc, addr, write, Some(p as &mut dyn MemProbe)),
+            None => self.machine.access(proc, addr, write),
+        }
+    }
+
     /// Statement body through segment cursors and flattened postfix code;
     /// mirrors [`Self::exec_body`] exactly (same access order, same cost
     /// accounting).
@@ -770,7 +838,7 @@ impl<'a> Executor<'a> {
                     BodyOp::Read { x, extra } => {
                         let c0 = self.cursors[cur];
                         cur += 1;
-                        busy += self.machine.access(proc, c0.byte, false) + extra;
+                        busy += self.mem_access(proc, c0.byte, false) + extra;
                         stack[top] = self.arenas[x][c0.slot];
                         top += 1;
                     }
@@ -789,7 +857,7 @@ impl<'a> Executor<'a> {
             }
             let val = stack[top - 1];
             busy += sc.flop_cycles;
-            busy += self.machine.access(proc, wcur.byte, true) + sc.write_extra;
+            busy += self.mem_access(proc, wcur.byte, true) + sc.write_extra;
             self.arenas[s.lhs.array.0][wcur.slot] = val;
             k = cur;
         }
@@ -809,7 +877,7 @@ impl<'a> Executor<'a> {
             if let Some(d) = self.race.as_deref_mut() {
                 d.access(proc, x, slot, true);
             }
-            busy += self.machine.access(proc, addr, true) + sc.write_extra;
+            busy += self.mem_access(proc, addr, true) + sc.write_extra;
             self.arenas[x][slot] = val;
         }
         busy
@@ -836,7 +904,7 @@ impl<'a> Executor<'a> {
                 }
                 let extra = read_extras.get(*read_idx).copied().unwrap_or(0);
                 *read_idx += 1;
-                let c = self.machine.access(proc, addr, false) + extra;
+                let c = self.mem_access(proc, addr, false) + extra;
                 (self.arenas[x][slot], c)
             }
             Expr::Bin(op, a, b) => {

@@ -31,6 +31,11 @@ pub struct SimOptions {
     /// observer: cycles and results are unchanged; the run result gains
     /// a `RaceReport`).
     pub race_detect: bool,
+    /// Run the memory-behavior profiler alongside execution (pure
+    /// observer: cycles and results are unchanged; the run result gains
+    /// a `MemProfile` with per-nest/array/processor miss classification
+    /// and the true/false sharing split).
+    pub profile: bool,
     /// Abort a runaway simulation once the slowest processor clock exceeds
     /// this many simulated cycles; the result comes back `timed_out`.
     pub max_cycles: Option<u64>,
@@ -49,6 +54,7 @@ impl SimOptions {
             machine: None,
             fast_path: true,
             race_detect: false,
+            profile: false,
             max_cycles: None,
             max_wall_secs: None,
         }
@@ -66,6 +72,7 @@ fn build_executor<'a>(
     let mut ex = Executor::new(sp, machine, cost);
     ex.fast_path = opts.fast_path;
     ex.race_detect = opts.race_detect;
+    ex.profile = opts.profile;
     ex.max_cycles = opts.max_cycles;
     ex.max_wall = opts.max_wall_secs.map(std::time::Duration::from_secs_f64);
     ex

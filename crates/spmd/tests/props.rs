@@ -125,6 +125,59 @@ proptest! {
         }
     }
 
+    /// The memory profiler is a pure observer: profiling on vs off yields
+    /// bit-identical cycles, checksums and array contents on both walk
+    /// modes, and the classification exactly partitions the misses while
+    /// agreeing with the machine's own aggregate statistics.
+    #[test]
+    fn profiler_is_pure_observer_and_conserves_misses(
+        prog in arb_stencil(),
+        procs in 2usize..=6,
+    ) {
+        let cfg = DepConfig { nparams: prog.params.len(), param_min: 4 };
+        let deps: Vec<_> = prog.nests.iter().map(|n| analyze_nest(n, cfg)).collect();
+        let full = decompose(&prog, &deps).unwrap();
+        let params = prog.default_params();
+
+        for fast in [true, false] {
+            let mut off = SimOptions::new(procs, params.clone());
+            off.fast_path = fast;
+            let (plain, vals_off) = simulate_with_values(&prog, &full, &off).unwrap();
+            prop_assert!(plain.mem_profile.is_none(), "profile off must not attach one");
+
+            let mut on = off.clone();
+            on.profile = true;
+            let (prof, vals_on) = simulate_with_values(&prog, &full, &on).unwrap();
+            prop_assert_eq!(plain.cycles, prof.cycles, "profiler perturbed cycles (fast={})", fast);
+            prop_assert_eq!(plain.checksum, prof.checksum);
+            for (x, (va, vb)) in vals_off.iter().zip(&vals_on).enumerate() {
+                for (k, (p, q)) in va.iter().zip(vb).enumerate() {
+                    prop_assert!(
+                        p.to_bits() == q.to_bits(),
+                        "array {} elem {}: {} != {} (fast={})", x, k, p, q, fast
+                    );
+                }
+            }
+
+            let mp = prof.mem_profile.expect("profile on must attach a MemProfile");
+            let t = mp.total();
+            prop_assert_eq!(
+                t.classified(),
+                t.misses(),
+                "classification must partition misses (fast={})", fast
+            );
+            let s = prof.stats.total();
+            prop_assert_eq!(t.accesses, s.accesses);
+            prop_assert_eq!(t.l1_hits, s.l1_hits);
+            prop_assert_eq!(t.l2_hits, s.l2_hits);
+            prop_assert_eq!(t.local_mem, s.local_mem);
+            prop_assert_eq!(t.remote_mem, s.remote_mem);
+            prop_assert_eq!(t.remote_dirty, s.remote_dirty);
+            prop_assert_eq!(t.invalidations, s.invalidations_received);
+            prop_assert_eq!(t.mem_cycles, s.mem_cycles);
+        }
+    }
+
     /// Randomized stencils: identical values for every strategy and
     /// processor count.
     #[test]

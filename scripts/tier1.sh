@@ -30,7 +30,9 @@ echo "== tier1: panic-site ratchet"
 # fine — update the baseline downward when you remove panic sites.
 while read -r crate pinned; do
     [ -z "$crate" ] && continue
-    count=$(grep -rhoE 'panic!|\.unwrap\(\)' "crates/$crate/src" --include='*.rs' | wc -l)
+    # `|| true`: grep exits 1 on zero matches, which pipefail would
+    # otherwise turn into a silent script death for panic-free crates.
+    count=$(grep -rhoE 'panic!|\.unwrap\(\)' "crates/$crate/src" --include='*.rs' | wc -l || true)
     if [ "$count" -gt "$pinned" ]; then
         echo "tier1 FAIL: crates/$crate/src has $count panic!/unwrap() sites (baseline $pinned)" >&2
         echo "  use DctError/Result instead, or justify and bump scripts/panic_baseline.txt" >&2
@@ -38,6 +40,16 @@ while read -r crate pinned; do
     fi
     echo "  $crate: $count/$pinned"
 done < scripts/panic_baseline.txt
+
+echo "== tier1: memory profiler is panic-free"
+# The profiler observes every memory access of a profiled run; like the
+# race detector it must never be able to take the process down.
+prof_panics=$(grep -rhoE 'panic!|\.unwrap\(\)' crates/profile/src --include='*.rs' | wc -l || true)
+if [ "${prof_panics:-0}" -ne 0 ]; then
+    echo "tier1 FAIL: crates/profile/src has $prof_panics panic!/unwrap() sites (must be 0)" >&2
+    exit 1
+fi
+echo "  profile/src: 0 panic sites"
 
 echo "== tier1: race detector is panic-free"
 # The happens-before detector runs inside the simulator on every
@@ -54,6 +66,22 @@ echo "== tier1: repro --race-check smoke (schedule soundness)"
 # happens-before detector — the only oracle that can see missing
 # synchronization in a deterministic simulator.
 ./target/release/repro --race-check --scale 0.1 --procs 8
+
+echo "== tier1: repro explain stencil smoke (memory profiler end-to-end)"
+# The explain pipeline must run every strategy with the profiler on,
+# render the ranked attribution table, and emit the JSON artifact.
+explain_out=$(./target/release/repro explain stencil --scale 0.1 --procs 32 2>/dev/null)
+for needle in "why is this slow" "diagnosis:" "false-sh"; do
+    if ! grep -q "$needle" <<<"$explain_out"; then
+        echo "tier1 FAIL: 'repro explain stencil' output missing '$needle'" >&2
+        exit 1
+    fi
+done
+if [ ! -s results/explain_stencil.json ]; then
+    echo "tier1 FAIL: results/explain_stencil.json not written" >&2
+    exit 1
+fi
+echo "  explain stencil: table + diagnosis + JSON artifact OK"
 
 echo "== tier1: repro table1 --scale 0.25 smoke (budget ${BUDGET}s)"
 start=$(date +%s)
