@@ -1,0 +1,46 @@
+//! Intra-cell scaling of the sharded simulator engine: the fig6b LU
+//! cell (the sweep's dominant single cell) swept across engine thread
+//! counts 1..N. Thread 1 is the exact sequential walk; every other
+//! count is bit-identical, so any cycle drift here is a bug, and any
+//! wall-time regression at a fixed count is a scaling regression.
+//!
+//! The default size is scaled well below the paper's 512x512 so the
+//! bench finishes quickly in CI; the absolute speedup is only
+//! meaningful on a multi-core host (the determinism, measured cycles,
+//! and per-thread trend are meaningful everywhere).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dct_core::{Compiler, Strategy};
+
+fn sim_scaling(c: &mut Criterion) {
+    // fig6b is LU at the paper's 1024 base size; 0.125 of it keeps one
+    // Criterion iteration in the tens of milliseconds.
+    let spec = dct_bench::figure("fig6b", 0.125).expect("fig6b exists");
+    let params = spec.program.default_params();
+    let comp = Compiler::new(Strategy::Full);
+    let compiled = comp.compile(&spec.program).expect("fig6b compiles");
+
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut counts = vec![1usize, 2, 4, 8];
+    counts.retain(|&t| t == 1 || t <= host.max(4));
+
+    let reference = comp
+        .simulate_threads(&compiled, 32, &params, 1)
+        .expect("reference run")
+        .cycles;
+
+    for threads in counts {
+        c.bench_function(&format!("sim_scaling_lu_fig6b/{threads}"), |b| {
+            b.iter(|| {
+                let r = comp
+                    .simulate_threads(&compiled, 32, &params, threads)
+                    .expect("simulate");
+                assert_eq!(r.cycles, reference, "threads={threads} diverged from sequential");
+                black_box(r.cycles)
+            })
+        });
+    }
+}
+
+criterion_group!(benches, sim_scaling);
+criterion_main!(benches);

@@ -15,6 +15,10 @@
 //! repro --race-check        # certify every benchmark x strategy race-free
 //! repro explain stencil     # why is it slow? ranked miss/sharing tables
 //!                           # (text here, JSON -> results/explain_stencil.json)
+//! repro fig8 --threads 4    # sharded engine: 4 threads inside each cell
+//!                           # (bit-identical to --threads 1; workers clamp
+//!                           #  so cells x threads <= host parallelism)
+//! repro table1 --workers 8  # cap concurrently-running cells
 //! ```
 //!
 //! With `--resume`, `--max-cycles`, `--max-wall` or `--out`, `table1` runs
@@ -22,7 +26,7 @@
 //! atomically (temp file + rename) as it finishes, and a re-run with
 //! `--resume` only simulates the missing cells.
 
-use dct_bench::harness::{self, ALL_FIGURES, PAPER_PROCS};
+use dct_bench::harness::{self, ThreadBudget, ALL_FIGURES, PAPER_PROCS};
 use dct_layout::{diagram, DataLayout};
 use std::time::Instant;
 
@@ -37,6 +41,7 @@ fn main() {
     let mut scale = 1.0f64;
     let mut procs: Vec<usize> = PAPER_PROCS.to_vec();
     let mut workers = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(4);
+    let mut threads: Option<usize> = None;
     let mut profile = false;
     let mut race_check = false;
     let mut resume = false;
@@ -90,10 +95,17 @@ fn main() {
                 )
             }
             "--threads" => {
+                threads = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--threads needs a positive integer")),
+                )
+            }
+            "--workers" => {
                 workers = it
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--threads needs a positive integer"))
+                    .unwrap_or_else(|| die("--workers needs a positive integer"))
             }
             other => targets.push(other.to_string()),
         }
@@ -103,8 +115,10 @@ fn main() {
         // the paper's 32 processors (figure targets restrict the sweep).
         let figs: Vec<String> =
             targets.iter().filter(|t| t.starts_with("fig") && t.as_str() != "fig2" && t.as_str() != "fig3").cloned().collect();
+        let budget = ThreadBudget::single_cell(threads);
+        eprintln!("[profile pairs: 1-thread vs {}-thread runs per cell]", budget.intra);
         let t0 = Instant::now();
-        let profiles = dct_bench::profile::profile_all(&figs, 32, scale);
+        let profiles = dct_bench::profile::profile_all(&figs, 32, scale, budget.intra);
         let total = t0.elapsed().as_secs_f64();
         print!("{}", dct_bench::profile::render_text(&profiles));
         let json = dct_bench::profile::render_json(&profiles, total);
@@ -124,7 +138,7 @@ fn main() {
         // through the table sweep below.
         let procs = procs.iter().copied().max().unwrap_or(32);
         let t0 = Instant::now();
-        let cells = harness::race_check(procs, scale, workers);
+        let cells = harness::race_check(procs, scale, ThreadBudget::clamp(workers, threads));
         print!("{}", harness::render_race_check(&cells, procs));
         eprintln!("[race-check done in {:?}]", t0.elapsed());
         if cells.iter().any(|c| !c.is_clean()) {
@@ -152,8 +166,9 @@ fn main() {
             die("explain needs a benchmark name (e.g. `repro explain stencil`)")
         };
         let procs = procs.iter().copied().max().unwrap_or(32);
+        let cell_threads = ThreadBudget::single_cell(threads).intra;
         let t0 = Instant::now();
-        match dct_bench::explain(&bench, scale, procs) {
+        match dct_bench::explain_threads(&bench, scale, procs, cell_threads) {
             Some(r) => {
                 print!("{}", dct_bench::render_explain(&r));
                 let dir = out_dir.clone().unwrap_or_else(|| "results".to_string());
@@ -191,6 +206,9 @@ fn main() {
                     cfg.max_cycles = max_cycles;
                     cfg.max_wall_secs = max_wall;
                     cfg.race_check = race_check;
+                    if let Some(t) = threads {
+                        cfg.threads = t;
+                    }
                     match dct_bench::run_sweep(&cfg) {
                         Ok(cells) => {
                             println!("{}", dct_bench::sweep::render_sweep(&cells, 32, scale))
@@ -198,10 +216,10 @@ fn main() {
                         Err(e) => die(&format!("sweep failed: {e}")),
                     }
                 } else {
-                    let rows = harness::table1_parallel(32, scale, workers);
+                    let rows = harness::table1_parallel(32, scale, ThreadBudget::clamp(workers, threads));
                     println!("{}", harness::render_table1(&rows, 32));
                     if race_check {
-                        let cells = harness::race_check(32, scale, workers);
+                        let cells = harness::race_check(32, scale, ThreadBudget::clamp(workers, threads));
                         print!("{}", harness::render_race_check(&cells, 32));
                         if cells.iter().any(|c| !c.is_clean()) {
                             std::process::exit(1);
@@ -215,7 +233,11 @@ fn main() {
                 }
             }
             fig => match harness::figure(fig, scale) {
-                Some(spec) => match harness::run_figure_parallel(&spec, &procs, workers) {
+                Some(spec) => match harness::run_figure_parallel(
+                    &spec,
+                    &procs,
+                    ThreadBudget::clamp(workers, threads),
+                ) {
                     Ok(r) => println!("{}", r.render()),
                     Err(e) => eprintln!("{fig} failed: {e}"),
                 },

@@ -14,6 +14,6 @@ pub mod programs;
 pub mod sweep;
 
 pub use ablate::{all_ablations, Ablation};
-pub use explain::{explain, explain_json, explain_strategies, render_explain, ExplainResult, ExplainRun, StrategyExplain};
-pub use harness::{figure, run_figure, run_figure_parallel, table1, FigureResult, FigureSpec, StrategyCurve, Table1Row};
+pub use explain::{explain, explain_json, explain_strategies, explain_threads, render_explain, ExplainResult, ExplainRun, StrategyExplain};
+pub use harness::{figure, run_figure, run_figure_parallel, table1, FigureResult, FigureSpec, StrategyCurve, Table1Row, ThreadBudget};
 pub use sweep::{run_sweep, Cell, CellOutcome, SweepConfig};

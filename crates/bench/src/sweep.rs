@@ -207,6 +207,10 @@ pub struct SweepConfig {
     /// carrying the race report (detection never changes cycles, so
     /// checkpointed numbers stay comparable either way).
     pub race_check: bool,
+    /// Sharded-engine threads inside each cell. Cells run one at a time
+    /// here (checkpointing is serial by design), so the whole host
+    /// budget defaults intra-cell; bit-identical at any value.
+    pub threads: usize,
 }
 
 impl SweepConfig {
@@ -220,6 +224,7 @@ impl SweepConfig {
             max_wall_secs: None,
             only: None,
             race_check: false,
+            threads: dct_spmd::default_threads(),
         }
     }
 }
@@ -245,6 +250,7 @@ fn compute_cell(
         opts.max_cycles = cfg.max_cycles;
         opts.max_wall_secs = cfg.max_wall_secs;
         opts.race_detect = cfg.race_check;
+        opts.threads = cfg.threads.max(1);
         let r = dct_spmd::simulate(&compiled.program, &compiled.decomposition, &opts)
             .map_err(|e| e.to_string())?;
         if let Some(rep) = &r.race {
@@ -266,6 +272,10 @@ fn compute_cell(
 /// deterministic (suite, kind) order — including the ones reloaded from
 /// checkpoints.
 pub fn run_sweep(cfg: &SweepConfig) -> io::Result<Vec<Cell>> {
+    eprintln!(
+        "[thread budget: 1 cell in flight x {} intra-cell thread(s) (checkpointed sweep is serial)]",
+        cfg.threads.max(1)
+    );
     let suite = programs::suite(cfg.scale);
     let done: Vec<Cell> = if cfg.resume { load_cells(&cfg.out_dir) } else { Vec::new() };
     let mut out = Vec::new();

@@ -251,6 +251,23 @@ impl Compiler {
         simulate(&c.program, &c.decomposition, &opts)
     }
 
+    /// [`Compiler::simulate`] with an explicit intra-simulation thread
+    /// count for the sharded engine (`1` = exact sequential walk; any
+    /// value is bit-identical). Sweeps that already run cells on a worker
+    /// pool use this to keep cells-in-flight x intra-cell threads within
+    /// the host budget.
+    pub fn simulate_threads(
+        &self,
+        c: &Compiled,
+        procs: usize,
+        params: &[i64],
+        threads: usize,
+    ) -> DctResult<RunResult> {
+        let mut opts = rung_sim_options(c.rung, procs, params.to_vec());
+        opts.threads = threads.max(1);
+        simulate(&c.program, &c.decomposition, &opts)
+    }
+
     /// The SPMD/simulation options that realize this strategy (before any
     /// degradation; [`Compiler::simulate`] follows the compiled rung).
     pub fn sim_options(&self, procs: usize, params: Vec<i64>) -> SimOptions {

@@ -13,10 +13,12 @@ pub mod cache;
 pub mod classify;
 pub mod config;
 pub mod probe;
+pub mod shard;
 pub mod system;
 
 pub use cache::{Cache, LineState};
 pub use classify::{Classifier, FastHash, MissClasses, ShadowLru};
 pub use config::MachineConfig;
 pub use probe::{AccessLevel, MemProbe};
-pub use system::{Machine, ProcStats, Stats, SyncOp, SyncStats};
+pub use shard::{Effect, ShardCommit, ShardMachine};
+pub use system::{Machine, ProcSlice, ProcStats, Stats, SyncOp, SyncStats};

@@ -1,0 +1,838 @@
+//! Thread-local machine shards for the parallel region engine.
+//!
+//! Between two sync points the executor may partition the simulated
+//! processors across host workers. Each worker gets a [`ShardMachine`]:
+//! it *owns* the per-processor state of its processors (moved out of the
+//! [`Machine`] via [`Machine::take_proc_slices`]) and reads the shared
+//! directory / page-home tables *frozen* at their region-start contents.
+//! All writes to shared state go into per-shard overlays:
+//!
+//! - `dir_ov` — absolute directory entries written by this shard's
+//!   `set_dir` calls (insertion-ordered);
+//! - `dir_sub` — sharer bits this shard *removed* from frozen entries it
+//!   never rewrote (evictions of region-start residents);
+//! - `page_ov` — first-touch page homes assigned by this shard;
+//! - `effects` — cache-state operations on processors owned by *other*
+//!   shards (invalidations / downgrades), deferred to the merge.
+//!
+//! The region classifier in the executor only admits regions where these
+//! overlays are provably non-conflicting (disjoint written lines, stable
+//! frozen bits, single-shard page first-touch, read-only sharing with a
+//! unique first payer for dirty lines). Under that precondition the
+//! deterministic merge in [`Machine::merge_shards`] — subtractions, then
+//! absolute overlays with a multi-shard OR for read-shared lines, then
+//! pages, then effects in canonical shard order — reproduces *exactly*
+//! the directory, cache, and counter state the sequential walk would
+//! have left, which is what makes parallel runs bit-identical.
+
+use crate::cache::LineState;
+use crate::config::MachineConfig;
+use crate::probe::{AccessLevel, MemProbe};
+use crate::system::{
+    DirEntry, DirTable, LastLine, Machine, PageHomes, ProcSlice, SyncOp, SyncStats, NO_OWNER,
+};
+use std::collections::HashMap;
+
+/// A deferred cache-state operation on a processor owned by another
+/// shard. Applied at the merge, in canonical shard order. Soundness
+/// (why applying late equals applying at access time) rests on the
+/// classifier's occupant-hazard checks: the victim's cache set holding
+/// `line` is untouched by the victim's own shard for the whole region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Effect {
+    /// Write-invalidation of `victim`'s copy of `line` (counts one
+    /// `invalidations_received` for the victim).
+    Invalidate { victim: usize, line: u64 },
+    /// Read-downgrade of the dirty owner's copy of `line` to Shared.
+    Downgrade { victim: usize, line: u64 },
+}
+
+/// Open-addressed `u64 -> (u64, u8)` map that remembers insertion order
+/// (the merge replays overlays in first-write order). Keys are line or
+/// page numbers; `u64::MAX` never occurs as a key.
+pub(crate) struct LineMap {
+    /// Slot -> index into `entries` plus one; 0 = empty.
+    slots: Vec<u32>,
+    /// `(key, bits, byte)` in insertion order.
+    entries: Vec<(u64, u64, u8)>,
+}
+
+impl LineMap {
+    pub(crate) fn new() -> LineMap {
+        LineMap { slots: vec![0; 64], entries: Vec::new() }
+    }
+
+    #[inline]
+    fn hash(key: u64) -> u64 {
+        // splitmix64 finalizer: full avalanche, so low bits index well.
+        let mut h = key;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 29;
+        h
+    }
+
+    /// Slot holding `key`, or the vacant slot where it would go.
+    #[inline]
+    fn probe(&self, key: u64) -> (usize, Option<usize>) {
+        let mask = self.slots.len() - 1;
+        let mut i = Self::hash(key) as usize & mask;
+        loop {
+            let s = self.slots[i];
+            if s == 0 {
+                return (i, None);
+            }
+            let e = s as usize - 1;
+            if self.entries[e].0 == key {
+                return (i, Some(e));
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, key: u64) -> Option<(u64, u8)> {
+        match self.probe(key).1 {
+            Some(e) => Some((self.entries[e].1, self.entries[e].2)),
+            None => None,
+        }
+    }
+
+    /// Insert or overwrite.
+    pub(crate) fn set(&mut self, key: u64, bits: u64, byte: u8) {
+        match self.probe(key) {
+            (_, Some(e)) => {
+                self.entries[e].1 = bits;
+                self.entries[e].2 = byte;
+            }
+            (slot, None) => {
+                self.entries.push((key, bits, byte));
+                self.slots[slot] = self.entries.len() as u32;
+                if self.entries.len() * 2 >= self.slots.len() {
+                    self.grow();
+                }
+            }
+        }
+    }
+
+    /// OR `bits` into the entry (creating it as `(bits, 0)` if absent).
+    pub(crate) fn or_bits(&mut self, key: u64, bits: u64) {
+        match self.probe(key) {
+            (_, Some(e)) => self.entries[e].1 |= bits,
+            (slot, None) => {
+                self.entries.push((key, bits, 0));
+                self.slots[slot] = self.entries.len() as u32;
+                if self.entries.len() * 2 >= self.slots.len() {
+                    self.grow();
+                }
+            }
+        }
+    }
+
+    /// Mutate an existing entry in place; returns whether it existed.
+    pub(crate) fn update(&mut self, key: u64, f: impl FnOnce(&mut u64, &mut u8)) -> bool {
+        match self.probe(key).1 {
+            Some(e) => {
+                let (_, bits, byte) = &mut self.entries[e];
+                f(bits, byte);
+                true
+            }
+            None => false,
+        }
+    }
+
+    #[cold]
+    fn grow(&mut self) {
+        let n = self.slots.len() * 2;
+        self.slots.clear();
+        self.slots.resize(n, 0);
+        let mask = n - 1;
+        for (idx, &(key, _, _)) in self.entries.iter().enumerate() {
+            let mut i = Self::hash(key) as usize & mask;
+            while self.slots[i] != 0 {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = idx as u32 + 1;
+        }
+    }
+
+    /// Entries in insertion order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (u64, u64, u8)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// One worker's private view of the machine for one sync-free region:
+/// owned per-processor state plus frozen shared tables and overlays.
+/// Mirrors [`Machine::access_probed`] operation for operation; the only
+/// differences are where reads and writes of shared state are routed.
+pub struct ShardMachine<'m> {
+    cfg: &'m MachineConfig,
+    dir: &'m DirTable,
+    homes: &'m PageHomes,
+    cluster: &'m [u32],
+    line_shift: u32,
+    page_shift: Option<u32>,
+    /// Simulated processors owned by this shard, canonical order.
+    procs: Vec<usize>,
+    /// proc -> index into `slices` (`u32::MAX` = not ours).
+    local: Vec<u32>,
+    slices: Vec<ProcSlice>,
+    /// Frozen-dirty lines whose owner flag is hidden from this shard
+    /// (read-shared dirty lines where another shard is the first payer).
+    /// Sorted for binary search.
+    masked_dirty: Vec<u64>,
+    dir_ov: LineMap,
+    dir_sub: LineMap,
+    page_ov: LineMap,
+    /// First-touch assignments in touch order (page, home cluster).
+    pages: Vec<(u64, u32)>,
+    effects: Vec<Effect>,
+    sync: SyncStats,
+}
+
+/// Everything a shard gives back at the sync point, consumed by
+/// [`Machine::merge_shards`].
+pub struct ShardCommit {
+    pub(crate) procs: Vec<usize>,
+    pub(crate) slices: Vec<ProcSlice>,
+    pub(crate) dir_ov: LineMap,
+    pub(crate) dir_sub: LineMap,
+    pub(crate) pages: Vec<(u64, u32)>,
+    pub(crate) effects: Vec<Effect>,
+    pub(crate) sync: SyncStats,
+}
+
+impl ShardCommit {
+    /// Directory lines this shard rewrote (diagnostics / tests).
+    pub fn dir_lines_written(&self) -> usize {
+        self.dir_ov.len()
+    }
+}
+
+impl<'m> ShardMachine<'m> {
+    /// Build a shard over `procs` whose slices were detached with
+    /// [`Machine::take_proc_slices`]. `masked_dirty` must be sorted.
+    pub fn new(
+        m: &'m Machine,
+        procs: Vec<usize>,
+        slices: Vec<ProcSlice>,
+        masked_dirty: Vec<u64>,
+    ) -> ShardMachine<'m> {
+        debug_assert_eq!(procs.len(), slices.len());
+        debug_assert!(masked_dirty.windows(2).all(|w| w[0] < w[1]));
+        let mut local = vec![u32::MAX; m.cfg.nprocs];
+        for (i, &p) in procs.iter().enumerate() {
+            local[p] = i as u32;
+        }
+        ShardMachine {
+            cfg: &m.cfg,
+            dir: &m.dir,
+            homes: &m.page_home,
+            cluster: &m.cluster,
+            line_shift: m.line_shift,
+            page_shift: m.page_shift,
+            procs,
+            local,
+            slices,
+            masked_dirty,
+            dir_ov: LineMap::new(),
+            dir_sub: LineMap::new(),
+            page_ov: LineMap::new(),
+            pages: Vec::new(),
+            effects: Vec::new(),
+            sync: SyncStats::default(),
+        }
+    }
+
+    /// Overlay-aware directory read: this shard's own writes win; the
+    /// frozen entry is corrected by this shard's evictions and by the
+    /// first-payer dirty mask.
+    #[inline]
+    fn dir_get(&self, line: u64) -> DirEntry {
+        if let Some((sharers, d)) = self.dir_ov.get(line) {
+            return DirEntry { sharers, dirty: (d != NO_OWNER).then_some(d) };
+        }
+        let mut e = self.dir.get(line);
+        if let Some((bits, _)) = self.dir_sub.get(line) {
+            e.sharers &= !bits;
+            if e.dirty.is_some_and(|o| bits >> o & 1 == 1) {
+                e.dirty = None;
+            }
+        }
+        if e.dirty.is_some() && self.masked_dirty.binary_search(&line).is_ok() {
+            e.dirty = None;
+        }
+        e
+    }
+
+    #[inline]
+    fn set_dir(&mut self, line: u64, sharers: u64, dirty: Option<usize>) {
+        self.dir_ov.set(line, sharers, dirty.map_or(NO_OWNER, |p| p as u8));
+    }
+
+    /// Eviction bookkeeping. Lines this shard already rewrote mutate the
+    /// overlay; frozen region-start residents get a subtraction record.
+    fn drop_sharer(&mut self, proc: usize, line: u64) {
+        let hit = self.dir_ov.update(line, |bits, byte| {
+            *bits &= !(1u64 << proc);
+            if *byte == proc as u8 {
+                *byte = NO_OWNER;
+            }
+        });
+        if !hit {
+            self.dir_sub.or_bits(line, 1u64 << proc);
+        }
+    }
+
+    #[inline]
+    fn page_of(&self, byte_addr: u64) -> u64 {
+        match self.page_shift {
+            Some(s) => byte_addr >> s,
+            None => byte_addr / self.cfg.page_bytes as u64,
+        }
+    }
+
+    /// First-touch home lookup with the per-processor memo, reading
+    /// frozen homes and assigning unseen pages into the shard overlay.
+    /// The classifier guarantees an unassigned page is touched by at
+    /// most one shard, and within a shard processors run in canonical
+    /// order, so the first toucher is the same as sequentially.
+    fn home_of(&mut self, li: usize, proc: usize, byte_addr: u64) -> usize {
+        let page = self.page_of(byte_addr);
+        let (cached_page, cached_home) = self.slices[li].last_page;
+        if cached_page == page {
+            return cached_home as usize;
+        }
+        let home = match self.homes.home(page) {
+            Some(h) => h,
+            None => match self.page_ov.get(page) {
+                Some((h, _)) => h as u32,
+                None => {
+                    let h = self.cluster[proc];
+                    self.page_ov.set(page, h as u64, 0);
+                    self.pages.push((page, h));
+                    h
+                }
+            },
+        };
+        self.slices[li].last_page = (page, home);
+        home as usize
+    }
+
+    fn count_mem(&mut self, li: usize, proc: usize, home: usize) {
+        if home == self.cluster[proc] as usize {
+            self.slices[li].stats.local_mem += 1;
+        } else {
+            self.slices[li].stats.remote_mem += 1;
+        }
+    }
+
+    /// Twin of [`Machine::access`].
+    #[inline]
+    pub fn access(&mut self, proc: usize, byte_addr: u64, write: bool) -> u64 {
+        self.access_probed(proc, byte_addr, write, None)
+    }
+
+    /// Twin of [`Machine::access_probed`], step for step. Victim
+    /// operations on processors of other shards become [`Effect`]s, but
+    /// the probe still observes them inline at the correct position in
+    /// this shard's event stream.
+    pub fn access_probed(
+        &mut self,
+        proc: usize,
+        byte_addr: u64,
+        write: bool,
+        mut probe: Option<&mut dyn MemProbe>,
+    ) -> u64 {
+        let li = self.local[proc] as usize;
+        debug_assert!(li < self.slices.len(), "access from a processor not in this shard");
+        let line = byte_addr >> self.line_shift;
+        let word = (byte_addr & (self.cfg.line_bytes as u64 - 1)) as u32;
+
+        // Same-line fast path (see Machine::access_probed).
+        let ll = self.slices[li].last_line;
+        if ll.line == line && (!write || ll.state == LineState::Modified) {
+            if let Some(p) = probe.as_deref_mut() {
+                p.access(proc, line, word, write, AccessLevel::L1, self.cfg.lat_l1);
+            }
+            let st = &mut self.slices[li].stats;
+            st.accesses += 1;
+            st.l1_hits += 1;
+            st.l1_fast_hits += 1;
+            st.mem_cycles += self.cfg.lat_l1;
+            return self.cfg.lat_l1;
+        }
+
+        self.slices[li].stats.accesses += 1;
+
+        // L1.
+        if let Some(state) = self.slices[li].l1.probe(line) {
+            self.slices[li].stats.l1_hits += 1;
+            let mut cost = self.cfg.lat_l1;
+            if write && state == LineState::Shared {
+                cost += self.upgrade(li, proc, line, word, &mut probe);
+            }
+            let new_state = if write { LineState::Modified } else { state };
+            self.slices[li].last_line = LastLine { line, state: new_state };
+            self.slices[li].stats.mem_cycles += cost;
+            if let Some(p) = probe {
+                p.access(proc, line, word, write, AccessLevel::L1, cost);
+            }
+            return cost;
+        }
+
+        // L2.
+        if let Some(state) = self.slices[li].l2.probe(line) {
+            self.slices[li].stats.l2_hits += 1;
+            let mut cost = self.cfg.lat_l2;
+            if write && state == LineState::Shared {
+                cost += self.upgrade(li, proc, line, word, &mut probe);
+            }
+            let new_state = if write { LineState::Modified } else { state };
+            self.fill_l1(li, proc, line, new_state);
+            self.slices[li].last_line = LastLine { line, state: new_state };
+            self.slices[li].stats.mem_cycles += cost;
+            if let Some(p) = probe {
+                p.access(proc, line, word, write, AccessLevel::L2, cost);
+            }
+            return cost;
+        }
+
+        // Memory (through the directory overlay).
+        let mut cost;
+        let level;
+        let entry = self.dir_get(line);
+        if let Some(owner) = entry.dirty {
+            let owner = owner as usize;
+            if owner != proc {
+                cost = self.cfg.lat_remote_dirty;
+                level = AccessLevel::RemoteDirty;
+                self.slices[li].stats.remote_dirty += 1;
+                if write {
+                    self.invalidate_victim(owner, line, proc, word, &mut probe);
+                    self.set_dir(line, 1u64 << proc, Some(proc));
+                } else {
+                    // Downgrade the owner to Shared.
+                    let lo = self.local[owner];
+                    if lo != u32::MAX {
+                        let s = &mut self.slices[lo as usize];
+                        s.l1.set_state(line, LineState::Shared);
+                        s.l2.set_state(line, LineState::Shared);
+                        if s.last_line.line == line {
+                            s.last_line.state = LineState::Shared;
+                        }
+                    } else {
+                        self.effects.push(Effect::Downgrade { victim: owner, line });
+                    }
+                    let sharers = entry.sharers | (1 << proc);
+                    self.set_dir(line, sharers, None);
+                }
+            } else {
+                let home = self.home_of(li, proc, byte_addr);
+                if home == self.cluster[proc] as usize {
+                    cost = self.cfg.lat_local;
+                    level = AccessLevel::LocalMem;
+                } else {
+                    cost = self.cfg.lat_remote;
+                    level = AccessLevel::RemoteMem;
+                }
+                self.count_mem(li, proc, home);
+            }
+        } else {
+            let home = self.home_of(li, proc, byte_addr);
+            if home == self.cluster[proc] as usize {
+                cost = self.cfg.lat_local;
+                level = AccessLevel::LocalMem;
+            } else {
+                cost = self.cfg.lat_remote;
+                level = AccessLevel::RemoteMem;
+            }
+            self.count_mem(li, proc, home);
+            if write {
+                cost += self.invalidate_sharers(proc, line, entry.sharers, word, &mut probe);
+                self.set_dir(line, 1u64 << proc, Some(proc));
+            } else {
+                self.set_dir(line, entry.sharers | (1 << proc), entry.dirty.map(|p| p as usize));
+            }
+        }
+
+        let state = if write { LineState::Modified } else { LineState::Shared };
+        self.fill_l2(li, proc, line, state);
+        self.fill_l1(li, proc, line, state);
+        self.slices[li].last_line = LastLine { line, state };
+        self.slices[li].stats.mem_cycles += cost;
+        if let Some(p) = probe {
+            p.access(proc, line, word, write, level, cost);
+        }
+        cost
+    }
+
+    /// Invalidate one victim's copy of `line` (twin of the inline victim
+    /// handling in the sequential dirty-write path and sharer loop).
+    fn invalidate_victim(
+        &mut self,
+        victim: usize,
+        line: u64,
+        writer: usize,
+        word: u32,
+        probe: &mut Option<&mut dyn MemProbe>,
+    ) {
+        let lv = self.local[victim];
+        if lv != u32::MAX {
+            let s = &mut self.slices[lv as usize];
+            s.l1.invalidate(line);
+            s.l2.invalidate(line);
+            if s.last_line.line == line {
+                s.last_line = LastLine::NONE;
+            }
+            s.stats.invalidations_received += 1;
+        } else {
+            // Deferred: the victim's counter is bumped at the merge so
+            // its shard's stats stay self-contained.
+            self.effects.push(Effect::Invalidate { victim, line });
+        }
+        if let Some(p) = probe.as_deref_mut() {
+            p.invalidated(victim, line, writer, word);
+        }
+    }
+
+    fn upgrade(
+        &mut self,
+        li: usize,
+        proc: usize,
+        line: u64,
+        word: u32,
+        probe: &mut Option<&mut dyn MemProbe>,
+    ) -> u64 {
+        self.slices[li].stats.upgrades += 1;
+        let entry = self.dir_get(line);
+        let others = entry.sharers & !(1u64 << proc);
+        let cost = self.invalidate_sharers(proc, line, others, word, probe);
+        let s = &mut self.slices[li];
+        s.l1.set_state(line, LineState::Modified);
+        s.l2.set_state(line, LineState::Modified);
+        if s.last_line.line == line {
+            s.last_line.state = LineState::Modified;
+        }
+        self.set_dir(line, 1u64 << proc, Some(proc));
+        cost
+    }
+
+    fn invalidate_sharers(
+        &mut self,
+        proc: usize,
+        line: u64,
+        sharers: u64,
+        word: u32,
+        probe: &mut Option<&mut dyn MemProbe>,
+    ) -> u64 {
+        let others = sharers & !(1u64 << proc);
+        if others == 0 {
+            return 0;
+        }
+        let mut n = 0;
+        for q in 0..self.cfg.nprocs {
+            if others & (1 << q) != 0 {
+                self.invalidate_victim(q, line, proc, word, probe);
+                n += 1;
+            }
+        }
+        self.cfg.lat_invalidate + 2 * n
+    }
+
+    fn fill_l1(&mut self, li: usize, proc: usize, line: u64, state: LineState) {
+        if let Some((old, _)) = self.slices[li].l1.insert(line, state) {
+            if self.slices[li].last_line.line == old {
+                self.slices[li].last_line = LastLine::NONE;
+            }
+            if !self.slices[li].l2.contains(old) {
+                self.drop_sharer(proc, old);
+            }
+        }
+    }
+
+    fn fill_l2(&mut self, li: usize, proc: usize, line: u64, state: LineState) {
+        if let Some((old, _old_state)) = self.slices[li].l2.insert(line, state) {
+            self.slices[li].l1.invalidate(old);
+            if self.slices[li].last_line.line == old {
+                self.slices[li].last_line = LastLine::NONE;
+            }
+            self.drop_sharer(proc, old);
+        }
+    }
+
+    /// Twin of [`Machine::sync`]: counts into the shard-local tally,
+    /// folded into the global one at the merge.
+    pub fn sync(&mut self, op: SyncOp) -> u64 {
+        match op {
+            SyncOp::Barrier { active } => {
+                self.sync.barriers += 1;
+                self.cfg.barrier_cost(active)
+            }
+            SyncOp::LockHandoff => {
+                self.sync.lock_handoffs += 1;
+                self.cfg.lock_cost
+            }
+            SyncOp::PipelineHandoff => {
+                self.sync.pipeline_handoffs += 1;
+                self.cfg.lock_cost
+            }
+        }
+    }
+
+    /// Detach everything the merge needs; the shard is done.
+    pub fn commit(self) -> ShardCommit {
+        ShardCommit {
+            procs: self.procs,
+            slices: self.slices,
+            dir_ov: self.dir_ov,
+            dir_sub: self.dir_sub,
+            pages: self.pages,
+            effects: self.effects,
+            sync: self.sync,
+        }
+    }
+}
+
+impl Machine {
+    /// Deterministic region merge: fold every shard's commit back into
+    /// the machine so the result is bit-identical to having run the
+    /// region sequentially. `commits` must be in canonical shard order
+    /// (ascending first processor).
+    ///
+    /// Order of operations matters and is fixed:
+    /// 1. per-processor slices go back (caches, memos, counters);
+    /// 2. directory *subtractions* (evictions of frozen residents) —
+    ///    before overlays, because a shard may evict a frozen line and
+    ///    later rewrite it absolutely;
+    /// 3. directory *overlays*; a line written by exactly one shard is
+    ///    absolute, a line in several shards' overlays can only be pure
+    ///    read-sharing (the classifier rejects everything else) and
+    ///    merges as the OR of the sharer masks, clean;
+    /// 4. first-touch page homes (single shard per page, idempotent);
+    /// 5. cross-shard [`Effect`]s in shard order — victim cache state is
+    ///    live again after step 1, and the hazard checks guarantee the
+    ///    deferred application is indistinguishable from an inline one;
+    /// 6. sync counters.
+    pub fn merge_shards(&mut self, commits: Vec<ShardCommit>) {
+        for c in &commits {
+            for (line, bits, _) in c.dir_sub.iter() {
+                let e = self.dir.get(line);
+                let sharers = e.sharers & !bits;
+                let dirty = e.dirty.filter(|&o| bits >> o & 1 == 0).map(|o| o as usize);
+                self.dir.set(line, sharers, dirty);
+            }
+        }
+        let mut seen: HashMap<u64, (u64, u32)> = HashMap::new();
+        if commits.len() > 1 {
+            for c in &commits {
+                for (line, sharers, _) in c.dir_ov.iter() {
+                    let e = seen.entry(line).or_insert((0, 0));
+                    e.0 |= sharers;
+                    e.1 += 1;
+                }
+            }
+        }
+        for c in &commits {
+            for (line, sharers, dirty) in c.dir_ov.iter() {
+                match seen.get(&line) {
+                    Some(&(or, n)) if n > 1 => {
+                        debug_assert_eq!(dirty, NO_OWNER, "multi-shard dir line must be clean");
+                        self.dir.set(line, or, None);
+                    }
+                    _ => self.dir.set(line, sharers, (dirty != NO_OWNER).then_some(dirty as usize)),
+                }
+            }
+        }
+        let mut effects: Vec<Effect> = Vec::new();
+        for c in commits {
+            for &(page, home) in &c.pages {
+                self.page_home.get_or_assign(page, home);
+            }
+            effects.extend_from_slice(&c.effects);
+            self.stats.sync.barriers += c.sync.barriers;
+            self.stats.sync.lock_handoffs += c.sync.lock_handoffs;
+            self.stats.sync.pipeline_handoffs += c.sync.pipeline_handoffs;
+            self.restore_proc_slices(&c.procs, c.slices);
+        }
+        for e in effects {
+            match e {
+                Effect::Invalidate { victim, line } => {
+                    self.l1[victim].invalidate(line);
+                    self.l2[victim].invalidate(line);
+                    if self.last_line[victim].line == line {
+                        self.last_line[victim] = LastLine::NONE;
+                    }
+                    self.stats.per_proc[victim].invalidations_received += 1;
+                }
+                Effect::Downgrade { victim, line } => {
+                    self.l1[victim].set_state(line, LineState::Shared);
+                    self.l2[victim].set_state(line, LineState::Shared);
+                    if self.last_line[victim].line == line {
+                        self.last_line[victim].state = LineState::Shared;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(nprocs: usize) -> Machine {
+        Machine::new(MachineConfig::tiny(nprocs))
+    }
+
+    #[test]
+    fn line_map_basics_and_growth() {
+        let mut lm = LineMap::new();
+        assert_eq!(lm.get(7), None);
+        lm.set(7, 0b101, 3);
+        lm.or_bits(9, 0b10);
+        lm.or_bits(9, 0b100);
+        lm.set(7, 0b111, NO_OWNER);
+        assert_eq!(lm.get(7), Some((0b111, NO_OWNER)));
+        assert_eq!(lm.get(9), Some((0b110, 0)));
+        assert!(lm.update(9, |b, _| *b = 1));
+        assert!(!lm.update(1000, |_, _| {}));
+        assert_eq!(lm.get(9), Some((1, 0)));
+        // Growth past the initial 64 slots; insertion order preserved.
+        for k in 100..200u64 {
+            lm.set(k, k, 0);
+        }
+        let keys: Vec<u64> = lm.iter().map(|(k, _, _)| k).collect();
+        assert_eq!(keys[0], 7);
+        assert_eq!(keys[1], 9);
+        assert_eq!(keys[2..], (100..200u64).collect::<Vec<_>>()[..]);
+        assert_eq!(lm.len(), 102);
+        assert_eq!(lm.get(150), Some((150, 0)));
+    }
+
+    /// Disjoint shards replayed through the merge must be bit-identical
+    /// to running the same per-processor streams back-to-back on one
+    /// machine (the sequential region semantics).
+    #[test]
+    fn disjoint_shards_match_sequential() {
+        let mut seq = m(4);
+        let mut par = m(4);
+        // Streams on disjoint lines and pages: proc 0 strides lines
+        // 0..39 (enough to force L1 evictions: tiny = 256 B L1, 16 B
+        // lines), proc 1 writes then re-reads lines 256..265.
+        let s0: Vec<(u64, bool)> =
+            (0..40).map(|i| (i * 16, i % 3 == 0)).collect();
+        let s1: Vec<(u64, bool)> = (0..20)
+            .map(|i| (4096 + (i % 10) * 16, i < 10))
+            .collect();
+
+        let mut seq_costs = Vec::new();
+        for &(a, w) in &s0 {
+            seq_costs.push(seq.access(0, a, w));
+        }
+        for &(a, w) in &s1 {
+            seq_costs.push(seq.access(1, a, w));
+        }
+
+        let sl0 = par.take_proc_slices(&[0]);
+        let sl1 = par.take_proc_slices(&[1]);
+        let mut par_costs = Vec::new();
+        {
+            let frozen = &par;
+            let mut sh0 = ShardMachine::new(frozen, vec![0], sl0, Vec::new());
+            let mut sh1 = ShardMachine::new(frozen, vec![1], sl1, Vec::new());
+            for &(a, w) in &s0 {
+                par_costs.push(sh0.access(0, a, w));
+            }
+            for &(a, w) in &s1 {
+                par_costs.push(sh1.access(1, a, w));
+            }
+            let (c0, c1) = (sh0.commit(), sh1.commit());
+            assert!(c0.dir_lines_written() > 0);
+            par.merge_shards(vec![c0, c1]);
+        }
+        assert_eq!(seq_costs, par_costs);
+        assert_eq!(seq.stats, par.stats);
+        for line in (0..48u64).chain(256..266) {
+            assert_eq!(seq.dir_entry(line), par.dir_entry(line), "dir line {line}");
+        }
+        // Post-merge accesses behave identically (caches + homes match).
+        for p in 0..2 {
+            for a in [0u64, 16, 336, 4096, 4224] {
+                assert_eq!(seq.access(p, a, false), par.access(p, a, false));
+            }
+        }
+    }
+
+    /// A cross-shard read of a frozen-dirty line: the reading shard is
+    /// the first payer (sees the real dirty entry), the owner is in no
+    /// shard, and the downgrade arrives as a deferred effect.
+    #[test]
+    fn dirty_downgrade_effect_matches() {
+        let mut seq = m(4);
+        let mut par = m(4);
+        // Warm-up (outside the region): proc 0 dirties line 0.
+        for mch in [&mut seq, &mut par] {
+            mch.access(0, 0, true);
+        }
+        let c_seq = seq.access(1, 0, false);
+        let slices = par.take_proc_slices(&[1]);
+        let c_par;
+        let commit;
+        {
+            let mut sh = ShardMachine::new(&par, vec![1], slices, Vec::new());
+            c_par = sh.access(1, 0, false);
+            commit = sh.commit();
+            assert_eq!(commit.effects, vec![Effect::Downgrade { victim: 0, line: 0 }]);
+        }
+        par.merge_shards(vec![commit]);
+        assert_eq!(c_seq, c_par, "3-hop intervention cost");
+        assert_eq!(seq.stats, par.stats);
+        assert_eq!(seq.dir_entry(0), par.dir_entry(0));
+        // The owner's copy was downgraded: a write by proc 0 must take
+        // the upgrade path on both machines.
+        assert_eq!(seq.access(0, 0, true), par.access(0, 0, true));
+        assert_eq!(seq.stats, par.stats);
+    }
+
+    /// Dirty masking: a shard that is not the first payer sees the line
+    /// clean and pays the plain memory latency, exactly like the
+    /// sequential walk where an earlier processor already downgraded it.
+    #[test]
+    fn masked_dirty_hides_owner() {
+        let mut seq = m(8);
+        let mut par = m(8);
+        for mch in [&mut seq, &mut par] {
+            mch.access(0, 0, true); // proc 0 dirties line 0 (page 0, cluster 0)
+        }
+        // Sequential region: proc 1 reads (3-hop + downgrade), then
+        // proc 2 reads (clean, from memory).
+        let c1_seq = seq.access(1, 0, false);
+        let c2_seq = seq.access(2, 0, false);
+        assert!(c1_seq > c2_seq, "first payer pays the intervention");
+
+        let sl1 = par.take_proc_slices(&[1]);
+        let sl2 = par.take_proc_slices(&[2]);
+        let (c1_par, c2_par, cm1, cm2);
+        {
+            let mut sh1 = ShardMachine::new(&par, vec![1], sl1, Vec::new());
+            let mut sh2 = ShardMachine::new(&par, vec![2], sl2, vec![0]);
+            c1_par = sh1.access(1, 0, false);
+            c2_par = sh2.access(2, 0, false);
+            cm1 = sh1.commit();
+            cm2 = sh2.commit();
+        }
+        par.merge_shards(vec![cm1, cm2]);
+        assert_eq!(c1_seq, c1_par);
+        assert_eq!(c2_seq, c2_par);
+        assert_eq!(seq.stats, par.stats);
+        // Merged entry: sharers {0,1,2}, clean — from the multi-shard OR.
+        assert_eq!(seq.dir_entry(0), par.dir_entry(0));
+        assert_eq!(par.dir_entry(0), (0b111, None));
+    }
+}

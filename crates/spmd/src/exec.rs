@@ -57,6 +57,13 @@ impl FastPathStats {
             self.fast_iters as f64 / total as f64
         }
     }
+
+    /// Fold counters from a lane or worker (plain integer sums).
+    pub(crate) fn accumulate(&mut self, o: &FastPathStats) {
+        self.fast_iters += o.fast_iters;
+        self.slow_iters += o.slow_iters;
+        self.segments += o.segments;
+    }
 }
 
 /// Result of one simulated execution.
@@ -93,6 +100,13 @@ pub struct RunResult {
     /// when the run was executed with `profile` enabled (`None` =
     /// profiling was off).
     pub mem_profile: Option<MemProfile>,
+    /// Sync-free regions executed by the sharded parallel engine.
+    /// Observability only: legitimately varies with the thread count, so
+    /// determinism comparisons must not include it.
+    pub par_regions: u64,
+    /// Sync-free regions executed on the sequential walk (all of them
+    /// when `threads == 1` or a region fails the independence analysis).
+    pub seq_regions: u64,
 }
 
 /// A resolved reference inside a strided segment: current byte address and
@@ -174,7 +188,7 @@ fn stack_depth(ops: &[BodyOp]) -> usize {
 /// and its right-hand side flattened to postfix [`BodyOp`]s so the hot
 /// loop runs a linear instruction array instead of recursing through the
 /// boxed expression tree.
-struct WalkCtx<'n> {
+pub(crate) struct WalkCtx<'n> {
     nest: &'n SpmdNest,
     /// `reads[s]` = read refs of statement `s` in `Expr::collect_refs`
     /// order (which matches `eval`'s recursion order).
@@ -188,7 +202,7 @@ struct WalkCtx<'n> {
 }
 
 impl<'n> WalkCtx<'n> {
-    fn new(nest: &'n SpmdNest) -> WalkCtx<'n> {
+    pub(crate) fn new(nest: &'n SpmdNest) -> WalkCtx<'n> {
         let reads: Vec<Vec<&'n ArrayRef>> = nest
             .source
             .body
@@ -225,11 +239,11 @@ impl<'n> WalkCtx<'n> {
 
 /// The interpreter.
 pub struct Executor<'a> {
-    sp: &'a SpmdProgram,
-    machine: Machine,
-    arenas: Vec<Vec<f64>>,
-    clocks: Vec<u64>,
-    cost: CostModel,
+    pub(crate) sp: &'a SpmdProgram,
+    pub(crate) machine: Machine,
+    pub(crate) arenas: Vec<Vec<f64>>,
+    pub(crate) clocks: Vec<u64>,
+    pub(crate) cost: CostModel,
     barriers: u64,
     /// Execute innermost levels through the strided segment engine
     /// (default). Disable to force the general walk everywhere — used by
@@ -244,6 +258,13 @@ pub struct Executor<'a> {
     /// already-decided outcome and cost, so cycles, statistics and
     /// results are unchanged; the run result gains a [`MemProfile`].
     pub profile: bool,
+    /// Host threads for intra-region parallel simulation. `1` (the
+    /// default for directly constructed executors) is exactly the old
+    /// sequential code path; `> 1` lets provably independent sync-free
+    /// regions execute sharded across host workers with a deterministic
+    /// merge — cycles, checksums, race reports, and profiles stay
+    /// bit-identical to the sequential walk (see [`crate::par`]).
+    pub threads: usize,
     /// Abort the run once the slowest processor clock exceeds this many
     /// simulated cycles (checked at nest boundaries).
     pub max_cycles: Option<u64>,
@@ -251,20 +272,14 @@ pub struct Executor<'a> {
     /// boundaries).
     pub max_wall: Option<std::time::Duration>,
     /// Per-processor grid coordinates, precomputed.
-    coords: Vec<Vec<usize>>,
-    /// Scratch buffers for allocation-free address computation.
-    scratch_idx: Vec<i64>,
-    scratch_lay: Vec<i64>,
+    pub(crate) coords: Vec<Vec<usize>>,
     /// Reusable iteration vector (hoisted out of the per-processor and
     /// per-tile loops; the walk leaves it zeroed on exit).
     scratch_ivec: Vec<i64>,
-    /// Segment cursors, one per statement reference of the current nest.
-    cursors: Vec<RefCursor>,
-    /// Scratch for `affine_probe` slope tracking.
-    scratch_probe: Vec<(i64, i64)>,
-    /// Scratch for per-dimension index slopes.
-    scratch_didx: Vec<i64>,
-    fast: FastPathStats,
+    /// Scratch buffers for allocation-free address computation (shared by
+    /// every sequential lane; parallel workers carry their own).
+    pub(crate) scratch: Scratch,
+    pub(crate) fast: FastPathStats,
     /// Per-compute-nest busy-cycle accumulators.
     nest_cycles: Vec<u64>,
     init_cycles: u64,
@@ -272,9 +287,14 @@ pub struct Executor<'a> {
     current_acc: Option<usize>,
     /// The happens-before detector, created at `run()` when
     /// `race_detect` is set (boxed: the executor hot state stays small).
-    race: Option<Box<Detector>>,
+    pub(crate) race: Option<Box<Detector>>,
     /// The memory profiler, created at `run()` when `profile` is set.
-    profiler: Option<Box<Profiler>>,
+    pub(crate) profiler: Option<Box<Profiler>>,
+    /// Sync-free regions executed by the sharded parallel engine vs the
+    /// sequential walk (observability only — never part of determinism
+    /// comparisons, since the split legitimately varies with `threads`).
+    pub(crate) par_regions: u64,
+    pub(crate) seq_regions: u64,
 }
 
 impl<'a> Executor<'a> {
@@ -292,21 +312,20 @@ impl<'a> Executor<'a> {
             fast_path: true,
             race_detect: false,
             profile: false,
+            threads: 1,
             max_cycles: None,
             max_wall: None,
             coords,
-            scratch_idx: Vec::with_capacity(8),
-            scratch_lay: Vec::with_capacity(8),
             scratch_ivec: Vec::with_capacity(8),
-            cursors: Vec::with_capacity(16),
-            scratch_probe: Vec::with_capacity(8),
-            scratch_didx: Vec::with_capacity(8),
+            scratch: Scratch::default(),
             fast: FastPathStats::default(),
             nest_cycles: vec![0; sp.nests.len()],
             init_cycles: 0,
             current_acc: None,
             race: None,
             profiler: None,
+            par_regions: 0,
+            seq_regions: 0,
         }
     }
 
@@ -409,6 +428,8 @@ impl<'a> Executor<'a> {
                     .collect();
                 p.snapshot(sites, self.sp.init.len(), self.sp.array_names.clone())
             }),
+            par_regions: self.par_regions,
+            seq_regions: self.seq_regions,
         }
     }
 
@@ -451,7 +472,7 @@ impl<'a> Executor<'a> {
     }
 
     pub fn checksum(&self) -> f64 {
-        self.arenas.iter().flat_map(|a| a.iter()).sum()
+        checksum_arenas(&self.arenas)
     }
 
     fn barrier(&mut self) {
@@ -492,10 +513,20 @@ impl<'a> Executor<'a> {
         if let Some(pf) = self.profiler.as_deref_mut() {
             pf.set_site(if init { idx } else { sp.init.len() + idx });
         }
-        if nest.pipeline.is_some() {
-            self.exec_pipelined(nest, params);
+        // The parallel engine gets first refusal: it executes the region
+        // sharded only when its independence analysis proves the merge
+        // reproduces the sequential walk bit for bit, and declines
+        // otherwise (tiny regions, cross-shard conflicts, unsupported
+        // machine configurations).
+        if self.threads > 1 && crate::par::try_parallel(self, nest, params) {
+            self.par_regions += 1;
         } else {
-            self.exec_doall(nest, params);
+            self.seq_regions += 1;
+            if nest.pipeline.is_some() {
+                self.exec_pipelined(nest, params);
+            } else {
+                self.exec_doall(nest, params);
+            }
         }
         self.current_acc = None;
     }
@@ -531,20 +562,42 @@ impl<'a> Executor<'a> {
         let mut ivec = std::mem::take(&mut self.scratch_ivec);
         ivec.clear();
         ivec.resize(nest.source.depth, 0);
-        if nest.replicated_write {
-            // Every processor initializes its own replica.
-            for p in 0..self.sp.nprocs {
-                let busy = self.walk(&ctx, p, 0, &mut ivec, params, None);
-                self.account(busy);
-                self.clocks[p] += busy;
-            }
+        // Replicated writes run on every processor (each initializes its
+        // own replica); otherwise only the gate-selected participants.
+        let procs: Vec<usize> = if nest.replicated_write {
+            (0..self.sp.nprocs).collect()
         } else {
-            for p in self.participants(nest, params) {
-                let busy = self.walk(&ctx, p, 0, &mut ivec, params, None);
-                self.account(busy);
-                self.clocks[p] += busy;
-            }
+            self.participants(nest, params)
+        };
+        let mut total = 0u64;
+        // Built from individual fields (not a helper method) so the
+        // borrow checker lets the loop update `self.clocks` alongside.
+        let mut lane = Lane {
+            sp: self.sp,
+            cost: &self.cost,
+            coords: &self.coords,
+            backend: SeqBackend {
+                machine: &mut self.machine,
+                arenas: &mut self.arenas,
+                profiler: self.profiler.as_deref_mut(),
+            },
+            race: match self.race.as_deref_mut() {
+                Some(d) => RaceSink::Live(d),
+                None => RaceSink::Off,
+            },
+            fast_path: self.fast_path,
+            scratch: &mut self.scratch,
+            fast: FastPathStats::default(),
+        };
+        for p in procs {
+            let busy = lane.walk(&ctx, p, 0, &mut ivec, params, None);
+            total += busy;
+            self.clocks[p] += busy;
         }
+        let fast = lane.fast;
+        drop(lane);
+        self.fast.accumulate(&fast);
+        self.account(total);
         self.scratch_ivec = ivec;
     }
 
@@ -583,6 +636,24 @@ impl<'a> Executor<'a> {
         ivec.clear();
         ivec.resize(nest.source.depth, 0);
         let lock = self.machine.cfg.lock_cost;
+        let mut total = 0u64;
+        let mut lane = Lane {
+            sp: self.sp,
+            cost: &self.cost,
+            coords: &self.coords,
+            backend: SeqBackend {
+                machine: &mut self.machine,
+                arenas: &mut self.arenas,
+                profiler: self.profiler.as_deref_mut(),
+            },
+            race: match self.race.as_deref_mut() {
+                Some(d) => RaceSink::Live(d),
+                None => RaceSink::Off,
+            },
+            fast_path: self.fast_path,
+            scratch: &mut self.scratch,
+            fast: FastPathStats::default(),
+        };
         for (_, mut chain) in chains {
             chain.sort_by_key(|&p| self.coords[p].get(pipe_dim).copied().unwrap_or(0));
             let mut prev_done: Vec<u64> = vec![0; ntiles as usize];
@@ -603,25 +674,19 @@ impl<'a> Executor<'a> {
                     let lk = if head {
                         lock
                     } else {
-                        let c = self.machine.sync(SyncOp::PipelineHandoff);
-                        if let (Some(d), Some(snap)) =
-                            (self.race.as_deref_mut(), prev_rel.get(r as usize))
-                        {
-                            d.acquire(p, snap);
-                        }
+                        let c = lane.backend.sync(SyncOp::PipelineHandoff);
+                        lane.race_acquire(p, r as usize, &prev_rel);
                         c
                     };
                     let start = clock.max(prev_done[r as usize].saturating_add(lk));
                     let busy =
-                        self.walk(&ctx, p, 0, &mut ivec, params, Some((spec.tile_level, rlo, rhi)));
-                    self.account(busy);
+                        lane.walk(&ctx, p, 0, &mut ivec, params, Some((spec.tile_level, rlo, rhi)));
+                    total += busy;
                     clock = start + busy;
                     done.push(clock);
-                    if let Some(d) = self.race.as_deref_mut() {
-                        // Release after each tile: later tiles open a new
-                        // epoch the successor's acquire does not cover.
-                        rel.push(d.release(p));
-                    }
+                    // Release after each tile: later tiles open a new
+                    // epoch the successor's acquire does not cover.
+                    rel.push(lane.race_release(p));
                 }
                 self.clocks[p] = clock;
                 prev_done = done;
@@ -629,11 +694,143 @@ impl<'a> Executor<'a> {
                 head = false;
             }
         }
+        let fast = lane.fast;
+        drop(lane);
+        self.fast.accumulate(&fast);
+        self.account(total);
         self.scratch_ivec = ivec;
     }
 
+    /// Which processors participate, exposed for the parallel engine.
+    pub(crate) fn region_participants(&self, nest: &SpmdNest, params: &[i64]) -> Vec<usize> {
+        if nest.replicated_write {
+            (0..self.sp.nprocs).collect()
+        } else {
+            self.participants(nest, params)
+        }
+    }
+
+    /// Record busy cycles for the parallel engine (same accumulator the
+    /// sequential walk uses).
+    pub(crate) fn account_region(&mut self, busy: u64) {
+        self.account(busy);
+    }
+}
+
+/// Reusable buffers for allocation-free address computation: one set per
+/// executor (sequential lanes) and one per parallel worker.
+#[derive(Default)]
+pub(crate) struct Scratch {
+    /// Evaluated index vector of the reference being resolved.
+    idx: Vec<i64>,
+    /// Layout address-computation scratch.
+    lay: Vec<i64>,
+    /// Per-dimension index slopes for `affine_probe`.
+    didx: Vec<i64>,
+    /// `affine_probe` slope tracking.
+    probe: Vec<(i64, i64)>,
+    /// Segment cursors, one per statement reference of the current nest.
+    cursors: Vec<RefCursor>,
+}
+
+/// Where race events go during a walk: nowhere, straight into the live
+/// happens-before detector (sequential execution), or into a per-shard
+/// log that the merge replays into the detector in canonical processor
+/// order (parallel execution) — producing the identical detector state.
+pub(crate) enum RaceSink<'e> {
+    Off,
+    Live(&'e mut Detector),
+    Log(&'e mut crate::par::RaceLog),
+}
+
+impl RaceSink<'_> {
+    #[inline]
+    fn is_off(&self) -> bool {
+        matches!(self, RaceSink::Off)
+    }
+
+    #[inline]
+    fn access(&mut self, proc: usize, x: usize, slot: usize, write: bool) {
+        match self {
+            RaceSink::Off => {}
+            RaceSink::Live(d) => d.access(proc, x, slot, write),
+            RaceSink::Log(l) => l.access(proc, x, slot, write),
+        }
+    }
+
+    #[inline]
+    fn range_access(&mut self, proc: usize, x: usize, slot: usize, dslot: i64, count: i64, write: bool) {
+        match self {
+            RaceSink::Off => {}
+            RaceSink::Live(d) => d.range_access(proc, x, slot, dslot, count, write),
+            RaceSink::Log(l) => l.range_access(proc, x, slot, dslot, count, write),
+        }
+    }
+}
+
+/// Where a walk's memory accesses and array values are routed: the live
+/// [`Machine`] and arenas (sequential), or a thread-local machine shard
+/// with a raw-pointer arena view (parallel workers). The walk itself is
+/// identical either way — that is the bit-identity argument's core.
+pub(crate) trait Backend {
+    fn access(&mut self, proc: usize, byte_addr: u64, write: bool) -> u64;
+    fn sync(&mut self, op: SyncOp) -> u64;
+    fn arena_read(&self, x: usize, slot: usize) -> f64;
+    fn arena_write(&mut self, x: usize, slot: usize, v: f64);
+}
+
+/// Sequential backend: the executor's own machine and arenas, with the
+/// profiler (when attached) observing every access inline.
+pub(crate) struct SeqBackend<'e> {
+    pub(crate) machine: &'e mut Machine,
+    pub(crate) arenas: &'e mut Vec<Vec<f64>>,
+    pub(crate) profiler: Option<&'e mut Profiler>,
+}
+
+impl Backend for SeqBackend<'_> {
+    #[inline]
+    fn access(&mut self, proc: usize, byte_addr: u64, write: bool) -> u64 {
+        match self.profiler.as_deref_mut() {
+            Some(p) => {
+                self.machine.access_probed(proc, byte_addr, write, Some(p as &mut dyn MemProbe))
+            }
+            None => self.machine.access(proc, byte_addr, write),
+        }
+    }
+
+    #[inline]
+    fn sync(&mut self, op: SyncOp) -> u64 {
+        self.machine.sync(op)
+    }
+
+    #[inline]
+    fn arena_read(&self, x: usize, slot: usize) -> f64 {
+        self.arenas[x][slot]
+    }
+
+    #[inline]
+    fn arena_write(&mut self, x: usize, slot: usize, v: f64) {
+        self.arenas[x][slot] = v;
+    }
+}
+
+/// The walk engine, generic over where accesses land. A lane executes
+/// one processor at a time; the sequential executor drives one lane over
+/// the live machine, the parallel engine drives one lane per shard.
+pub(crate) struct Lane<'e, B: Backend> {
+    pub(crate) sp: &'e SpmdProgram,
+    pub(crate) cost: &'e CostModel,
+    pub(crate) coords: &'e [Vec<usize>],
+    pub(crate) backend: B,
+    pub(crate) race: RaceSink<'e>,
+    pub(crate) fast_path: bool,
+    pub(crate) scratch: &'e mut Scratch,
+    pub(crate) fast: FastPathStats,
+}
+
+impl<B: Backend> Lane<'_, B> {
     /// Recursive loop walk; returns busy cycles for this processor.
-    fn walk(
+    pub(crate) fn walk(
         &mut self,
         ctx: &WalkCtx,
         proc: usize,
@@ -721,7 +918,7 @@ impl<'a> Executor<'a> {
             let seg = self.setup_cursors(ctx, proc, ivec, params, level, step).min(remaining);
             self.fast.segments += 1;
             self.fast.fast_iters += seg as u64;
-            if self.race.is_some() {
+            if !self.race.is_off() {
                 self.race_segment(ctx, proc, seg);
             }
             for _ in 0..seg {
@@ -750,25 +947,26 @@ impl<'a> Executor<'a> {
         step: i64,
     ) -> i64 {
         let sp = self.sp;
-        let mut idx = std::mem::take(&mut self.scratch_idx);
-        let mut didx = std::mem::take(&mut self.scratch_didx);
-        let mut probe = std::mem::take(&mut self.scratch_probe);
-        let mut cursors = std::mem::take(&mut self.cursors);
-        cursors.clear();
+        let sc = &mut *self.scratch;
+        sc.cursors.clear();
         let mut seg = i64::MAX;
         for (s, reads) in ctx.nest.source.body.iter().zip(&ctx.reads) {
             for r in std::iter::once(&s.lhs).chain(reads.iter().copied()) {
                 let x = r.array.0;
-                r.access.eval_into(ivec, params, &mut idx);
-                didx.clear();
-                for d in 0..idx.len() {
-                    didx.push(r.access.mat.row(d)[level] * step);
+                r.access.eval_into(ivec, params, &mut sc.idx);
+                sc.didx.clear();
+                for d in 0..sc.idx.len() {
+                    sc.didx.push(r.access.mat.row(d)[level] * step);
                 }
                 let lay = &sp.layouts[x].layout;
-                let (elem, slope, steps) = lay.affine_probe(&idx, &didx, &mut probe);
-                debug_assert!(elem >= 0 && elem < lay.size(), "array {x} index {idx:?} out of bounds");
+                let (elem, slope, steps) = lay.affine_probe(&sc.idx, &sc.didx, &mut sc.probe);
+                debug_assert!(
+                    elem >= 0 && elem < lay.size(),
+                    "array {x} index {:?} out of bounds",
+                    sc.idx
+                );
                 seg = seg.min(steps);
-                cursors.push(RefCursor {
+                sc.cursors.push(RefCursor {
                     byte: sp.bases[x] + sp.repl_stride[x] * proc as u64 + elem as u64 * sp.elem_bytes[x],
                     slot: elem as usize,
                     dbyte: slope * sp.elem_bytes[x] as i64,
@@ -776,15 +974,22 @@ impl<'a> Executor<'a> {
                 });
             }
         }
-        self.scratch_idx = idx;
-        self.scratch_didx = didx;
-        self.scratch_probe = probe;
-        self.cursors = cursors;
         seg
     }
 
+    /// Advance every cursor by its per-iteration delta. Split into
+    /// fixed-width groups of four so the adds form independent chains the
+    /// host can vectorize; this runs once per innermost iteration.
+    #[inline]
     fn advance_cursors(&mut self) {
-        for c in &mut self.cursors {
+        let mut chunks = self.scratch.cursors.chunks_exact_mut(4);
+        for ch in &mut chunks {
+            for c in ch {
+                c.byte = (c.byte as i64 + c.dbyte) as u64;
+                c.slot = (c.slot as i64 + c.dslot) as usize;
+            }
+        }
+        for c in chunks.into_remainder() {
             c.byte = (c.byte as i64 + c.dbyte) as u64;
             c.slot = (c.slot as i64 + c.dslot) as usize;
         }
@@ -797,20 +1002,8 @@ impl<'a> Executor<'a> {
     /// `proc:epoch` and per-reference batching observes the same
     /// happens-before facts as the per-iteration general walk.
     fn race_segment(&mut self, ctx: &WalkCtx, proc: usize, seg: i64) {
-        let Some(d) = self.race.as_deref_mut() else { return };
-        for (c, &(x, is_write)) in self.cursors.iter().zip(&ctx.ref_info) {
-            d.range_access(proc, x, c.slot, c.dslot, seg, is_write);
-        }
-    }
-
-
-    /// Machine access routed through the profiler when one is attached
-    /// (the probe observes the outcome; the returned cost is identical).
-    #[inline]
-    fn mem_access(&mut self, proc: usize, addr: u64, write: bool) -> u64 {
-        match self.profiler.as_deref_mut() {
-            Some(p) => self.machine.access_probed(proc, addr, write, Some(p as &mut dyn MemProbe)),
-            None => self.machine.access(proc, addr, write),
+        for (c, &(x, is_write)) in self.scratch.cursors.iter().zip(&ctx.ref_info) {
+            self.race.range_access(proc, x, c.slot, c.dslot, seg, is_write);
         }
     }
 
@@ -821,7 +1014,7 @@ impl<'a> Executor<'a> {
         let mut busy = 0u64;
         let mut k = 0usize;
         for ((s, sc), ops) in ctx.nest.source.body.iter().zip(&ctx.nest.stmt_costs).zip(&ctx.ops) {
-            let wcur = self.cursors[k];
+            let wcur = self.scratch.cursors[k];
             let mut cur = k + 1;
             let mut stack = [0f64; MAX_EVAL_STACK];
             let mut top = 0usize;
@@ -836,10 +1029,10 @@ impl<'a> Executor<'a> {
                         top += 1;
                     }
                     BodyOp::Read { x, extra } => {
-                        let c0 = self.cursors[cur];
+                        let c0 = self.scratch.cursors[cur];
                         cur += 1;
-                        busy += self.mem_access(proc, c0.byte, false) + extra;
-                        stack[top] = self.arenas[x][c0.slot];
+                        busy += self.backend.access(proc, c0.byte, false) + extra;
+                        stack[top] = self.backend.arena_read(x, c0.slot);
                         top += 1;
                     }
                     BodyOp::Bin(op) => {
@@ -857,8 +1050,8 @@ impl<'a> Executor<'a> {
             }
             let val = stack[top - 1];
             busy += sc.flop_cycles;
-            busy += self.mem_access(proc, wcur.byte, true) + sc.write_extra;
-            self.arenas[s.lhs.array.0][wcur.slot] = val;
+            busy += self.backend.access(proc, wcur.byte, true) + sc.write_extra;
+            self.backend.arena_write(s.lhs.array.0, wcur.slot, val);
             k = cur;
         }
         busy
@@ -874,11 +1067,9 @@ impl<'a> Executor<'a> {
             // Write.
             let x = s.lhs.array.0;
             let (addr, slot) = self.addr_of_ref(proc, x, &s.lhs.access, ivec, params);
-            if let Some(d) = self.race.as_deref_mut() {
-                d.access(proc, x, slot, true);
-            }
-            busy += self.mem_access(proc, addr, true) + sc.write_extra;
-            self.arenas[x][slot] = val;
+            self.race.access(proc, x, slot, true);
+            busy += self.backend.access(proc, addr, true) + sc.write_extra;
+            self.backend.arena_write(x, slot, val);
         }
         busy
     }
@@ -899,13 +1090,11 @@ impl<'a> Executor<'a> {
             Expr::Ref(r) => {
                 let x = r.array.0;
                 let (addr, slot) = self.addr_of_ref(proc, x, &r.access, ivec, params);
-                if let Some(d) = self.race.as_deref_mut() {
-                    d.access(proc, x, slot, false);
-                }
+                self.race.access(proc, x, slot, false);
                 let extra = read_extras.get(*read_idx).copied().unwrap_or(0);
                 *read_idx += 1;
-                let c = self.mem_access(proc, addr, false) + extra;
-                (self.arenas[x][slot], c)
+                let c = self.backend.access(proc, addr, false) + extra;
+                (self.backend.arena_read(x, slot), c)
             }
             Expr::Bin(op, a, b) => {
                 let (va, ca) = self.eval(proc, a, ivec, params, read_extras, read_idx);
@@ -932,19 +1121,85 @@ impl<'a> Executor<'a> {
         ivec: &[i64],
         params: &[i64],
     ) -> (u64, usize) {
-        let mut idx = std::mem::take(&mut self.scratch_idx);
-        let mut lay_buf = std::mem::take(&mut self.scratch_lay);
-        access.eval_into(ivec, params, &mut idx);
+        let sc = &mut *self.scratch;
+        access.eval_into(ivec, params, &mut sc.idx);
         let lay = &self.sp.layouts[x];
-        let elem = lay.layout.address_of_buf(&idx, &mut lay_buf);
-        debug_assert!(elem >= 0 && elem < lay.layout.size(), "array {x} index {idx:?} out of bounds");
-        self.scratch_idx = idx;
-        self.scratch_lay = lay_buf;
+        let elem = lay.layout.address_of_buf(&sc.idx, &mut sc.lay);
+        debug_assert!(
+            elem >= 0 && elem < lay.layout.size(),
+            "array {x} index {:?} out of bounds",
+            sc.idx
+        );
         let byte = self.sp.bases[x]
             + self.sp.repl_stride[x] * proc as u64
             + elem as u64 * self.sp.elem_bytes[x];
         (byte, elem as usize)
     }
+
+    /// Pipeline-handoff acquire edge. The live detector consumes the
+    /// predecessor's released clocks directly; a log records the tile
+    /// index and the merge-time replay resolves it against the releases
+    /// it has itself replayed (identical by construction).
+    pub(crate) fn race_acquire(&mut self, proc: usize, r: usize, prev_rel: &[Vec<u64>]) {
+        match &mut self.race {
+            RaceSink::Off => {}
+            RaceSink::Live(d) => {
+                if let Some(snap) = prev_rel.get(r) {
+                    d.acquire(proc, snap);
+                }
+            }
+            RaceSink::Log(l) => l.acquire(proc, r),
+        }
+    }
+
+    /// Release edge after a pipeline tile; returns the released clocks
+    /// for the live detector (empty when off or logging — the successor
+    /// side resolves logged releases at replay).
+    pub(crate) fn race_release(&mut self, proc: usize) -> Vec<u64> {
+        match &mut self.race {
+            RaceSink::Off => Vec::new(),
+            RaceSink::Live(d) => d.release(proc),
+            RaceSink::Log(l) => {
+                l.release(proc);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Mark the start of a pipeline chain in a race log (no-op otherwise).
+    pub(crate) fn race_chain(&mut self) {
+        if let RaceSink::Log(l) = &mut self.race {
+            l.chain();
+        }
+    }
+
+    /// Mark the start of a chain member in a race log (no-op otherwise).
+    pub(crate) fn race_member(&mut self, proc: usize) {
+        if let RaceSink::Log(l) = &mut self.race {
+            l.member(proc);
+        }
+    }
+}
+
+/// Arena checksum with eight independent partial sums folded in a fixed
+/// order. The independent accumulators break the serial FP dependence
+/// chain (the host vectorizes the loop); the fold order is a pure
+/// function of the arena contents, so every executor mode — sequential,
+/// sharded, any thread count — produces the identical bit pattern.
+pub(crate) fn checksum_arenas(arenas: &[Vec<f64>]) -> f64 {
+    let mut acc = [0.0f64; 8];
+    for a in arenas {
+        let mut chunks = a.chunks_exact(8);
+        for ch in &mut chunks {
+            for k in 0..8 {
+                acc[k] += ch[k];
+            }
+        }
+        for (k, v) in chunks.remainder().iter().enumerate() {
+            acc[k] += v;
+        }
+    }
+    acc.iter().sum()
 }
 
 /// Iteration subset of `[lo, hi]` owned by grid coordinate `q`: a concrete

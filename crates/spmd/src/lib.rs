@@ -12,6 +12,7 @@ pub mod codegen;
 pub mod cost;
 pub mod emit_c;
 pub mod exec;
+pub(crate) mod par;
 pub mod race;
 pub mod run;
 
@@ -21,4 +22,4 @@ pub use dct_ir::{Race, RaceAccess, RaceKind, RaceReport};
 pub use emit_c::{emit_c, emit_runtime_header};
 pub use exec::{owned_iter, Executor, RunResult};
 pub use race::Detector;
-pub use run::{simulate, simulate_with_values, SimOptions};
+pub use run::{default_threads, simulate, simulate_with_values, SimOptions};

@@ -1,0 +1,1164 @@
+//! Intra-region parallel simulation: shard one sync-free region across
+//! host threads, bit-identical to the sequential walk.
+//!
+//! The sequential executor runs the participating processors of a region
+//! one at a time, in canonical order, against the shared machine. The
+//! race detector (and the sync schedule it certifies) guarantees that
+//! processors only interact *through* sync points, but the machine model
+//! still couples them between sync points: caches share a directory,
+//! page homes are assigned by first touch, and a write can invalidate
+//! another processor's cached line. So sharding a region is only exact
+//! when those couplings provably cannot occur — or can be reproduced
+//! deterministically at the merge.
+//!
+//! The engine therefore runs a cheap *address-only* analysis first
+//! (phase 0: per-processor span walk over the same strided segments the
+//! fast path uses), classifies every touched line interval, and only
+//! commits to parallel execution when the region is conflict-free:
+//! written lines touched by exactly one shard, read-shared lines written
+//! by none (with a unique "first payer" when such a line starts dirty),
+//! page first-touch confined to one shard, and no cache-set occupancy
+//! hazards between a shard's working set and lines other shards hold
+//! frozen directory state for. Anything else — including every racy
+//! program, whose conflicting accesses are by definition cross-shard
+//! line overlaps — falls back to the exact sequential walk.
+//!
+//! Observers stay exact through logs: each worker records its race and
+//! profiler events, and the merge replays them into the live detector /
+//! profiler in canonical shard order — the exact call sequence the
+//! sequential walk would have made.
+
+use crate::codegen::{LevelSched, SpmdNest, SpmdProgram};
+use crate::cost::CostModel;
+use crate::exec::{owned_iter, Backend, Executor, FastPathStats, Lane, RaceSink, Scratch, WalkCtx};
+use crate::race::Detector;
+use dct_ir::ArrayRef;
+use dct_machine::{AccessLevel, LineState, Machine, MemProbe, ProcSlice, ShardCommit, ShardMachine, SyncOp};
+use dct_profile::Profiler;
+use std::collections::BTreeMap;
+
+/// One recorded race-detector call (see [`RaceLog::replay`]).
+enum RaceEv {
+    /// `Detector::access`.
+    Access { proc: u32, x: u32, slot: usize, write: bool },
+    /// `Detector::range_access`.
+    Range { proc: u32, x: u32, slot: usize, dslot: i64, count: i64, write: bool },
+    /// Start of a pipeline chain (resets the release bookkeeping).
+    Chain,
+    /// Start of a chain member (the previous member's releases become
+    /// the acquire source).
+    Member,
+    /// `Detector::acquire` of the predecessor's release for tile `r`.
+    Acquire { proc: u32, r: u32 },
+    /// `Detector::release` after a tile.
+    Release { proc: u32 },
+}
+
+/// Per-worker log of race-detector events. Detector vector clocks only
+/// change at sync edges, and within a region every access carries the
+/// processor's current epoch — so replaying each shard's log at the
+/// merge, in canonical shard order, drives the live detector through
+/// the exact call sequence of the sequential walk.
+pub(crate) struct RaceLog {
+    ev: Vec<RaceEv>,
+}
+
+impl RaceLog {
+    pub(crate) fn new() -> RaceLog {
+        RaceLog { ev: Vec::new() }
+    }
+
+    pub(crate) fn access(&mut self, proc: usize, x: usize, slot: usize, write: bool) {
+        self.ev.push(RaceEv::Access { proc: proc as u32, x: x as u32, slot, write });
+    }
+
+    pub(crate) fn range_access(
+        &mut self,
+        proc: usize,
+        x: usize,
+        slot: usize,
+        dslot: i64,
+        count: i64,
+        write: bool,
+    ) {
+        self.ev.push(RaceEv::Range { proc: proc as u32, x: x as u32, slot, dslot, count, write });
+    }
+
+    pub(crate) fn chain(&mut self) {
+        self.ev.push(RaceEv::Chain);
+    }
+
+    pub(crate) fn member(&mut self, _proc: usize) {
+        self.ev.push(RaceEv::Member);
+    }
+
+    pub(crate) fn acquire(&mut self, proc: usize, r: usize) {
+        self.ev.push(RaceEv::Acquire { proc: proc as u32, r: r as u32 });
+    }
+
+    pub(crate) fn release(&mut self, proc: usize) {
+        self.ev.push(RaceEv::Release { proc: proc as u32 });
+    }
+
+    /// Feed the log into the live detector. Pipeline handoff edges are
+    /// reconstructed exactly: a member's `Acquire { r }` consumes the
+    /// predecessor member's `r`-th released clock, which this replay has
+    /// itself produced moments earlier — the same values the sequential
+    /// walk's inline release/acquire pairing would have used.
+    pub(crate) fn replay(&self, d: &mut Detector) {
+        let mut prev_rel: Vec<Vec<u64>> = Vec::new();
+        let mut cur_rel: Vec<Vec<u64>> = Vec::new();
+        for ev in &self.ev {
+            match *ev {
+                RaceEv::Access { proc, x, slot, write } => {
+                    d.access(proc as usize, x as usize, slot, write);
+                }
+                RaceEv::Range { proc, x, slot, dslot, count, write } => {
+                    d.range_access(proc as usize, x as usize, slot, dslot, count, write);
+                }
+                RaceEv::Chain => {
+                    prev_rel.clear();
+                    cur_rel.clear();
+                }
+                RaceEv::Member => {
+                    prev_rel = std::mem::take(&mut cur_rel);
+                }
+                RaceEv::Acquire { proc, r } => {
+                    if let Some(snap) = prev_rel.get(r as usize) {
+                        d.acquire(proc as usize, snap);
+                    }
+                }
+                RaceEv::Release { proc } => {
+                    cur_rel.push(d.release(proc as usize));
+                }
+            }
+        }
+    }
+
+}
+
+/// One recorded profiler probe call.
+enum ProbeEv {
+    Access { proc: u32, line: u64, word: u32, write: bool, level: AccessLevel, cost: u64 },
+    Inval { victim: u32, line: u64, writer: u32, word: u32 },
+}
+
+/// Per-worker log of memory-probe events, replayed into the live
+/// profiler at the merge in canonical shard order. The profiler is a
+/// pure observer keyed on already-decided outcomes, so replay order
+/// across shards only needs to be fixed, not interleaved.
+pub(crate) struct ProbeLog {
+    ev: Vec<ProbeEv>,
+}
+
+impl ProbeLog {
+    pub(crate) fn new() -> ProbeLog {
+        ProbeLog { ev: Vec::new() }
+    }
+
+    pub(crate) fn replay(&self, p: &mut Profiler) {
+        for ev in &self.ev {
+            match *ev {
+                ProbeEv::Access { proc, line, word, write, level, cost } => {
+                    p.access(proc as usize, line, word, write, level, cost);
+                }
+                ProbeEv::Inval { victim, line, writer, word } => {
+                    p.invalidated(victim as usize, line, writer as usize, word);
+                }
+            }
+        }
+    }
+}
+
+impl MemProbe for ProbeLog {
+    #[inline]
+    fn access(&mut self, proc: usize, line: u64, word: u32, write: bool, level: AccessLevel, cost: u64) {
+        self.ev.push(ProbeEv::Access { proc: proc as u32, line, word, write, level, cost });
+    }
+
+    #[inline]
+    fn invalidated(&mut self, victim: usize, line: u64, writer: usize, word: u32) {
+        self.ev.push(ProbeEv::Inval {
+            victim: victim as u32,
+            line,
+            writer: writer as u32,
+            word,
+        });
+    }
+}
+
+/// Raw-pointer view of the executor's arenas shared by every worker of a
+/// region.
+///
+/// Safety argument: the region classifier proves that each arena element
+/// written during the region belongs to exactly one shard's write span
+/// (element-disjoint, since even *line*-overlapping writes are rejected)
+/// and that elements readable by several shards are written by none. So
+/// no data race on the underlying `f64`s is possible, and `&mut` aliasing
+/// rules are respected element-wise. The view never outlives the region:
+/// the driver holds `&mut` to the arenas across the whole scope.
+pub(crate) struct ArenaView {
+    ptrs: Vec<*mut f64>,
+    lens: Vec<usize>,
+}
+
+unsafe impl Send for ArenaView {}
+unsafe impl Sync for ArenaView {}
+
+impl ArenaView {
+    pub(crate) fn new(arenas: &mut [Vec<f64>]) -> ArenaView {
+        ArenaView {
+            ptrs: arenas.iter_mut().map(|a| a.as_mut_ptr()).collect(),
+            lens: arenas.iter().map(|a| a.len()).collect(),
+        }
+    }
+
+    #[inline]
+    fn read(&self, x: usize, slot: usize) -> f64 {
+        debug_assert!(slot < self.lens[x]);
+        // SAFETY: slot is in bounds (the walk's debug assertions and the
+        // layout contract guarantee it) and no other worker writes this
+        // element (classifier precondition — see the type-level comment).
+        unsafe { *self.ptrs[x].add(slot) }
+    }
+
+    #[inline]
+    fn write(&self, x: usize, slot: usize, v: f64) {
+        debug_assert!(slot < self.lens[x]);
+        // SAFETY: as `read`, plus this element is in exactly one shard's
+        // write span and this worker owns that shard.
+        unsafe { *self.ptrs[x].add(slot) = v }
+    }
+}
+
+/// Worker backend: a thread-local machine shard plus the shared arena
+/// view, with the probe log observing accesses when profiling is on.
+pub(crate) struct ShardBackend<'m> {
+    pub(crate) shard: ShardMachine<'m>,
+    pub(crate) arenas: &'m ArenaView,
+    pub(crate) probe: Option<ProbeLog>,
+}
+
+impl Backend for ShardBackend<'_> {
+    #[inline]
+    fn access(&mut self, proc: usize, byte_addr: u64, write: bool) -> u64 {
+        match self.probe.as_mut() {
+            Some(p) => self.shard.access_probed(proc, byte_addr, write, Some(p as &mut dyn MemProbe)),
+            None => self.shard.access(proc, byte_addr, write),
+        }
+    }
+
+    #[inline]
+    fn sync(&mut self, op: SyncOp) -> u64 {
+        self.shard.sync(op)
+    }
+
+    #[inline]
+    fn arena_read(&self, x: usize, slot: usize) -> f64 {
+        self.arenas.read(x, slot)
+    }
+
+    #[inline]
+    fn arena_write(&mut self, x: usize, slot: usize, v: f64) {
+        self.arenas.write(x, slot, v);
+    }
+}
+
+/// Minimum whole-region iteration count worth the orchestration cost
+/// (thread spawns, span analysis, merge). Below it the sequential walk
+/// is faster outright.
+const PAR_MIN_ITERS: u64 = 4096;
+
+/// Hard cap on raw span intervals collected per region; a region whose
+/// address structure fragments worse than this runs sequentially rather
+/// than ballooning analysis memory.
+const RAW_IV_CAP: usize = 1 << 21;
+
+/// Hard cap on first-touch page lookups during classification.
+const PAGE_CHECK_CAP: u64 = 200_000;
+
+/// Stamp value: processor touches two or more distinct lines mapping to
+/// this cache set (any region-start resident there may be evicted).
+/// Absence from the sparse stamp list means the set is untouched.
+const STAMP_MULTI: u64 = u64::MAX - 1;
+
+/// Line intervals and cache-set occupancy footprint of one processor's
+/// region walk, produced by the address-only span phase.
+struct ProcSpan {
+    /// Written line intervals (sorted, coalesced). Exactness is not
+    /// tracked: writes are classified conservatively either way.
+    wr: Vec<(u64, u64)>,
+    /// Read intervals where every line in the range is actually touched.
+    rd_ex: Vec<(u64, u64)>,
+    /// Read intervals that over-approximate (stride wider than a line).
+    rd_in: Vec<(u64, u64)>,
+    /// `(set, line-or-STAMP_MULTI)` for every L2 cache set this processor
+    /// touches, sorted by set; untouched sets are simply absent. Sparse so
+    /// small regions pay for the lines they touch, not the cache geometry.
+    l2_stamp: Vec<(u32, u64)>,
+    iters: u64,
+}
+
+/// Interval kinds while collecting raw spans.
+const K_WR: u8 = 0;
+const K_RD_EX: u8 = 1;
+const K_RD_IN: u8 = 2;
+
+/// Address-only mirror of the lane walk: same bounds, same scheduling,
+/// same affine segment resolution — but instead of simulating accesses it
+/// records, per processor, which lines are touched (read/write, exact or
+/// strided-approximate) and which L2 sets they land in.
+struct SpanWalker<'e> {
+    sp: &'e SpmdProgram,
+    nest: &'e SpmdNest,
+    coords: &'e [Vec<usize>],
+    params: &'e [i64],
+    /// `(reference, is_write)` for every statement body reference.
+    refs: Vec<(&'e ArrayRef, bool)>,
+    line_shift: u32,
+    line_bytes: u64,
+    l2_mask: u64,
+    // Scratch.
+    idx: Vec<i64>,
+    didx: Vec<i64>,
+    probe: Vec<(i64, i64)>,
+    lay: Vec<i64>,
+    seg_refs: Vec<(u64, i64)>,
+    // Current processor accumulation. The stamp table is dense per cache
+    // set but generation-guarded: bumping `gen` resets it in O(1) between
+    // processors, and `touched` remembers which sets carry live entries.
+    raw: Vec<(u64, u64, u8)>,
+    stamp: Vec<u64>,
+    stamp_gen: Vec<u64>,
+    gen: u64,
+    touched: Vec<u32>,
+    iters: u64,
+    overflow: bool,
+}
+
+impl<'e> SpanWalker<'e> {
+    fn new(
+        sp: &'e SpmdProgram,
+        nest: &'e SpmdNest,
+        coords: &'e [Vec<usize>],
+        params: &'e [i64],
+        line_bytes: u64,
+        l2_sets: usize,
+    ) -> SpanWalker<'e> {
+        let mut refs: Vec<(&'e ArrayRef, bool)> = Vec::new();
+        for s in &nest.source.body {
+            refs.push((&s.lhs, true));
+            let mut v = Vec::new();
+            s.rhs.collect_refs(&mut v);
+            for r in v {
+                refs.push((r, false));
+            }
+        }
+        SpanWalker {
+            sp,
+            nest,
+            coords,
+            params,
+            refs,
+            line_shift: line_bytes.trailing_zeros(),
+            line_bytes,
+            l2_mask: l2_sets as u64 - 1,
+            idx: Vec::new(),
+            didx: Vec::new(),
+            probe: Vec::new(),
+            lay: Vec::new(),
+            seg_refs: Vec::new(),
+            raw: Vec::new(),
+            stamp: vec![0; l2_sets],
+            stamp_gen: vec![0; l2_sets],
+            gen: 0,
+            touched: Vec::new(),
+            iters: 0,
+            overflow: false,
+        }
+    }
+
+    /// Walk one processor's iteration subset; returns its span footprint
+    /// (`None` once the interval cap trips).
+    fn walk_proc(&mut self, proc: usize, ivec: &mut Vec<i64>) -> Option<ProcSpan> {
+        self.raw = Vec::new();
+        self.gen += 1;
+        self.touched.clear();
+        self.iters = 0;
+        self.walk(proc, 0, ivec);
+        if self.overflow {
+            return None;
+        }
+        let mut wr = Vec::new();
+        let mut rd_ex = Vec::new();
+        let mut rd_in = Vec::new();
+        for &(lo, hi, kind) in &self.raw {
+            match kind {
+                K_WR => wr.push((lo, hi)),
+                K_RD_EX => rd_ex.push((lo, hi)),
+                _ => rd_in.push((lo, hi)),
+            }
+        }
+        coalesce(&mut wr);
+        coalesce(&mut rd_ex);
+        coalesce(&mut rd_in);
+        self.touched.sort_unstable();
+        let l2_stamp = self.touched.iter().map(|&s| (s, self.stamp[s as usize])).collect();
+        Some(ProcSpan { wr, rd_ex, rd_in, l2_stamp, iters: self.iters })
+    }
+
+    fn walk(&mut self, proc: usize, level: usize, ivec: &mut Vec<i64>) {
+        if self.overflow {
+            return;
+        }
+        let nest = self.nest;
+        if level == nest.source.depth {
+            self.point(proc, ivec);
+            return;
+        }
+        let lo = nest.source.bounds[level].eval_lo(ivec, self.params);
+        let hi = nest.source.bounds[level].eval_hi(ivec, self.params);
+        let innermost = level + 1 == nest.source.depth;
+        match &nest.sched[level] {
+            LevelSched::Seq => {
+                let count = (hi - lo + 1).max(0);
+                if innermost {
+                    if count > 0 {
+                        self.segment_run(proc, level, ivec, lo, 1, count);
+                    }
+                } else {
+                    for v in lo..=hi {
+                        ivec[level] = v;
+                        self.walk(proc, level + 1, ivec);
+                    }
+                }
+            }
+            LevelSched::Dist { proc_dim, folding, extent, offset } => {
+                let q = self.coords[proc].get(*proc_dim).copied().unwrap_or(0) as i64;
+                let procs = self.sp.grid.get(*proc_dim).copied().unwrap_or(1) as i64;
+                let off = offset.eval(&[], self.params);
+                let it = owned_iter(lo, hi, off, *extent, procs, q, *folding);
+                match it.progression() {
+                    Some((start, step, count)) if innermost => {
+                        if count > 0 {
+                            self.segment_run(proc, level, ivec, start, step, count);
+                        }
+                    }
+                    _ => {
+                        if innermost {
+                            for v in it {
+                                ivec[level] = v;
+                                self.point(proc, ivec);
+                            }
+                        } else {
+                            for v in it {
+                                ivec[level] = v;
+                                self.walk(proc, level + 1, ivec);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        ivec[level] = 0;
+    }
+
+    /// Record the references of a single iteration point (general-walk
+    /// mirror: one one-element segment per reference).
+    fn point(&mut self, proc: usize, ivec: &[i64]) {
+        self.iters += 1;
+        for i in 0..self.refs.len() {
+            let (r, write) = self.refs[i];
+            let x = r.array.0;
+            r.access.eval_into(ivec, self.params, &mut self.idx);
+            let lay = &self.sp.layouts[x];
+            let elem = lay.layout.address_of_buf(&self.idx, &mut self.lay);
+            debug_assert!(elem >= 0 && elem < lay.layout.size());
+            let byte =
+                self.sp.bases[x] + self.sp.repl_stride[x] * proc as u64 + elem as u64 * self.sp.elem_bytes[x];
+            self.record_span(byte, 0, 1, write);
+        }
+    }
+
+    /// Strided-innermost mirror of `walk_innermost_strided`: resolve all
+    /// references once per layout segment and record each as one span.
+    fn segment_run(
+        &mut self,
+        proc: usize,
+        level: usize,
+        ivec: &mut Vec<i64>,
+        start: i64,
+        step: i64,
+        count: i64,
+    ) {
+        let mut v = start;
+        let mut remaining = count;
+        while remaining > 0 && !self.overflow {
+            ivec[level] = v;
+            let mut seg = remaining;
+            self.seg_refs.clear();
+            for i in 0..self.refs.len() {
+                let (r, _) = self.refs[i];
+                let x = r.array.0;
+                r.access.eval_into(ivec, self.params, &mut self.idx);
+                self.didx.clear();
+                for d in 0..self.idx.len() {
+                    self.didx.push(r.access.mat.row(d)[level] * step);
+                }
+                let lay = &self.sp.layouts[x].layout;
+                let (elem, slope, steps) = lay.affine_probe(&self.idx, &self.didx, &mut self.probe);
+                debug_assert!(elem >= 0 && elem < lay.size());
+                seg = seg.min(steps.max(1));
+                let byte = self.sp.bases[x]
+                    + self.sp.repl_stride[x] * proc as u64
+                    + elem as u64 * self.sp.elem_bytes[x];
+                self.seg_refs.push((byte, slope * self.sp.elem_bytes[x] as i64));
+            }
+            for i in 0..self.seg_refs.len() {
+                let (byte, dbyte) = self.seg_refs[i];
+                self.record_span(byte, dbyte, seg, self.refs[i].1);
+            }
+            self.iters += seg as u64;
+            v += step * seg;
+            remaining -= seg;
+        }
+        ivec[level] = 0;
+    }
+
+    fn record_span(&mut self, byte0: u64, dbyte: i64, seg: i64, write: bool) {
+        if self.raw.len() >= RAW_IV_CAP {
+            self.overflow = true;
+            return;
+        }
+        let first = byte0 as i64;
+        let last = first + (seg - 1) * dbyte;
+        let (lob, hib) = if first <= last { (first, last) } else { (last, first) };
+        let lo_l = (lob as u64) >> self.line_shift;
+        let hi_l = (hib as u64) >> self.line_shift;
+        let dense = dbyte.unsigned_abs() <= self.line_bytes;
+        if dense {
+            for l in lo_l..=hi_l {
+                self.stamp_line(l);
+            }
+            self.raw.push((lo_l, hi_l, if write { K_WR } else { K_RD_EX }));
+        } else {
+            let mut b = first;
+            let mut prev = u64::MAX;
+            for _ in 0..seg {
+                let l = (b as u64) >> self.line_shift;
+                if l != prev {
+                    self.stamp_line(l);
+                    prev = l;
+                }
+                b += dbyte;
+            }
+            self.raw.push((lo_l, hi_l, if write { K_WR } else { K_RD_IN }));
+        }
+    }
+
+    #[inline]
+    fn stamp_line(&mut self, line: u64) {
+        let set = (line & self.l2_mask) as usize;
+        if self.stamp_gen[set] != self.gen {
+            self.stamp_gen[set] = self.gen;
+            self.touched.push(set as u32);
+            self.stamp[set] = line;
+        } else if self.stamp[set] != line {
+            self.stamp[set] = STAMP_MULTI;
+        }
+    }
+}
+
+/// Sort and merge overlapping or adjacent intervals in place.
+fn coalesce(v: &mut Vec<(u64, u64)>) {
+    if v.len() < 2 {
+        return;
+    }
+    v.sort_unstable();
+    let mut out = 0usize;
+    for i in 1..v.len() {
+        let (lo, hi) = v[i];
+        if lo <= v[out].1.saturating_add(1) {
+            if hi > v[out].1 {
+                v[out].1 = hi;
+            }
+        } else {
+            out += 1;
+            v[out] = (lo, hi);
+        }
+    }
+    v.truncate(out + 1);
+}
+
+/// Does a sorted, coalesced interval list contain `x`?
+fn contains(v: &[(u64, u64)], x: u64) -> bool {
+    let i = v.partition_point(|iv| iv.0 <= x);
+    i > 0 && v[i - 1].1 >= x
+}
+
+/// The region's canonical execution structure: processor order, the
+/// contiguous shard partition over it, and the pipeline schedule when the
+/// nest is doacross.
+struct Plan {
+    /// Participant processors in the exact order the sequential walk
+    /// simulates them (ascending for doall, chain-major for pipelines).
+    order: Vec<usize>,
+    /// `[start, end)` ranges into `order`, one per shard.
+    ranges: Vec<(usize, usize)>,
+    /// Shard index per processor id (`usize::MAX` = not a participant).
+    shard_of: Vec<usize>,
+    pipe: Option<PipePlan>,
+}
+
+struct PipePlan {
+    /// Chains (ordered member processors) grouped per shard, in canonical
+    /// chain order.
+    chains_per_shard: Vec<Vec<Vec<usize>>>,
+    tile_level: usize,
+    tlo: i64,
+    thi: i64,
+    ntiles: i64,
+    tile: i64,
+}
+
+/// Evenly split `n` items into at most `k` contiguous chunks (first
+/// chunks one larger on remainder); returns chunk sizes.
+fn chunk_sizes(n: usize, k: usize) -> Vec<usize> {
+    let k = k.min(n).max(1);
+    let base = n / k;
+    let rem = n % k;
+    (0..k).map(|i| base + usize::from(i < rem)).collect()
+}
+
+fn build_plan(ex: &Executor, nest: &SpmdNest, params: &[i64], parts: Vec<usize>) -> Option<Plan> {
+    let nprocs = ex.sp.nprocs;
+    let mut shard_of = vec![usize::MAX; nprocs];
+    if let Some(spec) = nest.pipeline {
+        let pipe_dim = match nest.sched[spec.seq_level] {
+            LevelSched::Dist { proc_dim, .. } => proc_dim,
+            _ => 0,
+        };
+        let zeros = vec![0i64; nest.source.depth];
+        let tlo = nest.source.bounds[spec.tile_level].eval_lo(&zeros, params);
+        let thi = nest.source.bounds[spec.tile_level].eval_hi(&zeros, params);
+        let span = (thi - tlo + 1).max(0);
+        if span == 0 {
+            return None;
+        }
+        let ntiles = spec.tiles.min(span).max(1);
+        let tile = (span + ntiles - 1) / ntiles;
+        let mut chains: BTreeMap<Vec<usize>, Vec<usize>> = Default::default();
+        for &p in &parts {
+            let mut key = ex.coords[p].clone();
+            if pipe_dim < key.len() {
+                key[pipe_dim] = 0;
+            }
+            chains.entry(key).or_default().push(p);
+        }
+        let mut chain_list: Vec<Vec<usize>> = Vec::with_capacity(chains.len());
+        for (_, mut chain) in chains {
+            chain.sort_by_key(|&p| ex.coords[p].get(pipe_dim).copied().unwrap_or(0));
+            chain_list.push(chain);
+        }
+        if chain_list.len() < 2 {
+            return None;
+        }
+        let sizes = chunk_sizes(chain_list.len(), ex.threads);
+        if sizes.len() < 2 {
+            return None;
+        }
+        let mut order = Vec::with_capacity(parts.len());
+        let mut ranges = Vec::with_capacity(sizes.len());
+        let mut chains_per_shard = Vec::with_capacity(sizes.len());
+        let mut it = chain_list.into_iter();
+        for (s, sz) in sizes.into_iter().enumerate() {
+            let start = order.len();
+            let mut group = Vec::with_capacity(sz);
+            for _ in 0..sz {
+                if let Some(chain) = it.next() {
+                    for &p in &chain {
+                        shard_of[p] = s;
+                        order.push(p);
+                    }
+                    group.push(chain);
+                }
+            }
+            ranges.push((start, order.len()));
+            chains_per_shard.push(group);
+        }
+        Some(Plan {
+            order,
+            ranges,
+            shard_of,
+            pipe: Some(PipePlan { chains_per_shard, tile_level: spec.tile_level, tlo, thi, ntiles, tile }),
+        })
+    } else {
+        let sizes = chunk_sizes(parts.len(), ex.threads);
+        if sizes.len() < 2 {
+            return None;
+        }
+        let mut ranges = Vec::with_capacity(sizes.len());
+        let mut at = 0usize;
+        for (s, sz) in sizes.into_iter().enumerate() {
+            for &p in &parts[at..at + sz] {
+                shard_of[p] = s;
+            }
+            ranges.push((at, at + sz));
+            at += sz;
+        }
+        Some(Plan { order: parts, ranges, shard_of, pipe: None })
+    }
+}
+
+/// Whole-iteration-space size estimate from the bounds at the zero
+/// iteration vector (cheap gate only — the span phase recounts exactly).
+fn rough_iters(nest: &SpmdNest, params: &[i64]) -> u64 {
+    let zeros = vec![0i64; nest.source.depth];
+    let mut est = 1u64;
+    for level in 0..nest.source.depth {
+        let lo = nest.source.bounds[level].eval_lo(&zeros, params);
+        let hi = nest.source.bounds[level].eval_hi(&zeros, params);
+        est = est.saturating_mul(((hi - lo + 1).max(1)) as u64);
+    }
+    est
+}
+
+/// Phase 0: per-shard parallel span walks. `None` on interval overflow.
+fn collect_spans(
+    ex: &Executor,
+    nest: &SpmdNest,
+    params: &[i64],
+    plan: &Plan,
+) -> Option<Vec<ProcSpan>> {
+    let sp = ex.sp;
+    let coords = &ex.coords[..];
+    let line_bytes = ex.machine.cfg.line_bytes as u64;
+    let l2_sets = ex.machine.l2_of(0).sets();
+    let mut slots: Vec<Option<Vec<ProcSpan>>> = Vec::new();
+    slots.resize_with(plan.ranges.len(), || None);
+    std::thread::scope(|s| {
+        for (slot, &(a, b)) in slots.iter_mut().zip(&plan.ranges) {
+            let procs = &plan.order[a..b];
+            s.spawn(move || {
+                let mut w = SpanWalker::new(sp, nest, coords, params, line_bytes, l2_sets);
+                let mut ivec = vec![0i64; nest.source.depth];
+                let mut out = Vec::with_capacity(procs.len());
+                for &p in procs {
+                    match w.walk_proc(p, &mut ivec) {
+                        Some(span) => out.push(span),
+                        None => return,
+                    }
+                }
+                *slot = Some(out);
+            });
+        }
+    });
+    let mut spans = Vec::with_capacity(plan.order.len());
+    for slot in slots {
+        spans.extend(slot?);
+    }
+    Some(spans)
+}
+
+/// Classify the region. Returns the per-shard masked-dirty line lists
+/// when provably conflict-free, `None` when the sequential walk must run.
+fn classify(ex: &Executor, plan: &Plan, spans: &[ProcSpan]) -> Option<Vec<Vec<u64>>> {
+    let m = &ex.machine;
+    let nsh = plan.ranges.len();
+    // Shard-level merged interval lists.
+    let mut sh_wr: Vec<Vec<(u64, u64)>> = vec![Vec::new(); nsh];
+    let mut sh_rd_ex: Vec<Vec<(u64, u64)>> = vec![Vec::new(); nsh];
+    let mut sh_rd_in: Vec<Vec<(u64, u64)>> = vec![Vec::new(); nsh];
+    for (s, &(a, b)) in plan.ranges.iter().enumerate() {
+        for span in &spans[a..b] {
+            sh_wr[s].extend_from_slice(&span.wr);
+            sh_rd_ex[s].extend_from_slice(&span.rd_ex);
+            sh_rd_in[s].extend_from_slice(&span.rd_in);
+        }
+        coalesce(&mut sh_wr[s]);
+        coalesce(&mut sh_rd_ex[s]);
+        coalesce(&mut sh_rd_in[s]);
+    }
+
+    // Cross-shard overlap sweep: any line interval shared between two
+    // shards where either side writes is a conflict.
+    let mut evs: Vec<(u64, u64, u32, bool)> = Vec::new();
+    for s in 0..nsh {
+        for &(lo, hi) in &sh_wr[s] {
+            evs.push((lo, hi, s as u32, true));
+        }
+        for &(lo, hi) in sh_rd_ex[s].iter().chain(&sh_rd_in[s]) {
+            evs.push((lo, hi, s as u32, false));
+        }
+    }
+    evs.sort_unstable();
+    let mut wmax = vec![i128::MIN; nsh];
+    let mut rmax = vec![i128::MIN; nsh];
+    for &(lo, hi, s, w) in &evs {
+        let s = s as usize;
+        for t in 0..nsh {
+            if t == s {
+                continue;
+            }
+            if wmax[t] >= lo as i128 || (w && rmax[t] >= lo as i128) {
+                return None;
+            }
+        }
+        let slot = if w { &mut wmax[s] } else { &mut rmax[s] };
+        *slot = (*slot).max(hi as i128);
+    }
+
+    // First-touch pages: a page still unassigned that two shards would
+    // both touch gets its home from whichever runs first — conflict.
+    let line_bytes = m.cfg.line_bytes as u64;
+    let page_bytes = m.cfg.page_bytes as u64;
+    let mut sh_pages: Vec<Vec<(u64, u64)>> = vec![Vec::new(); nsh];
+    for s in 0..nsh {
+        for &(lo, hi) in sh_wr[s].iter().chain(&sh_rd_ex[s]).chain(&sh_rd_in[s]) {
+            sh_pages[s].push((m.page_num_of(lo * line_bytes), m.page_num_of(hi * line_bytes)));
+        }
+        coalesce(&mut sh_pages[s]);
+    }
+    let mut checked = 0u64;
+    for s1 in 0..nsh {
+        for s2 in s1 + 1..nsh {
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < sh_pages[s1].len() && j < sh_pages[s2].len() {
+                let (a1, b1) = sh_pages[s1][i];
+                let (a2, b2) = sh_pages[s2][j];
+                let lo = a1.max(a2);
+                let hi = b1.min(b2);
+                if lo <= hi {
+                    checked += hi - lo + 1;
+                    if checked > PAGE_CHECK_CAP {
+                        return None;
+                    }
+                    for pg in lo..=hi {
+                        if !m.page_is_assigned(pg * page_bytes) {
+                            return None;
+                        }
+                    }
+                }
+                if b1 <= b2 {
+                    i += 1;
+                } else {
+                    j += 1;
+                }
+            }
+        }
+    }
+
+    // Occupancy hazards: every line resident in some cache at region
+    // start carries frozen directory state (sharer bits, dirty owner)
+    // that another shard's accesses may read. That is exact only when
+    // the holder provably keeps its copy for the whole region.
+    let l2_mask = ex.machine.l2_of(0).sets() as u64 - 1;
+    let pos: Vec<usize> = {
+        let mut v = vec![usize::MAX; ex.sp.nprocs];
+        for (i, &p) in plan.order.iter().enumerate() {
+            v[p] = i;
+        }
+        v
+    };
+    let mut masked: Vec<Vec<u64>> = vec![Vec::new(); nsh];
+    let mut conflict = false;
+    for q in 0..ex.sp.nprocs {
+        if conflict {
+            break;
+        }
+        let sq = plan.shard_of[q];
+        let evict_hazard = |line: u64| -> bool {
+            let i = pos[q];
+            if i == usize::MAX {
+                return false;
+            }
+            let set = (line & l2_mask) as u32;
+            let st = &spans[i].l2_stamp;
+            match st.binary_search_by_key(&set, |e| e.0) {
+                Ok(k) => st[k].1 != line,
+                Err(_) => false,
+            }
+        };
+        m.l2_of(q).for_each_resident(|line, state| {
+            if conflict {
+                return;
+            }
+            let mut other_w = false;
+            let mut other_rd = false;
+            let mut inexact_rd = false;
+            for s in 0..nsh {
+                if s == sq {
+                    continue;
+                }
+                if contains(&sh_wr[s], line) {
+                    other_w = true;
+                }
+                if contains(&sh_rd_ex[s], line) {
+                    other_rd = true;
+                }
+                if contains(&sh_rd_in[s], line) {
+                    other_rd = true;
+                    inexact_rd = true;
+                }
+            }
+            if !other_w && !other_rd {
+                return;
+            }
+            // Another shard interacts with this resident line: the
+            // holder must keep it (no conflicting fills in its set) or
+            // the frozen directory view the other shard simulates
+            // against goes stale mid-region.
+            if evict_hazard(line) {
+                conflict = true;
+                return;
+            }
+            if other_w {
+                // Cross-shard write to a held line: the writer sees the
+                // frozen sharer set (exact — the copy provably survives
+                // until the merge applies the invalidation effect).
+                return;
+            }
+            if state == LineState::Modified {
+                // Read-shared dirty line: exactly one reader pays the
+                // remote-dirty transfer and downgrades the owner — the
+                // canonically first non-owner reader. Every other shard
+                // gets the line's dirty flag masked so it simulates the
+                // post-downgrade (clean-shared) view the sequential walk
+                // would have shown it. Needs exact reader knowledge.
+                if inexact_rd || (sq != usize::MAX && contains(&sh_rd_in[sq], line)) {
+                    conflict = true;
+                    return;
+                }
+                let mut payer = usize::MAX;
+                for (i, &p) in plan.order.iter().enumerate() {
+                    if p != q && contains(&spans[i].rd_ex, line) {
+                        payer = plan.shard_of[p];
+                        break;
+                    }
+                }
+                if payer == usize::MAX {
+                    conflict = true;
+                    return;
+                }
+                for (s, mk) in masked.iter_mut().enumerate() {
+                    if s != payer && contains(&sh_rd_ex[s], line) {
+                        mk.push(line);
+                    }
+                }
+            }
+        });
+    }
+    if conflict {
+        return None;
+    }
+    for mk in &mut masked {
+        mk.sort_unstable();
+        mk.dedup();
+    }
+    Some(masked)
+}
+
+/// What a worker hands back at the sync point.
+struct WorkerOut {
+    commit: ShardCommit,
+    /// Doall: `(proc, busy)` increments. Pipelined: `(proc, final clock)`.
+    clocks: Vec<(usize, u64)>,
+    busy_total: u64,
+    fast: FastPathStats,
+    race: RaceLog,
+    probe: Option<ProbeLog>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_shard(
+    sp: &SpmdProgram,
+    cost: &CostModel,
+    coords: &[Vec<usize>],
+    machine: &Machine,
+    view: &ArenaView,
+    nest: &SpmdNest,
+    params: &[i64],
+    procs: Vec<usize>,
+    slices: Vec<ProcSlice>,
+    masked: Vec<u64>,
+    chains: Option<(&PipePlan, &[Vec<usize>], &[u64], u64)>,
+    race_on: bool,
+    profile_on: bool,
+) -> WorkerOut {
+    let ctx = WalkCtx::new(nest);
+    let mut scratch = Scratch::default();
+    let mut ivec = vec![0i64; nest.source.depth];
+    let mut rlog = RaceLog::new();
+    let shard = ShardMachine::new(machine, procs.clone(), slices, masked);
+    let mut lane = Lane {
+        sp,
+        cost,
+        coords,
+        backend: ShardBackend {
+            shard,
+            arenas: view,
+            probe: if profile_on { Some(ProbeLog::new()) } else { None },
+        },
+        race: if race_on { RaceSink::Log(&mut rlog) } else { RaceSink::Off },
+        fast_path: true,
+        scratch: &mut scratch,
+        fast: FastPathStats::default(),
+    };
+    let mut clocks = Vec::with_capacity(procs.len());
+    let mut total = 0u64;
+    match chains {
+        None => {
+            for &p in &procs {
+                let busy = lane.walk(&ctx, p, 0, &mut ivec, params, None);
+                total += busy;
+                clocks.push((p, busy));
+            }
+        }
+        Some((pp, groups, start_clocks, lock)) => {
+            for chain in groups {
+                lane.race_chain();
+                let mut prev_done = vec![0u64; pp.ntiles as usize];
+                let mut head = true;
+                for &p in chain {
+                    lane.race_member(p);
+                    let mut clock = start_clocks[p];
+                    let mut done = Vec::with_capacity(pp.ntiles as usize);
+                    for r in 0..pp.ntiles {
+                        let rlo = pp.tlo + r * pp.tile;
+                        let rhi = (rlo + pp.tile - 1).min(pp.thi);
+                        let lk = if head {
+                            lock
+                        } else {
+                            let c = lane.backend.sync(SyncOp::PipelineHandoff);
+                            lane.race_acquire(p, r as usize, &[]);
+                            c
+                        };
+                        let start = clock.max(prev_done[r as usize].saturating_add(lk));
+                        let busy =
+                            lane.walk(&ctx, p, 0, &mut ivec, params, Some((pp.tile_level, rlo, rhi)));
+                        total += busy;
+                        clock = start + busy;
+                        done.push(clock);
+                        let _ = lane.race_release(p);
+                    }
+                    clocks.push((p, clock));
+                    prev_done = done;
+                    head = false;
+                }
+            }
+        }
+    }
+    let Lane { backend, fast, .. } = lane;
+    WorkerOut {
+        commit: backend.shard.commit(),
+        clocks,
+        busy_total: total,
+        fast,
+        race: rlog,
+        probe: backend.probe,
+    }
+}
+
+/// Try to execute the region sharded across host threads. Returns
+/// `false` (having done nothing) when the region fails the independence
+/// analysis — the caller then runs the exact sequential path.
+pub(crate) fn try_parallel(ex: &mut Executor, nest: &SpmdNest, params: &[i64]) -> bool {
+    if !ex.fast_path || ex.threads < 2 || !ex.machine.supports_sharding() {
+        return false;
+    }
+    let parts = ex.region_participants(nest, params);
+    if parts.len() < 2 || rough_iters(nest, params) < PAR_MIN_ITERS {
+        return false;
+    }
+    let plan = match build_plan(ex, nest, params, parts) {
+        Some(p) => p,
+        None => return false,
+    };
+    let spans = match collect_spans(ex, nest, params, &plan) {
+        Some(s) => s,
+        None => return false,
+    };
+    if spans.iter().map(|s| s.iters).sum::<u64>() < PAR_MIN_ITERS {
+        return false;
+    }
+    let masked = match classify(ex, &plan, &spans) {
+        Some(m) => m,
+        None => return false,
+    };
+    drop(spans);
+
+    // Commit to parallel execution: detach per-processor machine state,
+    // run one worker per shard, merge in canonical shard order.
+    let race_on = ex.race.is_some();
+    let profile_on = ex.profiler.is_some();
+    let lock = ex.machine.cfg.lock_cost;
+    let start_clocks = ex.clocks.clone();
+    let mut inputs: Vec<(Vec<usize>, Vec<ProcSlice>, Vec<u64>)> = Vec::with_capacity(plan.ranges.len());
+    for (s, &(a, b)) in plan.ranges.iter().enumerate() {
+        let procs = plan.order[a..b].to_vec();
+        let slices = ex.machine.take_proc_slices(&procs);
+        inputs.push((procs, slices, masked.get(s).cloned().unwrap_or_default()));
+    }
+    let sp = ex.sp;
+    let cost = &ex.cost;
+    let coords = &ex.coords[..];
+    let machine = &ex.machine;
+    let view = ArenaView::new(&mut ex.arenas);
+    let mut outs: Vec<Option<WorkerOut>> = Vec::new();
+    outs.resize_with(plan.ranges.len(), || None);
+    std::thread::scope(|s| {
+        for ((slot, (procs, slices, mask)), shard_idx) in
+            outs.iter_mut().zip(inputs).zip(0..plan.ranges.len())
+        {
+            let pipe = plan
+                .pipe
+                .as_ref()
+                .map(|pp| (pp, &pp.chains_per_shard[shard_idx][..], &start_clocks[..], lock));
+            let view = &view;
+            s.spawn(move || {
+                *slot = Some(run_shard(
+                    sp, cost, coords, machine, view, nest, params, procs, slices, mask, pipe,
+                    race_on, profile_on,
+                ));
+            });
+        }
+    });
+
+    // Deterministic merge, canonical shard order throughout.
+    let pipelined = plan.pipe.is_some();
+    let mut commits = Vec::with_capacity(outs.len());
+    let mut total = 0u64;
+    let mut fold = FastPathStats::default();
+    let mut race_logs = Vec::new();
+    let mut probe_logs = Vec::new();
+    for out in outs.into_iter().flatten() {
+        for &(p, c) in &out.clocks {
+            if pipelined {
+                ex.clocks[p] = c;
+            } else {
+                ex.clocks[p] += c;
+            }
+        }
+        total += out.busy_total;
+        fold.accumulate(&out.fast);
+        commits.push(out.commit);
+        race_logs.push(out.race);
+        if let Some(pl) = out.probe {
+            probe_logs.push(pl);
+        }
+    }
+    ex.machine.merge_shards(commits);
+    if let Some(d) = ex.race.as_deref_mut() {
+        for log in &race_logs {
+            log.replay(d);
+        }
+    }
+    if let Some(pf) = ex.profiler.as_deref_mut() {
+        for log in &probe_logs {
+            log.replay(pf);
+        }
+    }
+    ex.fast.accumulate(&fold);
+    ex.account_region(total);
+    true
+}

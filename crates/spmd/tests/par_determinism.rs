@@ -1,0 +1,233 @@
+//! The sharded parallel engine is bit-identical to the sequential walk.
+//!
+//! One simulation split across host threads between sync points must be
+//! indistinguishable from the one-at-a-time reference at ANY thread
+//! count: same cycles, same per-processor clocks, same coherence
+//! statistics, same checksum bits, same race report, same memory
+//! profile. `par_regions`/`seq_regions` are the only fields allowed to
+//! differ (they report which engine ran, not what it computed).
+
+#![allow(clippy::needless_range_loop)]
+
+use dct_decomp::decompose;
+use dct_dep::{analyze_nest, DepConfig};
+use dct_ir::{Aff, Expr, NestBuilder, Program, ProgramBuilder};
+use dct_spmd::{simulate_with_values, RunResult, SimOptions};
+use proptest::prelude::*;
+
+fn deps_of(prog: &Program) -> Vec<dct_dep::NestDeps> {
+    let cfg = DepConfig { nparams: prog.params.len(), param_min: 4 };
+    prog.nests.iter().map(|n| analyze_nest(n, cfg)).collect()
+}
+
+/// Everything observable about a run except the engine counters,
+/// rendered to one comparable string. Debug formatting of f64 prints
+/// all distinguishing digits, so equal strings mean equal bits for all
+/// practical purposes; the checksum is additionally compared exactly.
+fn fingerprint(r: &RunResult) -> String {
+    format!(
+        "cycles={} clocks={:?} stats={:?} checksum={:x} barriers={} nest_cycles={:?} init={} fast={:?} timed_out={} race={:?} profile={:?}",
+        r.cycles,
+        r.clocks,
+        r.stats,
+        r.checksum.to_bits(),
+        r.barriers,
+        r.nest_cycles,
+        r.init_cycles,
+        r.fast,
+        r.timed_out,
+        r.race,
+        r.mem_profile,
+    )
+}
+
+fn run_at(
+    prog: &Program,
+    procs: usize,
+    threads: usize,
+    observers: bool,
+) -> (RunResult, Vec<Vec<f64>>) {
+    let deps = deps_of(prog);
+    let full = decompose(prog, &deps).unwrap();
+    let mut o = SimOptions::new(procs, prog.default_params());
+    o.threads = threads;
+    o.race_detect = observers;
+    o.profile = observers;
+    simulate_with_values(prog, &full, &o).unwrap()
+}
+
+/// Jacobi stencil big enough to clear the parallel engine's iteration
+/// floor, with a time loop so caches carry state across regions.
+fn stencil_program(n: i64, steps: i64) -> Program {
+    let mut pb = ProgramBuilder::new("stencil");
+    let np = pb.param("N", n);
+    let a = pb.array("A", &[Aff::param(np), Aff::param(np)], 4);
+    let b = pb.array("B", &[Aff::param(np), Aff::param(np)], 4);
+    let _t = pb.time_loop(Aff::konst(steps));
+
+    let mut nb = NestBuilder::new("init", 2);
+    let j = nb.loop_var(Aff::konst(0), Aff::param(np) - 1);
+    let i = nb.loop_var(Aff::konst(0), Aff::param(np) - 1);
+    let v = Expr::Index(i) + Expr::Index(j) * Expr::Const(0.5);
+    nb.assign(b, &[Aff::var(i), Aff::var(j)], v);
+    pb.init_nest(nb.build());
+
+    let mut nb = NestBuilder::new("stencil", 2);
+    let i1 = nb.loop_var(Aff::konst(1), Aff::param(np) - 2);
+    let i2 = nb.loop_var(Aff::konst(1), Aff::param(np) - 2);
+    let rhs = (nb.read(b, &[Aff::var(i2), Aff::var(i1)])
+        + nb.read(b, &[Aff::var(i2) - 1, Aff::var(i1)])
+        + nb.read(b, &[Aff::var(i2) + 1, Aff::var(i1)])
+        + nb.read(b, &[Aff::var(i2), Aff::var(i1) - 1])
+        + nb.read(b, &[Aff::var(i2), Aff::var(i1) + 1]))
+        * Expr::Const(0.2);
+    nb.assign(a, &[Aff::var(i2), Aff::var(i1)], rhs);
+    pb.nest(nb.build());
+
+    let mut nb = NestBuilder::new("copy", 2);
+    let i1 = nb.loop_var(Aff::konst(1), Aff::param(np) - 2);
+    let i2 = nb.loop_var(Aff::konst(1), Aff::param(np) - 2);
+    let rhs = nb.read(a, &[Aff::var(i2), Aff::var(i1)]);
+    nb.assign(b, &[Aff::var(i2), Aff::var(i1)], rhs);
+    pb.nest(nb.build());
+    pb.build()
+}
+
+/// ADI-style column sweep + pipelined row sweep: exercises the
+/// doacross worker (whole chains per shard, handoff lock costs,
+/// release/acquire replay at tile boundaries).
+fn adi_program(n: i64, steps: i64) -> Program {
+    let mut pb = ProgramBuilder::new("adi");
+    let np = pb.param("N", n);
+    let x = pb.array("X", &[Aff::param(np), Aff::param(np)], 4);
+    let _t = pb.time_loop(Aff::konst(steps));
+
+    let mut nb = NestBuilder::new("init", 2);
+    let j = nb.loop_var(Aff::konst(0), Aff::param(np) - 1);
+    let i = nb.loop_var(Aff::konst(0), Aff::param(np) - 1);
+    nb.assign(x, &[Aff::var(i), Aff::var(j)], Expr::Index(i) + Expr::Index(j));
+    pb.init_nest(nb.build());
+
+    let mut nb = NestBuilder::new("colsweep", 2);
+    let i1 = nb.loop_var(Aff::konst(0), Aff::param(np) - 1);
+    let i2 = nb.loop_var(Aff::konst(1), Aff::param(np) - 1);
+    let rhs = nb.read(x, &[Aff::var(i2), Aff::var(i1)]) * Expr::Const(0.5)
+        + nb.read(x, &[Aff::var(i2) - 1, Aff::var(i1)]) * Expr::Const(0.5);
+    nb.assign(x, &[Aff::var(i2), Aff::var(i1)], rhs);
+    pb.nest(nb.build());
+
+    let mut nb = NestBuilder::new("rowsweep", 2);
+    let i1 = nb.loop_var(Aff::konst(1), Aff::param(np) - 1);
+    let i2 = nb.loop_var(Aff::konst(0), Aff::param(np) - 1);
+    let rhs = nb.read(x, &[Aff::var(i2), Aff::var(i1)]) * Expr::Const(0.5)
+        + nb.read(x, &[Aff::var(i2), Aff::var(i1) - 1]) * Expr::Const(0.5);
+    nb.assign(x, &[Aff::var(i2), Aff::var(i1)], rhs);
+    pb.nest(nb.build());
+    pb.build()
+}
+
+/// The engine must actually engage on a doall region big enough to
+/// shard — otherwise every "determinism" assertion below is vacuous.
+#[test]
+fn parallel_engine_engages_on_large_doall() {
+    let prog = stencil_program(96, 2);
+    let (r4, _) = run_at(&prog, 8, 4, false);
+    assert!(
+        r4.par_regions > 0,
+        "no region took the parallel path (seq_regions={})",
+        r4.seq_regions
+    );
+    let (r1, _) = run_at(&prog, 8, 1, false);
+    assert_eq!(r1.par_regions, 0, "threads=1 must stay sequential");
+}
+
+/// Doall determinism with both observers attached: threads 2 and 4
+/// reproduce the sequential fingerprint and array values exactly.
+#[test]
+fn stencil_bit_identical_across_threads() {
+    let prog = stencil_program(96, 2);
+    let (r1, v1) = run_at(&prog, 8, 1, true);
+    let f1 = fingerprint(&r1);
+    for threads in [2, 4] {
+        let (rt, vt) = run_at(&prog, 8, threads, true);
+        assert!(rt.par_regions > 0, "threads={threads} never sharded");
+        assert_eq!(f1, fingerprint(&rt), "fingerprint diverged at threads={threads}");
+        assert_eq!(r1.checksum.to_bits(), rt.checksum.to_bits());
+        assert_eq!(v1, vt, "array values diverged at threads={threads}");
+    }
+}
+
+/// Pipeline golden: the doacross row sweep shards into whole chains and
+/// the merge replays handoffs in canonical chain order. The per-
+/// processor clock vector pins that order — any merge permutation or
+/// missed lock handoff shifts a clock and fails here.
+#[test]
+fn pipeline_handoff_merge_order_golden() {
+    let prog = adi_program(96, 2);
+    let (r1, v1) = run_at(&prog, 8, 1, true);
+    let f1 = fingerprint(&r1);
+    for threads in [2, 4] {
+        let (rt, vt) = run_at(&prog, 8, threads, true);
+        assert!(rt.par_regions > 0, "threads={threads}: pipeline never sharded");
+        assert_eq!(
+            r1.clocks, rt.clocks,
+            "threads={threads}: pipeline clocks diverged (merge order broke)"
+        );
+        assert_eq!(f1, fingerprint(&rt), "threads={threads}: fingerprint diverged");
+        assert_eq!(v1, vt);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Randomized stencils: every thread count in {1, 2, 4} produces the
+    /// same fingerprint, race report, memory profile, and values. Sizes
+    /// straddle the iteration floor so both engine paths are exercised.
+    #[test]
+    fn random_programs_thread_invariant(
+        n in 24i64..=72,
+        steps in 1i64..=2,
+        procs in 2usize..=8,
+        offsets in proptest::collection::vec((-1i64..=1, -1i64..=1), 1..4),
+    ) {
+        let mut pb = ProgramBuilder::new("rand");
+        let np = pb.param("N", n);
+        let a = pb.array("A", &[Aff::param(np), Aff::param(np)], 4);
+        let b = pb.array("B", &[Aff::param(np), Aff::param(np)], 4);
+        let _t = pb.time_loop(Aff::konst(steps));
+
+        let mut nb = NestBuilder::new("init", 2);
+        let j = nb.loop_var(Aff::konst(0), Aff::param(np) - 1);
+        let i = nb.loop_var(Aff::konst(0), Aff::param(np) - 1);
+        let v = Expr::Index(i) + Expr::Index(j) * Expr::Const(0.25) + Expr::Const(1.0);
+        nb.assign(b, &[Aff::var(i), Aff::var(j)], v);
+        pb.init_nest(nb.build());
+
+        let mut nb = NestBuilder::new("stencil", 2);
+        let j = nb.loop_var(Aff::konst(1), Aff::param(np) - 2);
+        let i = nb.loop_var(Aff::konst(1), Aff::param(np) - 2);
+        let mut rhs = nb.read(b, &[Aff::var(i), Aff::var(j)]);
+        for (di, dj) in &offsets {
+            rhs = rhs + nb.read(b, &[Aff::var(i) + *di, Aff::var(j) + *dj]) * Expr::Const(0.5);
+        }
+        nb.assign(a, &[Aff::var(i), Aff::var(j)], rhs);
+        pb.nest(nb.build());
+
+        let mut nb = NestBuilder::new("copy", 2);
+        let j = nb.loop_var(Aff::konst(1), Aff::param(np) - 2);
+        let i = nb.loop_var(Aff::konst(1), Aff::param(np) - 2);
+        let rhs = nb.read(a, &[Aff::var(i), Aff::var(j)]);
+        nb.assign(b, &[Aff::var(i), Aff::var(j)], rhs);
+        pb.nest(nb.build());
+        let prog = pb.build();
+
+        let (r1, v1) = run_at(&prog, procs, 1, true);
+        let f1 = fingerprint(&r1);
+        for threads in [2usize, 4] {
+            let (rt, vt) = run_at(&prog, procs, threads, true);
+            prop_assert_eq!(&f1, &fingerprint(&rt), "threads={}", threads);
+            prop_assert_eq!(&v1, &vt, "threads={}", threads);
+        }
+    }
+}

@@ -61,6 +61,45 @@ if [ "${race_panics:-0}" -ne 0 ]; then
 fi
 echo "  spmd/src/race.rs: 0 panic sites"
 
+echo "== tier1: parallel engine is panic-free"
+# The sharded engine runs conflict analysis and worker merges inside
+# every multi-threaded cell; a panic there would take down a sweep that
+# the sequential path would have completed.
+par_panics=$(grep -choE 'panic!|\.unwrap\(\)' crates/spmd/src/par.rs || true)
+if [ "${par_panics:-0}" -ne 0 ]; then
+    echo "tier1 FAIL: crates/spmd/src/par.rs has $par_panics panic!/unwrap() sites (must be 0)" >&2
+    exit 1
+fi
+echo "  spmd/src/par.rs: 0 panic sites"
+
+echo "== tier1: sharded engine determinism (--threads 1 vs --threads 4)"
+# The parallel engine must be bit-identical to the sequential walk with
+# every observer attached: plain figure cells, the race detector, and
+# the memory profiler (explain). Budget banners go to stderr, so stdout
+# diffs are clean.
+seq_out=$(./target/release/repro fig8 --scale 0.15 --procs 8 --threads 1 2>/dev/null)
+par_out=$(./target/release/repro fig8 --scale 0.15 --procs 8 --threads 4 2>/dev/null)
+if [ "$seq_out" != "$par_out" ]; then
+    echo "tier1 FAIL: fig8 output differs between --threads 1 and --threads 4" >&2
+    diff <(echo "$seq_out") <(echo "$par_out") >&2 || true
+    exit 1
+fi
+seq_rc=$(./target/release/repro --race-check --scale 0.15 --procs 8 --threads 1 2>/dev/null)
+par_rc=$(./target/release/repro --race-check --scale 0.15 --procs 8 --threads 4 2>/dev/null)
+if [ "$seq_rc" != "$par_rc" ]; then
+    echo "tier1 FAIL: race-check output differs between --threads 1 and --threads 4" >&2
+    diff <(echo "$seq_rc") <(echo "$par_rc") >&2 || true
+    exit 1
+fi
+seq_ex=$(./target/release/repro explain stencil --scale 0.15 --procs 32 --threads 1 2>/dev/null)
+par_ex=$(./target/release/repro explain stencil --scale 0.15 --procs 32 --threads 4 2>/dev/null)
+if [ "$seq_ex" != "$par_ex" ]; then
+    echo "tier1 FAIL: explain output differs between --threads 1 and --threads 4" >&2
+    diff <(echo "$seq_ex") <(echo "$par_ex") >&2 || true
+    exit 1
+fi
+echo "  fig8 + race-check + explain: bit-identical at 1 and 4 threads"
+
 echo "== tier1: repro --race-check smoke (schedule soundness)"
 # Every benchmark x strategy must be certified race-free by the
 # happens-before detector — the only oracle that can see missing
