@@ -19,15 +19,23 @@
 //!                           # (bit-identical to --threads 1; workers clamp
 //!                           #  so cells x threads <= host parallelism)
 //! repro table1 --workers 8  # cap concurrently-running cells
+//! repro chaos --seed 42 --faults 6
+//!                           # fault-injection oracle: sweep under seeded
+//!                           # kills/crashes/corruption must converge
+//!                           # bit-identical to a fault-free sweep
+//! repro chaos stencil --scale 0.1   # restrict chaos to one benchmark
 //! ```
 //!
 //! With `--resume`, `--max-cycles`, `--max-wall` or `--out`, `table1` runs
 //! through the crash-safe sweep harness: every cell is checkpointed
-//! atomically (temp file + rename) as it finishes, and a re-run with
-//! `--resume` only simulates the missing cells.
+//! atomically (temp file + fsync + rename) as it finishes, verified by a
+//! per-file content checksum on reload (corrupt files quarantine to
+//! `corrupt/`), and a re-run with `--resume` only simulates the missing
+//! cells.
 
 use dct_bench::harness::{self, ThreadBudget, ALL_FIGURES, PAPER_PROCS};
 use dct_layout::{diagram, DataLayout};
+use std::path::Path;
 use std::time::Instant;
 
 fn die(msg: &str) -> ! {
@@ -48,6 +56,8 @@ fn main() {
     let mut out_dir: Option<String> = None;
     let mut max_cycles: Option<u64> = None;
     let mut max_wall: Option<f64> = None;
+    let mut seed = 42u64;
+    let mut faults = 6usize;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -107,6 +117,18 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--workers needs a positive integer"))
             }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an unsigned integer"))
+            }
+            "--faults" => {
+                faults = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--faults needs a fault count"))
+            }
             other => targets.push(other.to_string()),
         }
     }
@@ -123,7 +145,7 @@ fn main() {
         print!("{}", dct_bench::profile::render_text(&profiles));
         let json = dct_bench::profile::render_json(&profiles, total);
         let path = "BENCH_sim_throughput.json";
-        match std::fs::write(path, &json) {
+        match harness::atomic_write_sync(Path::new(path), json.as_bytes()) {
             Ok(()) => eprintln!("[profile done in {total:.1}s -> {path}]"),
             Err(e) => die(&format!("cannot write {path}: {e}")),
         }
@@ -173,14 +195,53 @@ fn main() {
                 print!("{}", dct_bench::render_explain(&r));
                 let dir = out_dir.clone().unwrap_or_else(|| "results".to_string());
                 let path = format!("{dir}/explain_{bench}.json");
-                let write = std::fs::create_dir_all(&dir)
-                    .and_then(|_| std::fs::write(&path, dct_bench::explain_json(&r)));
+                let write = harness::atomic_write_sync(
+                    Path::new(&path),
+                    dct_bench::explain_json(&r).as_bytes(),
+                );
                 match write {
                     Ok(()) => eprintln!("[explain {bench} done in {:?} -> {path}]", t0.elapsed()),
                     Err(e) => die(&format!("cannot write {path}: {e}")),
                 }
             }
             None => die(&format!("unknown benchmark '{bench}' (suite: vpenta lu stencil adi erlebacher swm256 tomcatv)")),
+        }
+        if targets.is_empty() {
+            return;
+        }
+    }
+
+    // `chaos [bench]`: the fault-injection oracle. Exits non-zero unless
+    // the chaos sweep converges bit-identical to the fault-free sweep.
+    if let Some(k) = targets.iter().position(|t| t == "chaos") {
+        targets.remove(k);
+        let bench = if k < targets.len() { Some(targets.remove(k)) } else { None };
+        let mut ccfg = dct_bench::ChaosConfig::new(
+            seed,
+            faults,
+            out_dir.clone().unwrap_or_else(|| "results/chaos".to_string()),
+        );
+        ccfg.scale = scale;
+        // Chaos reruns the sweep several times; default to a modest
+        // processor count unless --procs asked for more.
+        ccfg.procs = if procs.as_slice() == PAPER_PROCS {
+            8
+        } else {
+            procs.iter().copied().max().unwrap_or(8)
+        };
+        ccfg.threads = ThreadBudget::single_cell(threads).intra;
+        ccfg.only = bench.map(|b| vec![b]);
+        ccfg.race_check = true;
+        let t0 = Instant::now();
+        match dct_bench::run_chaos(&ccfg) {
+            Ok(rep) => {
+                print!("{}", dct_bench::render_chaos(&rep));
+                eprintln!("[chaos done in {:?}]", t0.elapsed());
+                if !rep.identical() {
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => die(&format!("chaos run failed: {e}")),
         }
         if targets.is_empty() {
             return;

@@ -8,7 +8,38 @@
 use crate::programs;
 use dct_core::{sequential_cycles, speedup_curve, Compiler, SpeedupPoint, Strategy};
 use dct_ir::{panic_message, DctError, DctResult, Phase, Program};
+use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+
+/// Atomically and durably write a result artifact: temp file in the same
+/// directory, write, fsync the file, rename over the target, fsync the
+/// directory. A crash at any instant leaves either the previous contents
+/// or the complete new contents — never a torn file — and after the
+/// rename the data has actually reached the disk, not just the page
+/// cache. Every JSON artifact the harness emits goes through here.
+pub fn atomic_write_sync(path: &Path, data: &[u8]) -> std::io::Result<()> {
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    std::fs::create_dir_all(&dir)?;
+    let name = path.file_name().map(|n| n.to_string_lossy().to_string()).unwrap_or_default();
+    let tmp = dir.join(format!(".{name}.tmp"));
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(data)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    // Durability of the rename itself needs the directory synced; on
+    // platforms where opening a directory fails this stays best-effort
+    // (the rename is still atomic).
+    if let Ok(d) = std::fs::File::open(&dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
 
 /// Processor counts used in the paper's figures (1..32; 31 added because
 /// LU's conflict pathology makes 31 vs 32 a headline data point).

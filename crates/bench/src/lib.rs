@@ -6,6 +6,7 @@
 #![allow(clippy::needless_range_loop, clippy::manual_memcpy)]
 
 pub mod ablate;
+pub mod chaos;
 pub mod explain;
 pub mod fuzz;
 pub mod harness;
@@ -14,6 +15,12 @@ pub mod programs;
 pub mod sweep;
 
 pub use ablate::{all_ablations, Ablation};
+pub use chaos::{
+    render_chaos, run_chaos, ChaosConfig, ChaosReport, Fault, FaultInjector, FaultPlan,
+    FaultSite, RetryPolicy, RetryRung,
+};
 pub use explain::{explain, explain_json, explain_strategies, explain_threads, render_explain, ExplainResult, ExplainRun, StrategyExplain};
-pub use harness::{figure, run_figure, run_figure_parallel, table1, FigureResult, FigureSpec, StrategyCurve, Table1Row, ThreadBudget};
-pub use sweep::{run_sweep, Cell, CellOutcome, SweepConfig};
+pub use harness::{atomic_write_sync, figure, run_figure, run_figure_parallel, table1, FigureResult, FigureSpec, StrategyCurve, Table1Row, ThreadBudget};
+pub use sweep::{
+    run_sweep, run_sweep_supervised, Cell, CellOutcome, SweepConfig, SweepReport,
+};

@@ -248,7 +248,7 @@ impl Compiler {
     /// Simulate the compiled program on `procs` processors.
     pub fn simulate(&self, c: &Compiled, procs: usize, params: &[i64]) -> DctResult<RunResult> {
         let opts = rung_sim_options(c.rung, procs, params.to_vec());
-        simulate(&c.program, &c.decomposition, &opts)
+        checked_run(simulate(&c.program, &c.decomposition, &opts))
     }
 
     /// [`Compiler::simulate`] with an explicit intra-simulation thread
@@ -265,13 +265,43 @@ impl Compiler {
     ) -> DctResult<RunResult> {
         let mut opts = rung_sim_options(c.rung, procs, params.to_vec());
         opts.threads = threads.max(1);
-        simulate(&c.program, &c.decomposition, &opts)
+        checked_run(simulate(&c.program, &c.decomposition, &opts))
+    }
+
+    /// [`Compiler::simulate_threads`] under a cooperative cancellation
+    /// token. A supervisor holds a clone of the token; if it fires, the
+    /// run aborts at the next sync-point boundary and this returns a
+    /// [`DctError`] of kind `Cancelled` instead of a partial result.
+    pub fn simulate_supervised(
+        &self,
+        c: &Compiled,
+        procs: usize,
+        params: &[i64],
+        threads: usize,
+        cancel: dct_ir::CancelToken,
+    ) -> DctResult<RunResult> {
+        let mut opts = rung_sim_options(c.rung, procs, params.to_vec());
+        opts.threads = threads.max(1);
+        opts.cancel = Some(cancel);
+        checked_run(simulate(&c.program, &c.decomposition, &opts))
     }
 
     /// The SPMD/simulation options that realize this strategy (before any
     /// degradation; [`Compiler::simulate`] follows the compiled rung).
     pub fn sim_options(&self, procs: usize, params: Vec<i64>) -> SimOptions {
         rung_sim_options(Rung::of(self.strategy), procs, params)
+    }
+}
+
+/// A cancelled run carries only partial state; surface it as a structured
+/// error so no caller can mistake it for a converged result.
+fn checked_run(r: DctResult<RunResult>) -> DctResult<RunResult> {
+    match r {
+        Ok(r) if r.cancelled => Err(DctError::cancelled(
+            Phase::Sim,
+            "simulation cancelled at a sync-point boundary",
+        )),
+        other => other,
     }
 }
 

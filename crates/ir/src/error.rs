@@ -38,10 +38,42 @@ impl Phase {
     }
 }
 
+/// What sort of failure a [`DctError`] reports. Most errors are
+/// [`ErrorKind::Model`] — the input stepped outside what a phase can
+/// handle. The supervisor-facing kinds let the sweep executor tell a
+/// watchdog abort (retryable on a weaker rung) and an exhausted retry
+/// ladder (terminal, structured report) apart from ordinary failures.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ErrorKind {
+    /// Out-of-model input rejected by a phase (the common case).
+    #[default]
+    Model,
+    /// Internal invariant violation (a caught panic).
+    Internal,
+    /// The run was aborted by a cooperative [`crate::CancelToken`] at a
+    /// sync-point boundary (watchdog kill of a stuck cell).
+    Cancelled,
+    /// The cell failed every rung of the retry ladder and was quarantined
+    /// by the self-healing sweep executor.
+    Quarantined,
+}
+
+impl ErrorKind {
+    pub fn label(&self) -> &'static str {
+        match self {
+            ErrorKind::Model => "model",
+            ErrorKind::Internal => "internal",
+            ErrorKind::Cancelled => "cancelled",
+            ErrorKind::Quarantined => "quarantined",
+        }
+    }
+}
+
 /// A structured, non-panicking pipeline error.
 #[derive(Clone, PartialEq, Debug)]
 pub struct DctError {
     pub phase: Phase,
+    pub kind: ErrorKind,
     pub message: String,
     /// Index of the offending nest in `program.nests`, when known.
     pub nest: Option<usize>,
@@ -55,13 +87,48 @@ pub struct DctError {
 
 impl DctError {
     pub fn new(phase: Phase, message: impl Into<String>) -> DctError {
-        DctError { phase, message: message.into(), nest: None, nest_name: None, array: None, line: None }
+        DctError {
+            phase,
+            kind: ErrorKind::Model,
+            message: message.into(),
+            nest: None,
+            nest_name: None,
+            array: None,
+            line: None,
+        }
     }
 
     /// A panic (or other internal invariant violation) converted into a
     /// structured error by a `catch_unwind` safety net.
     pub fn internal(phase: Phase, message: impl Into<String>) -> DctError {
-        DctError::new(phase, format!("internal: {}", message.into()))
+        let mut e = DctError::new(phase, format!("internal: {}", message.into()));
+        e.kind = ErrorKind::Internal;
+        e
+    }
+
+    /// A run aborted by a cooperative cancellation token (watchdog).
+    pub fn cancelled(phase: Phase, message: impl Into<String>) -> DctError {
+        let mut e = DctError::new(phase, message);
+        e.kind = ErrorKind::Cancelled;
+        e
+    }
+
+    /// A cell that exhausted the self-healing retry ladder.
+    pub fn quarantined(phase: Phase, message: impl Into<String>) -> DctError {
+        let mut e = DctError::new(phase, message);
+        e.kind = ErrorKind::Quarantined;
+        e
+    }
+
+    /// True when this error reports a cooperative cancellation (the
+    /// supervisor should retry, not diagnose).
+    pub fn is_cancelled(&self) -> bool {
+        self.kind == ErrorKind::Cancelled
+    }
+
+    /// True when this error is a quarantine report.
+    pub fn is_quarantined(&self) -> bool {
+        self.kind == ErrorKind::Quarantined
     }
 
     pub fn with_nest(mut self, idx: usize, name: &str) -> DctError {
@@ -84,6 +151,9 @@ impl DctError {
 impl std::fmt::Display for DctError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "[{}]", self.phase.label())?;
+        if matches!(self.kind, ErrorKind::Cancelled | ErrorKind::Quarantined) {
+            write!(f, " {}", self.kind.label())?;
+        }
         if let Some(name) = &self.nest_name {
             write!(f, " nest {name}")?;
             if let Some(j) = self.nest {
@@ -135,5 +205,19 @@ mod tests {
     fn display_frontend_line() {
         let e = DctError::new(Phase::Frontend, "unterminated DO").with_line(7);
         assert_eq!(e.to_string(), "[frontend] line 7: unterminated DO");
+    }
+
+    #[test]
+    fn supervisor_kinds_are_distinguishable() {
+        let c = DctError::cancelled(Phase::Sim, "watchdog abort at sync point");
+        assert!(c.is_cancelled() && !c.is_quarantined());
+        assert!(c.to_string().contains("cancelled"), "{c}");
+        let q = DctError::quarantined(Phase::Sim, "failed 4 rungs");
+        assert!(q.is_quarantined() && !q.is_cancelled());
+        assert!(q.to_string().contains("quarantined"), "{q}");
+        // Ordinary errors stay unchanged in kind and rendering.
+        let m = DctError::new(Phase::Spmd, "bad schedule");
+        assert_eq!(m.kind, ErrorKind::Model);
+        assert_eq!(m.to_string(), "[spmd]: bad schedule");
     }
 }

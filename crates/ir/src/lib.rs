@@ -8,6 +8,7 @@
 #![allow(clippy::needless_range_loop, clippy::manual_memcpy)]
 
 pub mod access;
+pub mod cancel;
 pub mod error;
 pub mod expr;
 pub mod mem;
@@ -16,7 +17,8 @@ pub mod program;
 pub mod race;
 
 pub use access::{AffineAccess, ArrayId, ArrayRef};
-pub use error::{panic_message, DctError, DctResult, Phase};
+pub use cancel::CancelToken;
+pub use error::{panic_message, DctError, DctResult, ErrorKind, Phase};
 pub use mem::{MemProfile, MemRow};
 pub use race::{Race, RaceAccess, RaceKind, RaceReport};
 pub use expr::{Aff, BinOp, Expr};

@@ -92,6 +92,10 @@ pub struct RunResult {
     /// The run hit its cycle or wall-clock budget and was aborted; the
     /// result is partial (the repro harness records it as a Timeout cell).
     pub timed_out: bool,
+    /// The run was aborted by its cooperative [`dct_ir::CancelToken`] at a
+    /// sync-point boundary; the result is partial and must be discarded
+    /// (the supervisor retries or quarantines the cell).
+    pub cancelled: bool,
     /// Happens-before race report, when the run was executed with
     /// `race_detect` enabled (`None` = detection was off).
     pub race: Option<RaceReport>,
@@ -271,6 +275,11 @@ pub struct Executor<'a> {
     /// Abort the run after this much host wall-clock time (checked at nest
     /// boundaries).
     pub max_wall: Option<std::time::Duration>,
+    /// Cooperative cancellation flag, polled at sync-point boundaries
+    /// (nest ends, lane switches, pipeline-chain members, parallel-shard
+    /// chunks). `None` = never cancelled; polling costs one atomic load
+    /// per boundary, nothing on the innermost path.
+    pub cancel: Option<dct_ir::CancelToken>,
     /// Per-processor grid coordinates, precomputed.
     pub(crate) coords: Vec<Vec<usize>>,
     /// Reusable iteration vector (hoisted out of the per-processor and
@@ -315,6 +324,7 @@ impl<'a> Executor<'a> {
             threads: 1,
             max_cycles: None,
             max_wall: None,
+            cancel: None,
             coords,
             scratch_ivec: Vec::with_capacity(8),
             scratch: Scratch::default(),
@@ -369,6 +379,7 @@ impl<'a> Executor<'a> {
         }
         let started = std::time::Instant::now();
         let mut timed_out = false;
+        let mut cancelled = false;
         let mut params = self.sp.params.clone();
         if let Some(tp) = self.sp.time_param {
             params[tp] = 0;
@@ -377,6 +388,10 @@ impl<'a> Executor<'a> {
             for k in 0..self.sp.init.len() {
                 self.exec_nest_idx(true, k, &params);
                 self.barrier();
+                if self.cancel_requested() {
+                    cancelled = true;
+                    break 'run;
+                }
                 if self.over_budget(started) {
                     timed_out = true;
                     break 'run;
@@ -398,6 +413,10 @@ impl<'a> Executor<'a> {
                             SyncKind::None => {}
                         }
                     }
+                    if self.cancel_requested() {
+                        cancelled = true;
+                        break 'run;
+                    }
                     if self.over_budget(started) {
                         timed_out = true;
                         break 'run;
@@ -417,6 +436,7 @@ impl<'a> Executor<'a> {
             init_cycles: self.init_cycles,
             fast: self.fast,
             timed_out,
+            cancelled,
             race: self.race.as_ref().map(|d| d.report_snapshot()),
             mem_profile: self.profiler.as_ref().map(|p| {
                 let sites = self
@@ -431,6 +451,13 @@ impl<'a> Executor<'a> {
             par_regions: self.par_regions,
             seq_regions: self.seq_regions,
         }
+    }
+
+    /// Has the cooperative cancellation token been set? Polled at every
+    /// sync-point boundary; a cancelled run aborts with a partial result
+    /// flagged `cancelled` that the supervisor discards.
+    pub(crate) fn cancel_requested(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|t| t.is_cancelled())
     }
 
     fn over_budget(&self, started: std::time::Instant) -> bool {
@@ -570,6 +597,7 @@ impl<'a> Executor<'a> {
             self.participants(nest, params)
         };
         let mut total = 0u64;
+        let token = self.cancel.clone();
         // Built from individual fields (not a helper method) so the
         // borrow checker lets the loop update `self.clocks` alongside.
         let mut lane = Lane {
@@ -590,6 +618,11 @@ impl<'a> Executor<'a> {
             fast: FastPathStats::default(),
         };
         for p in procs {
+            // Lane switches are sync-point boundaries: a cancelled run
+            // stops issuing lanes and aborts at the enclosing nest end.
+            if token.as_ref().is_some_and(|t| t.is_cancelled()) {
+                break;
+            }
             let busy = lane.walk(&ctx, p, 0, &mut ivec, params, None);
             total += busy;
             self.clocks[p] += busy;
@@ -637,6 +670,7 @@ impl<'a> Executor<'a> {
         ivec.resize(nest.source.depth, 0);
         let lock = self.machine.cfg.lock_cost;
         let mut total = 0u64;
+        let token = self.cancel.clone();
         let mut lane = Lane {
             sp: self.sp,
             cost: &self.cost,
@@ -662,6 +696,10 @@ impl<'a> Executor<'a> {
             let mut prev_rel: Vec<Vec<u64>> = Vec::new();
             let mut head = true;
             for &p in &chain {
+                // Chain-member handoffs are sync-point boundaries too.
+                if token.as_ref().is_some_and(|t| t.is_cancelled()) {
+                    break;
+                }
                 let mut clock = self.clocks[p];
                 let mut done = Vec::with_capacity(ntiles as usize);
                 let mut rel: Vec<Vec<u64>> = Vec::new();

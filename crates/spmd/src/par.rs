@@ -984,6 +984,7 @@ fn run_shard(
     chains: Option<(&PipePlan, &[Vec<usize>], &[u64], u64)>,
     race_on: bool,
     profile_on: bool,
+    cancel: Option<&dct_ir::CancelToken>,
 ) -> WorkerOut {
     let ctx = WalkCtx::new(nest);
     let mut scratch = Scratch::default();
@@ -1009,17 +1010,26 @@ fn run_shard(
     match chains {
         None => {
             for &p in &procs {
+                // Shard lane switches are sync-point boundaries: once the
+                // supervisor cancels, workers stop issuing lanes and the
+                // (partial, discarded) run aborts at the region end.
+                if cancel.is_some_and(|t| t.is_cancelled()) {
+                    break;
+                }
                 let busy = lane.walk(&ctx, p, 0, &mut ivec, params, None);
                 total += busy;
                 clocks.push((p, busy));
             }
         }
         Some((pp, groups, start_clocks, lock)) => {
-            for chain in groups {
+            'chains: for chain in groups {
                 lane.race_chain();
                 let mut prev_done = vec![0u64; pp.ntiles as usize];
                 let mut head = true;
                 for &p in chain {
+                    if cancel.is_some_and(|t| t.is_cancelled()) {
+                        break 'chains;
+                    }
                     lane.race_member(p);
                     let mut clock = start_clocks[p];
                     let mut done = Vec::with_capacity(pp.ntiles as usize);
@@ -1066,6 +1076,11 @@ pub(crate) fn try_parallel(ex: &mut Executor, nest: &SpmdNest, params: &[i64]) -
     if !ex.fast_path || ex.threads < 2 || !ex.machine.supports_sharding() {
         return false;
     }
+    // A cancelled run must not start new parallel regions; the sequential
+    // caller aborts at the nest boundary right after.
+    if ex.cancel_requested() {
+        return false;
+    }
     let parts = ex.region_participants(nest, params);
     if parts.len() < 2 || rough_iters(nest, params) < PAR_MIN_ITERS {
         return false;
@@ -1103,6 +1118,7 @@ pub(crate) fn try_parallel(ex: &mut Executor, nest: &SpmdNest, params: &[i64]) -
     let cost = &ex.cost;
     let coords = &ex.coords[..];
     let machine = &ex.machine;
+    let cancel = ex.cancel.as_ref();
     let view = ArenaView::new(&mut ex.arenas);
     let mut outs: Vec<Option<WorkerOut>> = Vec::new();
     outs.resize_with(plan.ranges.len(), || None);
@@ -1118,7 +1134,7 @@ pub(crate) fn try_parallel(ex: &mut Executor, nest: &SpmdNest, params: &[i64]) -
             s.spawn(move || {
                 *slot = Some(run_shard(
                     sp, cost, coords, machine, view, nest, params, procs, slices, mask, pipe,
-                    race_on, profile_on,
+                    race_on, profile_on, cancel,
                 ));
             });
         }

@@ -47,6 +47,11 @@ pub struct SimOptions {
     pub max_cycles: Option<u64>,
     /// Abort a runaway simulation after this many host wall-clock seconds.
     pub max_wall_secs: Option<f64>,
+    /// Cooperative cancellation: a supervisor (sweep watchdog) sets the
+    /// token from another thread and the run aborts at the next sync-point
+    /// boundary with `RunResult::cancelled` — a stuck cell dies at a
+    /// well-defined schedule point instead of relying on the cycle budget.
+    pub cancel: Option<dct_ir::CancelToken>,
 }
 
 impl SimOptions {
@@ -64,6 +69,7 @@ impl SimOptions {
             threads: default_threads(),
             max_cycles: None,
             max_wall_secs: None,
+            cancel: None,
         }
     }
 }
@@ -83,6 +89,7 @@ fn build_executor<'a>(
     ex.threads = opts.threads.max(1);
     ex.max_cycles = opts.max_cycles;
     ex.max_wall = opts.max_wall_secs.map(std::time::Duration::from_secs_f64);
+    ex.cancel = opts.cancel.clone();
     ex
 }
 

@@ -72,6 +72,17 @@ if [ "${par_panics:-0}" -ne 0 ]; then
 fi
 echo "  spmd/src/par.rs: 0 panic sites"
 
+echo "== tier1: chaos supervisor is panic-free"
+# The fault-injection supervisor catches panics and heals the sweep; it
+# must never be able to take down what it supervises. (The one injected
+# panicking site lives in the sweep worker, under the bench ratchet.)
+chaos_panics=$(grep -choE 'panic!|\.unwrap\(\)' crates/bench/src/chaos.rs || true)
+if [ "${chaos_panics:-0}" -ne 0 ]; then
+    echo "tier1 FAIL: crates/bench/src/chaos.rs has $chaos_panics panic!/unwrap() sites (must be 0)" >&2
+    exit 1
+fi
+echo "  bench/src/chaos.rs: 0 panic sites"
+
 echo "== tier1: sharded engine determinism (--threads 1 vs --threads 4)"
 # The parallel engine must be bit-identical to the sequential walk with
 # every observer attached: plain figure cells, the race detector, and
@@ -121,6 +132,24 @@ if [ ! -s results/explain_stencil.json ]; then
     exit 1
 fi
 echo "  explain stencil: table + diagnosis + JSON artifact OK"
+
+echo "== tier1: repro chaos smoke (seeded fault injection, bit-identity)"
+# The chaos oracle: a sweep under seeded injected faults (worker panics,
+# checkpoint corruption, stuck cells, whole-sweep kills) must converge
+# bit-identical to a fault-free sweep. The binary exits non-zero on any
+# divergence; we additionally require the seed to actually fire faults.
+chaos_out=$(./target/release/repro chaos stencil --scale 0.1 --seed 42 --faults 6 --threads 2 --out results/chaos-smoke 2>/dev/null)
+echo "$chaos_out"
+if ! grep -q "BIT-IDENTICAL" <<<"$chaos_out"; then
+    echo "tier1 FAIL: chaos sweep did not converge bit-identical" >&2
+    exit 1
+fi
+fired=$(grep -c '^  fired' <<<"$chaos_out" || true)
+if [ "${fired:-0}" -lt 3 ]; then
+    echo "tier1 FAIL: chaos smoke fired only ${fired} fault(s) (need >= 3 to mean anything)" >&2
+    exit 1
+fi
+echo "  chaos: ${fired} faults fired, converged bit-identical"
 
 echo "== tier1: repro table1 --scale 0.25 smoke (budget ${BUDGET}s)"
 start=$(date +%s)
