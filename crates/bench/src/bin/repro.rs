@@ -24,6 +24,15 @@
 //!                           # kills/crashes/corruption must converge
 //!                           # bit-identical to a fault-free sweep
 //! repro chaos stencil --scale 0.1   # restrict chaos to one benchmark
+//! repro native --scale 0.1  # run every benchmark x strategy on the
+//!                           # native threaded backend, 16 jittered reps
+//!                           # each, checksums bit-identical to the
+//!                           # simulator (divergences dump a minimized
+//!                           # repro to results/)
+//! repro native stencil --reps 32 --procs 8   # one benchmark, harder
+//! repro table1 --out results/run1 --native   # sweep cells cross-checked
+//!                           # against the native backend
+//! repro chaos --native      # chaos oracle incl. native fault sites
 //! ```
 //!
 //! With `--resume`, `--max-cycles`, `--max-wall` or `--out`, `table1` runs
@@ -58,6 +67,8 @@ fn main() {
     let mut max_wall: Option<f64> = None;
     let mut seed = 42u64;
     let mut faults = 6usize;
+    let mut native = false;
+    let mut reps = 16u64;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -128,6 +139,13 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--faults needs a fault count"))
+            }
+            "--native" => native = true,
+            "--reps" => {
+                reps = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--reps needs a repetition count"))
             }
             other => targets.push(other.to_string()),
         }
@@ -211,6 +229,40 @@ fn main() {
         }
     }
 
+    // `native [bench]`: the three-way differential oracle's third leg,
+    // standalone — every cell run on the native threaded backend under
+    // jitter stress, checksums bit-identical to the simulator. Exits
+    // non-zero on any divergence (after dumping a minimized repro).
+    if let Some(k) = targets.iter().position(|t| t == "native") {
+        targets.remove(k);
+        let bench = if k < targets.len() { Some(targets.remove(k)) } else { None };
+        // The backend spawns one OS thread per simulated processor;
+        // default to a modest count unless --procs asked for more.
+        let native_procs: Vec<usize> = if procs.as_slice() == PAPER_PROCS {
+            vec![8]
+        } else {
+            procs.clone()
+        };
+        let only = bench.map(|b| vec![b]);
+        let dir = out_dir.clone().unwrap_or_else(|| "results".to_string());
+        let t0 = Instant::now();
+        let cells = dct_bench::run_native_check(
+            only.as_deref(),
+            scale,
+            &native_procs,
+            reps,
+            Path::new(&dir),
+        );
+        print!("{}", dct_bench::render_native_check(&cells, reps));
+        eprintln!("[native done in {:?}]", t0.elapsed());
+        if cells.iter().any(|c| !c.ok()) {
+            std::process::exit(1);
+        }
+        if targets.is_empty() {
+            return;
+        }
+    }
+
     // `chaos [bench]`: the fault-injection oracle. Exits non-zero unless
     // the chaos sweep converges bit-identical to the fault-free sweep.
     if let Some(k) = targets.iter().position(|t| t == "chaos") {
@@ -232,6 +284,7 @@ fn main() {
         ccfg.threads = ThreadBudget::single_cell(threads).intra;
         ccfg.only = bench.map(|b| vec![b]);
         ccfg.race_check = true;
+        ccfg.native_check = native;
         let t0 = Instant::now();
         match dct_bench::run_chaos(&ccfg) {
             Ok(rep) => {
@@ -267,6 +320,7 @@ fn main() {
                     cfg.max_cycles = max_cycles;
                     cfg.max_wall_secs = max_wall;
                     cfg.race_check = race_check;
+                    cfg.native_check = native;
                     if let Some(t) = threads {
                         cfg.threads = t;
                     }

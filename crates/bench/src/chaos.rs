@@ -53,10 +53,16 @@ pub enum FaultSite {
     /// The whole sweep process dies between cells; the driver restarts
     /// it with `--resume`.
     KillSweep,
+    /// One native-backend worker thread panics at startup (the native
+    /// cross-check run of a cell; arrives only with `--native`).
+    NativeWorkerPanic,
+    /// One native-backend worker wedges (cooperative spin) until the
+    /// watchdog cancels the attempt (arrives only with `--native`).
+    NativeStuck,
 }
 
 impl FaultSite {
-    pub const ALL: [FaultSite; 9] = [
+    pub const ALL: [FaultSite; 11] = [
         FaultSite::WorkerPanic,
         FaultSite::CkptWriteIo,
         FaultSite::CkptTorn,
@@ -66,6 +72,8 @@ impl FaultSite {
         FaultSite::AllocCap,
         FaultSite::StuckCell,
         FaultSite::KillSweep,
+        FaultSite::NativeWorkerPanic,
+        FaultSite::NativeStuck,
     ];
 
     pub fn label(&self) -> &'static str {
@@ -79,6 +87,8 @@ impl FaultSite {
             FaultSite::AllocCap => "alloc-cap",
             FaultSite::StuckCell => "stuck-cell",
             FaultSite::KillSweep => "kill-sweep",
+            FaultSite::NativeWorkerPanic => "native-worker-panic",
+            FaultSite::NativeStuck => "native-stuck",
         }
     }
 
@@ -120,8 +130,11 @@ impl FaultPlan {
     /// (0, 1, 2, ...): the first arrivals fault, later ones succeed —
     /// which is exactly the shape a consumed-once retry must survive.
     pub fn generate(seed: u64, n: usize) -> FaultPlan {
-        // CkptReadIo is deliberately rare: it only arrives on resume
-        // loads, which only happen after a kill.
+        // CkptReadIo is deliberately excluded: it only arrives on resume
+        // loads, which only happen after a kill. The native sites only
+        // arrive when the sweep runs the native cross-check, so they too
+        // are planned explicitly (tests, `--native` chaos runs) rather
+        // than drawn blind.
         const POOL: [FaultSite; 8] = [
             FaultSite::WorkerPanic,
             FaultSite::CkptWriteIo,
@@ -176,7 +189,7 @@ pub struct FiredFault {
 #[derive(Debug, Default)]
 struct InjectorState {
     /// Arrival counter per site (indexed by `FaultSite::index`).
-    arrivals: [u64; 9],
+    arrivals: [u64; FaultSite::ALL.len()],
     /// Planned faults not yet fired.
     pending: Vec<Fault>,
     /// Log of fired faults, in firing order.
@@ -196,7 +209,7 @@ impl FaultInjector {
     pub fn new(plan: &FaultPlan) -> FaultInjector {
         FaultInjector {
             state: Mutex::new(InjectorState {
-                arrivals: [0; 9],
+                arrivals: [0; FaultSite::ALL.len()],
                 pending: plan.faults.clone(),
                 fired: Vec::new(),
             }),
@@ -352,6 +365,10 @@ pub struct ChaosConfig {
     /// Watchdog budget per attempt, seconds (stuck cells are cancelled
     /// at the next sync-point boundary after this).
     pub stuck_wall_secs: f64,
+    /// Cross-check every cell's checksum against the native threaded
+    /// backend (joins the bit-identity contract; native fault sites
+    /// only arrive when this is on).
+    pub native_check: bool,
 }
 
 impl ChaosConfig {
@@ -367,6 +384,7 @@ impl ChaosConfig {
             race_check: true,
             profile: false,
             stuck_wall_secs: 2.0,
+            native_check: false,
         }
     }
 }
@@ -479,6 +497,7 @@ fn sweep_config(cfg: &ChaosConfig, sub: &str) -> SweepConfig {
     sc.race_check = cfg.race_check;
     sc.profile = cfg.profile;
     sc.stuck_wall_secs = Some(cfg.stuck_wall_secs);
+    sc.native_check = cfg.native_check;
     sc
 }
 

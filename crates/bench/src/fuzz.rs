@@ -24,6 +24,13 @@
 //!    must classify every miss exactly once:
 //!    `cold + capacity + conflict + coherence == misses`, with the
 //!    aggregate view agreeing with the machine's own counters.
+//! 5. **Three-way execution agreement.** Every configuration also runs on
+//!    the native multithreaded backend (`dct-native`): real threads over
+//!    shared arenas, executing the same lowered schedule. Its per-config
+//!    checksum must be bit-identical to the simulator's, its final array
+//!    values must match the global reference, and its dynamic barrier
+//!    count must equal the simulator's — reference walk vs strided fast
+//!    path vs native execution, one oracle.
 //!
 //! Programs are generated so that every subscript is in bounds by
 //! construction (loop ranges `1..=N-2`, subscripts `var ± 1` or small
@@ -248,7 +255,7 @@ pub fn fuzz_case(seed: u64) -> Result<usize, String> {
         }
         let bits = value_bits(&vals);
         match reference {
-            None => *reference = Some(bits),
+            None => *reference = Some(bits.clone()),
             Some(r) => {
                 if *r != bits {
                     return Err(format!(
@@ -256,6 +263,41 @@ pub fn fuzz_case(seed: u64) -> Result<usize, String> {
                     ));
                 }
             }
+        }
+        // Third oracle leg: the native multithreaded backend runs the
+        // identical lowered schedule on real threads. Race-freedom was
+        // just certified above, so its results must be bit-identical.
+        let nat = catch_unwind(AssertUnwindSafe(|| {
+            let sp = dct_spmd::lower(prog, dec, &opts)?;
+            dct_native::execute_with_values(&sp, &dct_native::NativeOptions::default())
+        }));
+        let (nr, nvals) = match nat {
+            Ok(Ok(r)) => r,
+            Ok(Err(e)) => return Err(format!("seed {seed:#x}: {label}: native: {e}")),
+            Err(p) => {
+                return Err(format!(
+                    "seed {seed:#x}: {label}: native: escaped panic: {}",
+                    panic_message(p.as_ref())
+                ))
+            }
+        };
+        sims += 1;
+        if nr.checksum.to_bits() != res.checksum.to_bits() {
+            return Err(format!(
+                "seed {seed:#x}: {label}: native checksum {:?} != simulator {:?}",
+                nr.checksum, res.checksum
+            ));
+        }
+        if value_bits(&nvals) != bits {
+            return Err(format!(
+                "seed {seed:#x}: {label}: native array contents diverge from simulator"
+            ));
+        }
+        if nr.barriers != res.barriers {
+            return Err(format!(
+                "seed {seed:#x}: {label}: native ran {} barriers, simulator {}",
+                nr.barriers, res.barriers
+            ));
         }
         Ok(())
     };
@@ -367,8 +409,9 @@ mod tests {
     fn single_case_runs_all_configs() {
         let sims = fuzz_case(1).unwrap();
         // 3 strategies x (4 proc counts + 1 general-walk rerun) plus any
-        // folding variants.
-        assert!(sims >= 15, "only {sims} simulations ran");
+        // folding variants — each config counted twice (simulator run +
+        // native run).
+        assert!(sims >= 30, "only {sims} simulations ran");
     }
 }
 

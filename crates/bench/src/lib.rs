@@ -10,6 +10,7 @@ pub mod chaos;
 pub mod explain;
 pub mod fuzz;
 pub mod harness;
+pub mod native_check;
 pub mod profile;
 pub mod programs;
 pub mod sweep;
@@ -21,6 +22,7 @@ pub use chaos::{
 };
 pub use explain::{explain, explain_json, explain_strategies, explain_threads, render_explain, ExplainResult, ExplainRun, StrategyExplain};
 pub use harness::{atomic_write_sync, figure, run_figure, run_figure_parallel, table1, FigureResult, FigureSpec, StrategyCurve, Table1Row, ThreadBudget};
+pub use native_check::{render_native_check, run_native_check, NativeCell, NativeVerdict};
 pub use sweep::{
     run_sweep, run_sweep_supervised, Cell, CellOutcome, SweepConfig, SweepReport,
 };

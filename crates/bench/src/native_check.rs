@@ -1,0 +1,339 @@
+//! `repro native [bench]`: execute every benchmark x strategy on the
+//! native threaded backend and require checksums bit-identical to the
+//! simulator — not once, but across repeated runs under randomized
+//! thread-spawn jitter and yield injection (default 16 reps), so a
+//! timing-dependent divergence has many chances to show itself.
+//!
+//! Any divergence is minimized by nest removal (drop compute nests one
+//! at a time while the divergence persists, then try dropping the time
+//! loop) and the shrunken program is dumped to `results/` as a
+//! self-contained repro file. A sweep can ride the same oracle with
+//! `--native` (see [`crate::sweep::SweepConfig::native_check`]).
+
+use crate::harness::atomic_write_sync;
+use crate::programs::suite;
+use dct_core::{rung_sim_options, Compiler, Strategy};
+use dct_ir::pretty::render_program;
+use dct_ir::Program;
+use std::path::Path;
+use std::time::Instant;
+
+/// Jitter seeds are derived from this base so a failing rep can name its
+/// exact seed in the repro file.
+const JITTER_BASE: u64 = 0x5EED_0000;
+
+/// What one (benchmark, strategy, procs) native check concluded.
+#[derive(Clone, Debug)]
+pub enum NativeVerdict {
+    /// Every rep bit-identical to the simulator.
+    Identical,
+    /// At least one rep diverged; `repro` is the dumped file, if the
+    /// dump succeeded.
+    Diverged { detail: String, repro: Option<String> },
+    /// The native backend (or the simulator) failed outright.
+    Failed(String),
+}
+
+/// One cell of the native differential table.
+#[derive(Clone, Debug)]
+pub struct NativeCell {
+    pub bench: String,
+    pub strategy: &'static str,
+    pub procs: usize,
+    /// Stress reps run in addition to the calm rep.
+    pub reps: u64,
+    pub sim_checksum_bits: u64,
+    /// Wall time of the simulator run (host seconds).
+    pub sim_wall_secs: f64,
+    /// Wall time of the calm (unjittered) native run.
+    pub native_wall_secs: f64,
+    /// Dynamic barrier count (native == simulator, asserted).
+    pub barriers: u64,
+    pub verdict: NativeVerdict,
+}
+
+impl NativeCell {
+    pub fn ok(&self) -> bool {
+        matches!(self.verdict, NativeVerdict::Identical)
+    }
+}
+
+/// Run one native execution (jittered when `jitter` is set) and compare
+/// it against the simulator's bits. `Ok(wall)` on agreement.
+fn one_rep(
+    sp: &dct_spmd::SpmdProgram,
+    sim_bits: u64,
+    sim_barriers: u64,
+    jitter: Option<u64>,
+) -> Result<f64, String> {
+    let nopts = dct_native::NativeOptions { jitter, ..dct_native::NativeOptions::default() };
+    let t0 = Instant::now();
+    let nr = dct_native::execute(sp, &nopts).map_err(|e| format!("native: {e}"))?;
+    let wall = t0.elapsed().as_secs_f64();
+    if nr.checksum.to_bits() != sim_bits {
+        return Err(format!(
+            "checksum diverges{}: native {:#018x} vs simulator {sim_bits:#018x}",
+            match jitter {
+                Some(s) => format!(" (jitter seed {s:#x})"),
+                None => String::new(),
+            },
+            nr.checksum.to_bits()
+        ));
+    }
+    if nr.barriers != sim_barriers {
+        return Err(format!(
+            "barrier count diverges: native {} vs simulator {sim_barriers}",
+            nr.barriers
+        ));
+    }
+    Ok(wall)
+}
+
+/// Does `prog` still diverge between simulator and native under this
+/// configuration? Used by the minimizer: compile failures and simulator
+/// failures mean the candidate is unusable (`None`), a native failure or
+/// checksum mismatch is a divergence (`Some(detail)`).
+fn diverges(prog: &Program, strategy: Strategy, procs: usize, reps: u64) -> Option<String> {
+    let compiled = Compiler::new(strategy).compile(prog).ok()?;
+    let params = prog.default_params();
+    let opts = rung_sim_options(compiled.rung, procs, params);
+    let r = dct_spmd::simulate(&compiled.program, &compiled.decomposition, &opts).ok()?;
+    let sp = dct_spmd::lower(&compiled.program, &compiled.decomposition, &opts).ok()?;
+    for rep in 0..=reps {
+        let jitter = (rep > 0).then(|| JITTER_BASE + rep);
+        if let Err(e) = one_rep(&sp, r.checksum.to_bits(), r.barriers, jitter) {
+            return Some(e);
+        }
+    }
+    None
+}
+
+/// Shrink a diverging program by structural removal: drop compute nests
+/// one at a time (keeping a removal whenever the divergence persists),
+/// then try dropping the time loop. Greedy to fixpoint; the result still
+/// diverges and is usually a fraction of the original.
+fn minimize(prog: &Program, strategy: Strategy, procs: usize, reps: u64) -> Program {
+    let mut best = prog.clone();
+    loop {
+        let mut shrunk = false;
+        let mut i = 0;
+        while best.nests.len() > 1 && i < best.nests.len() {
+            let mut cand = best.clone();
+            cand.nests.remove(i);
+            if diverges(&cand, strategy, procs, reps).is_some() {
+                best = cand;
+                shrunk = true;
+            } else {
+                i += 1;
+            }
+        }
+        if best.time.is_some() {
+            let mut cand = best.clone();
+            cand.time = None;
+            if diverges(&cand, strategy, procs, reps).is_some() {
+                best = cand;
+                shrunk = true;
+            }
+        }
+        if !shrunk {
+            return best;
+        }
+    }
+}
+
+/// Dump a minimized repro of a divergence to
+/// `<out_dir>/native_repro_<bench>_<strategy>_p<procs>.txt`.
+fn dump_repro(
+    out_dir: &Path,
+    bench: &str,
+    strategy: Strategy,
+    procs: usize,
+    reps: u64,
+    detail: &str,
+    prog: &Program,
+) -> Option<String> {
+    let minimized = minimize(prog, strategy, procs, reps);
+    let residual = diverges(&minimized, strategy, procs, reps)
+        .unwrap_or_else(|| "divergence did not reproduce on the minimized program".to_string());
+    let body = format!(
+        "native/simulator divergence repro\n\
+         benchmark: {bench}\n\
+         strategy:  {}\n\
+         procs:     {procs}\n\
+         stress:    {reps} jittered reps, seeds {JITTER_BASE:#x}+1..={JITTER_BASE:#x}+{reps}\n\
+         original:  {detail}\n\
+         minimized: {residual}\n\
+         ({} of {} compute nests kept, time loop {})\n\n{}",
+        strategy.label(),
+        minimized.nests.len(),
+        prog.nests.len(),
+        if minimized.time.is_some() { "kept" } else { "dropped" },
+        render_program(&minimized)
+    );
+    let path = out_dir.join(format!("native_repro_{bench}_{}_p{procs}.txt", strategy.label()));
+    match atomic_write_sync(&path, body.as_bytes()) {
+        Ok(()) => Some(path.display().to_string()),
+        Err(e) => {
+            eprintln!("[native: cannot write repro {}: {e}]", path.display());
+            None
+        }
+    }
+}
+
+/// Check one (benchmark, strategy, procs) cell: simulator run, calm
+/// native run, then `reps` jittered native runs, all bit-identical.
+fn check_cell(
+    bench: &str,
+    prog: &Program,
+    strategy: Strategy,
+    procs: usize,
+    reps: u64,
+    out_dir: &Path,
+) -> NativeCell {
+    let mut cell = NativeCell {
+        bench: bench.to_string(),
+        strategy: strategy.label(),
+        procs,
+        reps,
+        sim_checksum_bits: 0,
+        sim_wall_secs: 0.0,
+        native_wall_secs: 0.0,
+        barriers: 0,
+        verdict: NativeVerdict::Identical,
+    };
+    let compiled = match Compiler::new(strategy).compile(prog) {
+        Ok(c) => c,
+        Err(e) => {
+            cell.verdict = NativeVerdict::Failed(format!("compile: {e}"));
+            return cell;
+        }
+    };
+    let opts = rung_sim_options(compiled.rung, procs, prog.default_params());
+    let t0 = Instant::now();
+    let r = match dct_spmd::simulate(&compiled.program, &compiled.decomposition, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            cell.verdict = NativeVerdict::Failed(format!("simulate: {e}"));
+            return cell;
+        }
+    };
+    cell.sim_wall_secs = t0.elapsed().as_secs_f64();
+    cell.sim_checksum_bits = r.checksum.to_bits();
+    cell.barriers = r.barriers;
+    let sp = match dct_spmd::lower(&compiled.program, &compiled.decomposition, &opts) {
+        Ok(sp) => sp,
+        Err(e) => {
+            cell.verdict = NativeVerdict::Failed(format!("lower: {e}"));
+            return cell;
+        }
+    };
+    for rep in 0..=reps {
+        let jitter = (rep > 0).then(|| JITTER_BASE + rep);
+        match one_rep(&sp, cell.sim_checksum_bits, cell.barriers, jitter) {
+            Ok(wall) => {
+                if rep == 0 {
+                    cell.native_wall_secs = wall;
+                }
+            }
+            Err(detail) => {
+                let repro = dump_repro(out_dir, bench, strategy, procs, reps, &detail, prog);
+                cell.verdict = NativeVerdict::Diverged { detail, repro };
+                return cell;
+            }
+        }
+    }
+    cell
+}
+
+/// The `repro native` entry point: every benchmark (or the named subset)
+/// x every strategy x every processor count, each stress-checked with
+/// `reps` jittered native runs against the simulator.
+pub fn run_native_check(
+    only: Option<&[String]>,
+    scale: f64,
+    procs_list: &[usize],
+    reps: u64,
+    out_dir: &Path,
+) -> Vec<NativeCell> {
+    let mut cells = Vec::new();
+    for b in suite(scale) {
+        if let Some(only) = only {
+            if !only.iter().any(|n| n == b.name) {
+                continue;
+            }
+        }
+        for &strategy in &Strategy::ALL {
+            for &procs in procs_list {
+                cells.push(check_cell(b.name, &b.program, strategy, procs, reps, out_dir));
+            }
+        }
+    }
+    cells
+}
+
+/// Human-readable native differential table.
+pub fn render_native_check(cells: &[NativeCell], reps: u64) -> String {
+    let mut out = format!(
+        "Native backend vs simulator ({reps} jittered reps per cell; wall is host seconds)\n"
+    );
+    out.push_str("program      strategy                     procs  sim-wall  native-wall  barriers  verdict\n");
+    for c in cells {
+        let verdict = match &c.verdict {
+            NativeVerdict::Identical => "bit-identical".to_string(),
+            NativeVerdict::Diverged { repro, .. } => match repro {
+                Some(p) => format!("DIVERGED -> {p}"),
+                None => "DIVERGED (repro dump failed)".to_string(),
+            },
+            NativeVerdict::Failed(e) => format!("FAILED: {e}"),
+        };
+        out.push_str(&format!(
+            "{:<12} {:<28} {:>5} {:>9.3} {:>12.3} {:>9}  {}\n",
+            c.bench, c.strategy, c.procs, c.sim_wall_secs, c.native_wall_secs, c.barriers, verdict
+        ));
+        if let NativeVerdict::Diverged { detail, .. } = &c.verdict {
+            out.push_str(&format!("             ! {detail}\n"));
+        }
+    }
+    let bad = cells.iter().filter(|c| !c.ok()).count();
+    out.push_str(&if bad == 0 {
+        format!("native: all {} cells bit-identical to the simulator\n", cells.len())
+    } else {
+        format!("native: {bad} of {} cells NOT identical\n", cells.len())
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_check_runs_clean_on_the_suite() {
+        let dir = std::env::temp_dir().join(format!("dct-native-check-{}", std::process::id()));
+        let cells = run_native_check(
+            Some(&["stencil".to_string()]),
+            0.05,
+            &[3],
+            2,
+            &dir,
+        );
+        assert_eq!(cells.len(), 3, "one cell per strategy");
+        for c in &cells {
+            assert!(c.ok(), "{c:?}");
+            assert!(c.barriers > 0, "{c:?}");
+        }
+        let text = render_native_check(&cells, 2);
+        assert!(text.contains("bit-identical"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn minimizer_needs_a_real_divergence_to_shrink() {
+        // On an agreeing program the minimizer must keep everything (no
+        // candidate "diverges", so nothing is removed).
+        let b = suite(0.05).into_iter().find(|b| b.name == "stencil").unwrap();
+        let m = minimize(&b.program, Strategy::Full, 3, 1);
+        assert_eq!(m.nests.len(), b.program.nests.len());
+        assert_eq!(m.time.is_some(), b.program.time.is_some());
+    }
+}

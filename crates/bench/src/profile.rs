@@ -49,6 +49,10 @@ pub struct StrategyProfile {
     /// profiler is a pure observer, so simulated cycles are identical —
     /// only host time grows.
     pub profile_overhead: f64,
+    /// Wall time of the same cell executed for real on the native
+    /// threaded backend (one OS thread per simulated processor); its
+    /// checksum is asserted bit-identical to the simulator's.
+    pub native_wall_secs: f64,
 }
 
 /// All strategies of one figure at one processor count.
@@ -95,6 +99,20 @@ pub fn profile_figure(spec: &FigureSpec, procs: usize, threads: usize) -> Figure
             let rp = dct_spmd::simulate(&compiled.program, &compiled.decomposition, &opts).unwrap();
             let profiled_wall = t1.elapsed().as_secs_f64();
             assert_eq!(r.cycles, rp.cycles, "profiler must not perturb cycles");
+            // The same cell executed for real: the native backend's wall
+            // clock joins the profile, and its checksum must land on the
+            // simulator's bits (the differential contract, re-asserted on
+            // every profiling run).
+            let nopts = dct_core::rung_sim_options(compiled.rung, procs, params.clone());
+            let sp = dct_spmd::lower(&compiled.program, &compiled.decomposition, &nopts).unwrap();
+            let tn = Instant::now();
+            let nr = dct_native::execute(&sp, &dct_native::NativeOptions::default()).unwrap();
+            let native_wall = tn.elapsed().as_secs_f64();
+            assert_eq!(
+                r.checksum.to_bits(),
+                nr.checksum.to_bits(),
+                "native backend must match the simulated checksum"
+            );
             let accesses = r.stats.total().accesses;
             let iters = r.fast.fast_iters + r.fast.slow_iters;
             StrategyProfile {
@@ -125,6 +143,7 @@ pub fn profile_figure(spec: &FigureSpec, procs: usize, threads: usize) -> Figure
                 },
                 profiled_wall_secs: profiled_wall,
                 profile_overhead: if wall > 0.0 { profiled_wall / wall } else { 0.0 },
+                native_wall_secs: native_wall,
             }
         })
         .collect();
@@ -202,7 +221,8 @@ pub fn render_json(profiles: &[FigureProfile], total_wall_secs: f64) -> String {
             out.push_str(&format!("          \"avg_segment_len\": {:.1},\n", s.avg_segment_len));
             out.push_str(&format!("          \"l1_fast_hit_ratio\": {:.4},\n", s.l1_fast_hit_ratio));
             out.push_str(&format!("          \"profiled_wall_secs\": {:.4},\n", s.profiled_wall_secs));
-            out.push_str(&format!("          \"profile_overhead\": {:.3}\n", s.profile_overhead));
+            out.push_str(&format!("          \"profile_overhead\": {:.3},\n", s.profile_overhead));
+            out.push_str(&format!("          \"native_wall_secs\": {:.4}\n", s.native_wall_secs));
             out.push_str(if j + 1 == p.strategies.len() { "        }\n" } else { "        },\n" });
         }
         out.push_str("      ]\n");
@@ -215,11 +235,11 @@ pub fn render_json(profiles: &[FigureProfile], total_wall_secs: f64) -> String {
 /// Human-readable summary table of the same data.
 pub fn render_text(profiles: &[FigureProfile]) -> String {
     let mut out = String::new();
-    out.push_str("figure      strategy                     wall(s)   Macc/s  par-Macc/s  xT-speedup  fast-iter  seg-len  l1-fast  prof-ovh\n");
+    out.push_str("figure      strategy                     wall(s)   Macc/s  par-Macc/s  xT-speedup  fast-iter  seg-len  l1-fast  prof-ovh  native(s)\n");
     for p in profiles {
         for s in &p.strategies {
             out.push_str(&format!(
-                "{:<11} {:<28} {:>7.3} {:>8.1} {:>11.1} {:>8.2}x@{:<2} {:>8.1}% {:>8.1} {:>7.1}% {:>8.2}x\n",
+                "{:<11} {:<28} {:>7.3} {:>8.1} {:>11.1} {:>8.2}x@{:<2} {:>8.1}% {:>8.1} {:>7.1}% {:>8.2}x {:>9.3}\n",
                 p.id,
                 s.strategy,
                 s.wall_secs,
@@ -231,6 +251,7 @@ pub fn render_text(profiles: &[FigureProfile]) -> String {
                 s.avg_segment_len,
                 s.l1_fast_hit_ratio * 100.0,
                 s.profile_overhead,
+                s.native_wall_secs,
             ));
         }
     }
@@ -256,6 +277,7 @@ mod tests {
             assert_eq!(s.threads, 4);
             assert!(s.parallel_wall_secs > 0.0);
             assert!(s.intra_cell_speedup > 0.0);
+            assert!(s.native_wall_secs > 0.0);
         }
         let j = render_json(&profiles, 1.0);
         assert!(j.contains("\"fig8\""));
@@ -264,6 +286,7 @@ mod tests {
         assert!(j.contains("intra_cell_speedup"));
         assert!(j.contains("\"threads\": 4"));
         assert!(j.contains("profile_overhead"));
+        assert!(j.contains("native_wall_secs"));
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());

@@ -446,6 +446,10 @@ pub struct SweepConfig {
     /// Deterministic fault injection (chaos runs only; `None` in
     /// production).
     pub injector: Option<Arc<FaultInjector>>,
+    /// Re-run every completed cell on the native threaded backend and
+    /// fail the attempt unless its checksum is bit-identical to the
+    /// simulator's (the third leg of the differential oracle).
+    pub native_check: bool,
 }
 
 impl SweepConfig {
@@ -464,6 +468,7 @@ impl SweepConfig {
             retry: RetryPolicy::default(),
             stuck_wall_secs: None,
             injector: None,
+            native_check: false,
         }
     }
 }
@@ -572,6 +577,9 @@ fn compute_attempt(
         // observer's full output. `par_regions` and friends legitimately
         // vary with the thread count and must stay out.
         let bits = r.checksum.to_bits();
+        if cfg.native_check {
+            native_cross_check(&compiled, &opts, bits, inj, token, ctx)?;
+        }
         let mut buf = bits.to_le_bytes().to_vec();
         if let Some(rep) = &r.race {
             buf.extend_from_slice(format!("{rep:?}").as_bytes());
@@ -590,6 +598,67 @@ fn compute_attempt(
         Ok(Err(e)) => CellSim::failed(e),
         Err(p) => CellSim::failed(format!("panicked: {}", panic_message(p.as_ref()))),
     }
+}
+
+/// Run the cell once more on the native threaded backend and require a
+/// bit-identical checksum — the sweep-side leg of the differential
+/// oracle. Injected native faults are translated into the backend's
+/// worker startup hook: a planned `NativeWorkerPanic` panics one worker
+/// (the backend turns it into a structured error), a planned
+/// `NativeStuck` wedges one worker until the attempt's watchdog fires
+/// the cancellation token. Any failure, cancellation, or divergence
+/// fails the attempt; the retry ladder then heals it like any other
+/// transient fault.
+fn native_cross_check(
+    compiled: &dct_core::Compiled,
+    opts: &dct_spmd::SimOptions,
+    sim_bits: u64,
+    inj: Option<&FaultInjector>,
+    token: &CancelToken,
+    ctx: &str,
+) -> Result<(), String> {
+    let panic_worker = fires(inj, FaultSite::NativeWorkerPanic, ctx);
+    let stuck_worker = fires(inj, FaultSite::NativeStuck, ctx);
+    let hook: Option<Arc<dyn Fn(usize) + Send + Sync>> = if panic_worker || stuck_worker {
+        let t = token.clone();
+        let at = ctx.to_string();
+        Some(Arc::new(move |p: usize| {
+            if p != 0 {
+                return;
+            }
+            if panic_worker {
+                panic!("injected: native worker panic at {at}");
+            }
+            // Wedge cooperatively, exactly like StuckCell: spin until the
+            // watchdog cancels (bounded so a watchdog-less config cannot
+            // hang forever).
+            let start = Instant::now();
+            while !t.is_cancelled() && start.elapsed() < Duration::from_secs(30) {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }))
+    } else {
+        None
+    };
+    let sp = dct_spmd::lower(&compiled.program, &compiled.decomposition, opts)
+        .map_err(|e| format!("native lowering: {e}"))?;
+    let nopts = dct_native::NativeOptions {
+        cancel: Some(token.clone()),
+        jitter: None,
+        worker_hook: hook,
+    };
+    let nr = dct_native::execute(&sp, &nopts).map_err(|e| format!("native cross-check: {e}"))?;
+    if nr.cancelled {
+        return Err("native cross-check cancelled at a sync boundary (watchdog)".to_string());
+    }
+    if nr.checksum.to_bits() != sim_bits {
+        return Err(format!(
+            "native cross-check diverges: native {:#018x} vs simulator {:#018x}",
+            nr.checksum.to_bits(),
+            sim_bits
+        ));
+    }
+    Ok(())
 }
 
 /// Run one attempt on a supervised worker thread with a watchdog: if the

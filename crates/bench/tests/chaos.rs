@@ -167,6 +167,57 @@ fn repeated_failures_quarantine_the_cell_and_resume_retries() {
     assert!(matches!(seq.outcome, CellOutcome::Cycles(_)), "{seq:?}");
 }
 
+/// Native-backend fault sites: a native worker panic and a stuck native
+/// worker (recovered by the watchdog) both fail the attempt, the retry
+/// ladder heals the cell, and the converged sweep is bit-identical to a
+/// fault-free sweep with the same native cross-check on.
+#[test]
+fn native_faults_heal_bit_identical() {
+    let clean_dir = Scratch::new();
+    let chaos_dir = Scratch::new();
+    let mk = |dir: &Scratch| {
+        let mut cfg = SweepConfig::new(4, 0.05, dir.0.clone());
+        cfg.only = Some(vec!["stencil".to_string()]);
+        cfg.threads = 2;
+        cfg.retry.backoff_base_ms = 1;
+        cfg.stuck_wall_secs = Some(0.3);
+        cfg.native_check = true;
+        cfg
+    };
+
+    let clean = run_sweep_supervised(&mk(&clean_dir)).unwrap();
+    for c in &clean.cells {
+        assert!(
+            matches!(c.outcome, CellOutcome::Cycles(_)),
+            "native cross-check must pass fault-free: {c:?}"
+        );
+    }
+
+    let mut cfg = mk(&chaos_dir);
+    let plan = FaultPlan {
+        seed: 0,
+        faults: vec![
+            Fault { site: FaultSite::NativeWorkerPanic, occurrence: 0 },
+            Fault { site: FaultSite::NativeStuck, occurrence: 1 },
+        ],
+    };
+    let inj = Arc::new(FaultInjector::new(&plan));
+    cfg.injector = Some(inj.clone());
+    let chaos = run_sweep_supervised(&cfg).unwrap();
+
+    assert!(inj.unfired().is_empty(), "both native faults must arrive: {:?}", inj.unfired());
+    assert!(chaos.retries >= 2, "each native fault must cost a retry: {}", chaos.retries);
+    assert!(chaos.cancelled >= 1, "the stuck native worker must trip the watchdog");
+    for c in &chaos.cells {
+        assert!(
+            matches!(c.outcome, CellOutcome::Cycles(_)),
+            "native faults are transient, every cell must recover: {c:?}"
+        );
+    }
+    let diffs = dct_bench::chaos::diff_sweeps(&clean.cells, &chaos.cells);
+    assert!(diffs.is_empty(), "native-fault recovery changed results:\n{diffs:#?}");
+}
+
 /// An injected whole-sweep kill stops the run mid-way with `killed` set;
 /// a resume finishes the remaining cells without recomputing done ones.
 #[test]

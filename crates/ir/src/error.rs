@@ -22,6 +22,8 @@ pub enum Phase {
     Spmd,
     /// Machine simulation.
     Sim,
+    /// Native multithreaded execution backend.
+    Native,
 }
 
 impl Phase {
@@ -34,6 +36,7 @@ impl Phase {
             Phase::Layout => "layout",
             Phase::Spmd => "spmd",
             Phase::Sim => "sim",
+            Phase::Native => "native",
         }
     }
 }

@@ -9,6 +9,7 @@
 
 pub mod access;
 pub mod cancel;
+pub mod checksum;
 pub mod error;
 pub mod expr;
 pub mod mem;
@@ -18,6 +19,7 @@ pub mod race;
 
 pub use access::{AffineAccess, ArrayId, ArrayRef};
 pub use cancel::CancelToken;
+pub use checksum::{checksum_arenas, ChecksumAcc};
 pub use error::{panic_message, DctError, DctResult, ErrorKind, Phase};
 pub use mem::{MemProfile, MemRow};
 pub use race::{Race, RaceAccess, RaceKind, RaceReport};

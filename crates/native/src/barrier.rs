@@ -1,0 +1,131 @@
+//! An abortable rendezvous barrier for the native worker pool.
+//!
+//! `std::sync::Barrier` cannot be torn down: if one worker dies (an
+//! injected chaos panic, an internal bug), every other worker would block
+//! in `wait()` forever and take the whole process hostage. This barrier
+//! adds exactly one capability — [`AbortableBarrier::abort`] wakes every
+//! current and future waiter with an error — so a dying worker can fail
+//! the run instead of deadlocking it. Everything else matches the std
+//! barrier: generation-counted waits, one waiter per generation elected
+//! leader (the native runner uses the leader to drive the cancellation
+//! consensus between two waits).
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// The barrier was aborted by a dying worker; the run must be abandoned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Aborted;
+
+/// Which role this waiter drew at the rendezvous.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// The waiter that completed the rendezvous (exactly one per wait).
+    Leader,
+    Follower,
+}
+
+struct State {
+    arrived: usize,
+    generation: u64,
+    aborted: bool,
+}
+
+pub struct AbortableBarrier {
+    parties: usize,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+/// Recover the guard from a poisoned lock: the barrier's state is a pair
+/// of counters that is consistent at every instant the lock is free, and
+/// after a worker panic the only traffic is the abort protocol.
+fn relock<'a, T>(
+    r: Result<MutexGuard<'a, T>, std::sync::PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(|e| e.into_inner())
+}
+
+impl AbortableBarrier {
+    pub fn new(parties: usize) -> AbortableBarrier {
+        AbortableBarrier {
+            parties: parties.max(1),
+            state: Mutex::new(State { arrived: 0, generation: 0, aborted: false }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Rendezvous with the other `parties - 1` workers. Returns the role
+    /// drawn, or [`Aborted`] if any worker tore the barrier down (before
+    /// or during the wait).
+    pub fn wait(&self) -> Result<WaitOutcome, Aborted> {
+        let mut st = relock(self.state.lock());
+        if st.aborted {
+            return Err(Aborted);
+        }
+        st.arrived += 1;
+        if st.arrived == self.parties {
+            st.arrived = 0;
+            st.generation = st.generation.wrapping_add(1);
+            self.cv.notify_all();
+            return Ok(WaitOutcome::Leader);
+        }
+        let gen = st.generation;
+        loop {
+            st = relock(self.cv.wait(st));
+            if st.aborted {
+                return Err(Aborted);
+            }
+            if st.generation != gen {
+                return Ok(WaitOutcome::Follower);
+            }
+        }
+    }
+
+    /// Tear the barrier down: every current and future waiter gets
+    /// [`Aborted`]. Idempotent; safe from any thread (including one whose
+    /// panic poisoned the state lock).
+    pub fn abort(&self) {
+        let mut st = relock(self.state.lock());
+        st.aborted = true;
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn rendezvous_elects_one_leader() {
+        let bar = AbortableBarrier::new(4);
+        let leaders = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        if bar.wait() == Ok(WaitOutcome::Leader) {
+                            leaders.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(leaders.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn abort_wakes_waiters_and_sticks() {
+        let bar = AbortableBarrier::new(3);
+        std::thread::scope(|s| {
+            let h1 = s.spawn(|| bar.wait());
+            let h2 = s.spawn(|| bar.wait());
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            bar.abort();
+            assert_eq!(h1.join().ok(), Some(Err(Aborted)));
+            assert_eq!(h2.join().ok(), Some(Err(Aborted)));
+        });
+        // Future waits fail immediately.
+        assert_eq!(bar.wait(), Err(Aborted));
+    }
+}

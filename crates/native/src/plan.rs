@@ -1,0 +1,133 @@
+//! Native lowering of a compiled [`SpmdProgram`]'s synchronization
+//! schedule.
+//!
+//! The plan is the single point where the certified schedule (the one
+//! `emit_c` renders and the simulator executes) is mapped onto real
+//! thread-pool primitives: `Barrier` syncs become rendezvous on the
+//! abortable barrier, `ProducerWait` syncs become an all-to-leader-to-all
+//! channel handoff (the same barrier-strength happens-before edge the
+//! simulator's clock join models), elided syncs become nothing, and
+//! pipelined nests get per-chain tile-token channels. The executor
+//! consumes this plan verbatim, and the `emit_c_sync` golden test pins
+//! the plan's static counts against the markers in the emitted C — any
+//! drift between the two renderings of one schedule fails loudly.
+
+use dct_spmd::{SpmdProgram, SyncKind};
+
+/// What a worker does after finishing one nest (each time step).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncAction {
+    /// Rendezvous of all workers on the abortable barrier (two waits: the
+    /// second publishes the leader's cancellation decision).
+    Barrier,
+    /// All-to-leader-to-all channel handoff (lock-handoff strength in the
+    /// cost model, barrier strength as a happens-before edge).
+    Handoff,
+    /// Elided: accesses stay owner-aligned, no edge needed.
+    None,
+}
+
+/// One nest execution in program order.
+#[derive(Clone, Copy, Debug)]
+pub struct NestStep {
+    /// Index into `sp.init` (when `init`) or `sp.nests`.
+    pub nest: usize,
+    pub init: bool,
+    /// Replicated-write nest: the simulator runs every processor's pass
+    /// sequentially against the shared arena slots, so the native backend
+    /// must not run them concurrently — the leader thread executes all
+    /// passes in ascending processor order (bit-identical by
+    /// construction; the nest is barrier-bounded on both sides).
+    pub leader_only: bool,
+    /// Doacross pipeline: chain members advance tile-by-tile behind their
+    /// predecessor through per-pair token channels.
+    pub pipelined: bool,
+    pub sync: SyncAction,
+}
+
+/// The native execution plan: the schedule's nest order and sync actions,
+/// concretized once so the executor and the golden tests read the same
+/// lowering.
+pub struct NativePlan {
+    pub nprocs: usize,
+    pub time_steps: i64,
+    /// Initialization nests; each is followed by a barrier (matching the
+    /// simulator and the `dct_barrier()` after every init loop in the
+    /// emitted C).
+    pub init_steps: Vec<NestStep>,
+    /// Compute nests of one time step. The trailing sync of the very last
+    /// execution is skipped at run time (thread join plays that role,
+    /// like the final clock max in the simulator).
+    pub steps: Vec<NestStep>,
+}
+
+fn action_of(sync: SyncKind) -> SyncAction {
+    match sync {
+        SyncKind::Barrier => SyncAction::Barrier,
+        SyncKind::ProducerWait => SyncAction::Handoff,
+        SyncKind::None => SyncAction::None,
+    }
+}
+
+impl NativePlan {
+    /// Lower the compiled program's schedule. Infallible: every compiled
+    /// [`SpmdProgram`] has a native plan.
+    pub fn lower(sp: &SpmdProgram) -> NativePlan {
+        let init_steps = sp
+            .init
+            .iter()
+            .enumerate()
+            .map(|(k, n)| NestStep {
+                nest: k,
+                init: true,
+                leader_only: n.replicated_write,
+                pipelined: n.pipeline.is_some(),
+                sync: SyncAction::Barrier,
+            })
+            .collect();
+        let steps = sp
+            .nests
+            .iter()
+            .enumerate()
+            .map(|(j, n)| NestStep {
+                nest: j,
+                init: false,
+                leader_only: n.replicated_write,
+                pipelined: n.pipeline.is_some(),
+                sync: action_of(n.sync_after),
+            })
+            .collect();
+        NativePlan { nprocs: sp.nprocs, time_steps: sp.time_steps, init_steps, steps }
+    }
+
+    /// Static barrier syncs per program text: one after every init nest
+    /// plus every `Barrier`-synced compute nest — exactly the
+    /// `dct_barrier();` count in the emitted C.
+    pub fn barrier_syncs(&self) -> usize {
+        self.init_steps.len()
+            + self.steps.iter().filter(|s| s.sync == SyncAction::Barrier).count()
+    }
+
+    /// Static handoff syncs — the `dct_lock_handoff();` count in the
+    /// emitted C.
+    pub fn handoff_syncs(&self) -> usize {
+        self.steps.iter().filter(|s| s.sync == SyncAction::Handoff).count()
+    }
+
+    /// Elided syncs — the `barrier eliminated` comment count in the
+    /// emitted C.
+    pub fn elided_syncs(&self) -> usize {
+        self.steps.iter().filter(|s| s.sync == SyncAction::None).count()
+    }
+
+    /// Pipelined compute nests — the `doacross pipeline along loop`
+    /// comment count in the emitted C.
+    pub fn pipelined_nests(&self) -> usize {
+        self.steps.iter().filter(|s| s.pipelined).count()
+    }
+
+    /// Leader-only (replicated-write) nests across init and compute.
+    pub fn leader_only_nests(&self) -> usize {
+        self.init_steps.iter().chain(&self.steps).filter(|s| s.leader_only).count()
+    }
+}

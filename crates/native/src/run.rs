@@ -1,0 +1,742 @@
+//! The native threaded executor: one OS thread per simulated processor,
+//! running the certified SPMD schedule over shared `f64` arenas.
+//!
+//! ## Bit-identity argument
+//!
+//! The simulator executes processors' lanes sequentially; this backend
+//! executes them concurrently. The final arena contents are nevertheless
+//! bit-identical because
+//!
+//! 1. every worker walks exactly the iteration subset the simulator's
+//!    lane walks (same `owned_iter`, same gates, same tile math), and
+//!    evaluates statement bodies with the same recursive f64 operation
+//!    order — so each individual write stores the identical bits;
+//! 2. the certified schedule is race-free between sync points (the
+//!    happens-before detector proves it; the fuzz oracle asserts it for
+//!    every generated program), so no two workers touch the same slot
+//!    within a sync-free window and concurrent execution cannot reorder
+//!    conflicting writes;
+//! 3. every `SyncKind` edge becomes a real happens-before edge here —
+//!    `Barrier` a rendezvous on the abortable barrier, `ProducerWait` an
+//!    all-to-leader-to-all channel handoff, pipeline tiles per-pair token
+//!    channels — so writes before an edge are visible after it (arena
+//!    loads/stores themselves are `Relaxed`; the sync edges carry all
+//!    ordering);
+//! 4. the one schedule-level exception, replicated-write init nests (all
+//!    processors sweep the *same* shared slots), is executed leader-only:
+//!    thread 0 runs every processor's pass in ascending order, which is
+//!    precisely the simulator's sequential semantics.
+//!
+//! ## Supervision
+//!
+//! Worker panics (e.g. injected by the chaos harness through
+//! [`NativeOptions::worker_hook`]) are caught per worker; the dying
+//! worker tears down the barrier and every peer unwinds with a structured
+//! `DctError` instead of deadlocking. Cooperative cancellation reaches a
+//! uniform verdict at sync points: the barrier leader (or the handoff
+//! leader) reads the token once and publishes the decision, so either all
+//! workers stop at a boundary or none do.
+
+use crate::barrier::{AbortableBarrier, WaitOutcome};
+use crate::plan::{NativePlan, NestStep, SyncAction};
+use dct_ir::{
+    checksum_arenas, panic_message, ArrayRef, BinOp, CancelToken, ChecksumAcc, DctError,
+    DctResult, Expr, Phase,
+};
+use dct_spmd::{owned_iter, LevelSched, SpmdNest, SpmdProgram};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Control-channel messages: pipeline tile tokens and handoff arrivals
+/// are `CONT`; the handoff leader broadcasts `STOP` on cancellation.
+const CONT: u8 = 0;
+const STOP: u8 = 1;
+
+/// Options of one native execution.
+#[derive(Clone, Default)]
+pub struct NativeOptions {
+    /// Cooperative cancellation, polled by the sync-point leader so every
+    /// worker reaches the same stop/continue verdict (the PR 6 watchdog
+    /// machinery drives this token).
+    pub cancel: Option<CancelToken>,
+    /// Scheduling-stress seed: randomized per-worker spawn delays plus
+    /// yield/sleep injection at sync points. Results must be (and are)
+    /// bit-identical for every seed — the stress tests repeat runs under
+    /// fresh seeds and compare checksums.
+    pub jitter: Option<u64>,
+    /// Chaos hook, called once per worker at startup with the processor
+    /// id. May panic (the run fails with a structured error, no
+    /// deadlock) or sleep (the run stalls until the watchdog cancels).
+    /// Lives here so the fault closures stay in the bench crate and this
+    /// crate keeps its zero-panic gate.
+    pub worker_hook: Option<Arc<dyn Fn(usize) + Send + Sync>>,
+}
+
+/// Result of one native execution.
+#[derive(Clone, Debug)]
+pub struct NativeRun {
+    /// Whole-program checksum over the final arenas, in the repository's
+    /// checksum-bits format — bit-comparable with the simulator's
+    /// `RunResult::checksum` for the same compiled configuration.
+    pub checksum: f64,
+    /// Per-worker checksum over the values that worker wrote, in its
+    /// program order (diagnostic fingerprint; deterministic per config).
+    pub thread_checksums: Vec<f64>,
+    /// Barrier sync points executed (matches the simulator's count when
+    /// the run completes).
+    pub barriers: u64,
+    /// Producer-wait handoffs executed.
+    pub handoffs: u64,
+    /// The run stopped at a sync point on its cancellation token; arenas
+    /// and checksums are partial.
+    pub cancelled: bool,
+    /// Host wall-clock of the threaded execution.
+    pub wall_secs: f64,
+    pub nprocs: usize,
+}
+
+/// Why a worker left the main loop early.
+enum Halt {
+    /// Uniform stop verdict at a sync point.
+    Cancelled,
+    /// A peer died; the barrier was torn down.
+    Abort,
+}
+
+enum WorkerOut {
+    Done { checksum: f64, cancelled: bool },
+    Failed,
+}
+
+struct Shared<'a> {
+    sp: &'a SpmdProgram,
+    /// Arena element bits (`f64::to_bits`). `Relaxed` everywhere: the
+    /// schedule is race-free and the sync edges carry all ordering.
+    arenas: Vec<Vec<AtomicU64>>,
+    coords: Vec<Vec<usize>>,
+    barrier: AbortableBarrier,
+    /// Published stop verdict (sticky; written by sync-point leaders).
+    stop: AtomicBool,
+    /// A worker died; peers polling channels bail out.
+    aborted: AtomicBool,
+    abort_msg: Mutex<Option<String>>,
+    barriers: AtomicU64,
+    handoffs: AtomicU64,
+    cancel: Option<CancelToken>,
+}
+
+impl Shared<'_> {
+    fn fail(&self, msg: String) {
+        let mut g = self.abort_msg.lock().unwrap_or_else(|e| e.into_inner());
+        g.get_or_insert(msg);
+        drop(g);
+        self.aborted.store(true, Ordering::SeqCst);
+        self.barrier.abort();
+    }
+
+    fn cancel_requested(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|t| t.is_cancelled())
+    }
+}
+
+/// splitmix64 — tiny, seedable, good enough for scheduling jitter.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+/// Reusable per-worker buffers for allocation-free address computation.
+#[derive(Default)]
+struct Scratch {
+    idx: Vec<i64>,
+    lay: Vec<i64>,
+    ivec: Vec<i64>,
+}
+
+struct Worker<'a> {
+    sh: &'a Shared<'a>,
+    p: usize,
+    /// `txs[q]` sends to worker `q`; `rxs[q]` receives from worker `q`.
+    /// Per-pair FIFO channels carry pipeline tile tokens and handoff
+    /// control without interference (tokens of a nest fully precede the
+    /// nest's trailing handoff messages on any given pair).
+    txs: Vec<Sender<u8>>,
+    rxs: Vec<Receiver<u8>>,
+    acc: ChecksumAcc,
+    rng: Option<Rng>,
+    scratch: Scratch,
+}
+
+impl Worker<'_> {
+    fn spawn_jitter(&mut self) {
+        if let Some(r) = self.rng.as_mut() {
+            let us = r.below(150);
+            if us > 0 {
+                std::thread::sleep(Duration::from_micros(us));
+            }
+        }
+    }
+
+    /// Scheduling perturbation at sync points: results must be identical
+    /// whether or not this runs (the stress tests pin that).
+    fn maybe_yield(&mut self) {
+        if let Some(r) = self.rng.as_mut() {
+            match r.below(3) {
+                0 => std::thread::yield_now(),
+                1 => {
+                    let us = r.below(40);
+                    std::thread::sleep(Duration::from_micros(us));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Receive one control byte from worker `from`, bailing out if a
+    /// peer died (timeout polling keeps a dead pipeline from deadlocking
+    /// the pool).
+    fn recv_ctl(&mut self, from: usize) -> Result<u8, Halt> {
+        loop {
+            if self.sh.aborted.load(Ordering::SeqCst) {
+                return Err(Halt::Abort);
+            }
+            match self.rxs[from].recv_timeout(Duration::from_millis(20)) {
+                Ok(v) => return Ok(v),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return Err(Halt::Abort),
+            }
+        }
+    }
+
+    /// Whole program, this worker's lane.
+    fn run(&mut self, plan: &NativePlan) -> Result<(), Halt> {
+        let sp = self.sh.sp;
+        let mut params = sp.params.clone();
+        if let Some(tp) = sp.time_param {
+            params[tp] = 0;
+        }
+        for step in &plan.init_steps {
+            self.run_step(step, &params)?;
+            self.sync(SyncAction::Barrier)?;
+        }
+        for t in 0..plan.time_steps {
+            if let Some(tp) = sp.time_param {
+                params[tp] = t;
+            }
+            for (j, step) in plan.steps.iter().enumerate() {
+                self.run_step(step, &params)?;
+                // The trailing sync of the very last nest execution is
+                // skipped; the thread join plays that role (exactly like
+                // the simulator's final clock max).
+                let last = t == plan.time_steps - 1 && j == plan.steps.len() - 1;
+                if !last {
+                    self.sync(step.sync)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn run_step(&mut self, step: &NestStep, params: &[i64]) -> Result<(), Halt> {
+        let sp = self.sh.sp;
+        let nest = if step.init { &sp.init[step.nest] } else { &sp.nests[step.nest] };
+        if step.leader_only {
+            // Replicated-write nest: every processor's pass sweeps the
+            // same shared slots, so the leader runs all passes in
+            // ascending order — the simulator's sequential semantics,
+            // reproduced exactly (the nest is barrier-bounded).
+            if self.p == 0 {
+                for q in 0..sp.nprocs {
+                    self.walk_nest(nest, q, params, None);
+                }
+            }
+            Ok(())
+        } else if step.pipelined {
+            self.run_pipelined(nest, params)
+        } else {
+            if self.participates(nest, params) {
+                self.walk_nest(nest, self.p, params, None);
+            }
+            Ok(())
+        }
+    }
+
+    fn participates(&self, nest: &SpmdNest, params: &[i64]) -> bool {
+        proc_participates(self.sh.sp, &self.sh.coords, self.p, nest, params)
+    }
+
+    /// Doacross pipeline: chain members advance tile-by-tile behind their
+    /// predecessor through the per-pair token channels. Chain structure
+    /// and tile math mirror the simulator's `exec_pipelined` exactly.
+    fn run_pipelined(&mut self, nest: &SpmdNest, params: &[i64]) -> Result<(), Halt> {
+        let Some(spec) = nest.pipeline else {
+            if self.participates(nest, params) {
+                self.walk_nest(nest, self.p, params, None);
+            }
+            return Ok(());
+        };
+        let sh = self.sh;
+        let parts: Vec<usize> = (0..sh.sp.nprocs)
+            .filter(|&p| proc_participates(sh.sp, &sh.coords, p, nest, params))
+            .collect();
+        let pipe_dim = match nest.sched[spec.seq_level] {
+            LevelSched::Dist { proc_dim, .. } => proc_dim,
+            _ => 0,
+        };
+        let zeros = vec![0i64; nest.source.depth];
+        let tlo = nest.source.bounds[spec.tile_level].eval_lo(&zeros, params);
+        let thi = nest.source.bounds[spec.tile_level].eval_hi(&zeros, params);
+        let span = (thi - tlo + 1).max(0);
+        if span == 0 {
+            return Ok(());
+        }
+        let ntiles = spec.tiles.min(span).max(1);
+        let tile = (span + ntiles - 1) / ntiles;
+
+        // Same grouping as the simulator: chains keyed by the coords with
+        // the pipeline dim zeroed, members ordered by pipeline coord.
+        // Every worker derives the identical structure (pure function of
+        // the program and params), so the token protocol needs no setup.
+        let mut chains: std::collections::BTreeMap<Vec<usize>, Vec<usize>> = Default::default();
+        for &p in &parts {
+            let mut key = sh.coords[p].clone();
+            if pipe_dim < key.len() {
+                key[pipe_dim] = 0;
+            }
+            chains.entry(key).or_default().push(p);
+        }
+        let mut mine: Option<Vec<usize>> = None;
+        for chain in chains.values_mut() {
+            chain.sort_by_key(|&p| sh.coords[p].get(pipe_dim).copied().unwrap_or(0));
+            if chain.contains(&self.p) {
+                mine = Some(chain.clone());
+            }
+        }
+        let Some(chain) = mine else { return Ok(()) };
+        let Some(pos) = chain.iter().position(|&q| q == self.p) else { return Ok(()) };
+        let pred = if pos > 0 { Some(chain[pos - 1]) } else { None };
+        let succ = chain.get(pos + 1).copied();
+        for r in 0..ntiles {
+            let rlo = tlo + r * tile;
+            let rhi = (rlo + tile - 1).min(thi);
+            if let Some(q) = pred {
+                // The predecessor's token for tile r is the certified
+                // handoff edge: its writes up to tile r happen-before
+                // this member's tile r.
+                self.recv_ctl(q)?;
+                self.maybe_yield();
+            }
+            self.walk_nest(nest, self.p, params, Some((spec.tile_level, rlo, rhi)));
+            if let Some(q) = succ {
+                let _ = self.txs[q].send(CONT);
+            }
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self, action: SyncAction) -> Result<(), Halt> {
+        match action {
+            SyncAction::Barrier => self.barrier_point(),
+            SyncAction::Handoff => self.handoff_point(),
+            SyncAction::None => Ok(()),
+        }
+    }
+
+    /// Barrier sync with cancellation consensus: wait #1 gathers all
+    /// workers, the elected leader reads the token once and publishes the
+    /// verdict, wait #2 makes it visible to everyone — so all workers
+    /// stop at the same boundary or none do.
+    fn barrier_point(&mut self) -> Result<(), Halt> {
+        self.maybe_yield();
+        match self.sh.barrier.wait() {
+            Ok(WaitOutcome::Leader) => {
+                self.sh.barriers.fetch_add(1, Ordering::Relaxed);
+                if self.sh.cancel_requested() {
+                    self.sh.stop.store(true, Ordering::SeqCst);
+                }
+            }
+            Ok(WaitOutcome::Follower) => {}
+            Err(_) => return Err(Halt::Abort),
+        }
+        if self.sh.barrier.wait().is_err() {
+            return Err(Halt::Abort);
+        }
+        if self.sh.stop.load(Ordering::SeqCst) {
+            return Err(Halt::Cancelled);
+        }
+        Ok(())
+    }
+
+    /// Producer-wait handoff: all-to-leader-to-all over the control
+    /// channels. Same barrier-strength happens-before edge the
+    /// simulator's clock join models, at lock-handoff cost; worker 0 is
+    /// the consensus leader.
+    fn handoff_point(&mut self) -> Result<(), Halt> {
+        self.maybe_yield();
+        let n = self.sh.sp.nprocs;
+        if n <= 1 {
+            self.sh.handoffs.fetch_add(1, Ordering::Relaxed);
+            if self.sh.cancel_requested() {
+                return Err(Halt::Cancelled);
+            }
+            return Ok(());
+        }
+        if self.p == 0 {
+            for q in 1..n {
+                self.recv_ctl(q)?;
+            }
+            self.sh.handoffs.fetch_add(1, Ordering::Relaxed);
+            let stop = self.sh.cancel_requested();
+            if stop {
+                self.sh.stop.store(true, Ordering::SeqCst);
+            }
+            let msg = if stop { STOP } else { CONT };
+            for q in 1..n {
+                let _ = self.txs[q].send(msg);
+            }
+            if stop {
+                Err(Halt::Cancelled)
+            } else {
+                Ok(())
+            }
+        } else {
+            let _ = self.txs[0].send(CONT);
+            if self.recv_ctl(0)? == STOP {
+                Err(Halt::Cancelled)
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    // ---- the walk: the simulator's general walk, values only ----
+
+    fn walk_nest(
+        &mut self,
+        nest: &SpmdNest,
+        proc: usize,
+        params: &[i64],
+        tile: Option<(usize, i64, i64)>,
+    ) {
+        let mut ivec = std::mem::take(&mut self.scratch.ivec);
+        ivec.clear();
+        ivec.resize(nest.source.depth, 0);
+        self.walk(nest, proc, 0, &mut ivec, params, tile);
+        self.scratch.ivec = ivec;
+    }
+
+    fn walk(
+        &mut self,
+        nest: &SpmdNest,
+        proc: usize,
+        level: usize,
+        ivec: &mut Vec<i64>,
+        params: &[i64],
+        tile: Option<(usize, i64, i64)>,
+    ) {
+        if level == nest.source.depth {
+            self.exec_body(nest, ivec, params);
+            return;
+        }
+        let mut lo = nest.source.bounds[level].eval_lo(ivec, params);
+        let mut hi = nest.source.bounds[level].eval_hi(ivec, params);
+        if let Some((tl, rlo, rhi)) = tile {
+            if tl == level {
+                lo = lo.max(rlo);
+                hi = hi.min(rhi);
+            }
+        }
+        match &nest.sched[level] {
+            LevelSched::Seq => {
+                for v in lo..=hi {
+                    ivec[level] = v;
+                    self.walk(nest, proc, level + 1, ivec, params, tile);
+                }
+            }
+            LevelSched::Dist { proc_dim, folding, extent, offset } => {
+                let q = self.sh.coords[proc].get(*proc_dim).copied().unwrap_or(0) as i64;
+                let procs = self.sh.sp.grid.get(*proc_dim).copied().unwrap_or(1) as i64;
+                let off = offset.eval(&[], params);
+                for v in owned_iter(lo, hi, off, *extent, procs, q, *folding) {
+                    ivec[level] = v;
+                    self.walk(nest, proc, level + 1, ivec, params, tile);
+                }
+            }
+        }
+        ivec[level] = 0;
+    }
+
+    fn exec_body(&mut self, nest: &SpmdNest, ivec: &[i64], params: &[i64]) {
+        for s in &nest.source.body {
+            // Evaluate the rhs before resolving the write, like the
+            // simulator (matters when a statement reads its own target).
+            let v = self.eval(&s.rhs, ivec, params);
+            let slot = self.slot_of(&s.lhs, ivec, params);
+            self.sh.arenas[s.lhs.array.0][slot].store(v.to_bits(), Ordering::Relaxed);
+            self.acc.push(v);
+        }
+    }
+
+    /// Recursive f64 evaluation in the simulator's exact operation order.
+    fn eval(&mut self, e: &Expr, ivec: &[i64], params: &[i64]) -> f64 {
+        match e {
+            Expr::Const(c) => *c,
+            Expr::Index(l) => ivec[*l] as f64,
+            Expr::Ref(r) => {
+                let slot = self.slot_of(r, ivec, params);
+                f64::from_bits(self.sh.arenas[r.array.0][slot].load(Ordering::Relaxed))
+            }
+            Expr::Bin(op, a, b) => {
+                let va = self.eval(a, ivec, params);
+                let vb = self.eval(b, ivec, params);
+                match op {
+                    BinOp::Add => va + vb,
+                    BinOp::Sub => va - vb,
+                    BinOp::Mul => va * vb,
+                    BinOp::Div => va / vb,
+                }
+            }
+        }
+    }
+
+    /// Arena slot of a reference at an iteration point. Slots ignore the
+    /// replica stride: replicated arrays natively share one arena, and
+    /// their leader-only writes reproduce the simulator's slot contents.
+    fn slot_of(&mut self, r: &ArrayRef, ivec: &[i64], params: &[i64]) -> usize {
+        let sc = &mut self.scratch;
+        r.access.eval_into(ivec, params, &mut sc.idx);
+        let lay = &self.sh.sp.layouts[r.array.0];
+        lay.layout.address_of_buf(&sc.idx, &mut sc.lay) as usize
+    }
+}
+
+fn proc_participates(
+    sp: &SpmdProgram,
+    coords: &[Vec<usize>],
+    p: usize,
+    nest: &SpmdNest,
+    params: &[i64],
+) -> bool {
+    nest.gates.iter().all(|g| {
+        let v = g.aff.eval(&[], params);
+        let procs = sp.grid.get(g.proc_dim).copied().unwrap_or(1) as i64;
+        let owner = if g.extent >= i64::MAX / 2 {
+            v.rem_euclid(procs.max(1))
+        } else {
+            g.folding.owner(v, g.extent, procs.max(1))
+        };
+        coords[p].get(g.proc_dim).map_or(0, |&c| c as i64) == owner
+    })
+}
+
+/// Execute the compiled program natively.
+pub fn execute(sp: &SpmdProgram, opts: &NativeOptions) -> DctResult<NativeRun> {
+    execute_inner(sp, opts).map(|(run, _)| run)
+}
+
+/// Execute and also return the final contents of every array in original
+/// index order (bit-comparable with `simulate_with_values`).
+pub fn execute_with_values(
+    sp: &SpmdProgram,
+    opts: &NativeOptions,
+) -> DctResult<(NativeRun, Vec<Vec<f64>>)> {
+    let (run, arenas) = execute_inner(sp, opts)?;
+    let vals = (0..sp.layouts.len()).map(|x| values_of(sp, &arenas, x)).collect();
+    Ok((run, vals))
+}
+
+fn execute_inner(
+    sp: &SpmdProgram,
+    opts: &NativeOptions,
+) -> DctResult<(NativeRun, Vec<Vec<f64>>)> {
+    let plan = NativePlan::lower(sp);
+    let n = sp.nprocs.max(1);
+    let shared = Shared {
+        sp,
+        arenas: sp
+            .layouts
+            .iter()
+            .map(|l| (0..l.layout.size()).map(|_| AtomicU64::new(0)).collect())
+            .collect(),
+        coords: (0..n).map(|p| sp.coords_of(p)).collect(),
+        barrier: AbortableBarrier::new(n),
+        stop: AtomicBool::new(false),
+        aborted: AtomicBool::new(false),
+        abort_msg: Mutex::new(None),
+        barriers: AtomicU64::new(0),
+        handoffs: AtomicU64::new(0),
+        cancel: opts.cancel.clone(),
+    };
+
+    // Per-pair FIFO control channels: rows_tx[p][q] sends p -> q,
+    // rows_rx[p][q] receives at p from q.
+    let mut rows_tx: Vec<Vec<Sender<u8>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
+    let mut rows_rx: Vec<Vec<Receiver<u8>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
+    for p in 0..n {
+        for q in 0..n {
+            let (tx, rx) = std::sync::mpsc::channel();
+            rows_tx[p].push(tx);
+            rows_rx[q].push(rx);
+        }
+    }
+    let started = std::time::Instant::now();
+    let shared_ref = &shared;
+    let plan_ref = &plan;
+    let outs: Vec<WorkerOut> = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(n);
+        for (p, (txs, rxs)) in rows_tx.drain(..).zip(rows_rx.drain(..)).enumerate() {
+            let hook = opts.worker_hook.clone();
+            let rng = opts.jitter.map(|seed| {
+                let mut r = Rng::new(seed ^ (p as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15));
+                r.next_u64();
+                r
+            });
+            handles.push(s.spawn(move || {
+                let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut w = Worker {
+                        sh: shared_ref,
+                        p,
+                        txs,
+                        rxs,
+                        acc: ChecksumAcc::new(),
+                        rng,
+                        scratch: Scratch::default(),
+                    };
+                    w.spawn_jitter();
+                    if let Some(h) = &hook {
+                        h(p);
+                    }
+                    let r = w.run(plan_ref);
+                    (r, w.acc.finish())
+                }));
+                match res {
+                    Ok((Ok(()), cs)) => WorkerOut::Done { checksum: cs, cancelled: false },
+                    Ok((Err(Halt::Cancelled), cs)) => {
+                        WorkerOut::Done { checksum: cs, cancelled: true }
+                    }
+                    Ok((Err(Halt::Abort), _)) => WorkerOut::Failed,
+                    Err(payload) => {
+                        shared_ref.fail(panic_message(payload.as_ref()));
+                        WorkerOut::Failed
+                    }
+                }
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(out) => out,
+                Err(payload) => {
+                    shared_ref.fail(panic_message(payload.as_ref()));
+                    WorkerOut::Failed
+                }
+            })
+            .collect()
+    });
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    let failed = outs.iter().any(|o| matches!(o, WorkerOut::Failed));
+    if failed || shared.aborted.load(Ordering::SeqCst) {
+        let msg = shared
+            .abort_msg
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .unwrap_or_else(|| "native worker aborted".to_string());
+        return Err(DctError::internal(Phase::Native, msg));
+    }
+    let cancelled = outs
+        .iter()
+        .any(|o| matches!(o, WorkerOut::Done { cancelled: true, .. }));
+    let thread_checksums = outs
+        .iter()
+        .map(|o| match o {
+            WorkerOut::Done { checksum, .. } => *checksum,
+            WorkerOut::Failed => 0.0,
+        })
+        .collect();
+    let arenas: Vec<Vec<f64>> = shared
+        .arenas
+        .iter()
+        .map(|a| a.iter().map(|v| f64::from_bits(v.load(Ordering::Relaxed))).collect())
+        .collect();
+    let run = NativeRun {
+        checksum: checksum_arenas(&arenas),
+        thread_checksums,
+        barriers: shared.barriers.load(Ordering::Relaxed),
+        handoffs: shared.handoffs.load(Ordering::Relaxed),
+        cancelled,
+        wall_secs,
+        nprocs: n,
+    };
+    Ok((run, arenas))
+}
+
+/// Array values in original index order (first dim fastest), identical
+/// to the simulator's `Executor::values`.
+fn values_of(sp: &SpmdProgram, arenas: &[Vec<f64>], x: usize) -> Vec<f64> {
+    let lay = &sp.layouts[x];
+    let dims = lay.layout.orig_dims().to_vec();
+    let mut out = Vec::with_capacity(dims.iter().product::<i64>().max(0) as usize);
+    let mut idx = vec![0i64; dims.len()];
+    loop {
+        out.push(arenas[x][lay.layout.address_of(&idx) as usize]);
+        let mut d = 0;
+        loop {
+            if d == dims.len() {
+                return out;
+            }
+            idx[d] += 1;
+            if idx[d] < dims[d] {
+                break;
+            }
+            idx[d] = 0;
+            d += 1;
+        }
+    }
+}
+
+/// Lower and natively execute one configuration: the same certified
+/// schedule `simulate` runs (via [`dct_spmd::lower`]).
+pub fn run_native(
+    prog: &dct_ir::Program,
+    dec: &dct_decomp::Decomposition,
+    sim: &dct_spmd::SimOptions,
+    opts: &NativeOptions,
+) -> DctResult<NativeRun> {
+    let sp = dct_spmd::lower(prog, dec, sim)?;
+    execute(&sp, opts)
+}
+
+/// [`run_native`], also returning final array values in original index
+/// order.
+pub fn run_native_with_values(
+    prog: &dct_ir::Program,
+    dec: &dct_decomp::Decomposition,
+    sim: &dct_spmd::SimOptions,
+    opts: &NativeOptions,
+) -> DctResult<(NativeRun, Vec<Vec<f64>>)> {
+    let sp = dct_spmd::lower(prog, dec, sim)?;
+    execute_with_values(&sp, opts)
+}

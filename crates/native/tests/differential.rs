@@ -1,0 +1,157 @@
+//! Differential validation of the native backend against the simulator:
+//! for every paper benchmark, strategy, and processor count, the native
+//! run's checksum must be bit-identical to the simulator's, the final
+//! array values must match element for element, and the dynamic barrier
+//! counts must agree. Folding and fast-path/general-walk variants ride
+//! along, and a proptest sweep extends the oracle to random programs.
+
+use dct_bench::fuzz::{gen_program, Lcg};
+use dct_bench::programs::suite;
+use dct_core::{rung_sim_options, Compiler, Strategy};
+use dct_decomp::Folding;
+use dct_native::{execute_with_values, NativeOptions};
+use proptest::prelude::*;
+
+const PROCS: &[usize] = &[1, 3, 8, 32];
+
+fn bits(vals: &[Vec<f64>]) -> Vec<Vec<u64>> {
+    vals.iter().map(|a| a.iter().map(|v| v.to_bits()).collect()).collect()
+}
+
+/// Simulator and native runs of one configuration, with every agreement
+/// assertion. Returns the value bits for cross-config comparison.
+fn check_config(
+    label: &str,
+    prog: &dct_ir::Program,
+    dec: &dct_decomp::Decomposition,
+    opts: &dct_spmd::SimOptions,
+) -> Vec<Vec<u64>> {
+    let (rr, svals) = dct_spmd::simulate_with_values(prog, dec, opts)
+        .unwrap_or_else(|e| panic!("{label}: simulate: {e}"));
+    let sp = dct_spmd::lower(prog, dec, opts).unwrap_or_else(|e| panic!("{label}: lower: {e}"));
+    let (nr, nvals) = execute_with_values(&sp, &NativeOptions::default())
+        .unwrap_or_else(|e| panic!("{label}: native: {e}"));
+    assert!(!nr.cancelled, "{label}: native run cancelled without a token");
+    assert_eq!(
+        nr.checksum.to_bits(),
+        rr.checksum.to_bits(),
+        "{label}: native checksum {} != simulator {}",
+        nr.checksum,
+        rr.checksum
+    );
+    assert_eq!(bits(&nvals), bits(&svals), "{label}: native array values diverge");
+    assert_eq!(
+        nr.barriers, rr.barriers,
+        "{label}: native ran {} barriers, simulator {}",
+        nr.barriers, rr.barriers
+    );
+    assert_eq!(nr.nprocs, opts.procs.max(1), "{label}: worker count");
+    assert_eq!(nr.thread_checksums.len(), nr.nprocs, "{label}: per-thread checksums");
+    bits(&nvals)
+}
+
+/// The tentpole grid: all 7 benchmarks x 3 strategies x procs {1,3,8,32},
+/// every config bit-identical between the simulator and native threads,
+/// and (per benchmark/strategy) identical across processor counts.
+#[test]
+fn suite_native_matches_simulator() {
+    for b in suite(0.1) {
+        let params = b.program.default_params();
+        for strategy in Strategy::ALL {
+            let c = Compiler::new(strategy);
+            let compiled = c
+                .compile(&b.program)
+                .unwrap_or_else(|e| panic!("{} {}: {e}", b.name, strategy.label()));
+            let mut reference: Option<Vec<Vec<u64>>> = None;
+            for &procs in PROCS {
+                let opts = rung_sim_options(compiled.rung, procs, params.clone());
+                let label = format!("{} {} at {procs} procs", b.name, strategy.label());
+                let v = check_config(&label, &compiled.program, &compiled.decomposition, &opts);
+                match &reference {
+                    None => reference = Some(v),
+                    Some(r) => assert_eq!(*r, v, "{label}: values differ from 1-proc run"),
+                }
+            }
+        }
+    }
+}
+
+/// Folding variants (same invariant the fuzz oracle pins): data placement
+/// changes, values — and the native/simulator agreement — do not.
+/// Pipelined decompositions are skipped for non-BLOCK foldings, exactly
+/// like the fuzz harness (ownership order must equal iteration order).
+#[test]
+fn folding_variants_agree() {
+    for b in suite(0.05) {
+        let params = b.program.default_params();
+        let c = Compiler::new(Strategy::Full);
+        let compiled = c.compile(&b.program).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        if compiled.decomposition.grid_rank == 0
+            || compiled.decomposition.comp.iter().any(|c| c.pipeline_level.is_some())
+        {
+            continue;
+        }
+        for f in [Folding::Cyclic, Folding::BlockCyclic { block: 2 }] {
+            let mut dec = compiled.decomposition.clone();
+            dec.foldings = vec![f; dec.grid_rank];
+            let opts = rung_sim_options(compiled.rung, 3, params.clone());
+            let label = format!("{} with {f:?} folding at 3 procs", b.name);
+            check_config(&label, &compiled.program, &dec, &opts);
+        }
+    }
+}
+
+/// The native backend agrees with the simulator's *general walk* too
+/// (fast path off), closing the three-way loop: reference walk, strided
+/// fast path, native threads.
+#[test]
+fn general_walk_variant_agrees() {
+    for b in suite(0.05) {
+        let params = b.program.default_params();
+        let c = Compiler::new(Strategy::Full);
+        let compiled = c.compile(&b.program).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let mut opts = rung_sim_options(compiled.rung, 3, params.clone());
+        opts.fast_path = false;
+        let label = format!("{} general walk at 3 procs", b.name);
+        check_config(&label, &compiled.program, &compiled.decomposition, &opts);
+    }
+}
+
+/// Per-thread checksums are a deterministic fingerprint: two native runs
+/// of the same configuration produce identical vectors.
+#[test]
+fn thread_checksums_are_deterministic() {
+    let b = &suite(0.05)[2]; // stencil
+    let c = Compiler::new(Strategy::Full);
+    let compiled = c.compile(&b.program).unwrap();
+    let opts = rung_sim_options(compiled.rung, 8, b.program.default_params());
+    let sp = dct_spmd::lower(&compiled.program, &compiled.decomposition, &opts).unwrap();
+    let (a, _) = execute_with_values(&sp, &NativeOptions::default()).unwrap();
+    let (b2, _) = execute_with_values(&sp, &NativeOptions::default()).unwrap();
+    let ab: Vec<u64> = a.thread_checksums.iter().map(|v| v.to_bits()).collect();
+    let bb: Vec<u64> = b2.thread_checksums.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(ab, bb);
+    assert_eq!(a.checksum.to_bits(), b2.checksum.to_bits());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// Random affine programs: native values match the simulator under
+    /// Full compilation at 3 and 8 processors.
+    #[test]
+    fn random_programs_agree(seed in any::<u64>()) {
+        let prog = gen_program(&mut Lcg::new(seed));
+        let params = prog.default_params();
+        let c = Compiler::new(Strategy::Full);
+        // A compile error means the degradation ladder is exhausted for this
+        // seed — the fuzz oracle's territory, nothing to execute here.
+        if let Ok(compiled) = c.compile(&prog) {
+            for procs in [3usize, 8] {
+                let opts = rung_sim_options(compiled.rung, procs, params.clone());
+                let label = format!("seed {seed:#x} at {procs} procs");
+                check_config(&label, &compiled.program, &compiled.decomposition, &opts);
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Scheduling stress: the native backend's results must not depend on
+//! thread timing. Every benchmark is re-run 16 times under randomized
+//! spawn jitter and yield injection at sync points; any checksum drift
+//! from the unjittered run (or from the simulator) is a failure. The
+//! cancellation and fault paths are exercised here too: a pre-fired
+//! token stops the run cleanly, a panicking worker surfaces a structured
+//! error, and a stuck worker is recoverable via watchdog cancel.
+
+use dct_bench::programs::suite;
+use dct_core::{rung_sim_options, Compiler, Strategy};
+use dct_ir::{CancelToken, ErrorKind, Phase};
+use dct_native::{execute, execute_with_values, NativeOptions};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const REPS: u64 = 16;
+
+/// 16 jittered reps per benchmark at 8 workers: bit-identical checksums,
+/// values, and barrier counts every time, and all of them equal to the
+/// simulator's.
+#[test]
+fn jitter_stress_is_bit_identical() {
+    for b in suite(0.05) {
+        let c = Compiler::new(Strategy::Full);
+        let compiled = c.compile(&b.program).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let opts = rung_sim_options(compiled.rung, 8, b.program.default_params());
+        let (rr, svals) =
+            dct_spmd::simulate_with_values(&compiled.program, &compiled.decomposition, &opts)
+                .unwrap();
+        let sbits: Vec<Vec<u64>> =
+            svals.iter().map(|a| a.iter().map(|v| v.to_bits()).collect()).collect();
+        let sp = dct_spmd::lower(&compiled.program, &compiled.decomposition, &opts).unwrap();
+        for rep in 0..=REPS {
+            let nopts = NativeOptions {
+                // rep 0 is the calm run; the rest inject randomized jitter.
+                jitter: (rep > 0).then(|| 0x5EED_0000 + rep),
+                ..NativeOptions::default()
+            };
+            let (nr, nvals) = execute_with_values(&sp, &nopts)
+                .unwrap_or_else(|e| panic!("{} rep {rep}: {e}", b.name));
+            let nbits: Vec<Vec<u64>> =
+                nvals.iter().map(|a| a.iter().map(|v| v.to_bits()).collect()).collect();
+            assert_eq!(
+                nr.checksum.to_bits(),
+                rr.checksum.to_bits(),
+                "{} rep {rep}: checksum drift under jitter",
+                b.name
+            );
+            assert_eq!(nbits, sbits, "{} rep {rep}: value drift under jitter", b.name);
+            assert_eq!(nr.barriers, rr.barriers, "{} rep {rep}: barrier count", b.name);
+        }
+    }
+}
+
+/// A token cancelled before the run starts stops every worker at the
+/// first sync boundary: clean `cancelled` result, no error, no deadlock.
+#[test]
+fn precancelled_token_stops_cleanly() {
+    let b = &suite(0.05)[2]; // stencil: time loop, plenty of barriers
+    let c = Compiler::new(Strategy::Full);
+    let compiled = c.compile(&b.program).unwrap();
+    let opts = rung_sim_options(compiled.rung, 4, b.program.default_params());
+    let sp = dct_spmd::lower(&compiled.program, &compiled.decomposition, &opts).unwrap();
+    let token = CancelToken::new();
+    token.cancel();
+    let nopts = NativeOptions { cancel: Some(token), ..NativeOptions::default() };
+    let run = execute(&sp, &nopts).expect("cancellation is a clean exit, not an error");
+    assert!(run.cancelled, "pre-fired token must mark the run cancelled");
+}
+
+/// A worker that panics at startup tears the run down as a structured
+/// internal error in the native phase — no deadlock, no escaped panic.
+#[test]
+fn panicking_worker_fails_structurally() {
+    let b = &suite(0.05)[0];
+    let c = Compiler::new(Strategy::Full);
+    let compiled = c.compile(&b.program).unwrap();
+    let opts = rung_sim_options(compiled.rung, 4, b.program.default_params());
+    let sp = dct_spmd::lower(&compiled.program, &compiled.decomposition, &opts).unwrap();
+    let nopts = NativeOptions {
+        worker_hook: Some(Arc::new(|p: usize| {
+            if p == 1 {
+                panic!("injected worker fault");
+            }
+        })),
+        ..NativeOptions::default()
+    };
+    let started = Instant::now();
+    let err = execute(&sp, &nopts).expect_err("a dead worker must fail the run");
+    assert_eq!(err.kind, ErrorKind::Internal);
+    assert_eq!(err.phase, Phase::Native);
+    assert!(
+        err.to_string().contains("injected worker fault"),
+        "panic message must be preserved: {err}"
+    );
+    assert!(started.elapsed() < Duration::from_secs(30), "teardown must not hang");
+}
+
+/// A stuck worker (sleeping past every rendezvous) is recovered by the
+/// supervision pattern: a watchdog fires the cancel token, and the run
+/// exits cancelled once the sleeper rejoins — bounded, deadlock-free.
+#[test]
+fn stuck_worker_recovers_via_watchdog_cancel() {
+    let b = &suite(0.05)[2];
+    let c = Compiler::new(Strategy::Full);
+    let compiled = c.compile(&b.program).unwrap();
+    let opts = rung_sim_options(compiled.rung, 4, b.program.default_params());
+    let sp = dct_spmd::lower(&compiled.program, &compiled.decomposition, &opts).unwrap();
+    let token = CancelToken::new();
+    let watchdog = token.clone();
+    let nopts = NativeOptions {
+        cancel: Some(token),
+        worker_hook: Some(Arc::new(|p: usize| {
+            if p == 3 {
+                std::thread::sleep(Duration::from_millis(200));
+            }
+        })),
+        ..NativeOptions::default()
+    };
+    let guard = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(40));
+        watchdog.cancel();
+    });
+    let started = Instant::now();
+    let run = execute(&sp, &nopts).expect("watchdog cancel is a clean exit");
+    guard.join().expect("watchdog thread");
+    assert!(run.cancelled, "watchdog-cancelled run must report cancelled");
+    assert!(started.elapsed() < Duration::from_secs(30), "recovery must be bounded");
+}

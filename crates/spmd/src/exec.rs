@@ -1219,26 +1219,9 @@ impl<B: Backend> Lane<'_, B> {
     }
 }
 
-/// Arena checksum with eight independent partial sums folded in a fixed
-/// order. The independent accumulators break the serial FP dependence
-/// chain (the host vectorizes the loop); the fold order is a pure
-/// function of the arena contents, so every executor mode — sequential,
-/// sharded, any thread count — produces the identical bit pattern.
-pub(crate) fn checksum_arenas(arenas: &[Vec<f64>]) -> f64 {
-    let mut acc = [0.0f64; 8];
-    for a in arenas {
-        let mut chunks = a.chunks_exact(8);
-        for ch in &mut chunks {
-            for k in 0..8 {
-                acc[k] += ch[k];
-            }
-        }
-        for (k, v) in chunks.remainder().iter().enumerate() {
-            acc[k] += v;
-        }
-    }
-    acc.iter().sum()
-}
+// The checksum-bits format lives in dct-ir so the native backend folds
+// final values through the exact same function (see `dct_ir::checksum`).
+pub(crate) use dct_ir::checksum_arenas;
 
 /// Iteration subset of `[lo, hi]` owned by grid coordinate `q`: a concrete
 /// enum iterator (no per-loop-entry allocation). Block and cyclic foldings

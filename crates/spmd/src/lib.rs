@@ -22,4 +22,4 @@ pub use dct_ir::{Race, RaceAccess, RaceKind, RaceReport};
 pub use emit_c::{emit_c, emit_runtime_header};
 pub use exec::{owned_iter, Executor, RunResult};
 pub use race::Detector;
-pub use run::{default_threads, simulate, simulate_with_values, SimOptions};
+pub use run::{default_threads, lower, simulate, simulate_with_values, SimOptions};

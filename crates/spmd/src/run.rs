@@ -110,6 +110,20 @@ fn spmd_options(opts: &SimOptions, cost: CostModel) -> SpmdOptions {
     }
 }
 
+/// Lower one configuration to its concretized [`SpmdProgram`] without
+/// executing it — the same codegen (schedule, sync placement, layouts)
+/// `simulate` runs on, exposed so other execution backends (`emit_c`
+/// consumers, the native multithreaded backend) run the *certified*
+/// schedule rather than re-deriving one.
+pub fn lower(
+    prog: &Program,
+    dec: &Decomposition,
+    opts: &SimOptions,
+) -> DctResult<crate::codegen::SpmdProgram> {
+    let cost = CostModel { addr_opt: opts.addr_opt, ..CostModel::default() };
+    codegen(prog, dec, &spmd_options(opts, cost))
+}
+
 /// Compile and execute one configuration.
 pub fn simulate(prog: &Program, dec: &Decomposition, opts: &SimOptions) -> DctResult<RunResult> {
     let cost = CostModel { addr_opt: opts.addr_opt, ..CostModel::default() };

@@ -4,9 +4,16 @@
 //! `SyncKind::ProducerWait`, an elision comment per `SyncKind::None`, and
 //! a doacross banner per pipelined nest — nothing more, nothing less. This
 //! pins the backend to the schedule the race detector certifies.
+//!
+//! The native backend (`dct-native`) lowers the *same* certified schedule
+//! into real threads and barriers, so its [`dct_native::NativePlan`] is
+//! pinned here too: every sync count the plan reports must equal the
+//! corresponding marker count in the emitted C. If either backend drifts
+//! from the schedule — or from the other — this test fails loudly.
 
 use dct_bench::programs::suite;
 use dct_core::{Compiler, Strategy};
+use dct_native::NativePlan;
 use dct_spmd::{codegen, emit_c, CostModel, SpmdOptions, SyncKind};
 
 #[test]
@@ -58,6 +65,43 @@ fn emitted_sync_matches_schedule() {
             src.matches("doacross pipeline along loop").count(),
             pipelined,
             "{}: doacross banners do not match the schedule",
+            b.name
+        );
+
+        // The native lowering must realize the exact same sync schedule
+        // the C backend renders: one real barrier per `dct_barrier();`,
+        // one channel handoff per `dct_lock_handoff();`, an elided sync
+        // per elision comment, and a token-passing pipeline per doacross
+        // banner. Three-way agreement: schedule == C == native plan.
+        let plan = NativePlan::lower(&sp);
+        assert_eq!(
+            plan.barrier_syncs(),
+            src.matches("dct_barrier();").count(),
+            "{}: native plan barriers drift from the C emission",
+            b.name
+        );
+        assert_eq!(
+            plan.handoff_syncs(),
+            src.matches("dct_lock_handoff();").count(),
+            "{}: native plan handoffs drift from the C emission",
+            b.name
+        );
+        assert_eq!(
+            plan.elided_syncs(),
+            src.matches("barrier eliminated").count(),
+            "{}: native plan elisions drift from the C emission",
+            b.name
+        );
+        assert_eq!(
+            plan.pipelined_nests(),
+            src.matches("doacross pipeline along loop").count(),
+            "{}: native plan pipelines drift from the C emission",
+            b.name
+        );
+        assert_eq!(
+            plan.leader_only_nests(),
+            sp.init.iter().filter(|n| n.replicated_write).count(),
+            "{}: native leader-only lowering drifts from the replicated-write schedule",
             b.name
         );
 

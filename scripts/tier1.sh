@@ -21,7 +21,9 @@ cargo build --release --workspace
 echo "== tier1: cargo test -q"
 cargo test -q
 
-echo "== tier1: differential fuzz smoke (256 cases)"
+echo "== tier1: differential fuzz smoke (256 cases, three-way oracle)"
+# Each case runs the reference walk, the strided fast path, AND the
+# native threaded backend; all three must agree bit for bit.
 cargo test -q -p dct-bench --test fuzz_smoke
 
 echo "== tier1: panic-site ratchet"
@@ -50,6 +52,17 @@ if [ "${prof_panics:-0}" -ne 0 ]; then
     exit 1
 fi
 echo "  profile/src: 0 panic sites"
+
+echo "== tier1: native backend is panic-free"
+# The native backend runs real worker threads over shared arenas inside
+# every cross-checked cell; worker death, peer death, and cancellation
+# must all surface as structured errors, never a panic or a deadlock.
+native_panics=$(grep -rhoE 'panic!|\.unwrap\(\)' crates/native/src --include='*.rs' | wc -l || true)
+if [ "${native_panics:-0}" -ne 0 ]; then
+    echo "tier1 FAIL: crates/native/src has $native_panics panic!/unwrap() sites (must be 0)" >&2
+    exit 1
+fi
+echo "  native/src: 0 panic sites"
 
 echo "== tier1: race detector is panic-free"
 # The happens-before detector runs inside the simulator on every
@@ -150,6 +163,18 @@ if [ "${fired:-0}" -lt 3 ]; then
     exit 1
 fi
 echo "  chaos: ${fired} faults fired, converged bit-identical"
+
+echo "== tier1: repro native smoke (threaded backend vs simulator)"
+# The third leg of the differential oracle, standalone: every benchmark x
+# strategy executed on real threads under jitter stress, checksums
+# bit-identical to the simulator. The binary exits non-zero on any
+# divergence (after dumping a minimized repro to results/).
+native_out=$(./target/release/repro native --scale 0.1 --procs 8 --reps 4 2>/dev/null)
+echo "$native_out"
+if ! grep -q "all 21 cells bit-identical to the simulator" <<<"$native_out"; then
+    echo "tier1 FAIL: native backend did not match the simulator on all cells" >&2
+    exit 1
+fi
 
 echo "== tier1: repro table1 --scale 0.25 smoke (budget ${BUDGET}s)"
 start=$(date +%s)
