@@ -59,10 +59,14 @@ pub enum FaultSite {
     /// One native-backend worker wedges (cooperative spin) until the
     /// watchdog cancels the attempt (arrives only with `--native`).
     NativeStuck,
+    /// Writing a cell into the content-addressed result cache fails with
+    /// an IO error (arrives only with `--cache`; the attempt is retried
+    /// like a checkpoint-write failure).
+    CacheWriteIo,
 }
 
 impl FaultSite {
-    pub const ALL: [FaultSite; 11] = [
+    pub const ALL: [FaultSite; 12] = [
         FaultSite::WorkerPanic,
         FaultSite::CkptWriteIo,
         FaultSite::CkptTorn,
@@ -74,6 +78,7 @@ impl FaultSite {
         FaultSite::KillSweep,
         FaultSite::NativeWorkerPanic,
         FaultSite::NativeStuck,
+        FaultSite::CacheWriteIo,
     ];
 
     pub fn label(&self) -> &'static str {
@@ -89,6 +94,7 @@ impl FaultSite {
             FaultSite::KillSweep => "kill-sweep",
             FaultSite::NativeWorkerPanic => "native-worker-panic",
             FaultSite::NativeStuck => "native-stuck",
+            FaultSite::CacheWriteIo => "cache-write-io",
         }
     }
 
@@ -132,9 +138,10 @@ impl FaultPlan {
     pub fn generate(seed: u64, n: usize) -> FaultPlan {
         // CkptReadIo is deliberately excluded: it only arrives on resume
         // loads, which only happen after a kill. The native sites only
-        // arrive when the sweep runs the native cross-check, so they too
-        // are planned explicitly (tests, `--native` chaos runs) rather
-        // than drawn blind.
+        // arrive when the sweep runs the native cross-check, and
+        // CacheWriteIo only when the sweep writes a result cache, so they
+        // too are planned explicitly (tests, `--native` / `--cache`
+        // chaos runs) rather than drawn blind.
         const POOL: [FaultSite; 8] = [
             FaultSite::WorkerPanic,
             FaultSite::CkptWriteIo,
@@ -369,6 +376,11 @@ pub struct ChaosConfig {
     /// backend (joins the bit-identity contract; native fault sites
     /// only arrive when this is on).
     pub native_check: bool,
+    /// Give each sweep a content-addressed result cache (`cache-clean/`
+    /// and `cache-chaos/` under the output root — separate stores, so
+    /// injected compute faults still exercise the compute path). The
+    /// `cache-write-io` fault site only arrives when this is on.
+    pub cache: bool,
 }
 
 impl ChaosConfig {
@@ -385,6 +397,7 @@ impl ChaosConfig {
             profile: false,
             stuck_wall_secs: 2.0,
             native_check: false,
+            cache: false,
         }
     }
 }
@@ -506,9 +519,10 @@ fn sweep_config(cfg: &ChaosConfig, sub: &str) -> SweepConfig {
 /// injected kill takes the sweep down; then asserts the converged chaos
 /// results are bit-identical to the fault-free ones.
 pub fn run_chaos(cfg: &ChaosConfig) -> std::io::Result<ChaosReport> {
-    // Stale checkpoints from a previous chaos run would be resumed into
-    // incarnation 2+ and break determinism: start from scratch.
-    for sub in ["clean", "chaos"] {
+    // Stale checkpoints (or cache entries) from a previous chaos run
+    // would be resumed into incarnation 2+ and break determinism: start
+    // from scratch.
+    for sub in ["clean", "chaos", "cache-clean", "cache-chaos"] {
         let d = cfg.out_dir.join(sub);
         if d.exists() {
             std::fs::remove_dir_all(&d)?;
@@ -518,6 +532,12 @@ pub fn run_chaos(cfg: &ChaosConfig) -> std::io::Result<ChaosReport> {
     // Reference sweep: no faults, no resume, default retry policy.
     let mut clean_cfg = sweep_config(cfg, "clean");
     clean_cfg.retry.seed = cfg.seed;
+    if cfg.cache {
+        clean_cfg.cache = Some(Arc::new(crate::cache::ResultStore::open(
+            cfg.out_dir.join("cache-clean"),
+            None,
+        )?));
+    }
     let clean = run_sweep_supervised(&clean_cfg)?;
 
     // Chaos sweep: seeded plan, one injector spanning every incarnation.
@@ -526,6 +546,12 @@ pub fn run_chaos(cfg: &ChaosConfig) -> std::io::Result<ChaosReport> {
     let mut chaos_cfg = sweep_config(cfg, "chaos");
     chaos_cfg.injector = Some(injector.clone());
     chaos_cfg.retry.seed = cfg.seed;
+    if cfg.cache {
+        chaos_cfg.cache = Some(Arc::new(crate::cache::ResultStore::open(
+            cfg.out_dir.join("cache-chaos"),
+            None,
+        )?));
+    }
     // Every injected compute fault is consumed once, so `faults + 1`
     // attempts always reach a fault-free rung; +1 more for headroom
     // (a save fault can burn an attempt of an already-computed cell).

@@ -103,6 +103,48 @@ pub fn explain_threads(
     explain_inner(benchmark, scale, procs, &Strategy::ALL, threads)
 }
 
+/// [`explain_threads`] behind the content-addressed store: the rendered
+/// text and JSON reports are cached as artifacts keyed on the compiled
+/// programs (all strategies), so a repeat `repro explain --cache` serves
+/// both without re-simulating. Returns `(text, json)`; `None` for an
+/// unknown benchmark. Threads are excluded from the key by construction
+/// (profiles are bit-identical at any thread count).
+pub fn explain_cached(
+    benchmark: &str,
+    scale: f64,
+    procs: usize,
+    threads: usize,
+    store: &crate::cache::ResultStore,
+) -> Option<(String, String)> {
+    let bench = programs::suite(scale).into_iter().find(|b| b.name == benchmark)?;
+    let scale_milli = crate::sweep::scale_key(scale);
+    let key = |tag: &str| {
+        crate::cache::artifact_cache_key(tag, benchmark, &bench.program, procs, scale_milli)
+            .map_err(|e| eprintln!("[cache: explain key derivation failed: {e}]"))
+            .ok()
+    };
+    let (tkey, jkey) = (key("explain-text"), key("explain-json"));
+    if let (Some(tk), Some(jk)) = (&tkey, &jkey) {
+        if let (Some(text), Some(json)) = (store.lookup_artifact(tk), store.lookup_artifact(jk)) {
+            return Some((text, json));
+        }
+    }
+    let r = explain_threads(benchmark, scale, procs, threads)?;
+    let text = render_explain(&r);
+    let json = explain_json(&r);
+    if let (Some(tk), Some(jk)) = (&tkey, &jkey) {
+        let write = store
+            .insert_artifact(tk, &text, None)
+            .and_then(|()| store.insert_artifact(jk, &json, None));
+        if let Err(e) = write {
+            // Artifact caching is best-effort: the report itself already
+            // exists, so a failed insert only costs the next run a redo.
+            eprintln!("[cache: explain insert failed: {e}]");
+        }
+    }
+    Some((text, json))
+}
+
 /// [`explain`] restricted to a strategy subset — the diagnosis tests use
 /// this to skip strategies irrelevant to (and much slower than) the claim
 /// under test.

@@ -6,6 +6,7 @@
 #![allow(clippy::needless_range_loop, clippy::manual_memcpy)]
 
 pub mod ablate;
+pub mod cache;
 pub mod chaos;
 pub mod explain;
 pub mod fuzz;
@@ -16,13 +17,18 @@ pub mod programs;
 pub mod sweep;
 
 pub use ablate::{all_ablations, Ablation};
+pub use cache::{
+    artifact_cache_key, cell_cache_key, CacheKey, CacheStats, KeyInputs, ResultStore,
+    CACHE_KEY_SCHEMA,
+};
 pub use chaos::{
     render_chaos, run_chaos, ChaosConfig, ChaosReport, Fault, FaultInjector, FaultPlan,
     FaultSite, RetryPolicy, RetryRung,
 };
-pub use explain::{explain, explain_json, explain_strategies, explain_threads, render_explain, ExplainResult, ExplainRun, StrategyExplain};
+pub use explain::{explain, explain_cached, explain_json, explain_strategies, explain_threads, render_explain, ExplainResult, ExplainRun, StrategyExplain};
 pub use harness::{atomic_write_sync, figure, run_figure, run_figure_parallel, table1, FigureResult, FigureSpec, StrategyCurve, Table1Row, ThreadBudget};
-pub use native_check::{render_native_check, run_native_check, NativeCell, NativeVerdict};
+pub use native_check::{render_native_check, run_native_check, run_native_check_cached, NativeCell, NativeVerdict};
 pub use sweep::{
-    run_sweep, run_sweep_supervised, Cell, CellOutcome, SweepConfig, SweepReport,
+    render_sweep, run_cell_supervised, run_sweep, run_sweep_supervised, scale_key, Cell,
+    CellOutcome, CellRun, SweepConfig, SweepReport, KINDS,
 };

@@ -180,8 +180,39 @@ fn dump_repro(
     }
 }
 
+/// Serialize / parse the cached sim leg: `"<checksum_bits> <barriers>"`
+/// in hex, wrapped in the store's crc64 artifact envelope.
+fn sim_leg_artifact(bits: u64, barriers: u64) -> String {
+    format!("{bits:016x} {barriers:016x}")
+}
+
+fn parse_sim_leg(text: &str) -> Option<(u64, u64)> {
+    let mut it = text.split_whitespace();
+    let bits = u64::from_str_radix(it.next()?, 16).ok()?;
+    let barriers = u64::from_str_radix(it.next()?, 16).ok()?;
+    it.next().is_none().then_some((bits, barriers))
+}
+
+/// Cache key of one cell's sim leg. The tag carries strategy + procs so
+/// every cell of the differential table gets its own entry.
+fn sim_leg_key(
+    bench: &str,
+    prog: &Program,
+    strategy: Strategy,
+    procs: usize,
+    scale: f64,
+) -> Option<crate::cache::CacheKey> {
+    let tag = format!("native-sim-{}-p{procs}", strategy.label());
+    crate::cache::artifact_cache_key(&tag, bench, prog, procs, crate::sweep::scale_key(scale))
+        .map_err(|e| eprintln!("[cache: native key derivation failed: {e}]"))
+        .ok()
+}
+
 /// Check one (benchmark, strategy, procs) cell: simulator run, calm
 /// native run, then `reps` jittered native runs, all bit-identical.
+/// With a store, the simulator leg (checksum bits + barrier count) is
+/// served from cache when warm — the native runs always execute, since
+/// they are the thing under test.
 fn check_cell(
     bench: &str,
     prog: &Program,
@@ -189,6 +220,8 @@ fn check_cell(
     procs: usize,
     reps: u64,
     out_dir: &Path,
+    scale: f64,
+    store: Option<&crate::cache::ResultStore>,
 ) -> NativeCell {
     let mut cell = NativeCell {
         bench: bench.to_string(),
@@ -209,17 +242,38 @@ fn check_cell(
         }
     };
     let opts = rung_sim_options(compiled.rung, procs, prog.default_params());
-    let t0 = Instant::now();
-    let r = match dct_spmd::simulate(&compiled.program, &compiled.decomposition, &opts) {
-        Ok(r) => r,
-        Err(e) => {
-            cell.verdict = NativeVerdict::Failed(format!("simulate: {e}"));
-            return cell;
-        }
+    let key = store.and_then(|_| sim_leg_key(bench, prog, strategy, procs, scale));
+    let cached = match (store, &key) {
+        (Some(s), Some(k)) => s.lookup_artifact(k).and_then(|t| parse_sim_leg(&t)),
+        _ => None,
     };
-    cell.sim_wall_secs = t0.elapsed().as_secs_f64();
-    cell.sim_checksum_bits = r.checksum.to_bits();
-    cell.barriers = r.barriers;
+    match cached {
+        Some((bits, barriers)) => {
+            // Warm sim leg: the oracle values come from the store (crc64
+            // verified); only the native runs below actually execute.
+            cell.sim_checksum_bits = bits;
+            cell.barriers = barriers;
+        }
+        None => {
+            let t0 = Instant::now();
+            let r = match dct_spmd::simulate(&compiled.program, &compiled.decomposition, &opts) {
+                Ok(r) => r,
+                Err(e) => {
+                    cell.verdict = NativeVerdict::Failed(format!("simulate: {e}"));
+                    return cell;
+                }
+            };
+            cell.sim_wall_secs = t0.elapsed().as_secs_f64();
+            cell.sim_checksum_bits = r.checksum.to_bits();
+            cell.barriers = r.barriers;
+            if let (Some(s), Some(k)) = (store, &key) {
+                let art = sim_leg_artifact(cell.sim_checksum_bits, cell.barriers);
+                if let Err(e) = s.insert_artifact(k, &art, None) {
+                    eprintln!("[cache: native insert failed: {e}]");
+                }
+            }
+        }
+    }
     let sp = match dct_spmd::lower(&compiled.program, &compiled.decomposition, &opts) {
         Ok(sp) => sp,
         Err(e) => {
@@ -255,6 +309,20 @@ pub fn run_native_check(
     reps: u64,
     out_dir: &Path,
 ) -> Vec<NativeCell> {
+    run_native_check_cached(only, scale, procs_list, reps, out_dir, None)
+}
+
+/// [`run_native_check`] with an optional content-addressed store: warm
+/// sim legs are served from cache, so a repeat `repro native --cache`
+/// spends its wall time where it matters (the jittered native runs).
+pub fn run_native_check_cached(
+    only: Option<&[String]>,
+    scale: f64,
+    procs_list: &[usize],
+    reps: u64,
+    out_dir: &Path,
+    store: Option<&crate::cache::ResultStore>,
+) -> Vec<NativeCell> {
     let mut cells = Vec::new();
     for b in suite(scale) {
         if let Some(only) = only {
@@ -264,7 +332,9 @@ pub fn run_native_check(
         }
         for &strategy in &Strategy::ALL {
             for &procs in procs_list {
-                cells.push(check_cell(b.name, &b.program, strategy, procs, reps, out_dir));
+                cells.push(check_cell(
+                    b.name, &b.program, strategy, procs, reps, out_dir, scale, store,
+                ));
             }
         }
     }

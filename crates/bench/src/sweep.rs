@@ -106,7 +106,7 @@ impl Cell {
 
 // ---------------------------------------------------------------- JSON --
 
-fn esc(s: &str) -> String {
+pub fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -165,7 +165,7 @@ pub fn cell_to_json(c: &Cell) -> String {
 }
 
 /// Extract `"key":"..."` from a flat JSON object (handles escapes we emit).
-fn json_str(s: &str, key: &str) -> Option<String> {
+pub fn json_str(s: &str, key: &str) -> Option<String> {
     let pat = format!("\"{key}\":\"");
     let start = s.find(&pat)? + pat.len();
     let rest = &s[start..];
@@ -190,7 +190,7 @@ fn json_str(s: &str, key: &str) -> Option<String> {
 }
 
 /// Extract a numeric field from a flat JSON object.
-fn json_num(s: &str, key: &str) -> Option<i64> {
+pub fn json_num(s: &str, key: &str) -> Option<i64> {
     let pat = format!("\"{key}\":");
     let start = s.find(&pat)? + pat.len();
     let digits: String =
@@ -450,6 +450,11 @@ pub struct SweepConfig {
     /// fail the attempt unless its checksum is bit-identical to the
     /// simulator's (the third leg of the differential oracle).
     pub native_check: bool,
+    /// Content-addressed result store: completed cells are served from it
+    /// without executing, and freshly computed cells are inserted. A
+    /// store insert failure is treated exactly like a checkpoint-write
+    /// failure (the attempt retries). `None` = no caching.
+    pub cache: Option<Arc<crate::cache::ResultStore>>,
 }
 
 impl SweepConfig {
@@ -469,6 +474,24 @@ impl SweepConfig {
             stuck_wall_secs: None,
             injector: None,
             native_check: false,
+            cache: None,
+        }
+    }
+
+    /// The cache-key inputs of one cell under this config. Note what is
+    /// absent: `threads`, `fast_path`, retry policy, watchdog — every
+    /// knob the bit-identity proofs cover stays out of the key.
+    pub fn key_inputs<'a>(&'a self, prog: &'a dct_ir::Program, kind: &'a str, procs: usize) -> crate::cache::KeyInputs<'a> {
+        crate::cache::KeyInputs {
+            prog,
+            kind,
+            procs,
+            scale_milli: scale_key(self.scale),
+            race_check: self.race_check,
+            profile: self.profile,
+            max_cycles: self.max_cycles,
+            max_wall_secs: self.max_wall_secs,
+            machine: None,
         }
     }
 }
@@ -494,6 +517,11 @@ pub struct SweepReport {
     /// The sweep was killed by an injected [`FaultSite::KillSweep`]
     /// before finishing (chaos runs only); restart with `resume`.
     pub killed: bool,
+    /// Cells served from the content-addressed cache without executing.
+    pub cache_hits: u64,
+    /// Cells that actually entered the compute path (attempt loop). A
+    /// fully warm cached sweep has `executed == 0`.
+    pub executed: u64,
 }
 
 /// Result of one compute attempt, before checkpointing.
@@ -718,6 +746,31 @@ fn compute_cell_supervised(
     let inj = cfg.injector.as_deref();
     let max_attempts = cfg.retry.max_attempts.max(1);
     let cell_id = format!("{bench}/{kind}");
+    // Content-addressed cache: a completed or timed-out cell whose key
+    // matches is served without executing anything. Failed/quarantined
+    // entries are never cached, so a cached cell is always trustworthy
+    // (and crc64-verified on read).
+    let cache_key = cfg.cache.as_deref().and_then(|_| {
+        match crate::cache::cell_cache_key(bench, &cfg.key_inputs(prog, kind, procs)) {
+            Ok(k) => Some(k),
+            Err(e) => {
+                eprintln!("[cache: {cell_id}: key derivation failed ({e}); cell will not be cached]");
+                None
+            }
+        }
+    });
+    if let (Some(store), Some(key)) = (cfg.cache.as_deref(), cache_key.as_ref()) {
+        if let Some(cell) = store.lookup_cell(key) {
+            if matches!(cell.outcome, CellOutcome::Cycles(_) | CellOutcome::Timeout) {
+                // Keep the checkpoint record consistent so `--resume`
+                // and partial-table rendering see the cell either way.
+                let _ = save_cell_checked(&cfg.out_dir, &cell, inj);
+                rep.cache_hits += 1;
+                return cell;
+            }
+        }
+    }
+    rep.executed += 1;
     let mut last_err = "no attempt was made".to_string();
     for attempt in 0..max_attempts {
         let rung = RetryRung::for_attempt(attempt);
@@ -733,7 +786,15 @@ fn compute_cell_supervised(
                 let mut cell = Cell::new(bench, kind, procs, cfg.scale, sim.outcome);
                 cell.checksum_bits = sim.checksum_bits;
                 cell.fingerprint = sim.fingerprint;
-                match save_cell_checked(&cfg.out_dir, &cell, inj) {
+                match save_cell_checked(&cfg.out_dir, &cell, inj)
+                    .and_then(|()| match (cfg.cache.as_deref(), cache_key.as_ref()) {
+                        // The cache is part of the durable record: a cell
+                        // that could not be inserted retries the whole
+                        // attempt, exactly like a failed checkpoint (this
+                        // is where `cache-write-io` faults land and heal).
+                        (Some(store), Some(key)) => store.insert_cell(key, &cell, inj),
+                        _ => Ok(()),
+                    }) {
                     Ok(()) => {
                         if attempt > 0 {
                             eprintln!(
@@ -749,7 +810,7 @@ fn compute_cell_supervised(
                         // computed but not durably recorded is an
                         // unfinished cell. Retry the whole attempt.
                         last_err = format!(
-                            "attempt {} (rung {}): checkpoint write failed: {e}",
+                            "attempt {} (rung {}): durable record write failed: {e}",
                             attempt + 1,
                             rung.label()
                         );
@@ -775,6 +836,42 @@ fn compute_cell_supervised(
     // but a failing disk must not mask the quarantine itself.
     let _ = save_cell_checked(&cfg.out_dir, &cell, inj);
     cell
+}
+
+/// What one supervised single-cell run did (the serve queue's unit of
+/// work): the cell plus the recovery counters its computation cost.
+#[derive(Debug)]
+pub struct CellRun {
+    pub cell: Cell,
+    pub retries: u64,
+    pub cancelled: u64,
+    pub quarantined: u64,
+    /// True when the cell was served from the content-addressed cache
+    /// without executing.
+    pub cache_hit: bool,
+}
+
+/// Compute exactly one cell through the full self-healing protocol —
+/// cache lookup, supervised attempts down the retry ladder, watchdog,
+/// checkpoint + cache insert, quarantine. This is the sweep loop's own
+/// per-cell path, exposed for the job-queue service (dct-serve), so a
+/// queued cell and a swept cell can never diverge in behavior.
+pub fn run_cell_supervised(
+    prog: &dct_ir::Program,
+    cfg: &SweepConfig,
+    bench: &str,
+    kind: &str,
+    procs: usize,
+) -> CellRun {
+    let mut rep = SweepReport::default();
+    let cell = compute_cell_supervised(prog, cfg, bench, kind, procs, &mut rep);
+    CellRun {
+        cell,
+        retries: rep.retries,
+        cancelled: rep.cancelled,
+        quarantined: rep.quarantined,
+        cache_hit: rep.cache_hits > 0,
+    }
 }
 
 /// Run (or resume) a sweep under the self-healing executor. Every missing

@@ -1,0 +1,413 @@
+//! Canonical structural fingerprints over the IR.
+//!
+//! The content-addressed result cache (dct-bench `cache`, dct-serve) keys
+//! entries by a hash of the program together with the strategy, machine,
+//! and simulation options. That key must be *stable*: it may depend only on
+//! the semantic content of the IR, never on `Debug` formatting, struct
+//! layout, or representation accidents — otherwise a dependency bump or an
+//! innocent refactor silently invalidates (or worse, falsely hits) every
+//! cached cell.
+//!
+//! [`FpHasher`] therefore hashes an explicit, tagged byte stream: every
+//! field is written by name through a dedicated method, every variant gets
+//! a distinct tag byte, strings and sequences are length-prefixed, and the
+//! one representation accident the IR has — [`Aff`] coefficient vectors are
+//! implicitly zero-padded, so semantically equal forms can differ in
+//! trailing zeros — is canonicalized by trimming trailing zeros before
+//! hashing. Diagnostic-only fields ([`LoopNest::line`]) are excluded.
+//!
+//! The stream is folded through two independent FNV-1a 64-bit lanes
+//! (different offset bases, same input), giving a 128-bit key whose hex
+//! form is what lands in cache filenames. [`FP_SCHEMA`] is mixed into
+//! every program hash; bump it when the walk itself changes shape so stale
+//! cache entries miss instead of colliding.
+
+use crate::access::{AffineAccess, ArrayRef};
+use crate::expr::{Aff, BinOp, Expr};
+use crate::program::{
+    ArrayDecl, BoundForm, LoopBounds, LoopNest, Param, Program, Stmt, TimeLoop,
+};
+
+/// Version of the fingerprint field walk. Mixed into every program hash;
+/// bump on any change to what gets hashed or in what order.
+pub const FP_SCHEMA: u32 = 1;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Second-lane offset basis: the FNV basis with its halves swapped. Any
+/// constant different from `FNV_OFFSET` works; the two lanes see the same
+/// bytes but never agree unless the streams are equal.
+const FNV_OFFSET_B: u64 = 0x8422_2325_cbf2_9ce4;
+
+// Tag bytes: one per IR construct, so differently-shaped values can never
+// produce the same byte stream by concatenation coincidence.
+const TAG_AFF: u8 = 0x01;
+const TAG_BOUND: u8 = 0x02;
+const TAG_BOUNDS: u8 = 0x03;
+const TAG_ACCESS: u8 = 0x04;
+const TAG_REF: u8 = 0x05;
+const TAG_STMT: u8 = 0x06;
+const TAG_NEST: u8 = 0x07;
+const TAG_ARRAY: u8 = 0x08;
+const TAG_PARAM: u8 = 0x09;
+const TAG_TIME_SOME: u8 = 0x0a;
+const TAG_TIME_NONE: u8 = 0x0b;
+const TAG_PROGRAM: u8 = 0x0c;
+const TAG_EXPR_CONST: u8 = 0x10;
+const TAG_EXPR_INDEX: u8 = 0x11;
+const TAG_EXPR_REF: u8 = 0x12;
+const TAG_EXPR_BIN: u8 = 0x13;
+const TAG_STR: u8 = 0x20;
+const TAG_SEQ: u8 = 0x21;
+
+/// Two-lane FNV-1a accumulator over a tagged canonical byte stream.
+///
+/// Consumers outside dct-ir (the bench cache key) extend the stream with
+/// their own explicit fields via the `write_*` methods, then take
+/// [`FpHasher::finish128`].
+#[derive(Clone, Debug)]
+pub struct FpHasher {
+    a: u64,
+    b: u64,
+}
+
+impl Default for FpHasher {
+    fn default() -> Self {
+        FpHasher::new()
+    }
+}
+
+impl FpHasher {
+    pub fn new() -> FpHasher {
+        FpHasher { a: FNV_OFFSET, b: FNV_OFFSET_B }
+    }
+
+    /// The 128-bit digest: high 64 bits from lane B, low from lane A.
+    pub fn finish128(&self) -> u128 {
+        ((self.b as u128) << 64) | self.a as u128
+    }
+
+    pub fn write_byte(&mut self, byte: u8) {
+        self.a = (self.a ^ byte as u64).wrapping_mul(FNV_PRIME);
+        self.b = (self.b ^ byte as u64).wrapping_mul(FNV_PRIME);
+    }
+
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &x in bytes {
+            self.write_byte(x);
+        }
+    }
+
+    pub fn write_tag(&mut self, tag: u8) {
+        self.write_byte(tag);
+    }
+
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    pub fn write_i64(&mut self, v: i64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_byte(v as u8);
+    }
+
+    /// Bit pattern, so distinct NaNs and signed zeros stay distinct.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Length-prefixed UTF-8 bytes under a string tag.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_tag(TAG_STR);
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Sequence header: a tag plus element count. Elements follow.
+    pub fn write_len(&mut self, n: usize) {
+        self.write_tag(TAG_SEQ);
+        self.write_u64(n as u64);
+    }
+
+    /// An integer coefficient vector, canonicalized: trailing zeros are
+    /// trimmed so implicit zero-padding (the `Aff` representation accident)
+    /// never reaches the stream.
+    pub fn write_coeffs(&mut self, v: &[i64]) {
+        let n = v.iter().rposition(|&c| c != 0).map_or(0, |p| p + 1);
+        self.write_len(n);
+        for &c in &v[..n] {
+            self.write_i64(c);
+        }
+    }
+
+    pub fn add_aff(&mut self, a: &Aff) {
+        self.write_tag(TAG_AFF);
+        self.write_coeffs(&a.var_coeffs);
+        self.write_coeffs(&a.param_coeffs);
+        self.write_i64(a.konst);
+    }
+
+    pub fn add_bound_form(&mut self, b: &BoundForm) {
+        self.write_tag(TAG_BOUND);
+        self.add_aff(&b.aff);
+        self.write_i64(b.div);
+    }
+
+    pub fn add_loop_bounds(&mut self, b: &LoopBounds) {
+        self.write_tag(TAG_BOUNDS);
+        self.write_len(b.los.len());
+        for f in &b.los {
+            self.add_bound_form(f);
+        }
+        self.write_len(b.his.len());
+        for f in &b.his {
+            self.add_bound_form(f);
+        }
+    }
+
+    pub fn add_access(&mut self, a: &AffineAccess) {
+        self.write_tag(TAG_ACCESS);
+        self.write_len(a.rank());
+        for d in 0..a.rank() {
+            // Rows are trimmed like Aff coefficients: matrix width is a
+            // construction-time accident (depth / nparams at build site),
+            // not semantic content.
+            self.write_coeffs(a.mat.row(d));
+            self.write_coeffs(a.param_mat.row(d));
+            self.write_i64(a.offset[d]);
+        }
+    }
+
+    pub fn add_array_ref(&mut self, r: &ArrayRef) {
+        self.write_tag(TAG_REF);
+        self.write_u64(r.array.0 as u64);
+        self.add_access(&r.access);
+    }
+
+    pub fn add_expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Const(c) => {
+                self.write_tag(TAG_EXPR_CONST);
+                self.write_f64(*c);
+            }
+            Expr::Index(l) => {
+                self.write_tag(TAG_EXPR_INDEX);
+                self.write_u64(*l as u64);
+            }
+            Expr::Ref(r) => {
+                self.write_tag(TAG_EXPR_REF);
+                self.add_array_ref(r);
+            }
+            Expr::Bin(op, a, b) => {
+                self.write_tag(TAG_EXPR_BIN);
+                self.write_byte(match op {
+                    BinOp::Add => 0,
+                    BinOp::Sub => 1,
+                    BinOp::Mul => 2,
+                    BinOp::Div => 3,
+                });
+                self.add_expr(a);
+                self.add_expr(b);
+            }
+        }
+    }
+
+    pub fn add_stmt(&mut self, s: &Stmt) {
+        self.write_tag(TAG_STMT);
+        self.add_array_ref(&s.lhs);
+        self.add_expr(&s.rhs);
+    }
+
+    /// Hash a nest. `line` is diagnostics-only provenance and is
+    /// deliberately excluded: the same kernel pasted at a different source
+    /// line is the same computation.
+    pub fn add_nest(&mut self, n: &LoopNest) {
+        self.write_tag(TAG_NEST);
+        self.write_str(&n.name);
+        self.write_u64(n.depth as u64);
+        self.write_len(n.bounds.len());
+        for b in &n.bounds {
+            self.add_loop_bounds(b);
+        }
+        self.write_len(n.body.len());
+        for s in &n.body {
+            self.add_stmt(s);
+        }
+        self.write_u64(n.freq);
+    }
+
+    pub fn add_array_decl(&mut self, a: &ArrayDecl) {
+        self.write_tag(TAG_ARRAY);
+        self.write_str(&a.name);
+        self.write_len(a.dims.len());
+        for d in &a.dims {
+            self.add_aff(d);
+        }
+        self.write_u32(a.elem_bytes);
+    }
+
+    pub fn add_param(&mut self, p: &Param) {
+        self.write_tag(TAG_PARAM);
+        self.write_str(&p.name);
+        self.write_i64(p.default);
+    }
+
+    pub fn add_time_loop(&mut self, t: &Option<TimeLoop>) {
+        match t {
+            None => self.write_tag(TAG_TIME_NONE),
+            Some(tl) => {
+                self.write_tag(TAG_TIME_SOME);
+                self.write_u64(tl.param as u64);
+                self.add_aff(&tl.count);
+            }
+        }
+    }
+
+    /// Hash a whole program: every semantic field, in declaration order,
+    /// with [`FP_SCHEMA`] mixed in first.
+    pub fn add_program(&mut self, p: &Program) {
+        self.write_tag(TAG_PROGRAM);
+        self.write_u32(FP_SCHEMA);
+        self.write_str(&p.name);
+        self.write_len(p.params.len());
+        for pr in &p.params {
+            self.add_param(pr);
+        }
+        self.write_len(p.arrays.len());
+        for a in &p.arrays {
+            self.add_array_decl(a);
+        }
+        self.write_len(p.init_nests.len());
+        for n in &p.init_nests {
+            self.add_nest(n);
+        }
+        self.write_len(p.nests.len());
+        for n in &p.nests {
+            self.add_nest(n);
+        }
+        self.add_time_loop(&p.time);
+    }
+}
+
+/// The canonical 128-bit fingerprint of a program.
+pub fn program_fingerprint(p: &Program) -> u128 {
+    let mut h = FpHasher::new();
+    h.add_program(p);
+    h.finish128()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{NestBuilder, ProgramBuilder};
+
+    fn simple_program() -> Program {
+        let mut pb = ProgramBuilder::new("fp-test");
+        let n = pb.param("N", 8);
+        let a = pb.array("A", &[Aff::param(n), Aff::param(n)], 8);
+        let mut nb = NestBuilder::new("nest0", 1);
+        let j = nb.loop_var(Aff::konst(0), Aff::param(n) - 1);
+        let i = nb.loop_var(Aff::konst(0), Aff::param(n) - 1);
+        let rhs = nb.read(a, &[Aff::var(i), Aff::var(j)]) + Expr::Const(1.0);
+        nb.assign(a, &[Aff::var(i), Aff::var(j)], rhs);
+        pb.nest(nb.build());
+        pb.build()
+    }
+
+    /// Golden key: pins the exact digest of a known program so any change
+    /// to the walk (field order, tags, canonicalization) is caught here
+    /// before it silently invalidates — or falsely hits — a cache.
+    #[test]
+    fn golden_fingerprint_pinned() {
+        let fp = program_fingerprint(&simple_program());
+        assert_eq!(
+            format!("{fp:032x}"),
+            "66c330f5d3959e1019bc881726df246b",
+            "fingerprint walk changed; bump FP_SCHEMA and repin deliberately"
+        );
+    }
+
+    /// Golden key for the two-lane hasher primitives themselves.
+    #[test]
+    fn golden_hasher_primitives() {
+        let h = FpHasher::new();
+        assert_eq!(h.finish128() & u64::MAX as u128, FNV_OFFSET as u128);
+        let mut h = FpHasher::new();
+        h.write_str("dct");
+        h.write_u64(7);
+        h.write_i64(-1);
+        assert_eq!(format!("{:032x}", h.finish128()), "0ea9771d59186179073ef457e546e510");
+    }
+
+    /// The Aff representation accident: zero-padded coefficient vectors
+    /// must hash identically to their trimmed forms.
+    #[test]
+    fn trailing_zero_padding_is_canonicalized() {
+        let trimmed = Aff { var_coeffs: vec![2, 1], param_coeffs: vec![], konst: 3 };
+        let padded = Aff { var_coeffs: vec![2, 1, 0, 0], param_coeffs: vec![0, 0], konst: 3 };
+        let fp = |a: &Aff| {
+            let mut h = FpHasher::new();
+            h.add_aff(a);
+            h.finish128()
+        };
+        assert_eq!(fp(&trimmed), fp(&padded));
+        // A *leading* zero is semantic (shifts which variable a coefficient
+        // binds to) and must stay visible.
+        let shifted = Aff { var_coeffs: vec![0, 2, 1], param_coeffs: vec![], konst: 3 };
+        assert_ne!(fp(&trimmed), fp(&shifted));
+    }
+
+    /// Diagnostic provenance must not perturb the key.
+    #[test]
+    fn line_numbers_are_excluded() {
+        let mut a = simple_program();
+        let base = program_fingerprint(&a);
+        a.nests[0].line = Some(1234);
+        assert_eq!(program_fingerprint(&a), base);
+    }
+
+    /// Every semantic field must perturb the key.
+    #[test]
+    fn semantic_fields_are_included() {
+        let base = program_fingerprint(&simple_program());
+        let mut p = simple_program();
+        p.nests[0].freq = 99;
+        assert_ne!(program_fingerprint(&p), base, "freq");
+        let mut p = simple_program();
+        p.arrays[0].elem_bytes = 4;
+        assert_ne!(program_fingerprint(&p), base, "elem_bytes");
+        let mut p = simple_program();
+        p.params[0].default = 16;
+        assert_ne!(program_fingerprint(&p), base, "param default");
+        let mut p = simple_program();
+        p.nests[0].bounds[0].his[0].aff.konst += 1;
+        assert_ne!(program_fingerprint(&p), base, "loop bound");
+        let mut p = simple_program();
+        if let Expr::Bin(op, _, _) = &mut p.nests[0].body[0].rhs {
+            *op = BinOp::Mul;
+        }
+        assert_ne!(program_fingerprint(&p), base, "rhs operator");
+    }
+
+    /// Two structurally different sequences that would concatenate to the
+    /// same flat integer stream must still hash differently (tag + length
+    /// prefixes at work).
+    #[test]
+    fn sequence_framing_disambiguates() {
+        let fp = |groups: &[&[i64]]| {
+            let mut h = FpHasher::new();
+            for g in groups {
+                h.write_coeffs(g);
+            }
+            h.finish128()
+        };
+        assert_ne!(fp(&[&[1, 2], &[3]]), fp(&[&[1], &[2, 3]]));
+    }
+}

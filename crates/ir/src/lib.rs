@@ -12,6 +12,7 @@ pub mod cancel;
 pub mod checksum;
 pub mod error;
 pub mod expr;
+pub mod fingerprint;
 pub mod mem;
 pub mod pretty;
 pub mod program;
@@ -21,6 +22,7 @@ pub use access::{AffineAccess, ArrayId, ArrayRef};
 pub use cancel::CancelToken;
 pub use checksum::{checksum_arenas, ChecksumAcc};
 pub use error::{panic_message, DctError, DctResult, ErrorKind, Phase};
+pub use fingerprint::{program_fingerprint, FpHasher, FP_SCHEMA};
 pub use mem::{MemProfile, MemRow};
 pub use race::{Race, RaceAccess, RaceKind, RaceReport};
 pub use expr::{Aff, BinOp, Expr};

@@ -25,5 +25,6 @@ pub mod run;
 pub use barrier::AbortableBarrier;
 pub use plan::{NativePlan, NestStep, SyncAction};
 pub use run::{
-    execute, execute_with_values, run_native, run_native_with_values, NativeOptions, NativeRun,
+    arena_padding, execute, execute_with_values, run_native, run_native_with_values, ArenaPad,
+    NativeOptions, NativeRun,
 };

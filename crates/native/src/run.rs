@@ -97,6 +97,97 @@ pub struct NativeRun {
     pub nprocs: usize,
 }
 
+/// Cache-line padding of one shared arena.
+///
+/// The layout linearizes first-dim-fastest, so the slowest (last) final
+/// dimension — the processor dimension after a data decomposition —
+/// splits the arena into contiguous chunks, one per value of that
+/// dimension. Backing chunks at their logical length lets two
+/// processors' extents share a 64-byte line at every chunk boundary:
+/// real false sharing on real hardware (the effect Section 4 of the
+/// paper transforms data to avoid). Physically rounding each chunk up
+/// to a whole number of lines (8 f64) gives every chunk its own lines.
+///
+/// Logical addresses (the layout's) are unchanged; only the physical
+/// slot mapping differs, and the padding slots are never read — so
+/// checksums and values stay bit-identical to the unpadded backend and
+/// the simulator, which the padding differential test pins.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArenaPad {
+    /// Logical slots per slowest-dim chunk.
+    pub chunk: usize,
+    /// Physical slots per chunk (`chunk` rounded up to 8 f64 = 64B).
+    pub padded: usize,
+    /// Chunk count (the slowest final dimension's extent).
+    pub chunks: usize,
+}
+
+impl ArenaPad {
+    /// f64 elements per cache line (64-byte lines).
+    pub const LINE_F64: usize = 8;
+
+    /// Padding of one array layout. Degenerate shapes (empty arrays,
+    /// single-chunk arenas — nothing to false-share with) stay unpadded.
+    pub fn of_layout(size: usize, final_dims: &[i64]) -> ArenaPad {
+        let last = final_dims.last().copied().unwrap_or(0).max(0) as usize;
+        if last <= 1 || size == 0 || size % last != 0 {
+            return ArenaPad { chunk: size, padded: size, chunks: 1 };
+        }
+        let chunk = size / last;
+        let padded = chunk.div_ceil(Self::LINE_F64) * Self::LINE_F64;
+        ArenaPad { chunk, padded, chunks: last }
+    }
+
+    /// Physical arena length, padding included.
+    pub fn physical_size(&self) -> usize {
+        self.padded * self.chunks
+    }
+
+    /// Logical arena length (the layout's `size()`).
+    pub fn logical_size(&self) -> usize {
+        self.chunk * self.chunks
+    }
+
+    /// Did padding actually engage for this array?
+    pub fn is_padded(&self) -> bool {
+        self.padded != self.chunk
+    }
+
+    /// Physical slot of a logical address.
+    #[inline]
+    pub fn slot(&self, logical: usize) -> usize {
+        if self.padded == self.chunk {
+            logical
+        } else {
+            logical / self.chunk * self.padded + logical % self.chunk
+        }
+    }
+}
+
+/// The padding the native backend will use for each of `sp`'s arrays —
+/// introspection for the differential tests (which assert both that
+/// padding engages and that results stay bit-identical).
+///
+/// Only distributed, restructured arrays are padded: those are exactly
+/// the ones whose slowest final dimension is a processor-grid dimension,
+/// so a chunk is one processor's owned extent. Shared and replicated
+/// arrays keep their exact layout (their slowest dim is a data
+/// dimension; "padding" it would be per-element memory blowup, not
+/// false-sharing avoidance).
+pub fn arena_padding(sp: &SpmdProgram) -> Vec<ArenaPad> {
+    sp.layouts
+        .iter()
+        .map(|l| {
+            let size = l.layout.size().max(0) as usize;
+            if l.dist_info.is_empty() || !l.transformed {
+                ArenaPad { chunk: size, padded: size, chunks: 1 }
+            } else {
+                ArenaPad::of_layout(size, l.layout.final_dims())
+            }
+        })
+        .collect()
+}
+
 /// Why a worker left the main loop early.
 enum Halt {
     /// Uniform stop verdict at a sync point.
@@ -112,9 +203,13 @@ enum WorkerOut {
 
 struct Shared<'a> {
     sp: &'a SpmdProgram,
-    /// Arena element bits (`f64::to_bits`). `Relaxed` everywhere: the
-    /// schedule is race-free and the sync edges carry all ordering.
+    /// Arena element bits (`f64::to_bits`), cache-line padded per
+    /// [`ArenaPad`]. `Relaxed` everywhere: the schedule is race-free and
+    /// the sync edges carry all ordering.
     arenas: Vec<Vec<AtomicU64>>,
+    /// Physical slot mapping of each arena (logical addresses from the
+    /// layout pass through here before touching `arenas`).
+    pads: Vec<ArenaPad>,
     coords: Vec<Vec<usize>>,
     barrier: AbortableBarrier,
     /// Published stop verdict (sticky; written by sync-point leaders).
@@ -492,8 +587,9 @@ impl Worker<'_> {
             // Evaluate the rhs before resolving the write, like the
             // simulator (matters when a statement reads its own target).
             let v = self.eval(&s.rhs, ivec, params);
+            let x = s.lhs.array.0;
             let slot = self.slot_of(&s.lhs, ivec, params);
-            self.sh.arenas[s.lhs.array.0][slot].store(v.to_bits(), Ordering::Relaxed);
+            self.sh.arenas[x][self.sh.pads[x].slot(slot)].store(v.to_bits(), Ordering::Relaxed);
             self.acc.push(v);
         }
     }
@@ -504,8 +600,11 @@ impl Worker<'_> {
             Expr::Const(c) => *c,
             Expr::Index(l) => ivec[*l] as f64,
             Expr::Ref(r) => {
+                let x = r.array.0;
                 let slot = self.slot_of(r, ivec, params);
-                f64::from_bits(self.sh.arenas[r.array.0][slot].load(Ordering::Relaxed))
+                f64::from_bits(
+                    self.sh.arenas[x][self.sh.pads[x].slot(slot)].load(Ordering::Relaxed),
+                )
             }
             Expr::Bin(op, a, b) => {
                 let va = self.eval(a, ivec, params);
@@ -520,9 +619,10 @@ impl Worker<'_> {
         }
     }
 
-    /// Arena slot of a reference at an iteration point. Slots ignore the
-    /// replica stride: replicated arrays natively share one arena, and
-    /// their leader-only writes reproduce the simulator's slot contents.
+    /// Logical arena slot of a reference at an iteration point (callers
+    /// map it through [`ArenaPad::slot`]). Slots ignore the replica
+    /// stride: replicated arrays natively share one arena, and their
+    /// leader-only writes reproduce the simulator's slot contents.
     fn slot_of(&mut self, r: &ArrayRef, ivec: &[i64], params: &[i64]) -> usize {
         let sc = &mut self.scratch;
         r.access.eval_into(ivec, params, &mut sc.idx);
@@ -572,13 +672,14 @@ fn execute_inner(
 ) -> DctResult<(NativeRun, Vec<Vec<f64>>)> {
     let plan = NativePlan::lower(sp);
     let n = sp.nprocs.max(1);
+    let pads = arena_padding(sp);
     let shared = Shared {
         sp,
-        arenas: sp
-            .layouts
+        arenas: pads
             .iter()
-            .map(|l| (0..l.layout.size()).map(|_| AtomicU64::new(0)).collect())
+            .map(|pad| (0..pad.physical_size()).map(|_| AtomicU64::new(0)).collect())
             .collect(),
+        pads,
         coords: (0..n).map(|p| sp.coords_of(p)).collect(),
         barrier: AbortableBarrier::new(n),
         stop: AtomicBool::new(false),
@@ -676,10 +777,18 @@ fn execute_inner(
             WorkerOut::Failed => 0.0,
         })
         .collect();
+    // De-pad before anything downstream sees the arenas: the checksum
+    // and the value extraction walk logical addresses only, so padded
+    // and unpadded backends produce identical bits.
     let arenas: Vec<Vec<f64>> = shared
         .arenas
         .iter()
-        .map(|a| a.iter().map(|v| f64::from_bits(v.load(Ordering::Relaxed))).collect())
+        .zip(&shared.pads)
+        .map(|(a, pad)| {
+            (0..pad.logical_size())
+                .map(|s| f64::from_bits(a[pad.slot(s)].load(Ordering::Relaxed)))
+                .collect()
+        })
         .collect();
     let run = NativeRun {
         checksum: checksum_arenas(&arenas),

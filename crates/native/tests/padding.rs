@@ -1,0 +1,109 @@
+//! The cache-line padding differential: the native backend physically
+//! rounds each slowest-dim arena chunk (a processor's owned extent after
+//! a data decomposition) up to 64-byte boundaries, and that must be
+//! purely physical — checksums, array values and barrier counts stay
+//! bit-identical to the simulator, which knows nothing of padding.
+//!
+//! Two halves: (1) padding actually *engages* on the suite (a no-op
+//! mapping would vacuously pass the identity half), and (2) every padded
+//! configuration agrees with the simulator bit for bit.
+
+use dct_bench::programs::suite;
+use dct_core::{rung_sim_options, Compiler, Strategy};
+use dct_native::{arena_padding, execute_with_values, ArenaPad, NativeOptions};
+
+fn bits(vals: &[Vec<f64>]) -> Vec<Vec<u64>> {
+    vals.iter().map(|a| a.iter().map(|v| v.to_bits()).collect()).collect()
+}
+
+#[test]
+fn pad_mapping_is_a_strided_injection() {
+    let pad = ArenaPad { chunk: 10, padded: 16, chunks: 3 };
+    assert!(pad.is_padded());
+    assert_eq!(pad.physical_size(), 48);
+    assert_eq!(pad.logical_size(), 30);
+    // Each chunk starts on a line boundary and slots never collide.
+    let slots: Vec<usize> = (0..30).map(|s| pad.slot(s)).collect();
+    assert_eq!(slots[0], 0);
+    assert_eq!(slots[10], 16);
+    assert_eq!(slots[20], 32);
+    let mut sorted = slots.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), 30, "padding mapping collides: {slots:?}");
+    assert!(slots.iter().all(|&s| s < pad.physical_size()));
+}
+
+#[test]
+fn degenerate_shapes_stay_unpadded() {
+    // Slowest dim of extent 1: a single chunk, nothing to share falsely.
+    let p = ArenaPad::of_layout(100, &[100, 1]);
+    assert!(!p.is_padded());
+    assert_eq!(p.physical_size(), 100);
+    // Already line-aligned chunks: padding is the identity.
+    let p = ArenaPad::of_layout(32, &[8, 4]);
+    assert!(!p.is_padded());
+    assert_eq!((p.chunk, p.padded, p.chunks), (8, 8, 4));
+    // Line-unaligned chunks round up to whole lines.
+    let p = ArenaPad::of_layout(36, &[9, 4]);
+    assert!(p.is_padded());
+    assert_eq!((p.chunk, p.padded, p.chunks), (9, 16, 4));
+    // Empty array.
+    let p = ArenaPad::of_layout(0, &[]);
+    assert_eq!(p.physical_size(), 0);
+    assert_eq!(p.slot(0), 0);
+}
+
+/// Padding must engage somewhere on the decomposed suite — otherwise the
+/// bit-identity half of this file tests nothing.
+#[test]
+fn padding_engages_on_the_suite() {
+    let mut engaged = 0usize;
+    for b in suite(0.1) {
+        for strategy in [Strategy::CompDecomp, Strategy::Full] {
+            let Ok(compiled) = Compiler::new(strategy).compile(&b.program) else { continue };
+            let opts = rung_sim_options(compiled.rung, 8, b.program.default_params());
+            let Ok(sp) = dct_spmd::lower(&compiled.program, &compiled.decomposition, &opts) else {
+                continue;
+            };
+            engaged += arena_padding(&sp).iter().filter(|p| p.is_padded()).count();
+        }
+    }
+    assert!(engaged > 0, "no arena was padded anywhere on the suite");
+}
+
+/// The differential half: padded native execution stays bit-identical to
+/// the (unpadded, sequential-lane) simulator on every benchmark and
+/// parallel strategy, at a processor count where chunks are line-unaligned.
+#[test]
+fn padded_native_matches_simulator() {
+    for b in suite(0.1) {
+        let params = b.program.default_params();
+        for strategy in [Strategy::CompDecomp, Strategy::Full] {
+            let compiled = Compiler::new(strategy)
+                .compile(&b.program)
+                .unwrap_or_else(|e| panic!("{} {}: {e}", b.name, strategy.label()));
+            // 5 processors: extents rarely divide into multiples of 8,
+            // so the padding mapping is exercised, not the identity.
+            let opts = rung_sim_options(compiled.rung, 5, params.clone());
+            let label = format!("{} {} at 5 procs", b.name, strategy.label());
+            let (rr, svals) = dct_spmd::simulate_with_values(
+                &compiled.program,
+                &compiled.decomposition,
+                &opts,
+            )
+            .unwrap_or_else(|e| panic!("{label}: simulate: {e}"));
+            let sp = dct_spmd::lower(&compiled.program, &compiled.decomposition, &opts)
+                .unwrap_or_else(|e| panic!("{label}: lower: {e}"));
+            let (nr, nvals) = execute_with_values(&sp, &NativeOptions::default())
+                .unwrap_or_else(|e| panic!("{label}: native: {e}"));
+            assert_eq!(
+                nr.checksum.to_bits(),
+                rr.checksum.to_bits(),
+                "{label}: padded native checksum diverges"
+            );
+            assert_eq!(bits(&nvals), bits(&svals), "{label}: padded native values diverge");
+            assert_eq!(nr.barriers, rr.barriers, "{label}: barrier count diverges");
+        }
+    }
+}

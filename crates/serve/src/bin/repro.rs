@@ -33,6 +33,18 @@
 //! repro table1 --out results/run1 --native   # sweep cells cross-checked
 //!                           # against the native backend
 //! repro chaos --native      # chaos oracle incl. native fault sites
+//! repro table1 --cache      # content-addressed result cache: cells are
+//!                           # served from results/cache without executing
+//!                           # when every input matches (a warm rerun
+//!                           # executes zero cells, byte-identical table)
+//! repro explain stencil --cache     # cached explain report
+//! repro native --cache      # cached simulator legs
+//! repro chaos --cache       # chaos incl. the cache-write-io fault site
+//! repro table1 --cache --cache-dir /tmp/c --max-cache-bytes 1000000
+//!                           # custom store root + LRU byte budget
+//! repro serve --port 0      # HTTP service: submit sweeps, poll, fetch
+//!                           # tables/figures/explains/race certificates
+//!                           # (port 0 = ephemeral; bound port on stdout)
 //! ```
 //!
 //! With `--resume`, `--max-cycles`, `--max-wall` or `--out`, `table1` runs
@@ -69,6 +81,10 @@ fn main() {
     let mut faults = 6usize;
     let mut native = false;
     let mut reps = 16u64;
+    let mut cache = false;
+    let mut cache_dir = "results/cache".to_string();
+    let mut max_cache_bytes: Option<u64> = None;
+    let mut port = 0u16;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -141,6 +157,26 @@ fn main() {
                     .unwrap_or_else(|| die("--faults needs a fault count"))
             }
             "--native" => native = true,
+            "--cache" => cache = true,
+            "--cache-dir" => {
+                cache = true;
+                cache_dir =
+                    it.next().cloned().unwrap_or_else(|| die("--cache-dir needs a directory path"))
+            }
+            "--max-cache-bytes" => {
+                cache = true;
+                max_cache_bytes = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--max-cache-bytes needs a byte count")),
+                )
+            }
+            "--port" => {
+                port = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--port needs a port number (0 = ephemeral)"))
+            }
             "--reps" => {
                 reps = it
                     .next()
@@ -150,6 +186,42 @@ fn main() {
             other => targets.push(other.to_string()),
         }
     }
+    // `serve`: the HTTP service owns its own store instance (rooted at
+    // --cache-dir), job queue and shutdown; nothing below runs.
+    if targets.iter().any(|t| t == "serve") {
+        let cfg = dct_serve::ServeConfig {
+            port,
+            cache_dir: cache_dir.clone().into(),
+            max_cache_bytes,
+            out_dir: out_dir.clone().unwrap_or_else(|| "results/serve".to_string()).into(),
+            workers,
+            threads: ThreadBudget::single_cell(threads).intra,
+        };
+        match dct_serve::Server::start(&cfg) {
+            Ok(server) => {
+                // The bound port goes on stdout (and is flushed) so a
+                // harness driving an ephemeral --port 0 can parse it.
+                println!("serve: listening on http://127.0.0.1:{}", server.port);
+                use std::io::Write as _;
+                let _ = std::io::stdout().flush();
+                server.wait();
+                eprintln!("[serve: shut down cleanly]");
+            }
+            Err(e) => die(&format!("serve: cannot bind port {port}: {e}")),
+        }
+        return;
+    }
+
+    // Shared content-addressed store for every `--cache` surface below.
+    let store = if cache {
+        match dct_bench::ResultStore::open(&cache_dir, max_cache_bytes) {
+            Ok(s) => Some(std::sync::Arc::new(s)),
+            Err(e) => die(&format!("cannot open cache at {cache_dir}: {e}")),
+        }
+    } else {
+        None
+    };
+
     if profile {
         // Throughput profiling: each figure benchmark once per strategy at
         // the paper's 32 processors (figure targets restrict the sweep).
@@ -208,18 +280,24 @@ fn main() {
         let procs = procs.iter().copied().max().unwrap_or(32);
         let cell_threads = ThreadBudget::single_cell(threads).intra;
         let t0 = Instant::now();
-        match dct_bench::explain_threads(&bench, scale, procs, cell_threads) {
-            Some(r) => {
-                print!("{}", dct_bench::render_explain(&r));
+        // With --cache the rendered text + JSON pair is an artifact in
+        // the content-addressed store: a warm repeat never simulates.
+        let result = match &store {
+            Some(s) => dct_bench::explain_cached(&bench, scale, procs, cell_threads, s),
+            None => dct_bench::explain_threads(&bench, scale, procs, cell_threads)
+                .map(|r| (dct_bench::render_explain(&r), dct_bench::explain_json(&r))),
+        };
+        match result {
+            Some((text, json)) => {
+                print!("{text}");
                 let dir = out_dir.clone().unwrap_or_else(|| "results".to_string());
                 let path = format!("{dir}/explain_{bench}.json");
-                let write = harness::atomic_write_sync(
-                    Path::new(&path),
-                    dct_bench::explain_json(&r).as_bytes(),
-                );
-                match write {
+                match harness::atomic_write_sync(Path::new(&path), json.as_bytes()) {
                     Ok(()) => eprintln!("[explain {bench} done in {:?} -> {path}]", t0.elapsed()),
                     Err(e) => die(&format!("cannot write {path}: {e}")),
+                }
+                if let Some(s) = &store {
+                    eprintln!("[cache: {}]", s.stats_line());
                 }
             }
             None => die(&format!("unknown benchmark '{bench}' (suite: vpenta lu stencil adi erlebacher swm256 tomcatv)")),
@@ -246,15 +324,19 @@ fn main() {
         let only = bench.map(|b| vec![b]);
         let dir = out_dir.clone().unwrap_or_else(|| "results".to_string());
         let t0 = Instant::now();
-        let cells = dct_bench::run_native_check(
+        let cells = dct_bench::run_native_check_cached(
             only.as_deref(),
             scale,
             &native_procs,
             reps,
             Path::new(&dir),
+            store.as_deref(),
         );
         print!("{}", dct_bench::render_native_check(&cells, reps));
         eprintln!("[native done in {:?}]", t0.elapsed());
+        if let Some(s) = &store {
+            eprintln!("[cache: {}]", s.stats_line());
+        }
         if cells.iter().any(|c| !c.ok()) {
             std::process::exit(1);
         }
@@ -285,6 +367,7 @@ fn main() {
         ccfg.only = bench.map(|b| vec![b]);
         ccfg.race_check = true;
         ccfg.native_check = native;
+        ccfg.cache = cache;
         let t0 = Instant::now();
         match dct_bench::run_chaos(&ccfg) {
             Ok(rep) => {
@@ -307,12 +390,18 @@ fn main() {
             "fig2" => print_fig2(),
             "fig3" => print_fig3(),
             "table1" => {
-                let checkpointed =
-                    resume || out_dir.is_some() || max_cycles.is_some() || max_wall.is_some();
+                let checkpointed = resume
+                    || out_dir.is_some()
+                    || max_cycles.is_some()
+                    || max_wall.is_some()
+                    || store.is_some();
                 if checkpointed {
-                    // Crash-safe path: per-cell checkpoints + resume + budgets.
+                    // Crash-safe path: per-cell checkpoints + resume +
+                    // budgets (+ the content-addressed cache with
+                    // --cache). Honors --procs; default is the paper's 32.
+                    let sweep_procs = procs.iter().copied().max().unwrap_or(32);
                     let mut cfg = dct_bench::SweepConfig::new(
-                        32,
+                        sweep_procs,
                         scale,
                         out_dir.clone().unwrap_or_else(|| "results".to_string()),
                     );
@@ -321,12 +410,26 @@ fn main() {
                     cfg.max_wall_secs = max_wall;
                     cfg.race_check = race_check;
                     cfg.native_check = native;
+                    cfg.cache = store.clone();
                     if let Some(t) = threads {
                         cfg.threads = t;
                     }
-                    match dct_bench::run_sweep(&cfg) {
-                        Ok(cells) => {
-                            println!("{}", dct_bench::sweep::render_sweep(&cells, 32, scale))
+                    match dct_bench::run_sweep_supervised(&cfg) {
+                        Ok(rep) => {
+                            println!(
+                                "{}",
+                                dct_bench::sweep::render_sweep(&rep.cells, sweep_procs, scale)
+                            );
+                            if let Some(s) = &store {
+                                // Stats go to stderr so warm and cold
+                                // stdout tables diff byte-identical.
+                                eprintln!(
+                                    "[cache: {}; cells executed {} served {}]",
+                                    s.stats_line(),
+                                    rep.executed,
+                                    rep.cache_hits
+                                );
+                            }
                         }
                         Err(e) => die(&format!("sweep failed: {e}")),
                     }

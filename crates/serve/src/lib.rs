@@ -1,0 +1,23 @@
+//! # dct-serve
+//!
+//! The reproduction as a service: a content-addressed result cache
+//! (keyed on compiled program + strategy + machine + options, stored in
+//! crc64-verified envelopes) behind a job-queue sweep executor and a
+//! dependency-free HTTP/1.1 JSON API (`repro serve --port`).
+//!
+//! The split of responsibilities:
+//!
+//! * [`dct_bench::cache`] owns the store and the key derivation — the
+//!   sweep, chaos, explain and native surfaces use it directly, so the
+//!   service and the CLI share one cache.
+//! * [`queue`] owns execution: jobs expand into cells, identical
+//!   in-flight cells are deduplicated by cache key, and every cell runs
+//!   through the sweep's own self-healing supervisor.
+//! * [`http`] owns transport: `std::net` only, thread per connection,
+//!   clean shutdown by `POST /api/shutdown` (or [`http::Server::stop`]).
+
+pub mod http;
+pub mod queue;
+
+pub use http::{ServeConfig, Server};
+pub use queue::{CellSlot, Job, JobQueue, JobSpec, QueueConfig};

@@ -96,6 +96,17 @@ if [ "${chaos_panics:-0}" -ne 0 ]; then
 fi
 echo "  bench/src/chaos.rs: 0 panic sites"
 
+echo "== tier1: serve service is panic-free"
+# The cache + job-queue HTTP service runs unattended; a hostile request,
+# a poisoned lock, or a corrupt store entry must surface as an error
+# response or a quarantine, never take the process down.
+serve_panics=$(grep -rhoE 'panic!|\.unwrap\(\)' crates/serve/src --include='*.rs' | wc -l || true)
+if [ "${serve_panics:-0}" -ne 0 ]; then
+    echo "tier1 FAIL: crates/serve/src has $serve_panics panic!/unwrap() sites (must be 0)" >&2
+    exit 1
+fi
+echo "  serve/src: 0 panic sites"
+
 echo "== tier1: sharded engine determinism (--threads 1 vs --threads 4)"
 # The parallel engine must be bit-identical to the sequential walk with
 # every observer attached: plain figure cells, the race detector, and
@@ -175,6 +186,105 @@ if ! grep -q "all 21 cells bit-identical to the simulator" <<<"$native_out"; the
     echo "tier1 FAIL: native backend did not match the simulator on all cells" >&2
     exit 1
 fi
+
+echo "== tier1: repro table1 --cache warm rerun (zero executions)"
+# The content-addressed cache's acceptance bar: a second run against the
+# same store must execute nothing (every cell served by key) and print a
+# byte-identical table. Stats go to stderr, so stdout diffs are clean.
+rm -rf results/cache-smoke
+cold_out=$(./target/release/repro table1 --scale 0.1 --procs 8 \
+    --cache --cache-dir results/cache-smoke/cache \
+    --out results/cache-smoke/ckpt1 2>results/cache-smoke-cold.err)
+if ! grep -q "cells executed 28 served 0" results/cache-smoke-cold.err; then
+    echo "tier1 FAIL: cold cached table1 did not execute all 28 cells" >&2
+    cat results/cache-smoke-cold.err >&2
+    exit 1
+fi
+warm_out=$(./target/release/repro table1 --scale 0.1 --procs 8 \
+    --cache --cache-dir results/cache-smoke/cache \
+    --out results/cache-smoke/ckpt2 2>results/cache-smoke-warm.err)
+if ! grep -q "cells executed 0 served 28" results/cache-smoke-warm.err; then
+    echo "tier1 FAIL: warm cached table1 executed cells (must serve all 28 from the store)" >&2
+    cat results/cache-smoke-warm.err >&2
+    exit 1
+fi
+if [ "$cold_out" != "$warm_out" ]; then
+    echo "tier1 FAIL: warm cached table1 output differs from the cold run" >&2
+    diff <(echo "$cold_out") <(echo "$warm_out") >&2 || true
+    exit 1
+fi
+echo "  table1 --cache: 28 cells cold, 0 executed warm, tables byte-identical"
+
+echo "== tier1: repro serve smoke (HTTP API end-to-end)"
+# The sweep service: bind an ephemeral port, submit the suite as a job,
+# poll it to completion, and require the served table to be byte-for-byte
+# what a direct `repro table1` with the same parameters prints — then a
+# clean drain-and-exit through POST /api/shutdown.
+rm -rf results/serve-smoke
+mkdir -p results/serve-smoke
+./target/release/repro serve --port 0 \
+    --cache-dir results/serve-smoke/cache --out results/serve-smoke/ckpt \
+    --workers 2 --threads 2 \
+    >results/serve-smoke/stdout.log 2>results/serve-smoke/stderr.log &
+serve_pid=$!
+port=""
+for _ in $(seq 1 100); do
+    port=$(sed -nE 's|.*127\.0\.0\.1:([0-9]+).*|\1|p' results/serve-smoke/stdout.log 2>/dev/null || true)
+    [ -n "$port" ] && break
+    sleep 0.1
+done
+if [ -z "$port" ]; then
+    echo "tier1 FAIL: serve never reported its listening port" >&2
+    cat results/serve-smoke/stderr.log >&2 || true
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+sub=$(curl -sS -X POST "http://127.0.0.1:$port/api/sweep" --data '{"scale_milli":100,"procs":8}')
+job=$(sed -nE 's|.*"job":([0-9]+).*|\1|p' <<<"$sub")
+if [ -z "$job" ]; then
+    echo "tier1 FAIL: sweep submission rejected: $sub" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+state=""
+for _ in $(seq 1 600); do
+    state=$(curl -sS "http://127.0.0.1:$port/api/job/$job")
+    grep -q '"state":"done"' <<<"$state" && break
+    sleep 0.2
+done
+if ! grep -q '"state":"done"' <<<"$state"; then
+    echo "tier1 FAIL: serve job $job never finished: $state" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+table=$(curl -sS "http://127.0.0.1:$port/api/job/$job/table")
+direct=$(./target/release/repro table1 --scale 0.1 --procs 8 \
+    --cache --cache-dir results/serve-smoke/direct-cache \
+    --out results/serve-smoke/direct-ckpt 2>/dev/null)
+if [ "$table" != "$direct" ]; then
+    echo "tier1 FAIL: served table differs from direct 'repro table1' output" >&2
+    diff <(echo "$table") <(echo "$direct") >&2 || true
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+curl -sS -X POST "http://127.0.0.1:$port/api/shutdown" >/dev/null
+shut=1
+for _ in $(seq 1 100); do
+    if ! kill -0 "$serve_pid" 2>/dev/null; then shut=0; break; fi
+    sleep 0.1
+done
+if [ "$shut" -ne 0 ]; then
+    echo "tier1 FAIL: serve did not exit within 10s of /api/shutdown" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+wait "$serve_pid" 2>/dev/null || true
+if ! grep -q "shut down cleanly" results/serve-smoke/stderr.log; then
+    echo "tier1 FAIL: serve exited without draining cleanly" >&2
+    cat results/serve-smoke/stderr.log >&2 || true
+    exit 1
+fi
+echo "  serve: submit/poll/fetch matches table1 byte-for-byte, clean shutdown"
 
 echo "== tier1: repro table1 --scale 0.25 smoke (budget ${BUDGET}s)"
 start=$(date +%s)
