@@ -42,6 +42,12 @@ pub struct StrategyProfile {
     /// Fraction of accesses absorbed by the machine's one-entry
     /// last-line cache (subset of L1 hits).
     pub l1_fast_hit_ratio: f64,
+    /// Fraction of innermost iterations executed through fused segment
+    /// kernels (subset of `exec_fast_ratio`'s iterations).
+    pub kernelized_ratio: f64,
+    /// Kernel-shape histogram: iterations executed per recognized shape,
+    /// labels from [`dct_spmd::kernel::SHAPE_NAMES`].
+    pub kernel_shapes: [u64; 6],
     /// Wall time of the same simulation with the memory profiler
     /// attached (`SimOptions::profile`).
     pub profiled_wall_secs: f64,
@@ -141,6 +147,8 @@ pub fn profile_figure(spec: &FigureSpec, procs: usize, threads: usize) -> Figure
                 } else {
                     0.0
                 },
+                kernelized_ratio: r.fast.kernelized_ratio(),
+                kernel_shapes: r.fast.kernel_shapes,
                 profiled_wall_secs: profiled_wall,
                 profile_overhead: if wall > 0.0 { profiled_wall / wall } else { 0.0 },
                 native_wall_secs: native_wall,
@@ -220,6 +228,19 @@ pub fn render_json(profiles: &[FigureProfile], total_wall_secs: f64) -> String {
             out.push_str(&format!("          \"exec_fast_ratio\": {:.4},\n", s.exec_fast_ratio));
             out.push_str(&format!("          \"avg_segment_len\": {:.1},\n", s.avg_segment_len));
             out.push_str(&format!("          \"l1_fast_hit_ratio\": {:.4},\n", s.l1_fast_hit_ratio));
+            out.push_str(&format!("          \"kernelized_ratio\": {:.4},\n", s.kernelized_ratio));
+            out.push_str("          \"kernel_shapes\": {");
+            let mut first = true;
+            for (name, &n) in dct_spmd::kernel::SHAPE_NAMES.iter().zip(&s.kernel_shapes) {
+                if n > 0 {
+                    if !first {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("\"{name}\": {n}"));
+                    first = false;
+                }
+            }
+            out.push_str("},\n");
             out.push_str(&format!("          \"profiled_wall_secs\": {:.4},\n", s.profiled_wall_secs));
             out.push_str(&format!("          \"profile_overhead\": {:.3},\n", s.profile_overhead));
             out.push_str(&format!("          \"native_wall_secs\": {:.4}\n", s.native_wall_secs));
@@ -235,11 +256,17 @@ pub fn render_json(profiles: &[FigureProfile], total_wall_secs: f64) -> String {
 /// Human-readable summary table of the same data.
 pub fn render_text(profiles: &[FigureProfile]) -> String {
     let mut out = String::new();
-    out.push_str("figure      strategy                     wall(s)   Macc/s  par-Macc/s  xT-speedup  fast-iter  seg-len  l1-fast  prof-ovh  native(s)\n");
+    out.push_str("figure      strategy                     wall(s)   Macc/s  par-Macc/s  xT-speedup  fast-iter  kernel  seg-len  l1-fast  prof-ovh  native(s)  shapes\n");
     for p in profiles {
         for s in &p.strategies {
+            let shapes: Vec<String> = dct_spmd::kernel::SHAPE_NAMES
+                .iter()
+                .zip(&s.kernel_shapes)
+                .filter(|(_, &n)| n > 0)
+                .map(|(name, _)| name.to_string())
+                .collect();
             out.push_str(&format!(
-                "{:<11} {:<28} {:>7.3} {:>8.1} {:>11.1} {:>8.2}x@{:<2} {:>8.1}% {:>8.1} {:>7.1}% {:>8.2}x {:>9.3}\n",
+                "{:<11} {:<28} {:>7.3} {:>8.1} {:>11.1} {:>8.2}x@{:<2} {:>8.1}% {:>6.1}% {:>8.1} {:>7.1}% {:>8.2}x {:>9.3}  {}\n",
                 p.id,
                 s.strategy,
                 s.wall_secs,
@@ -248,10 +275,12 @@ pub fn render_text(profiles: &[FigureProfile]) -> String {
                 s.intra_cell_speedup,
                 s.threads,
                 s.exec_fast_ratio * 100.0,
+                s.kernelized_ratio * 100.0,
                 s.avg_segment_len,
                 s.l1_fast_hit_ratio * 100.0,
                 s.profile_overhead,
                 s.native_wall_secs,
+                if shapes.is_empty() { "-".to_string() } else { shapes.join("+") },
             ));
         }
     }
@@ -270,6 +299,8 @@ mod tests {
         for s in &profiles[0].strategies {
             assert!(s.accesses > 0);
             assert!(s.exec_fast_ratio > 0.5, "fast path should dominate: {s:?}");
+            assert!(s.kernelized_ratio > 0.5, "kernels should dominate: {s:?}");
+            assert!(s.kernel_shapes.iter().sum::<u64>() > 0, "histogram empty: {s:?}");
         }
         for s in &profiles[0].strategies {
             assert!(s.profiled_wall_secs > 0.0);
@@ -287,6 +318,8 @@ mod tests {
         assert!(j.contains("\"threads\": 4"));
         assert!(j.contains("profile_overhead"));
         assert!(j.contains("native_wall_secs"));
+        assert!(j.contains("kernelized_ratio"));
+        assert!(j.contains("kernel_shapes"));
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());

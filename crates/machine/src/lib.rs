@@ -21,4 +21,4 @@ pub use classify::{Classifier, FastHash, MissClasses, ShadowLru};
 pub use config::MachineConfig;
 pub use probe::{AccessLevel, MemProbe};
 pub use shard::{Effect, ShardCommit, ShardMachine};
-pub use system::{Machine, ProcSlice, ProcStats, Stats, SyncOp, SyncStats};
+pub use system::{Machine, ProcSlice, ProcStats, SegAccess, Stats, SyncOp, SyncStats, MAX_SEG_SLOTS};

@@ -566,6 +566,148 @@ impl<'m> ShardMachine<'m> {
         }
     }
 
+    /// Twin of [`Machine::access_seg`]: round-major execution of a
+    /// strided access vector with bulk replay of line-stable L1-hit
+    /// rounds. The steady rounds touch only this shard's own slice
+    /// (counters and last-line memo) — no overlay, directory, or effect
+    /// traffic — so the parallel engine's merge sees exactly the state
+    /// the per-element walk would have produced.
+    pub fn access_seg(
+        &mut self,
+        proc: usize,
+        accs: &mut [crate::system::SegAccess],
+        rounds: u64,
+        mut probe: Option<&mut dyn MemProbe>,
+    ) -> u64 {
+        use crate::system::{line_run, MAX_SEG_SLOTS};
+        if rounds == 0 || accs.is_empty() {
+            return 0;
+        }
+        let li = self.local[proc] as usize;
+        debug_assert!(li < self.slices.len(), "access from a processor not in this shard");
+        // Same unbatchable-vector bail as `Machine::access_seg`: a slot
+        // stepping a full line per round caps every run at 1.
+        let line_bytes = 1u64 << self.line_shift;
+        let unbatchable = accs
+            .iter()
+            .any(|a| a.dbyte != 0 && a.dbyte.unsigned_abs() >= line_bytes);
+        if probe.is_some()
+            || !self.slices[li].l1.is_direct()
+            || accs.len() > MAX_SEG_SLOTS
+            || unbatchable
+        {
+            let mut busy = 0u64;
+            for _ in 0..rounds {
+                for a in accs.iter_mut() {
+                    let p = probe.as_mut().map(|p| &mut **p as &mut dyn MemProbe);
+                    busy += self.access_probed(proc, a.byte, a.write, p);
+                    a.byte = (a.byte as i64).wrapping_add(a.dbyte) as u64;
+                }
+            }
+            return busy;
+        }
+
+        let shift = self.line_shift;
+        let lat_l1 = self.cfg.lat_l1;
+        let mut busy = 0u64;
+        let mut remaining = rounds;
+        let mut states = [LineState::Shared; MAX_SEG_SLOTS];
+        // Decremental per-slot crossing counters + conflict-thrash bail,
+        // mirroring `Machine::access_seg`.
+        let mut cross = [0u64; MAX_SEG_SLOTS];
+        for (j, a) in accs.iter().enumerate() {
+            cross[j] = line_run(a.byte, a.dbyte, shift);
+        }
+        let mut strikes = 0u32;
+        while remaining > 0 {
+            if strikes >= 4 {
+                for _ in 0..remaining {
+                    for a in accs.iter_mut() {
+                        busy += self.access_probed(proc, a.byte, a.write, None);
+                        a.byte = (a.byte as i64).wrapping_add(a.dbyte) as u64;
+                    }
+                }
+                return busy;
+            }
+            let mut run = remaining;
+            for &c in cross.iter().take(accs.len()) {
+                run = run.min(c);
+            }
+            for a in accs.iter() {
+                busy += self.access_probed(proc, a.byte, a.write, None);
+            }
+            let mut advanced = 1u64;
+            if run > 1 {
+                let mut steady = true;
+                for (j, a) in accs.iter().enumerate() {
+                    match self.slices[li].l1.occupant(a.byte >> shift) {
+                        Some((tag, st))
+                            if tag == a.byte >> shift
+                                && (!a.write || st == LineState::Modified) =>
+                        {
+                            states[j] = st;
+                        }
+                        _ => {
+                            steady = false;
+                            break;
+                        }
+                    }
+                }
+                if !steady {
+                    strikes += 1;
+                } else {
+                    strikes = 0;
+                    let mut memo = self.slices[li].last_line;
+                    let mut fast_total = 0u64;
+                    let mut left = run - 1;
+                    while left > 0 {
+                        let start = memo;
+                        let mut f = 0u64;
+                        for (a, &st) in accs.iter().zip(states.iter()) {
+                            let line = a.byte >> shift;
+                            if memo.line == line
+                                && (!a.write || memo.state == LineState::Modified)
+                            {
+                                f += 1;
+                            } else {
+                                let state =
+                                    if a.write { LineState::Modified } else { st };
+                                memo = LastLine { line, state };
+                            }
+                        }
+                        if memo.line == start.line && memo.state == start.state {
+                            fast_total += f * left;
+                            left = 0;
+                        } else {
+                            fast_total += f;
+                            left -= 1;
+                        }
+                    }
+                    let n = run - 1;
+                    let k = accs.len() as u64;
+                    let st = &mut self.slices[li].stats;
+                    st.accesses += n * k;
+                    st.l1_hits += n * k;
+                    st.l1_fast_hits += fast_total;
+                    st.mem_cycles += n * k * lat_l1;
+                    busy += n * k * lat_l1;
+                    self.slices[li].last_line = memo;
+                    advanced = run;
+                }
+            }
+            for (j, a) in accs.iter_mut().enumerate() {
+                a.byte =
+                    (a.byte as i64).wrapping_add(a.dbyte.wrapping_mul(advanced as i64)) as u64;
+                cross[j] -= advanced;
+                if cross[j] == 0 {
+                    cross[j] = line_run(a.byte, a.dbyte, shift);
+                }
+            }
+            remaining -= advanced;
+        }
+        busy
+    }
+
     /// Twin of [`Machine::sync`]: counts into the shard-local tally,
     /// folded into the global one at the merge.
     pub fn sync(&mut self, op: SyncOp) -> u64 {

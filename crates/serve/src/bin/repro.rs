@@ -157,6 +157,11 @@ fn main() {
                     .unwrap_or_else(|| die("--faults needs a fault count"))
             }
             "--native" => native = true,
+            // Kernels are bit-identical to the interpreter, so the flag
+            // only trades speed; the env override reaches every executor
+            // (including worker threads) without threading a new option
+            // through each harness entry point.
+            "--no-kernels" => std::env::set_var("DCT_SEG_KERNELS", "0"),
             "--cache" => cache = true,
             "--cache-dir" => {
                 cache = true;

@@ -29,9 +29,10 @@
 
 use crate::codegen::{LevelSched, SpmdNest, SpmdProgram, SyncKind};
 use crate::cost::CostModel;
+use crate::kernel::{self, KernelPlan, RdStream, WrStream};
 use crate::race::Detector;
 use dct_ir::{ArrayRef, BinOp, Expr, MemProfile, RaceReport};
-use dct_machine::{Machine, MachineConfig, MemProbe, MissClasses, Stats, SyncOp};
+use dct_machine::{Machine, MachineConfig, MemProbe, MissClasses, SegAccess, Stats, SyncOp};
 use dct_profile::{LineRange, Profiler};
 
 /// Executor-level fast-path counters (observability only; never feeds
@@ -45,6 +46,13 @@ pub struct FastPathStats {
     /// Segments entered (cursor re-probes, i.e. strip-boundary crossings
     /// plus one per innermost loop entry).
     pub segments: u64,
+    /// Innermost iterations executed through fused segment kernels (a
+    /// subset of `fast_iters`; the rest of the strided iterations ran the
+    /// postfix interpreter).
+    pub kernel_iters: u64,
+    /// Kernel-shape histogram, indexed like
+    /// [`crate::kernel::SHAPE_NAMES`]: iterations executed per shape.
+    pub kernel_shapes: [u64; 6],
 }
 
 impl FastPathStats {
@@ -58,11 +66,26 @@ impl FastPathStats {
         }
     }
 
+    /// Fraction of innermost iterations executed through fused segment
+    /// kernels (0 for runs that never entered a loop).
+    pub fn kernelized_ratio(&self) -> f64 {
+        let total = self.fast_iters + self.slow_iters;
+        if total == 0 {
+            0.0
+        } else {
+            self.kernel_iters as f64 / total as f64
+        }
+    }
+
     /// Fold counters from a lane or worker (plain integer sums).
     pub(crate) fn accumulate(&mut self, o: &FastPathStats) {
         self.fast_iters += o.fast_iters;
         self.slow_iters += o.slow_iters;
         self.segments += o.segments;
+        self.kernel_iters += o.kernel_iters;
+        for (a, b) in self.kernel_shapes.iter_mut().zip(&o.kernel_shapes) {
+            *a += b;
+        }
     }
 }
 
@@ -128,7 +151,7 @@ struct RefCursor {
 /// order, so executing the ops performs the same machine accesses in the
 /// same order as the recursive `eval`.
 #[derive(Clone, Copy)]
-enum BodyOp {
+pub(crate) enum BodyOp {
     /// Push a constant.
     Const(f64),
     /// Push loop index `ivec[l]`.
@@ -203,6 +226,10 @@ pub(crate) struct WalkCtx<'n> {
     /// order (per statement: the write first, then its reads) — the race
     /// detector's view of the cursor table.
     ref_info: Vec<(usize, bool)>,
+    /// Fused segment-kernel plan for this nest's body, compiled once here
+    /// (`None` = the body is outside the kernel envelope and every
+    /// segment runs the postfix interpreter).
+    plan: Option<KernelPlan>,
 }
 
 impl<'n> WalkCtx<'n> {
@@ -224,7 +251,7 @@ impl<'n> WalkCtx<'n> {
                 ref_info.push((r.array.0, false));
             }
         }
-        let ops = nest
+        let ops: Vec<Vec<BodyOp>> = nest
             .source
             .body
             .iter()
@@ -237,7 +264,8 @@ impl<'n> WalkCtx<'n> {
                 v
             })
             .collect();
-        WalkCtx { nest, reads, ops, ref_info }
+        let plan = kernel::build_plan(nest, &ops);
+        WalkCtx { nest, reads, ops, ref_info, plan }
     }
 }
 
@@ -253,6 +281,12 @@ pub struct Executor<'a> {
     /// (default). Disable to force the general walk everywhere — used by
     /// the differential tests that pin bit-exactness between both modes.
     pub fast_path: bool,
+    /// Execute strided segments through fused segment kernels with
+    /// line-batched machine accounting (default). Disable (or set the
+    /// `DCT_SEG_KERNELS=0` env override) to force the postfix interpreter
+    /// for every segment — bit-identical by contract, so this flag only
+    /// trades speed; the differential tests pin the equality.
+    pub seg_kernels: bool,
     /// Run the happens-before race detector alongside execution. A pure
     /// observer: cycles, statistics and results are unchanged; the run
     /// result gains a [`RaceReport`].
@@ -319,6 +353,7 @@ impl<'a> Executor<'a> {
             cost,
             barriers: 0,
             fast_path: true,
+            seg_kernels: env_seg_kernels(),
             race_detect: false,
             profile: false,
             threads: 1,
@@ -614,6 +649,7 @@ impl<'a> Executor<'a> {
                 None => RaceSink::Off,
             },
             fast_path: self.fast_path,
+            kernels: self.seg_kernels,
             scratch: &mut self.scratch,
             fast: FastPathStats::default(),
         };
@@ -685,6 +721,7 @@ impl<'a> Executor<'a> {
                 None => RaceSink::Off,
             },
             fast_path: self.fast_path,
+            kernels: self.seg_kernels,
             scratch: &mut self.scratch,
             fast: FastPathStats::default(),
         };
@@ -755,6 +792,16 @@ impl<'a> Executor<'a> {
     }
 }
 
+/// `DCT_SEG_KERNELS` env override for the fused-kernel default: `0`,
+/// `off`, or `false` disables kernels; anything else (or unset) keeps
+/// them on.
+pub(crate) fn env_seg_kernels() -> bool {
+    match std::env::var("DCT_SEG_KERNELS") {
+        Ok(v) => !matches!(v.as_str(), "0" | "off" | "false"),
+        Err(_) => true,
+    }
+}
+
 /// Reusable buffers for allocation-free address computation: one set per
 /// executor (sequential lanes) and one per parallel worker.
 #[derive(Default)]
@@ -769,6 +816,14 @@ pub(crate) struct Scratch {
     probe: Vec<(i64, i64)>,
     /// Segment cursors, one per statement reference of the current nest.
     cursors: Vec<RefCursor>,
+    /// Kernel-path machine access vector (per statement: reads in postfix
+    /// order, then the write — the interpreter's access order).
+    seg_accs: Vec<SegAccess>,
+    /// Kernel-path resolved read streams, in the same order as the plan's
+    /// per-statement reads.
+    rd_streams: Vec<RdStream>,
+    /// Kernel-path resolved write streams, one per statement.
+    wr_streams: Vec<WrStream>,
 }
 
 /// Where race events go during a walk: nowhere, straight into the live
@@ -815,6 +870,30 @@ pub(crate) trait Backend {
     fn sync(&mut self, op: SyncOp) -> u64;
     fn arena_read(&self, x: usize, slot: usize) -> f64;
     fn arena_write(&mut self, x: usize, slot: usize, v: f64);
+
+    /// Execute `rounds` rounds of the access vector `accs` (round-major,
+    /// exactly as if each round issued every access in order through
+    /// [`Backend::access`]), advancing each access's byte address by its
+    /// stride per round, and return the summed cost. The default is the
+    /// literal per-element loop; machine-backed implementations override
+    /// it with the line-batched walk, which is pinned bit-identical by
+    /// the machine crate's differential tests.
+    fn access_seg(&mut self, proc: usize, accs: &mut [SegAccess], rounds: u64) -> u64 {
+        let mut busy = 0u64;
+        for _ in 0..rounds {
+            for a in accs.iter_mut() {
+                busy += self.access(proc, a.byte, a.write);
+                a.byte = a.byte.wrapping_add(a.dbyte as u64);
+            }
+        }
+        busy
+    }
+
+    /// Raw base pointer and length of array `x`'s arena, for the fused
+    /// segment kernels' value sweeps. The pointer stays valid for the
+    /// backend's lifetime; callers bounds-check every sweep against `len`
+    /// before dereferencing.
+    fn arena_raw(&mut self, x: usize) -> (*mut f64, usize);
 }
 
 /// Sequential backend: the executor's own machine and arenas, with the
@@ -850,6 +929,17 @@ impl Backend for SeqBackend<'_> {
     fn arena_write(&mut self, x: usize, slot: usize, v: f64) {
         self.arenas[x][slot] = v;
     }
+
+    fn access_seg(&mut self, proc: usize, accs: &mut [SegAccess], rounds: u64) -> u64 {
+        let probe = self.profiler.as_deref_mut().map(|p| p as &mut dyn MemProbe);
+        self.machine.access_seg(proc, accs, rounds, probe)
+    }
+
+    #[inline]
+    fn arena_raw(&mut self, x: usize) -> (*mut f64, usize) {
+        let a = &mut self.arenas[x];
+        (a.as_mut_ptr(), a.len())
+    }
 }
 
 /// The walk engine, generic over where accesses land. A lane executes
@@ -862,6 +952,9 @@ pub(crate) struct Lane<'e, B: Backend> {
     pub(crate) backend: B,
     pub(crate) race: RaceSink<'e>,
     pub(crate) fast_path: bool,
+    /// Dispatch strided segments to fused kernels when the nest has a
+    /// plan (false = postfix interpreter for every segment).
+    pub(crate) kernels: bool,
     pub(crate) scratch: &'e mut Scratch,
     pub(crate) fast: FastPathStats,
 }
@@ -959,16 +1052,127 @@ impl<B: Backend> Lane<'_, B> {
             if !self.race.is_off() {
                 self.race_segment(ctx, proc, seg);
             }
-            for _ in 0..seg {
-                ivec[level] = v;
-                busy += self.cost.loop_iter + self.exec_body_fast(ctx, proc, ivec);
-                self.advance_cursors();
-                v += step;
+            let kern = if self.kernels {
+                self.exec_segment_kernel(ctx, proc, ivec, level, v, step, seg)
+            } else {
+                None
+            };
+            match kern {
+                Some(b) => {
+                    busy += b;
+                    self.fast.kernel_iters += seg as u64;
+                    if let Some(p) = &ctx.plan {
+                        self.fast.kernel_shapes[p.shape as usize] += seg as u64;
+                    }
+                    v += step * seg;
+                }
+                None => {
+                    for _ in 0..seg {
+                        ivec[level] = v;
+                        busy += self.cost.loop_iter + self.exec_body_fast(ctx, proc, ivec);
+                        self.advance_cursors();
+                        v += step;
+                    }
+                }
             }
             remaining -= seg;
         }
         ivec[level] = 0;
         busy
+    }
+
+    /// Execute one whole strided segment through the fused kernel layer:
+    /// one line-batched [`Backend::access_seg`] call for the machine
+    /// accounting plus a shape-specialized value sweep over raw arena
+    /// slices ([`kernel::exec_values`]). Returns `None` — with no machine,
+    /// arena, or cursor state touched — when the segment must take the
+    /// interpreter path instead (no plan, too short, or a sweep would
+    /// leave its arena bounds).
+    fn exec_segment_kernel(
+        &mut self,
+        ctx: &WalkCtx,
+        proc: usize,
+        ivec: &[i64],
+        level: usize,
+        v0: i64,
+        step: i64,
+        seg: i64,
+    ) -> Option<u64> {
+        let plan = ctx.plan.as_ref()?;
+        if seg < kernel::MIN_KERNEL_SEG {
+            return None;
+        }
+        let sc = &mut *self.scratch;
+        sc.seg_accs.clear();
+        sc.rd_streams.clear();
+        sc.wr_streams.clear();
+        // Resolve every cursor into a raw stream, bounds-checking the full
+        // sweep (`slot + t*dslot`, `t in 0..seg`) against its arena — a
+        // kernel must never touch memory the interpreter would not.
+        for (&(x, is_write), c) in ctx.ref_info.iter().zip(&sc.cursors) {
+            let (ptr, len) = self.backend.arena_raw(x);
+            let first = c.slot as i64;
+            let last = first + (seg - 1) * c.dslot;
+            let (lo, hi) = (first.min(last), first.max(last));
+            if lo < 0 || hi >= len as i64 {
+                return None;
+            }
+            if is_write {
+                sc.wr_streams.push(WrStream { ptr, slot: first, dslot: c.dslot });
+            } else {
+                sc.rd_streams.push(RdStream { ptr, slot: first, dslot: c.dslot });
+            }
+        }
+        // Machine access vector: per statement, reads in postfix order
+        // then the write — exactly the interpreter's access order.
+        let mut k = 0usize;
+        for sp in &plan.stmts {
+            let w = sc.cursors[k];
+            for c in &sc.cursors[k + 1..k + 1 + sp.nreads] {
+                sc.seg_accs.push(SegAccess { byte: c.byte, dbyte: c.dbyte, write: false });
+            }
+            sc.seg_accs.push(SegAccess { byte: w.byte, dbyte: w.dbyte, write: true });
+            k += 1 + sp.nreads;
+        }
+        // Unrolled sweeps require the write stream to alias no read
+        // stream (single-statement bodies only; multi-statement bodies
+        // take the ordered element-major path regardless).
+        let mut unroll_safe = plan.stmts.len() == 1;
+        if unroll_safe {
+            let (wx, _) = ctx.ref_info[0];
+            let w = &sc.cursors[0];
+            let (wfirst, wlast) = (w.slot as i64, w.slot as i64 + (seg - 1) * w.dslot);
+            let (wlo, whi) = (wfirst.min(wlast), wfirst.max(wlast));
+            for (&(x, _), c) in ctx.ref_info[1..].iter().zip(&sc.cursors[1..]) {
+                if x != wx {
+                    continue;
+                }
+                let (rfirst, rlast) = (c.slot as i64, c.slot as i64 + (seg - 1) * c.dslot);
+                let (rlo, rhi) = (rfirst.min(rlast), rfirst.max(rlast));
+                if rlo <= whi && wlo <= rhi {
+                    unroll_safe = false;
+                    break;
+                }
+            }
+        }
+        let busy = seg as u64 * (self.cost.loop_iter + plan.extra_cycles)
+            + self.backend.access_seg(proc, &mut sc.seg_accs, seg as u64);
+        // SAFETY: every stream's sweep was bounds-checked against its
+        // arena above, and the `arena_raw` pointers outlive this call.
+        unsafe {
+            kernel::exec_values(
+                plan,
+                &sc.wr_streams,
+                &sc.rd_streams,
+                seg,
+                ivec,
+                level,
+                v0,
+                step,
+                unroll_safe,
+            );
+        }
+        Some(busy)
     }
 
     /// Resolve every reference of the nest body at the current iteration

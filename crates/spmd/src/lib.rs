@@ -12,6 +12,7 @@ pub mod codegen;
 pub mod cost;
 pub mod emit_c;
 pub mod exec;
+pub mod kernel;
 pub(crate) mod par;
 pub mod race;
 pub mod run;

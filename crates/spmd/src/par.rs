@@ -229,6 +229,11 @@ impl ArenaView {
         // write span and this worker owns that shard.
         unsafe { *self.ptrs[x].add(slot) = v }
     }
+
+    #[inline]
+    fn raw(&self, x: usize) -> (*mut f64, usize) {
+        (self.ptrs[x], self.lens[x])
+    }
 }
 
 /// Worker backend: a thread-local machine shard plus the shared arena
@@ -261,6 +266,16 @@ impl Backend for ShardBackend<'_> {
     #[inline]
     fn arena_write(&mut self, x: usize, slot: usize, v: f64) {
         self.arenas.write(x, slot, v);
+    }
+
+    fn access_seg(&mut self, proc: usize, accs: &mut [dct_machine::SegAccess], rounds: u64) -> u64 {
+        let probe = self.probe.as_mut().map(|p| p as &mut dyn MemProbe);
+        self.shard.access_seg(proc, accs, rounds, probe)
+    }
+
+    #[inline]
+    fn arena_raw(&mut self, x: usize) -> (*mut f64, usize) {
+        self.arenas.raw(x)
     }
 }
 
@@ -984,6 +999,7 @@ fn run_shard(
     chains: Option<(&PipePlan, &[Vec<usize>], &[u64], u64)>,
     race_on: bool,
     profile_on: bool,
+    kernels: bool,
     cancel: Option<&dct_ir::CancelToken>,
 ) -> WorkerOut {
     let ctx = WalkCtx::new(nest);
@@ -1002,6 +1018,7 @@ fn run_shard(
         },
         race: if race_on { RaceSink::Log(&mut rlog) } else { RaceSink::Off },
         fast_path: true,
+        kernels,
         scratch: &mut scratch,
         fast: FastPathStats::default(),
     };
@@ -1106,6 +1123,7 @@ pub(crate) fn try_parallel(ex: &mut Executor, nest: &SpmdNest, params: &[i64]) -
     // run one worker per shard, merge in canonical shard order.
     let race_on = ex.race.is_some();
     let profile_on = ex.profiler.is_some();
+    let kernels = ex.seg_kernels;
     let lock = ex.machine.cfg.lock_cost;
     let start_clocks = ex.clocks.clone();
     let mut inputs: Vec<(Vec<usize>, Vec<ProcSlice>, Vec<u64>)> = Vec::with_capacity(plan.ranges.len());
@@ -1134,7 +1152,7 @@ pub(crate) fn try_parallel(ex: &mut Executor, nest: &SpmdNest, params: &[i64]) -
             s.spawn(move || {
                 *slot = Some(run_shard(
                     sp, cost, coords, machine, view, nest, params, procs, slices, mask, pipe,
-                    race_on, profile_on, cancel,
+                    race_on, profile_on, kernels, cancel,
                 ));
             });
         }

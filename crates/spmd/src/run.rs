@@ -27,6 +27,12 @@ pub struct SimOptions {
     /// (default). The general walk produces bit-identical results; the
     /// differential tests flip this to prove it.
     pub fast_path: bool,
+    /// Execute strided segments through fused segment kernels with
+    /// line-batched machine accounting (default; bit-identical to the
+    /// postfix interpreter by contract). `false` — or the
+    /// `DCT_SEG_KERNELS=0` env override — forces the interpreter for
+    /// every segment.
+    pub seg_kernels: bool,
     /// Run the happens-before race detector alongside execution (pure
     /// observer: cycles and results are unchanged; the run result gains
     /// a `RaceReport`).
@@ -64,6 +70,7 @@ impl SimOptions {
             addr_opt: true,
             machine: None,
             fast_path: true,
+            seg_kernels: true,
             race_detect: false,
             profile: false,
             threads: default_threads(),
@@ -84,6 +91,9 @@ fn build_executor<'a>(
     let machine = opts.machine.clone().unwrap_or_else(|| MachineConfig::dash(opts.procs));
     let mut ex = Executor::new(sp, machine, cost);
     ex.fast_path = opts.fast_path;
+    // `&=`: the env override (applied at construction) and the option must
+    // both allow kernels.
+    ex.seg_kernels &= opts.seg_kernels;
     ex.race_detect = opts.race_detect;
     ex.profile = opts.profile;
     ex.threads = opts.threads.max(1);

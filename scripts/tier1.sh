@@ -85,6 +85,17 @@ if [ "${par_panics:-0}" -ne 0 ]; then
 fi
 echo "  spmd/src/par.rs: 0 panic sites"
 
+echo "== tier1: segment kernels are panic-free"
+# The fused kernels run raw-pointer sweeps over arena slices inside the
+# innermost loop of every simulation; any failure must be a fallback to
+# the interpreter, never a panic (or worse).
+kern_panics=$(grep -choE 'panic!|\.unwrap\(\)' crates/spmd/src/kernel.rs || true)
+if [ "${kern_panics:-0}" -ne 0 ]; then
+    echo "tier1 FAIL: crates/spmd/src/kernel.rs has $kern_panics panic!/unwrap() sites (must be 0)" >&2
+    exit 1
+fi
+echo "  spmd/src/kernel.rs: 0 panic sites"
+
 echo "== tier1: chaos supervisor is panic-free"
 # The fault-injection supervisor catches panics and heals the sweep; it
 # must never be able to take down what it supervises. (The one injected
@@ -134,6 +145,18 @@ if [ "$seq_ex" != "$par_ex" ]; then
     exit 1
 fi
 echo "  fig8 + race-check + explain: bit-identical at 1 and 4 threads"
+
+echo "== tier1: segment kernels bit-identity (fig8 kernels off vs on)"
+# The fused-kernel engine must not perturb a single reported number; the
+# interpreter run is the oracle.
+kern_on=$(./target/release/repro fig8 --scale 0.15 --procs 8 --threads 1 2>/dev/null)
+kern_off=$(./target/release/repro fig8 --scale 0.15 --procs 8 --threads 1 --no-kernels 2>/dev/null)
+if [ "$kern_on" != "$kern_off" ]; then
+    echo "tier1 FAIL: fig8 output differs between kernels on and --no-kernels" >&2
+    diff <(echo "$kern_on") <(echo "$kern_off") >&2 || true
+    exit 1
+fi
+echo "  fig8: bit-identical with kernels on and off"
 
 echo "== tier1: repro --race-check smoke (schedule soundness)"
 # Every benchmark x strategy must be certified race-free by the
@@ -306,6 +329,15 @@ done
 if [ "$elapsed" -gt "$BUDGET" ]; then
     echo "tier1 FAIL: smoke run took ${elapsed}s > budget ${BUDGET}s" >&2
     exit 1
+fi
+
+# Opt-in scaling measurement: multi-core hosts set TIER1_SIM_SCALING=1 to
+# produce the ROADMAP item-1/item-3 thread-scaling artifact (criterion
+# output under target/criterion/). Off by default — on a one-core CI box
+# the numbers are meaningless and the run is slow.
+if [ -n "${TIER1_SIM_SCALING:-}" ]; then
+    echo "== tier1: sim_scaling bench (TIER1_SIM_SCALING set)"
+    cargo bench -p dct-bench --bench sim_scaling
 fi
 
 echo "tier1 OK"
